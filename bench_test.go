@@ -1,0 +1,257 @@
+package upa
+
+// One benchmark per table and figure of the paper's evaluation (§VI), plus
+// the ablations DESIGN.md calls out. Each benchmark regenerates its
+// artifact on a laptop-scale workload and reports the headline quantity of
+// the corresponding figure through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reprints the whole evaluation. cmd/upa-bench renders the same artifacts
+// as full text tables.
+
+import (
+	"testing"
+
+	"upa/internal/bench"
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// benchConfig sizes the experiment benchmarks for single-digit-seconds
+// iterations.
+func benchConfig() bench.Config {
+	cfg := bench.DefaultConfig()
+	cfg.Lineitems = 4000
+	cfg.LSRecords = 4000
+	cfg.SampleSize = 500
+	cfg.Trials = 1
+	cfg.Additions = 500
+	return cfg
+}
+
+// BenchmarkTable2SupportMatrix regenerates Table II (query support).
+func BenchmarkTable2SupportMatrix(b *testing.B) {
+	cfg := benchConfig()
+	var flexSupported int
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Table2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flexSupported = 0
+		for _, r := range rows {
+			if r.FLEXSupported {
+				flexSupported++
+			}
+		}
+	}
+	b.ReportMetric(float64(flexSupported), "flex-supported-queries")
+	b.ReportMetric(9, "upa-supported-queries")
+}
+
+// BenchmarkFig2aSensitivityRMSE regenerates Figure 2(a): the relative RMSE
+// of UPA's and FLEX's inferred local sensitivities against brute-force
+// ground truth. The reported metrics carry the figure's headline shape: UPA
+// mean RMSE, and the worst FLEX/UPA error ratio in orders of magnitude.
+func BenchmarkFig2aSensitivityRMSE(b *testing.B) {
+	cfg := benchConfig()
+	var upaMean, worstRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig2a(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		upaMean, worstRatio = 0, 0
+		for _, r := range rows {
+			upaMean += r.UPARelRMSE / float64(len(rows))
+			if r.FLEXSupported && r.UPARelRMSE > 0 {
+				if ratio := r.FLEXRelRMSE / r.UPARelRMSE; ratio > worstRatio {
+					worstRatio = ratio
+				}
+			}
+		}
+	}
+	b.ReportMetric(upaMean*100, "upa-mean-rmse-%")
+	b.ReportMetric(worstRatio, "max-flex/upa-rmse")
+}
+
+// BenchmarkFig2bOverhead regenerates Figure 2(b): per-query UPA runtime
+// normalized to vanilla, one sub-benchmark per evaluated query.
+func BenchmarkFig2bOverhead(b *testing.B) {
+	cfg := benchConfig()
+	w, err := cfg.Workload(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range w.All() {
+		r := r
+		b.Run("vanilla/"+r.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := r.RunVanilla(mapreduce.NewEngine()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("upa/"+r.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := mapreduce.NewEngine()
+				sys, err := newBenchSystem(eng, cfg.SampleSize, cfg.Epsilon)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.RunUPA(sys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig3Coverage regenerates Figure 3: the fraction of all
+// neighbouring-dataset outputs covered by the range UPA infers at the
+// default sample size.
+func BenchmarkFig3Coverage(b *testing.B) {
+	cfg := benchConfig()
+	var minCov, meanCov float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig3(cfg, []int{cfg.SampleSize})
+		if err != nil {
+			b.Fatal(err)
+		}
+		minCov, meanCov = 1, 0
+		for _, r := range rows {
+			cov := r.Coverage[0]
+			meanCov += cov / float64(len(rows))
+			if cov < minCov {
+				minCov = cov
+			}
+		}
+	}
+	b.ReportMetric(meanCov*100, "mean-coverage-%")
+	b.ReportMetric(minCov*100, "min-coverage-%")
+}
+
+// BenchmarkFig4aScalability regenerates Figure 4(a): overhead at 1x vs 4x
+// dataset scale (decreasing, because sensitivity inference costs constant
+// time in the dataset size).
+func BenchmarkFig4aScalability(b *testing.B) {
+	cfg := benchConfig()
+	var first, last float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig4a(cfg, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last = rows[0].MeanNormalized, rows[len(rows)-1].MeanNormalized
+	}
+	b.ReportMetric(first, "normalized-at-1x")
+	b.ReportMetric(last, "normalized-at-4x")
+}
+
+// BenchmarkFig4bSampleSize regenerates Figure 4(b): runtime and cache hit
+// rate across sample sizes.
+func BenchmarkFig4bSampleSize(b *testing.B) {
+	cfg := benchConfig()
+	var hitLo, hitHi float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig4b(cfg, []int{100, 900})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hitLo, hitHi = rows[0].MeanCacheHitRate, rows[len(rows)-1].MeanCacheHitRate
+	}
+	b.ReportMetric(hitLo*100, "cache-hit-%-n=100")
+	b.ReportMetric(hitHi*100, "cache-hit-%-n=900")
+}
+
+// BenchmarkAblationReuse and BenchmarkAblationNoReuse isolate the union-
+// preserving reuse of R(M(S')): with reuse each sampled neighbour costs
+// O(1) combines; without it each neighbour re-reduces the whole input — the
+// linear-vs-constant overhead claim of §VI-E.
+func BenchmarkAblationReuse(b *testing.B)   { ablation(b, false) }
+func BenchmarkAblationNoReuse(b *testing.B) { ablation(b, true) }
+
+func ablation(b *testing.B, disableReuse bool) {
+	b.Helper()
+	data := make([]float64, 4000)
+	rng := stats.NewRNG(1)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	q := core.Query[float64]{
+		Name:      "ablation-sum",
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(x float64) core.State { return core.State{x} },
+	}
+	var reduceOps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := mapreduce.NewEngine()
+		cfg := core.DefaultConfig()
+		cfg.SampleSize = 200
+		cfg.DisableReuse = disableReuse
+		sys, err := core.NewSystem(eng, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := core.Run(sys, q, data, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reduceOps = res.EngineDelta.ReduceOps
+	}
+	b.ReportMetric(float64(reduceOps), "reduce-ops/release")
+}
+
+// BenchmarkEngineShuffle measures the engine's wide-transformation path
+// (the substrate cost every overhead number is built from).
+func BenchmarkEngineShuffle(b *testing.B) {
+	eng := mapreduce.NewEngine()
+	pairs := make([]mapreduce.Pair[int, int], 100000)
+	rng := stats.NewRNG(2)
+	for i := range pairs {
+		pairs[i] = mapreduce.Pair[int, int]{Key: rng.Intn(1000), Value: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := mapreduce.FromSlice(eng, pairs, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mapreduce.ReduceByKey(ds, func(a, c int) int { return a + c }).Collect(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRelease measures one end-to-end iDP release through the public
+// API at the paper's default n=1000.
+func BenchmarkRelease(b *testing.B) {
+	data := make([]float64, 50000)
+	rng := stats.NewRNG(3)
+	for i := range data {
+		data[i] = rng.NormFloat64() * 100
+	}
+	s, err := NewSession(WithSeed(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Sum("bench-sum", func(x float64) float64 { return x })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ResetHistory() // isolate releases from attack handling
+		if _, err := Release(s, q, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchSystem(eng *mapreduce.Engine, n int, eps float64) (*core.System, error) {
+	cfg := core.DefaultConfig()
+	cfg.SampleSize = n
+	cfg.Epsilon = eps
+	return core.NewSystem(eng, cfg)
+}

@@ -1,0 +1,215 @@
+// Command upa-bench regenerates the paper's evaluation artifacts (Table II
+// and Figures 2a, 2b, 3, 4a, 4b) on the synthetic workloads.
+//
+// Usage:
+//
+//	upa-bench -experiment all
+//	upa-bench -experiment fig2a -lineitems 50000 -trials 5
+//	upa-bench -experiment fig4b -samples 100,1000,10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"upa/internal/bench"
+	"upa/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "upa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("upa-bench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "table2 | fig2a | fig2b | fig2bsim | fig3 | fig4a | fig4b | ablations | all")
+		lineitems  = fs.Int("lineitems", 0, "TPC-H lineitem rows (default from bench config)")
+		lsRecords  = fs.Int("lsrecords", 0, "life-science records (default from bench config)")
+		skew       = fs.Float64("skew", -1, "TPC-H join-key skew in [0,1)")
+		seed       = fs.Uint64("seed", 0, "generator and system seed")
+		sampleSize = fs.Int("n", 0, "UPA differing-record sample size")
+		trials     = fs.Int("trials", 0, "workload trials for the RMSE experiment")
+		reps       = fs.Int("reps", 3, "timing repetitions for overhead experiments")
+		samples    = fs.String("samples", "", "comma-separated sample sizes for fig3/fig4b sweeps")
+		scales     = fs.String("scales", "", "comma-separated dataset scale factors for fig4a")
+		csvDir     = fs.String("csvdir", "", "also write each experiment's rows as CSV into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := bench.DefaultConfig()
+	if *lineitems > 0 {
+		cfg.Lineitems = *lineitems
+	}
+	if *lsRecords > 0 {
+		cfg.LSRecords = *lsRecords
+	}
+	if *skew >= 0 {
+		cfg.Skew = *skew
+	}
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+	if *sampleSize > 0 {
+		cfg.SampleSize = *sampleSize
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	sampleSweep, err := parseInts(*samples)
+	if err != nil {
+		return fmt.Errorf("-samples: %w", err)
+	}
+	scaleSweep, err := parseInts(*scales)
+	if err != nil {
+		return fmt.Errorf("-scales: %w", err)
+	}
+
+	writeCSV := func(name string, write func(io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	experiments := map[string]func() (string, error){
+		"table2": func() (string, error) {
+			rows, err := bench.Table2(cfg)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("table2", func(w io.Writer) error { return bench.WriteTable2CSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderTable2(rows), nil
+		},
+		"fig2a": func() (string, error) {
+			rows, err := bench.Fig2a(cfg)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig2a", func(w io.Writer) error { return bench.WriteFig2aCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderFig2a(rows), nil
+		},
+		"fig2b": func() (string, error) {
+			rows, err := bench.Fig2b(cfg, *reps)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig2b", func(w io.Writer) error { return bench.WriteFig2bCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderFig2b(rows), nil
+		},
+		"ablations": func() (string, error) {
+			rep, err := bench.Ablations(cfg)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderAblations(rep), nil
+		},
+		"fig2bsim": func() (string, error) {
+			rows, err := bench.Fig2bSimulated(cfg, cluster.PaperTestbed())
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig2bsim", func(w io.Writer) error { return bench.WriteFig2bSimCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderFig2bSimulated(rows), nil
+		},
+		"fig3": func() (string, error) {
+			rows, err := bench.Fig3(cfg, sampleSweep)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig3", func(w io.Writer) error { return bench.WriteFig3CSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderFig3(rows), nil
+		},
+		"fig4a": func() (string, error) {
+			rows, err := bench.Fig4a(cfg, scaleSweep)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig4a", func(w io.Writer) error { return bench.WriteFig4aCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderFig4a(rows), nil
+		},
+		"fig4b": func() (string, error) {
+			rows, err := bench.Fig4b(cfg, sampleSweep)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("fig4b", func(w io.Writer) error { return bench.WriteFig4bCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderFig4b(rows), nil
+		},
+	}
+
+	order := []string{"table2", "fig2a", "fig2b", "fig2bsim", "fig3", "fig4a", "fig4b", "ablations"}
+	selected := order
+	if *experiment != "all" {
+		if _, ok := experiments[*experiment]; !ok {
+			return fmt.Errorf("unknown experiment %q (want one of %s, all)",
+				*experiment, strings.Join(order, ", "))
+		}
+		selected = []string{*experiment}
+	}
+	for i, name := range selected {
+		text, err := experiments[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		fmt.Fprint(out, text)
+	}
+	return nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func smallArgs(extra ...string) []string {
+	base := []string{"-lineitems", "2000", "-lsrecords", "1500", "-n", "200", "-trials", "1", "-reps", "1"}
+	return append(base, extra...)
+}
+
+func TestRunTable2(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "table2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"Table II", "TPCH21", "Linear Regression", "yes", "no"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig2a(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig2a"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "relative RMSE") {
+		t.Error("output missing RMSE header")
+	}
+	if !strings.Contains(out.String(), "unsupported") {
+		t.Error("output missing unsupported markers for non-count queries")
+	}
+}
+
+func TestRunFig2b(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig2b"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mean overhead") {
+		t.Error("output missing overhead summary")
+	}
+}
+
+func TestRunFig3WithSampleSweep(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig3", "-samples", "50,150"), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "n=50") || !strings.Contains(text, "n=150") {
+		t.Errorf("sample sweep not applied:\n%s", text[:min(400, len(text))])
+	}
+}
+
+func TestRunFig4aWithScales(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig4a", "-scales", "1,2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "4000") { // 2000 * 2
+		t.Error("scale sweep not applied")
+	}
+}
+
+func TestRunFig4b(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig4b", "-samples", "50,100"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cache hits") {
+		t.Error("output missing cache hit column")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "table2", "-csvdir", dir), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "query,rows,kind,upa,flex") {
+		t.Errorf("csv header wrong: %q", text[:min(60, len(text))])
+	}
+	if !strings.Contains(text, "TPCH21") {
+		t.Error("csv missing rows")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig9"), &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadSamples(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "fig3", "-samples", "10,abc"), &out); err == nil {
+		t.Fatal("malformed -samples accepted")
+	}
+	if err := run(smallArgs("-experiment", "fig3", "-samples", "0"), &out); err == nil {
+		t.Fatal("non-positive -samples accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2,30 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 30 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Fatalf("parseInts(\"\") = %v, %v", got, err)
+	}
+}

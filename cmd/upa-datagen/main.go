@@ -1,0 +1,154 @@
+// Command upa-datagen emits the synthetic evaluation datasets as CSV for
+// inspection or external tooling.
+//
+// Usage:
+//
+//	upa-datagen -table lineitem -rows 10000 > lineitem.csv
+//	upa-datagen -table points -rows 5000 > points.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"upa/internal/lifesci"
+	"upa/internal/tpch"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "upa-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("upa-datagen", flag.ContinueOnError)
+	var (
+		table = fs.String("table", "lineitem", "lineitem | orders | customer | part | supplier | partsupp | nation | points")
+		rows  = fs.Int("rows", 10000, "lineitem row count (other tables scale from it); points row count for -table points")
+		skew  = fs.Float64("skew", 0.2, "TPC-H join-key skew in [0,1)")
+		seed  = fs.Uint64("seed", 1, "generator seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := csv.NewWriter(out)
+	defer w.Flush()
+
+	if *table == "points" {
+		ds, err := lifesci.Generate(lifesci.Config{
+			Records: *rows, Dims: 4, Clusters: 3, OutlierFrac: 0.01, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := w.Write([]string{"f0", "f1", "f2", "f3", "target"}); err != nil {
+			return err
+		}
+		for _, p := range ds.Points {
+			rec := make([]string, 0, len(p.Features)+1)
+			for _, f := range p.Features {
+				rec = append(rec, formatF(f))
+			}
+			rec = append(rec, formatF(p.Target))
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return w.Error()
+	}
+
+	db, err := tpch.Generate(tpch.Config{Lineitems: *rows, Skew: *skew, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	switch *table {
+	case "lineitem":
+		if err := w.Write([]string{"orderkey", "partkey", "suppkey", "linenumber", "quantity",
+			"extendedprice", "discount", "tax", "returnflag", "linestatus",
+			"shipdate", "commitdate", "receiptdate", "shipmode"}); err != nil {
+			return err
+		}
+		for _, l := range db.Lineitems {
+			if err := w.Write([]string{
+				itoa(l.OrderKey), itoa(l.PartKey), itoa(l.SuppKey), itoa(l.LineNumber),
+				formatF(l.Quantity), formatF(l.ExtendedPrice), formatF(l.Discount), formatF(l.Tax),
+				l.ReturnFlag, l.LineStatus,
+				itoa(int(l.ShipDate)), itoa(int(l.CommitDate)), itoa(int(l.ReceiptDate)), l.ShipMode,
+			}); err != nil {
+				return err
+			}
+		}
+	case "orders":
+		if err := w.Write([]string{"orderkey", "custkey", "orderstatus", "totalprice",
+			"orderdate", "orderpriority", "specialrequest"}); err != nil {
+			return err
+		}
+		for _, o := range db.Orders {
+			if err := w.Write([]string{
+				itoa(o.OrderKey), itoa(o.CustKey), o.OrderStatus, formatF(o.TotalPrice),
+				itoa(int(o.OrderDate)), o.OrderPriority, strconv.FormatBool(o.SpecialRequest),
+			}); err != nil {
+				return err
+			}
+		}
+	case "customer":
+		if err := w.Write([]string{"custkey", "nationkey", "mktsegment"}); err != nil {
+			return err
+		}
+		for _, c := range db.Customers {
+			if err := w.Write([]string{itoa(c.CustKey), itoa(c.NationKey), c.MktSegment}); err != nil {
+				return err
+			}
+		}
+	case "part":
+		if err := w.Write([]string{"partkey", "brand", "type", "size", "container"}); err != nil {
+			return err
+		}
+		for _, p := range db.Parts {
+			if err := w.Write([]string{itoa(p.PartKey), p.Brand, p.Type, itoa(p.Size), p.Container}); err != nil {
+				return err
+			}
+		}
+	case "supplier":
+		if err := w.Write([]string{"suppkey", "nationkey", "complaint"}); err != nil {
+			return err
+		}
+		for _, s := range db.Suppliers {
+			if err := w.Write([]string{itoa(s.SuppKey), itoa(s.NationKey), strconv.FormatBool(s.Complaint)}); err != nil {
+				return err
+			}
+		}
+	case "partsupp":
+		if err := w.Write([]string{"partkey", "suppkey", "availqty", "supplycost"}); err != nil {
+			return err
+		}
+		for _, ps := range db.PartSupps {
+			if err := w.Write([]string{itoa(ps.PartKey), itoa(ps.SuppKey), itoa(ps.AvailQty), formatF(ps.SupplyCost)}); err != nil {
+				return err
+			}
+		}
+	case "nation":
+		if err := w.Write([]string{"nationkey", "name"}); err != nil {
+			return err
+		}
+		for _, n := range db.Nations {
+			if err := w.Write([]string{itoa(n.NationKey), n.Name}); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return w.Error()
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

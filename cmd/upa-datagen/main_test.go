@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func generate(t *testing.T, args ...string) [][]string {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(out.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	return records
+}
+
+func TestLineitemCSV(t *testing.T) {
+	rows := generate(t, "-table", "lineitem", "-rows", "500")
+	if len(rows) != 501 { // header + rows
+		t.Fatalf("%d CSV rows, want 501", len(rows))
+	}
+	if rows[0][0] != "orderkey" || len(rows[0]) != 14 {
+		t.Fatalf("unexpected header: %v", rows[0])
+	}
+}
+
+func TestDerivedTables(t *testing.T) {
+	tables := map[string]int{
+		"orders":   500/4 + 1,
+		"customer": 500 / 4 / 10,
+		"part":     500 / 8,
+		"supplier": 500 / 8 / 10,
+		"partsupp": 500 / 8 * 2,
+		"nation":   25,
+	}
+	for table, wantRows := range tables {
+		rows := generate(t, "-table", table, "-rows", "500")
+		if len(rows) != wantRows+1 && len(rows) != wantRows { // header + n (ratios floor)
+			t.Errorf("%s: %d CSV rows, want about %d", table, len(rows)-1, wantRows)
+		}
+	}
+}
+
+func TestPointsCSV(t *testing.T) {
+	rows := generate(t, "-table", "points", "-rows", "200")
+	if len(rows) != 201 {
+		t.Fatalf("%d CSV rows, want 201", len(rows))
+	}
+	if len(rows[0]) != 5 || rows[0][4] != "target" {
+		t.Fatalf("unexpected header: %v", rows[0])
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	a := generate(t, "-table", "orders", "-rows", "300", "-seed", "9")
+	b := generate(t, "-table", "orders", "-rows", "300", "-seed", "9")
+	if len(a) != len(b) {
+		t.Fatal("row counts differ across identical invocations")
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("cell (%d,%d) differs: %q vs %q", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestUnknownTable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-table", "region"}, &out); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-rows", "0"}, &out); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if err := run([]string{"-skew", "1.5"}, &out); err == nil {
+		t.Fatal("out-of-range skew accepted")
+	}
+}

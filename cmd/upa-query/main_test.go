@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func smallArgs(extra ...string) []string {
+	base := []string{"-lineitems", "2000", "-lsrecords", "1500", "-n", "150"}
+	return append(base, extra...)
+}
+
+func TestList(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("listed %d queries, want 9:\n%s", len(lines), out.String())
+	}
+}
+
+func TestReleaseEveryQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("releases all nine queries")
+	}
+	for _, name := range []string{"TPCH1", "TPCH4", "TPCH13", "TPCH16", "TPCH21",
+		"KMeans", "Linear Regression", "TPCH6", "TPCH11"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var out strings.Builder
+			if err := run(smallArgs("-query", name), &out); err != nil {
+				t.Fatal(err)
+			}
+			text := out.String()
+			for _, want := range []string{"released (noisy)", "local sensitivity", "enforced range", "engine:"} {
+				if !strings.Contains(text, want) {
+					t.Errorf("output missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+func TestRepeatTriggersEnforcer(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-query", "TPCH6", "-repeat", "2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "release 2") {
+		t.Fatal("second release missing")
+	}
+	// Rerunning the identical query on the identical dataset collides in
+	// the RANGE ENFORCER.
+	if !strings.Contains(text, "attack suspected:   true") {
+		t.Errorf("repeated identical query not flagged:\n%s", text)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-query", "TPCH1", "-json", "-repeat", "2"), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("emitted %d JSON lines, want 2", len(lines))
+	}
+	for i, line := range lines {
+		var rep struct {
+			Query       string    `json:"query"`
+			Release     int       `json:"release"`
+			Output      []float64 `json:"output"`
+			Sensitivity []float64 `json:"sensitivity"`
+			SampleSize  int       `json:"sampleSize"`
+		}
+		if err := json.Unmarshal([]byte(line), &rep); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if rep.Query != "TPCH1" || rep.Release != i+1 {
+			t.Errorf("line %d: query/release = %s/%d", i, rep.Query, rep.Release)
+		}
+		if len(rep.Output) != 1 || len(rep.Sensitivity) != 1 || rep.SampleSize != 150 {
+			t.Errorf("line %d: malformed report %+v", i, rep)
+		}
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-query", "TPCH99"), &out); err == nil {
+		t.Fatal("unknown query accepted")
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	var out strings.Builder
+	if err := run(smallArgs("-epsilon", "-1"), &out); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}

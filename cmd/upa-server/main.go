@@ -1,0 +1,250 @@
+// Command upa-server exposes UPA as a small HTTP service over a generated
+// synthetic warehouse: analysts POST release requests and receive noisy,
+// iDP-protected answers; the RANGE ENFORCER history persists across
+// restarts via a state file so differencing attacks cannot be laundered
+// through a service bounce.
+//
+// Endpoints:
+//
+//	GET  /queries   list the available queries
+//	POST /release   {"query": "TPCH6"} -> one iDP release
+//	GET  /metrics   engine activity counters
+//	GET  /history   RANGE ENFORCER status
+//
+// Usage:
+//
+//	upa-server -addr :8080 -lineitems 20000 -state enforcer.json
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"upa/internal/bench"
+	"upa/internal/core"
+	"upa/internal/lifesci"
+	"upa/internal/mapreduce"
+	"upa/internal/queries"
+	"upa/internal/tpch"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "upa-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("upa-server", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		lineitems  = fs.Int("lineitems", 20000, "TPC-H lineitem rows")
+		lsRecords  = fs.Int("lsrecords", 20000, "life-science records")
+		skew       = fs.Float64("skew", 0.2, "TPC-H join-key skew")
+		seed       = fs.Uint64("seed", 1, "generator and system seed")
+		sampleSize = fs.Int("n", 1000, "UPA differing-record sample size")
+		epsilon    = fs.Float64("epsilon", 0.1, "privacy budget per release")
+		statePath  = fs.String("state", "", "path persisting the RANGE ENFORCER history (empty: in-memory only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := newServer(serverConfig{
+		Lineitems:  *lineitems,
+		LSRecords:  *lsRecords,
+		Skew:       *skew,
+		Seed:       *seed,
+		SampleSize: *sampleSize,
+		Epsilon:    *epsilon,
+		StatePath:  *statePath,
+	})
+	if err != nil {
+		return err
+	}
+	slog.Info("upa-server listening", slog.String("addr", *addr))
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return httpServer.ListenAndServe()
+}
+
+type serverConfig struct {
+	Lineitems, LSRecords int
+	Skew                 float64
+	Seed                 uint64
+	SampleSize           int
+	Epsilon              float64
+	StatePath            string
+}
+
+// server holds the workload and the long-lived UPA system.
+type server struct {
+	cfg serverConfig
+	w   *queries.Workload
+	eng *mapreduce.Engine
+	sys *core.System
+
+	// releaseMu serializes persistence of the enforcer state with the
+	// releases that mutate it.
+	releaseMu sync.Mutex
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	w, err := queries.NewWorkload(
+		tpch.Config{Lineitems: cfg.Lineitems, Skew: cfg.Skew, Seed: cfg.Seed},
+		lifesci.Config{Records: cfg.LSRecords, Dims: 4, Clusters: 3, OutlierFrac: 0.01, Seed: cfg.Seed},
+	)
+	if err != nil {
+		return nil, err
+	}
+	eng := mapreduce.NewEngine()
+	sysCfg := core.DefaultConfig()
+	sysCfg.SampleSize = cfg.SampleSize
+	sysCfg.Epsilon = cfg.Epsilon
+	sysCfg.Seed = cfg.Seed
+	sys, err := core.NewSystem(eng, sysCfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys}
+	if cfg.StatePath != "" {
+		if err := srv.loadState(); err != nil {
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+func (s *server) loadState() error {
+	f, err := os.Open(s.cfg.StatePath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first boot
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.sys.Enforcer().Load(f)
+}
+
+func (s *server) saveState() error {
+	if s.cfg.StatePath == "" {
+		return nil
+	}
+	tmp := s.cfg.StatePath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.sys.Enforcer().Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.cfg.StatePath)
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /queries", s.handleQueries)
+	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /history", s.handleHistory)
+	return mux
+}
+
+func (s *server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"queries": bench.QueryNames()})
+}
+
+// releaseRequest is the body of POST /release.
+type releaseRequest struct {
+	Query string `json:"query"`
+}
+
+// releaseResponse is the analyst-facing release: only the noisy output and
+// public metadata — never the raw output.
+type releaseResponse struct {
+	Query           string    `json:"query"`
+	Output          []float64 `json:"output"`
+	Sensitivity     []float64 `json:"sensitivity"`
+	SampleSize      int       `json:"sampleSize"`
+	AttackSuspected bool      `json:"attackSuspected"`
+	RemovedRecords  int       `json:"removedRecords"`
+	Epsilon         float64   `json:"epsilon"`
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed request body"})
+		return
+	}
+	runner, err := s.w.ByName(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": err.Error()})
+		return
+	}
+	s.releaseMu.Lock()
+	defer s.releaseMu.Unlock()
+	res, err := runner.RunUPA(s.sys)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	if err := s.saveState(); err != nil {
+		// The release already happened; losing persistence is a server
+		// fault worth surfacing loudly, but the noisy answer is safe to
+		// return.
+		slog.Error("persist enforcer state", slog.Any("error", err))
+	}
+	writeJSON(w, http.StatusOK, releaseResponse{
+		Query:           res.Query,
+		Output:          res.Output,
+		Sensitivity:     res.Sensitivity,
+		SampleSize:      res.SampleSize,
+		AttackSuspected: res.AttackSuspected,
+		RemovedRecords:  res.RemovedRecords,
+		Epsilon:         res.EffectiveEpsilon,
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.eng.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tasksRun":        m.TasksRun,
+		"recordsMapped":   m.RecordsMapped,
+		"reduceOps":       m.ReduceOps,
+		"shuffleRounds":   m.ShuffleRounds,
+		"recordsShuffled": m.RecordsShuffled,
+		"cacheHitRate":    m.CacheHitRate(),
+	})
+}
+
+func (s *server) handleHistory(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"releases":  s.sys.Enforcer().HistoryLen(),
+		"persisted": s.cfg.StatePath != "",
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		slog.Error("encode response", slog.Any("error", err))
+	}
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T, statePath string) *server {
+	t.Helper()
+	srv, err := newServer(serverConfig{
+		Lineitems:  2000,
+		LSRecords:  1500,
+		Skew:       0.2,
+		Seed:       5,
+		SampleSize: 150,
+		Epsilon:    0.1,
+		StatePath:  statePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func doJSON(t *testing.T, h http.Handler, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s returned non-JSON (%d): %s", method, path, rec.Code, rec.Body.String())
+	}
+	return rec, decoded
+}
+
+func TestQueriesEndpoint(t *testing.T) {
+	h := testServer(t, "").routes()
+	rec, body := doJSON(t, h, http.MethodGet, "/queries", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	list, ok := body["queries"].([]any)
+	if !ok || len(list) != 9 {
+		t.Fatalf("queries = %v", body["queries"])
+	}
+}
+
+func TestReleaseEndpoint(t *testing.T) {
+	h := testServer(t, "").routes()
+	rec, body := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH6"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %v", rec.Code, body)
+	}
+	if body["query"] != "TPCH6" {
+		t.Errorf("query = %v", body["query"])
+	}
+	if out, ok := body["output"].([]any); !ok || len(out) != 1 {
+		t.Errorf("output = %v", body["output"])
+	}
+	if body["attackSuspected"] != false {
+		t.Errorf("first release flagged: %v", body["attackSuspected"])
+	}
+	// The response must never leak raw (pre-noise) outputs.
+	for key := range body {
+		if key == "rawOutput" || key == "vanillaOutput" {
+			t.Errorf("response leaks %s", key)
+		}
+	}
+}
+
+func TestReleaseValidation(t *testing.T) {
+	h := testServer(t, "").routes()
+	if rec, _ := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH99"}`); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown query status = %d", rec.Code)
+	}
+	if rec, _ := doJSON(t, h, http.MethodPost, "/release", `{notjson`); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d", rec.Code)
+	}
+}
+
+func TestMetricsAndHistoryEndpoints(t *testing.T) {
+	srv := testServer(t, "")
+	h := srv.routes()
+	if _, body := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH1"}`); body["query"] != "TPCH1" {
+		t.Fatal("release failed")
+	}
+	_, metrics := doJSON(t, h, http.MethodGet, "/metrics", "")
+	if metrics["recordsMapped"].(float64) <= 0 {
+		t.Errorf("metrics empty: %v", metrics)
+	}
+	_, hist := doJSON(t, h, http.MethodGet, "/history", "")
+	if hist["releases"].(float64) != 1 {
+		t.Errorf("history releases = %v", hist["releases"])
+	}
+	if hist["persisted"] != false {
+		t.Errorf("persisted = %v, want false", hist["persisted"])
+	}
+}
+
+func TestConcurrentReleaseRequests(t *testing.T) {
+	// Concurrent analysts hit /release simultaneously; the server's
+	// release mutex serializes enforcer updates and every request gets a
+	// well-formed answer.
+	h := testServer(t, "").routes()
+	const parallel = 6
+	type result struct {
+		code int
+		ok   bool
+	}
+	results := make(chan result, parallel)
+	queriesList := []string{"TPCH1", "TPCH6", "TPCH13", "KMeans", "TPCH11", "TPCH16"}
+	for i := 0; i < parallel; i++ {
+		go func(q string) {
+			req := httptest.NewRequest(http.MethodPost, "/release",
+				strings.NewReader(`{"query":"`+q+`"}`))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			var body map[string]any
+			err := json.Unmarshal(rec.Body.Bytes(), &body)
+			results <- result{code: rec.Code, ok: err == nil && body["query"] == q}
+		}(queriesList[i])
+	}
+	for i := 0; i < parallel; i++ {
+		r := <-results
+		if r.code != http.StatusOK || !r.ok {
+			t.Fatalf("concurrent release %d failed: %+v", i, r)
+		}
+	}
+}
+
+// TestAttackAcrossServerRestart is the service-level replay of the §III
+// attack: the enforcer state file carries the detection evidence across a
+// full server restart.
+func TestAttackAcrossServerRestart(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "enforcer.json")
+
+	first := testServer(t, state)
+	if rec, _ := doJSON(t, first.routes(), http.MethodPost, "/release", `{"query":"TPCH6"}`); rec.Code != http.StatusOK {
+		t.Fatal("first release failed")
+	}
+
+	// Restart: new server process, same state file and dataset.
+	second := testServer(t, state)
+	_, hist := doJSON(t, second.routes(), http.MethodGet, "/history", "")
+	if hist["releases"].(float64) != 1 {
+		t.Fatalf("restored history releases = %v, want 1", hist["releases"])
+	}
+	rec, body := doJSON(t, second.routes(), http.MethodPost, "/release", `{"query":"TPCH6"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("second release failed: %v", body)
+	}
+	if body["attackSuspected"] != true {
+		t.Errorf("identical rerun across restart not flagged: %v", body)
+	}
+}

@@ -1,0 +1,132 @@
+package upa_test
+
+import (
+	"fmt"
+	"log"
+
+	"upa"
+)
+
+// purchase is the running example record type.
+type purchase struct {
+	Category string
+	Amount   float64
+}
+
+func demoData() []purchase {
+	categories := []string{"books", "games", "tools"}
+	out := make([]purchase, 3000)
+	for i := range out {
+		out[i] = purchase{
+			Category: categories[i%3],
+			Amount:   float64(10 + (i*37)%90),
+		}
+	}
+	return out
+}
+
+// ExampleRelease shows the basic flow: build a session, describe a query,
+// release it under iDP.
+func ExampleRelease() {
+	session, err := upa.NewSession(upa.WithEpsilon(0.5), upa.WithSeed(1), upa.WithSampleSize(200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := upa.Count("book-purchases", func(p purchase) bool { return p.Category == "books" })
+	res, err := upa.Release(session, q, demoData(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := upa.Evaluate(session, q, demoData())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact: %.0f\n", exact[0])
+	fmt.Printf("released within ±20: %v\n", res.Output[0] > exact[0]-20 && res.Output[0] < exact[0]+20)
+	fmt.Printf("history length: %d\n", session.HistoryLen())
+	// Output:
+	// exact: 1000
+	// released within ±20: true
+	// history length: 1
+}
+
+// ExampleRelease_customQuery releases a query with a custom Finalize — a
+// filtered average in one pass.
+func ExampleRelease_customQuery() {
+	session, err := upa.NewSession(upa.WithEpsilon(1), upa.WithSeed(2), upa.WithSampleSize(200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := upa.Query[purchase]{
+		Name:      "avg-game-spend",
+		StateDim:  2, // sum and count
+		OutputDim: 1,
+		Map: func(p purchase) upa.State {
+			if p.Category != "games" {
+				return upa.State{0, 0}
+			}
+			return upa.State{p.Amount, 1}
+		},
+		Finalize: func(s upa.State) []float64 {
+			if s[1] == 0 {
+				return []float64{0}
+			}
+			return []float64{s[0] / s[1]}
+		},
+	}
+	res, err := upa.Release(session, q, demoData(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("released average within [50, 60]: %v\n", res.Output[0] > 50 && res.Output[0] < 60)
+	// Output:
+	// released average within [50, 60]: true
+}
+
+// ExampleReleaseByKey shows a private GROUP BY: one ε covers the whole
+// histogram because the groups are disjoint.
+func ExampleReleaseByKey() {
+	session, err := upa.NewSession(upa.WithEpsilon(1), upa.WithSeed(3), upa.WithSampleSize(300))
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := upa.KeyedQuery[purchase, string]{
+		Name:  "purchases-by-category",
+		Key:   func(p purchase) string { return p.Category },
+		Value: func(purchase) float64 { return 1 },
+	}
+	res, err := upa.ReleaseByKey(session, q, demoData(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range res.Groups {
+		fmt.Printf("%s: about 1000: %v\n", g.Key, g.Output > 980 && g.Output < 1020)
+	}
+	// Output:
+	// books: about 1000: true
+	// games: about 1000: true
+	// tools: about 1000: true
+}
+
+// ExampleWithTotalBudget shows the sequential-composition ledger refusing a
+// release once the budget is spent.
+func ExampleWithTotalBudget() {
+	session, err := upa.NewSession(
+		upa.WithEpsilon(0.1), upa.WithSeed(4), upa.WithSampleSize(100),
+		upa.WithTotalBudget(0.2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := upa.Count[purchase]("all", nil)
+	for i := 1; i <= 3; i++ {
+		_, err := upa.Release(session, q, demoData(), nil)
+		fmt.Printf("release %d ok: %v\n", i, err == nil)
+	}
+	fmt.Printf("spent: %.1f\n", session.SpentBudget())
+	// Output:
+	// release 1 ok: true
+	// release 2 ok: true
+	// release 3 ok: false
+	// spent: 0.2
+}

@@ -1,0 +1,88 @@
+// Attack and defense: the threat model of the paper (§III) played out. An
+// analyst who knows everything about a dataset except whether one target
+// record is in it reruns the same query on neighbouring inputs, hoping to
+// difference the answers down to that single record. The RANGE ENFORCER
+// detects the repetition from the partition outputs and removes records
+// from the release, so the difference no longer isolates the target.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upa"
+)
+
+// Salary is the sensitive record; the attacker wants to learn whether the
+// CEO's salary record is in the payroll extract.
+type Salary struct {
+	Employee string
+	Amount   float64
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	payroll := make([]Salary, 0, 5001)
+	for i := 0; i < 5000; i++ {
+		payroll = append(payroll, Salary{
+			Employee: fmt.Sprintf("emp-%04d", i),
+			Amount:   40000 + float64((i*7919)%60000),
+		})
+	}
+	target := Salary{Employee: "ceo", Amount: 2_000_000}
+	withTarget := append(append([]Salary{}, payroll...), target)
+
+	session, err := upa.NewSession(upa.WithEpsilon(0.1), upa.WithSeed(99))
+	if err != nil {
+		return err
+	}
+	total := upa.Sum("payroll-total", func(s Salary) float64 { return s.Amount })
+
+	fmt.Println("attack: difference two releases of the same query on neighbouring datasets")
+	fmt.Printf("target record: %s, amount %.0f\n\n", target.Employee, target.Amount)
+
+	first, err := upa.Release(session, total, withTarget, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("release 1 (with target):    %14.0f   attack suspected: %v\n",
+		first.Output[0], first.AttackSuspected)
+
+	second, err := upa.Release(session, total, payroll, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("release 2 (without target): %14.0f   attack suspected: %v, records removed: %d\n",
+		second.Output[0], second.AttackSuspected, second.RemovedRecords)
+
+	diff := first.Output[0] - second.Output[0]
+	fmt.Printf("\nanalyst's difference: %.0f\n", diff)
+	fmt.Printf("true target amount:   %.0f\n", target.Amount)
+	fmt.Println()
+	switch {
+	case second.AttackSuspected && second.RemovedRecords >= 2:
+		fmt.Println("defense held: the enforcer matched release 2 against release 1's")
+		fmt.Println("partition outputs, removed records from the released dataset, and the")
+		fmt.Println("difference no longer pins down the target record. On top of that, each")
+		fmt.Println("answer carries Laplace noise scaled to the inferred local sensitivity")
+		fmt.Printf("(%.0f and %.0f here), hiding any single record's contribution.\n",
+			first.Sensitivity[0], second.Sensitivity[0])
+	default:
+		fmt.Println("unexpected: the enforcer did not flag the repetition")
+	}
+
+	// A fresh, unrelated query is not penalized.
+	headcount := upa.Count("headcount", func(Salary) bool { return true })
+	third, err := upa.Release(session, headcount, withTarget, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nunrelated query (headcount): %.1f, attack suspected: %v (no false positive)\n",
+		third.Output[0], third.AttackSuspected)
+	return nil
+}

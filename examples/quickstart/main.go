@@ -1,0 +1,147 @@
+// Quickstart: release a private count and a private sum over an in-memory
+// dataset in a few lines of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upa"
+)
+
+// Visit is one user's visit record — the individual data UPA protects.
+type Visit struct {
+	UserAge  int
+	Premium  bool
+	Spend    float64
+	Duration float64 // minutes
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	visits := syntheticVisits(50000)
+
+	// A session fixes the privacy budget per release and carries the
+	// RANGE ENFORCER history that defeats repeated-query attacks.
+	session, err := upa.NewSession(
+		upa.WithEpsilon(0.1),     // the paper's evaluation budget
+		upa.WithSampleSize(1000), // n differing records (§IV-A default)
+		upa.WithSeed(42),         // reproducible releases
+	)
+	if err != nil {
+		return err
+	}
+
+	// How many premium users visited? A Count query: sensitivity is tiny
+	// (each record changes the count by at most one), so the noisy answer
+	// is accurate.
+	premium := upa.Count("premium-visits", func(v Visit) bool { return v.Premium })
+	res, err := upa.Release(session, premium, visits, nil)
+	if err != nil {
+		return err
+	}
+	exact, err := upa.Evaluate(session, premium, visits)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("premium visits:  exact %.0f, released %.1f (sensitivity %.3f)\n",
+		exact[0], res.Output[0], res.Sensitivity[0])
+
+	// Total spend: an arithmetic query FLEX-style static analysis cannot
+	// handle; UPA infers its sensitivity from the data automatically.
+	spend := upa.Sum("total-spend", func(v Visit) float64 { return v.Spend })
+	res, err = upa.Release(session, spend, visits, nil)
+	if err != nil {
+		return err
+	}
+	exact, err = upa.Evaluate(session, spend, visits)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("total spend:     exact %.0f, released %.0f (sensitivity %.1f)\n",
+		exact[0], res.Output[0], res.Sensitivity[0])
+
+	// Mean session duration, with a domain sampler so "what if one more
+	// user joined" neighbours are covered too.
+	duration := upa.Mean("mean-duration", func(v Visit) float64 { return v.Duration })
+	res, err = upa.Release(session, duration, visits, func(r *upa.RNG) Visit {
+		return randomVisit(r.Uint64())
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mean duration:   released %.3f min (range [%.3f, %.3f])\n",
+		res.Output[0], res.RangeLo[0], res.RangeHi[0])
+
+	fmt.Printf("\nphases of the last release: sample=%v map=%v union-preserving-reduce=%v enforce=%v\n",
+		res.Phases.PartitionSample, res.Phases.ParallelMap,
+		res.Phases.UnionPreservingReduce, res.Phases.IDPEnforcement)
+
+	// A private GROUP BY: one ε covers the whole histogram because each
+	// record belongs to exactly one group (parallel composition).
+	byAge := upa.KeyedQuery[Visit, string]{
+		Name: "visits-by-age-band",
+		Key: func(v Visit) string {
+			switch {
+			case v.UserAge < 30:
+				return "18-29"
+			case v.UserAge < 50:
+				return "30-49"
+			default:
+				return "50+"
+			}
+		},
+		Value: func(Visit) float64 { return 1 },
+	}
+	keyed, err := upa.ReleaseByKey(session, byAge, visits, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nvisits by age band (one ε for the whole histogram):")
+	for _, g := range keyed.Groups {
+		fmt.Printf("  %-6s %8.0f\n", g.Key, g.Output)
+	}
+
+	// Budgeted sessions refuse to release once the ε ledger is spent.
+	capped, err := upa.NewSession(
+		upa.WithEpsilon(0.1), upa.WithSeed(42), upa.WithSampleSize(500),
+		upa.WithTotalBudget(0.2), // room for exactly two releases
+	)
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= 3; i++ {
+		_, err := upa.Release(capped, premium, visits, nil)
+		fmt.Printf("budgeted release %d: ok=%v (remaining budget %.2g)\n",
+			i, err == nil, capped.RemainingBudget())
+	}
+	return nil
+}
+
+func syntheticVisits(n int) []Visit {
+	visits := make([]Visit, n)
+	for i := range visits {
+		visits[i] = randomVisit(uint64(i) * 2654435761)
+	}
+	return visits
+}
+
+// randomVisit derives a visit deterministically from a seed.
+func randomVisit(seed uint64) Visit {
+	h := func() uint64 {
+		seed = (seed ^ (seed >> 30)) * 0xbf58476d1ce4e5b9
+		seed = (seed ^ (seed >> 27)) * 0x94d049bb133111eb
+		return seed ^ (seed >> 31)
+	}
+	return Visit{
+		UserAge:  18 + int(h()%60),
+		Premium:  h()%5 == 0,
+		Spend:    float64(h()%20000) / 100,
+		Duration: 1 + float64(h()%5900)/100,
+	}
+}

@@ -1,0 +1,125 @@
+// SQL vs FLEX: the paper's accuracy argument in one runnable demo. A
+// counting query with a join and a selective filter is expressed as a
+// relational plan; FLEX's static analysis (which ignores the filter and the
+// actual join keys) produces a worst-case sensitivity bound, while UPA's
+// dynamic sampling — and the brute-force ground truth — see the query's
+// real behaviour. The gap between the two is Figure 2(a)'s story.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+	"upa/internal/queries"
+	"upa/internal/sql"
+	"upa/internal/tpch"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db, err := tpch.Generate(tpch.Config{Lineitems: 20000, Skew: 0.3, Seed: 17})
+	if err != nil {
+		return err
+	}
+	eng := mapreduce.NewEngine()
+
+	// The query, as SQL: count the (order, lineitem) pairs in a 90-day
+	// window whose lineitems arrived late (TPC-H Q4's counting core).
+	plan := queries.TPCH4Plan(db)
+	fmt.Println("plan:", sql.Describe(plan))
+
+	count, err := sql.ExecuteCount(eng, plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nexact answer: %d joined pairs\n", count)
+
+	// FLEX's view: static worst case from join-column frequencies, filters
+	// stripped.
+	flexPlan, err := sql.FLEXPlan(eng, "TPCH4", plan)
+	if err != nil {
+		return err
+	}
+	flexSens, err := flexPlan.LocalSensitivity()
+	if err != nil {
+		return err
+	}
+	smooth, err := flexPlan.SmoothSensitivity(0.05)
+	if err != nil {
+		return err
+	}
+
+	// UPA's view: sample neighbouring datasets at runtime.
+	sys, err := core.NewSystem(eng, core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	runner := w4(db)
+	res, err := runner.RunUPA(sys)
+	if err != nil {
+		return err
+	}
+
+	// Ground truth: every removal neighbour, exactly.
+	truth, err := runner.GroundTruth(eng, 0, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nlocal sensitivity of the protected orders table:\n")
+	fmt.Printf("  ground truth (brute force):   %10.1f\n", truth.LocalSensitivity[0])
+	fmt.Printf("  UPA (sampled, n=%d):        %10.1f\n", res.SampleSize, res.EmpiricalLocalSensitivity[0])
+	fmt.Printf("  FLEX (static local):          %10.1f  (%.1fx the truth)\n",
+		flexSens, flexSens/truth.LocalSensitivity[0])
+	fmt.Printf("  FLEX (smooth, beta=0.05):     %10.1f\n", smooth)
+	fmt.Printf("  UPA enforced output range:    [%.1f, %.1f]\n", res.RangeLo[0], res.RangeHi[0])
+	// The same SQL plan, released directly under iDP: CompileDPCount
+	// extracts per-order influence from one plan execution and hands UPA a
+	// ready Mapper/Reducer query.
+	dpQuery, dpData, err := sql.CompileDPCount(eng, plan, "orders")
+	if err != nil {
+		return err
+	}
+	dpRes, err := core.Run(sys, dpQuery, dpData, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nreleasing the SQL plan itself via CompileDPCount:\n")
+	fmt.Printf("  noisy count: %.1f (exact %d, ε=%.2g)\n", dpRes.Output[0], count, dpRes.EffectiveEpsilon)
+
+	fmt.Println("\nFLEX cannot see that the window filter removes most orders or that the")
+	fmt.Println("most frequent join keys rarely co-occur with qualifying rows, so its")
+	fmt.Println("static bound only widens with more joins (TPCH16/21 explode in Fig 2a).")
+	fmt.Println("UPA evaluates the query's actual logic on sampled neighbouring")
+	fmt.Println("datasets; rare heavy-influence records can still escape the sample (as")
+	fmt.Println("the paper notes for TPCH21, §VI-C) — which is exactly why the RANGE")
+	fmt.Println("ENFORCER clamps every release into the inferred output range, keeping")
+	fmt.Println("the iDP guarantee independent of sampling luck (§IV-C).")
+	return nil
+}
+
+// w4 rebinds TPCH4 against the demo database.
+func w4(db *tpch.DB) queries.Runner {
+	w := &workloadShim{db: db}
+	return w.runner()
+}
+
+// workloadShim builds the TPCH4 runner for a standalone database (the
+// queries package binds runners to full workloads; here only the TPC-H side
+// is needed).
+type workloadShim struct{ db *tpch.DB }
+
+func (s *workloadShim) runner() queries.Runner {
+	w, err := queries.NewWorkloadFromDB(s.db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return w.TPCH4()
+}

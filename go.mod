@@ -1,0 +1,3 @@
+module upa
+
+go 1.22

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// AblationReport bundles the design-choice ablations DESIGN.md calls out:
+// union-preserving reuse vs from-scratch recomputation (§VI-E), the MLE
+// normal fit vs empirical quantiles for the output range (§VI-C), and the
+// group-size extension's effect on inferred sensitivity (§VI-E future
+// work).
+type AblationReport struct {
+	Reuse  []ReuseRow
+	Range  []RangeRow
+	Groups []GroupRow
+}
+
+// ReuseRow compares one release's sensitivity-inference cost with and
+// without the union-preserving reuse.
+type ReuseRow struct {
+	Records                int
+	ReuseOps, ScratchOps   int64
+	ReuseTime, ScratchTime time.Duration
+	OpsRatio               float64
+}
+
+// RangeRow compares the MLE-fitted range against empirical quantiles on one
+// query: the fraction of the exact neighbour census each covers.
+type RangeRow struct {
+	Query                string
+	MLECoverage          float64
+	EmpiricalCoverage    float64
+	MLEWidth, EmpiricalW float64
+}
+
+// GroupRow records the inferred count sensitivity at one group size.
+type GroupRow struct {
+	GroupSize   int
+	Sensitivity float64
+	Empirical   float64
+}
+
+// Ablations runs all three ablations at the configuration's scale.
+func Ablations(cfg Config) (*AblationReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	report := &AblationReport{}
+
+	// 1. Reuse vs scratch on a plain sum, across two dataset sizes.
+	sumQuery := core.Query[float64]{
+		Name:      "ablation-sum",
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(x float64) core.State { return core.State{x} },
+	}
+	for _, records := range []int{cfg.Lineitems / 4, cfg.Lineitems} {
+		rng := stats.NewRNG(cfg.Seed)
+		data := make([]float64, records)
+		for i := range data {
+			data[i] = rng.NormFloat64()
+		}
+		row := ReuseRow{Records: records}
+		for _, scratch := range []bool{false, true} {
+			eng := mapreduce.NewEngine()
+			sysCfg := core.DefaultConfig()
+			sysCfg.SampleSize = min(cfg.SampleSize, 200) // keep O(n·|x|) feasible
+			sysCfg.Seed = cfg.Seed
+			sysCfg.DisableReuse = scratch
+			sys, err := core.NewSystem(eng, sysCfg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := core.Run(sys, sumQuery, data, nil)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if scratch {
+				row.ScratchOps, row.ScratchTime = res.EngineDelta.ReduceOps, elapsed
+			} else {
+				row.ReuseOps, row.ReuseTime = res.EngineDelta.ReduceOps, elapsed
+			}
+		}
+		if row.ReuseOps > 0 {
+			row.OpsRatio = float64(row.ScratchOps) / float64(row.ReuseOps)
+		}
+		report.Reuse = append(report.Reuse, row)
+	}
+
+	// 2. MLE vs empirical range coverage per query.
+	w, err := cfg.Workload(0)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range w.All() {
+		eng := mapreduce.NewEngine()
+		truth, err := r.GroundTruth(eng, cfg.Additions, stats.NewRNG(cfg.Seed))
+		if err != nil {
+			return nil, err
+		}
+		census := make([]float64, 0, len(truth.RemovalOutputs)+len(truth.AdditionOutputs))
+		for _, o := range truth.AllNeighbourOutputs() {
+			census = append(census, o[0])
+		}
+		row := RangeRow{Query: r.Name()}
+		for _, empirical := range []bool{false, true} {
+			sysCfg := core.DefaultConfig()
+			sysCfg.SampleSize = cfg.SampleSize
+			sysCfg.Epsilon = cfg.Epsilon
+			sysCfg.Seed = cfg.Seed
+			sysCfg.EmpiricalRange = empirical
+			sys, err := core.NewSystem(eng, sysCfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.RunUPA(sys)
+			if err != nil {
+				return nil, err
+			}
+			cov := stats.CoverageFraction(census, res.RangeLo[0], res.RangeHi[0])
+			width := res.RangeHi[0] - res.RangeLo[0]
+			if empirical {
+				row.EmpiricalCoverage, row.EmpiricalW = cov, width
+			} else {
+				row.MLECoverage, row.MLEWidth = cov, width
+			}
+		}
+		report.Range = append(report.Range, row)
+	}
+
+	// 3. Group sizes on a count.
+	countQuery := core.Query[float64]{
+		Name:      "ablation-count",
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(float64) core.State { return core.State{1} },
+	}
+	data := make([]float64, cfg.Lineitems)
+	for _, g := range []int{0, 5, 10, 20} {
+		eng := mapreduce.NewEngine()
+		sysCfg := core.DefaultConfig()
+		sysCfg.SampleSize = cfg.SampleSize
+		sysCfg.Seed = cfg.Seed
+		sysCfg.GroupSize = g
+		sys, err := core.NewSystem(eng, sysCfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(sys, countQuery, data, func(*stats.RNG) float64 { return 0 })
+		if err != nil {
+			return nil, err
+		}
+		report.Groups = append(report.Groups, GroupRow{
+			GroupSize:   g,
+			Sensitivity: res.Sensitivity[0],
+			Empirical:   res.EmpiricalLocalSensitivity[0],
+		})
+	}
+	return report, nil
+}
+
+// RenderAblations renders the report as text.
+func RenderAblations(r *AblationReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation 1: union-preserving reuse (§VI-E linear vs constant)\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s %10s %12s %12s\n",
+		"records", "reuse ops", "scratch ops", "ratio", "reuse time", "scratch time")
+	for _, row := range r.Reuse {
+		fmt.Fprintf(&b, "%-10d %14d %14d %9.0fx %12v %12v\n",
+			row.Records, row.ReuseOps, row.ScratchOps, row.OpsRatio,
+			row.ReuseTime.Round(time.Microsecond), row.ScratchTime.Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "\nAblation 2: MLE normal fit vs empirical quantiles (§VI-C)\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %14s %14s\n",
+		"Query", "MLE cov", "emp cov", "MLE width", "emp width")
+	for _, row := range r.Range {
+		fmt.Fprintf(&b, "%-18s %11.1f%% %11.1f%% %14.5g %14.5g\n",
+			row.Query, 100*row.MLECoverage, 100*row.EmpiricalCoverage,
+			row.MLEWidth, row.EmpiricalW)
+	}
+	fmt.Fprintf(&b, "\nAblation 3: group-iDP extension (§VI-E) — count sensitivity vs group size\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s\n", "group size", "sensitivity", "empirical")
+	for _, row := range r.Groups {
+		fmt.Fprintf(&b, "%-12d %14.4g %14.4g\n", row.GroupSize, row.Sensitivity, row.Empirical)
+	}
+	return b.String()
+}

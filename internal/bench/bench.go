@@ -1,0 +1,95 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) from the synthetic workloads —
+// Table II (query support), Figure 2(a) (sensitivity RMSE, UPA vs FLEX),
+// Figure 2(b) (runtime overhead vs vanilla), Figure 3 (neighbouring-output
+// coverage vs sample size), Figure 4(a) (overhead vs dataset size) and
+// Figure 4(b) (runtime vs sample size, with cache hit rates).
+//
+// Absolute numbers differ from the paper's five-node, 100+ GB cluster runs;
+// what the harness reproduces is the shape: who wins, by how many orders of
+// magnitude, and where the crossovers fall. EXPERIMENTS.md records
+// paper-vs-measured for every row.
+package bench
+
+import (
+	"fmt"
+
+	"upa/internal/core"
+	"upa/internal/lifesci"
+	"upa/internal/mapreduce"
+	"upa/internal/queries"
+	"upa/internal/tpch"
+)
+
+// Config sizes the experiments.
+type Config struct {
+	// Lineitems scales the TPC-H tables; LSRecords the life-science data.
+	Lineitems int
+	LSRecords int
+	// Skew is the TPC-H join-key skew.
+	Skew float64
+	// Seed drives every generator and system.
+	Seed uint64
+	// SampleSize is UPA's n; Epsilon the per-release budget.
+	SampleSize int
+	Epsilon    float64
+	// Trials is the number of independently generated workloads the RMSE
+	// experiment averages over.
+	Trials int
+	// Additions is the number of sampled addition neighbours included in
+	// the brute-force census (the removal side is always exhaustive).
+	Additions int
+}
+
+// DefaultConfig sizes the experiments for seconds-scale laptop runs.
+func DefaultConfig() Config {
+	return Config{
+		Lineitems:  20000,
+		LSRecords:  20000,
+		Skew:       0.2,
+		Seed:       1,
+		SampleSize: 1000,
+		Epsilon:    0.1,
+		Trials:     3,
+		Additions:  1000,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Lineitems < 100 {
+		return fmt.Errorf("bench: Lineitems %d too small (need >= 100)", c.Lineitems)
+	}
+	if c.LSRecords < 100 {
+		return fmt.Errorf("bench: LSRecords %d too small (need >= 100)", c.LSRecords)
+	}
+	if c.Trials < 1 {
+		return fmt.Errorf("bench: Trials must be >= 1, got %d", c.Trials)
+	}
+	return nil
+}
+
+// Workload builds the trial-th workload of the configuration.
+func (c Config) Workload(trial int) (*queries.Workload, error) {
+	seed := c.Seed + uint64(trial)*7919
+	return queries.NewWorkload(
+		tpch.Config{Lineitems: c.Lineitems, Skew: c.Skew, Seed: seed},
+		lifesci.Config{Records: c.LSRecords, Dims: 4, Clusters: 3, OutlierFrac: 0.01, Seed: seed},
+	)
+}
+
+// newSystem builds a fresh UPA system for one release.
+func (c Config) newSystem(eng *mapreduce.Engine, sampleSize int) (*core.System, error) {
+	cfg := core.DefaultConfig()
+	cfg.SampleSize = sampleSize
+	cfg.Epsilon = c.Epsilon
+	cfg.Seed = c.Seed
+	return core.NewSystem(eng, cfg)
+}
+
+// QueryNames lists the nine evaluated queries in Table II order.
+func QueryNames() []string {
+	return []string{
+		"TPCH1", "TPCH4", "TPCH13", "TPCH16", "TPCH21",
+		"KMeans", "Linear Regression", "TPCH6", "TPCH11",
+	}
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV writers for every experiment's rows, so the figures can be re-plotted
+// with external tooling. Each writer emits a header row followed by one
+// record per table row; numbers use full float precision.
+
+// WriteTable2CSV writes the support matrix.
+func WriteTable2CSV(w io.Writer, rows []SupportRow) error {
+	return writeCSV(w, []string{"query", "rows", "kind", "upa", "flex"}, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Query, itoa(r.DatasetRows), string(r.Kind),
+			strconv.FormatBool(r.UPASupported), strconv.FormatBool(r.FLEXSupported)}
+	})
+}
+
+// WriteFig2aCSV writes the sensitivity-RMSE rows.
+func WriteFig2aCSV(w io.Writer, rows []SensitivityRow) error {
+	header := []string{"query", "upa_rel_rmse", "flex_rel_rmse", "flex_supported",
+		"mean_truth", "mean_upa", "mean_flex"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Query, ftoa(r.UPARelRMSE), ftoa(r.FLEXRelRMSE),
+			strconv.FormatBool(r.FLEXSupported), ftoa(r.MeanTruth), ftoa(r.MeanUPA), ftoa(r.MeanFLEX)}
+	})
+}
+
+// WriteFig2bCSV writes the measured overhead rows.
+func WriteFig2bCSV(w io.Writer, rows []OverheadRow) error {
+	header := []string{"query", "vanilla_us", "upa_us", "normalized",
+		"vanilla_shuffles", "upa_shuffles"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Query, dtoa(r.VanillaTime), dtoa(r.UPATime), ftoa(r.Normalized),
+			itoa64(r.VanillaShuffles), itoa64(r.UPAShuffles)}
+	})
+}
+
+// WriteFig2bSimCSV writes the simulated-testbed overhead rows.
+func WriteFig2bSimCSV(w io.Writer, rows []SimulatedOverheadRow) error {
+	header := []string{"query", "vanilla_sim_us", "upa_sim_us", "normalized"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Query, dtoa(r.VanillaCost), dtoa(r.UPACost), ftoa(r.Normalized)}
+	})
+}
+
+// WriteFig3CSV writes one record per (query, sample size).
+func WriteFig3CSV(w io.Writer, rows []CoverageRow) error {
+	header := []string{"query", "sample_size", "range_lo", "range_hi", "coverage",
+		"true_min", "true_max", "neighbours", "normality_ks"}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for i, n := range r.SampleSizes {
+			rec := []string{r.Query, itoa(n), ftoa(r.RangeLo[i]), ftoa(r.RangeHi[i]),
+				ftoa(r.Coverage[i]), ftoa(r.TrueMin), ftoa(r.TrueMax),
+				itoa(r.NeighbourCount), ftoa(r.NormalityKS)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig4aCSV writes the dataset-size sweep.
+func WriteFig4aCSV(w io.Writer, rows []ScaleRow) error {
+	header := []string{"scale", "lineitems", "mean_normalized"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{itoa(r.ScaleFactor), itoa(r.Lineitems), ftoa(r.MeanNormalized)}
+	})
+}
+
+// WriteFig4bCSV writes the sample-size sweep.
+func WriteFig4bCSV(w io.Writer, rows []SampleSizeRow) error {
+	header := []string{"sample_size", "mean_time_us", "mean_cache_hit_rate"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{itoa(r.SampleSize), dtoa(r.MeanTime), ftoa(r.MeanCacheHitRate)}
+	})
+}
+
+func writeCSV(w io.Writer, header []string, n int, record func(i int) []string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		rec := record(i)
+		if len(rec) != len(header) {
+			return fmt.Errorf("bench: csv row %d has %d fields, header has %d", i, len(rec), len(header))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func dtoa(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'g', -1, 64)
+}

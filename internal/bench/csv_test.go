@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, text string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(text)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid csv: %v", err)
+	}
+	return rows
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	var sb strings.Builder
+	rows := []SupportRow{{Query: "TPCH1", DatasetRows: 100, Kind: "Count", UPASupported: true}}
+	if err := WriteTable2CSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, sb.String())
+	if len(got) != 2 || got[1][0] != "TPCH1" || got[1][3] != "true" || got[1][4] != "false" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestWriteFig2aCSV(t *testing.T) {
+	var sb strings.Builder
+	rows := []SensitivityRow{{Query: "q", UPARelRMSE: 0.125, FLEXRelRMSE: 10, FLEXSupported: true}}
+	if err := WriteFig2aCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, sb.String())
+	if got[1][1] != "0.125" || got[1][2] != "10" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestWriteFig2bCSVs(t *testing.T) {
+	var sb strings.Builder
+	rows := []OverheadRow{{Query: "q", VanillaTime: time.Millisecond, UPATime: 2 * time.Millisecond, Normalized: 2}}
+	if err := WriteFig2bCSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, sb.String())
+	if got[1][1] != "1000" || got[1][3] != "2" {
+		t.Fatalf("csv = %v", got)
+	}
+	sb.Reset()
+	sim := []SimulatedOverheadRow{{Query: "q", VanillaCost: time.Second, UPACost: 2 * time.Second, Normalized: 2}}
+	if err := WriteFig2bSimCSV(&sb, sim); err != nil {
+		t.Fatal(err)
+	}
+	got = parseCSV(t, sb.String())
+	if got[1][1] != "1e+06" {
+		t.Fatalf("sim csv = %v", got)
+	}
+}
+
+func TestWriteFig3CSVFlattensSweep(t *testing.T) {
+	var sb strings.Builder
+	rows := []CoverageRow{{
+		Query:       "q",
+		SampleSizes: []int{10, 20},
+		RangeLo:     []float64{1, 2},
+		RangeHi:     []float64{3, 4},
+		Coverage:    []float64{0.5, 0.9},
+		TrueMin:     0, TrueMax: 5, NeighbourCount: 100, NormalityKS: 0.1,
+	}}
+	if err := WriteFig3CSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parseCSV(t, sb.String())
+	if len(got) != 3 { // header + 2 sample sizes
+		t.Fatalf("csv rows = %d, want 3", len(got))
+	}
+	if got[1][1] != "10" || got[2][1] != "20" || got[2][4] != "0.9" {
+		t.Fatalf("csv = %v", got)
+	}
+}
+
+func TestWriteFig4CSVs(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteFig4aCSV(&sb, []ScaleRow{{ScaleFactor: 2, Lineitems: 400, MeanNormalized: 1.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, sb.String()); got[1][2] != "1.5" {
+		t.Fatalf("fig4a csv = %v", got)
+	}
+	sb.Reset()
+	if err := WriteFig4bCSV(&sb, []SampleSizeRow{{SampleSize: 100, MeanTime: time.Millisecond, MeanCacheHitRate: 0.75}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseCSV(t, sb.String()); got[1][2] != "0.75" {
+		t.Fatalf("fig4b csv = %v", got)
+	}
+}

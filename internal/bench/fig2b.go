@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"upa/internal/mapreduce"
+)
+
+// OverheadRow is one bar of Figure 2(b): UPA's end-to-end execution time
+// normalized to vanilla (no-DP) execution of the same query.
+type OverheadRow struct {
+	Query string
+	// VanillaTime and UPATime are the per-release wall-clock times
+	// (best of Reps runs, to suppress scheduler noise).
+	VanillaTime, UPATime time.Duration
+	// Normalized is UPATime/VanillaTime (the paper's Figure 2(b) y-axis);
+	// Overhead is Normalized - 1 (the "77.6% average overhead" number).
+	Normalized float64
+	Overhead   float64
+	// VanillaShuffles and UPAShuffles count shuffle rounds, the structural
+	// driver of join-query overhead (§V-C, §VI-D).
+	VanillaShuffles, UPAShuffles int64
+}
+
+// Fig2b regenerates Figure 2(b) with reps repetitions per measurement
+// (minimum taken). reps < 1 defaults to 3.
+func Fig2b(cfg Config, reps int) ([]OverheadRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if reps < 1 {
+		reps = 3
+	}
+	w, err := cfg.Workload(0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OverheadRow, 0, 9)
+	for _, r := range w.All() {
+		row := OverheadRow{Query: r.Name()}
+
+		for rep := 0; rep < reps; rep++ {
+			eng := mapreduce.NewEngine()
+			start := time.Now()
+			if _, err := r.RunVanilla(eng); err != nil {
+				return nil, fmt.Errorf("bench: vanilla %s: %w", r.Name(), err)
+			}
+			elapsed := time.Since(start)
+			if rep == 0 || elapsed < row.VanillaTime {
+				row.VanillaTime = elapsed
+				row.VanillaShuffles = eng.Metrics().ShuffleRounds
+			}
+		}
+		for rep := 0; rep < reps; rep++ {
+			eng := mapreduce.NewEngine()
+			sys, err := cfg.newSystem(eng, cfg.SampleSize)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if _, err := r.RunUPA(sys); err != nil {
+				return nil, fmt.Errorf("bench: UPA %s: %w", r.Name(), err)
+			}
+			elapsed := time.Since(start)
+			if rep == 0 || elapsed < row.UPATime {
+				row.UPATime = elapsed
+				row.UPAShuffles = eng.Metrics().ShuffleRounds
+			}
+		}
+		if row.VanillaTime > 0 {
+			row.Normalized = float64(row.UPATime) / float64(row.VanillaTime)
+			row.Overhead = row.Normalized - 1
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig2b renders the overhead comparison as aligned text.
+func RenderFig2b(rows []OverheadRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2(b): UPA execution time normalized to vanilla\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %11s %10s %9s %9s\n",
+		"Query", "vanilla", "UPA", "normalized", "overhead", "shuf(v)", "shuf(UPA)")
+	var sum float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %12v %12v %10.2fx %9.1f%% %9d %9d\n",
+			r.Query, r.VanillaTime.Round(time.Microsecond), r.UPATime.Round(time.Microsecond),
+			r.Normalized, 100*r.Overhead, r.VanillaShuffles, r.UPAShuffles)
+		sum += r.Overhead
+	}
+	fmt.Fprintf(&b, "mean overhead: %.1f%% (paper: 77.6%% on a 5-node cluster)\n",
+		100*sum/float64(len(rows)))
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// CoverageRow is one panel of Figure 3: the distribution of the query's
+// output over all neighbouring datasets, the true extremes (the paper's
+// blue lines), and the output range UPA infers at several sample sizes
+// (the red and other-coloured lines), with the fraction of neighbouring
+// outputs each range covers.
+type CoverageRow struct {
+	Query string
+	// SampleSizes are the evaluated n values; RangeLo/RangeHi[i] is the
+	// range inferred with SampleSizes[i]; Coverage[i] the fraction of all
+	// neighbouring outputs inside it.
+	SampleSizes        []int
+	RangeLo, RangeHi   []float64
+	Coverage           []float64
+	TrueMin, TrueMax   float64
+	NeighbourCount     int
+	NeighbourHistogram *stats.Histogram
+	// NormalityKS is the Kolmogorov-Smirnov distance between the neighbour
+	// census and its own MLE normal fit — the §VI-C "outputs may not
+	// perfectly follow a normal distribution" error source, quantified.
+	NormalityKS float64
+}
+
+// Fig3 regenerates Figure 3 over the given sample sizes (the paper sweeps
+// 10²..10⁵; nil defaults to {100, 1000, 10000}). Coordinate 0 of each
+// query's output is plotted, as in the paper's scalar panels.
+func Fig3(cfg Config, sampleSizes []int) ([]CoverageRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(sampleSizes) == 0 {
+		sampleSizes = []int{100, 1000, 10000}
+	}
+	w, err := cfg.Workload(0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]CoverageRow, 0, 9)
+	for _, r := range w.All() {
+		eng := mapreduce.NewEngine()
+		truth, err := r.GroundTruth(eng, cfg.Additions, stats.NewRNG(cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("bench: census for %s: %w", r.Name(), err)
+		}
+		outputs := make([]float64, 0, len(truth.RemovalOutputs)+len(truth.AdditionOutputs))
+		for _, o := range truth.AllNeighbourOutputs() {
+			outputs = append(outputs, o[0])
+		}
+		row := CoverageRow{
+			Query:          r.Name(),
+			TrueMin:        truth.MinOutput[0],
+			TrueMax:        truth.MaxOutput[0],
+			NeighbourCount: len(outputs),
+		}
+		if row.TrueMin < row.TrueMax {
+			row.NeighbourHistogram, err = stats.NewHistogram(outputs, row.TrueMin, row.TrueMax, 40)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if fit, ferr := stats.FitNormalMLE(outputs); ferr == nil {
+			if ks, kerr := stats.KSStatistic(outputs, fit); kerr == nil {
+				row.NormalityKS = ks
+			}
+		}
+		for _, n := range sampleSizes {
+			sys, err := cfg.newSystem(eng, n)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.RunUPA(sys)
+			if err != nil {
+				return nil, fmt.Errorf("bench: UPA(n=%d) on %s: %w", n, r.Name(), err)
+			}
+			row.SampleSizes = append(row.SampleSizes, n)
+			row.RangeLo = append(row.RangeLo, res.RangeLo[0])
+			row.RangeHi = append(row.RangeHi, res.RangeHi[0])
+			row.Coverage = append(row.Coverage,
+				stats.CoverageFraction(outputs, res.RangeLo[0], res.RangeHi[0]))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig3 renders the coverage panels as text, including a sideways
+// histogram of the neighbouring-output distribution.
+func RenderFig3(rows []CoverageRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: neighbouring-dataset output distributions and inferred ranges\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "\n%s — %d neighbouring outputs, true range [%.6g, %.6g], normality KS %.3f\n",
+			r.Query, r.NeighbourCount, r.TrueMin, r.TrueMax, r.NormalityKS)
+		for i, n := range r.SampleSizes {
+			fmt.Fprintf(&b, "  n=%-6d inferred range [%.6g, %.6g]  coverage %.1f%%\n",
+				n, r.RangeLo[i], r.RangeHi[i], 100*r.Coverage[i])
+		}
+		if r.NeighbourHistogram != nil {
+			b.WriteString(renderHistogram(r.NeighbourHistogram, 50))
+		}
+	}
+	return b.String()
+}
+
+func renderHistogram(h *stats.Histogram, width int) string {
+	maxCount := h.MaxCount()
+	if maxCount == 0 {
+		return ""
+	}
+	var b strings.Builder
+	binWidth := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", 1+c*(width-1)/maxCount)
+		fmt.Fprintf(&b, "  %12.5g |%s %d\n", h.Lo+float64(i)*binWidth, bar, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"upa/internal/mapreduce"
+)
+
+// ScaleRow is one x-position of Figure 4(a): the mean normalized runtime of
+// UPA over all nine queries at one dataset scale.
+type ScaleRow struct {
+	// ScaleFactor multiplies the base dataset sizes; Lineitems is the
+	// resulting TPC-H fact-table size.
+	ScaleFactor int
+	Lineitems   int
+	// MeanNormalized is UPA time / vanilla time averaged over the nine
+	// queries; PerQuery holds the individual ratios in QueryNames() order.
+	MeanNormalized float64
+	PerQuery       []float64
+}
+
+// Fig4a regenerates Figure 4(a): UPA's overhead as dataset sizes grow
+// (decreasing, because the sensitivity-inference cost is constant in the
+// dataset size — §VI-E's linear-to-constant claim). scaleFactors nil
+// defaults to {1, 2, 4, 8}.
+func Fig4a(cfg Config, scaleFactors []int) ([]ScaleRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(scaleFactors) == 0 {
+		scaleFactors = []int{1, 2, 4, 8}
+	}
+	rows := make([]ScaleRow, 0, len(scaleFactors))
+	for _, sf := range scaleFactors {
+		scaled := cfg
+		scaled.Lineitems = cfg.Lineitems * sf
+		scaled.LSRecords = cfg.LSRecords * sf
+		over, err := Fig2b(scaled, 2)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale %dx: %w", sf, err)
+		}
+		row := ScaleRow{ScaleFactor: sf, Lineitems: scaled.Lineitems}
+		var sum float64
+		for _, o := range over {
+			row.PerQuery = append(row.PerQuery, o.Normalized)
+			sum += o.Normalized
+		}
+		row.MeanNormalized = sum / float64(len(over))
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig4a renders the dataset-size scalability sweep.
+func RenderFig4a(rows []ScaleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4(a): UPA runtime normalized to vanilla vs dataset size\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "scale", "lineitems", "normalized")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8d %12d %11.2fx\n", r.ScaleFactor, r.Lineitems, r.MeanNormalized)
+	}
+	return b.String()
+}
+
+// SampleSizeRow is one x-position of Figure 4(b): UPA's runtime and cache
+// hit rate at one sensitivity sample size n.
+type SampleSizeRow struct {
+	SampleSize int
+	// MeanTime is the mean UPA release time over the nine queries.
+	MeanTime time.Duration
+	// MeanCacheHitRate is the mean engine cache hit rate during the
+	// releases (the paper reports it rising from 10.3% to 48.9% inside the
+	// sensitivity loop).
+	MeanCacheHitRate float64
+	PerQuery         []time.Duration
+}
+
+// Fig4b regenerates Figure 4(b): UPA runtime vs sample size n (nil defaults
+// to {100, 1000, 10000, 100000}).
+func Fig4b(cfg Config, sampleSizes []int) ([]SampleSizeRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(sampleSizes) == 0 {
+		sampleSizes = []int{100, 1000, 10000, 100000}
+	}
+	w, err := cfg.Workload(0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]SampleSizeRow, 0, len(sampleSizes))
+	for _, n := range sampleSizes {
+		row := SampleSizeRow{SampleSize: n}
+		var totalTime time.Duration
+		var totalHitRate float64
+		for _, r := range w.All() {
+			eng := mapreduce.NewEngine()
+			sys, err := cfg.newSystem(eng, n)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			res, err := r.RunUPA(sys)
+			if err != nil {
+				return nil, fmt.Errorf("bench: UPA(n=%d) on %s: %w", n, r.Name(), err)
+			}
+			elapsed := time.Since(start)
+			row.PerQuery = append(row.PerQuery, elapsed)
+			totalTime += elapsed
+			totalHitRate += res.EngineDelta.CacheHitRate()
+		}
+		row.MeanTime = totalTime / 9
+		row.MeanCacheHitRate = totalHitRate / 9
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig4b renders the sample-size sweep.
+func RenderFig4b(rows []SampleSizeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4(b): UPA runtime and cache hit rate vs sample size n\n")
+	fmt.Fprintf(&b, "%-10s %14s %14s\n", "n", "mean time", "cache hits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10d %14v %13.1f%%\n",
+			r.SampleSize, r.MeanTime.Round(time.Microsecond), 100*r.MeanCacheHitRate)
+	}
+	return b.String()
+}

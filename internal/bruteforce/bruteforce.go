@@ -1,0 +1,213 @@
+// Package bruteforce computes ground-truth local sensitivity by evaluating
+// a query on every neighbouring dataset — the reference every accuracy
+// experiment compares against (Definition II.1, the paper's "brute-force
+// approach").
+//
+// Two modes exist. Exact mode evaluates all |x| removal neighbours (and a
+// caller-chosen number of sampled addition neighbours, since the addition
+// side of D is unbounded) using prefix/suffix partial reductions — the
+// arithmetic is identical to evaluating each neighbour from scratch, only
+// cheaper, so the result is still exact. Naive mode really does recompute
+// every neighbour from scratch; it exists to measure the cost UPA avoids
+// (the §VI-E linear-vs-constant overhead ablation).
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// Truth is the exact neighbouring-output census of a query on a dataset.
+type Truth struct {
+	// Output is f(x).
+	Output []float64
+	// RemovalOutputs[i] is f(x - data[i]), for every record.
+	RemovalOutputs [][]float64
+	// AdditionOutputs are f(x + s̄) for sampled domain records.
+	AdditionOutputs [][]float64
+	// LocalSensitivity is, per coordinate, the greatest |f(x) - f(y)| over
+	// every evaluated neighbour y.
+	LocalSensitivity []float64
+	// MinOutput/MaxOutput bound, per coordinate, the neighbouring outputs —
+	// the blue lines of Figure 3.
+	MinOutput, MaxOutput []float64
+}
+
+// LocalSensitivity evaluates q on every removal neighbour of data plus
+// nAdditions sampled addition neighbours (0 to skip; requires domain) and
+// returns the exact census.
+func LocalSensitivity[T any](eng *mapreduce.Engine, q core.Query[T], data []T,
+	domain func(*stats.RNG) T, nAdditions int, rng *stats.RNG) (*Truth, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) < 2 {
+		return nil, fmt.Errorf("bruteforce: query %q needs at least two records", q.Name)
+	}
+	if nAdditions > 0 && domain == nil {
+		return nil, fmt.Errorf("bruteforce: %d additions requested without a domain sampler", nAdditions)
+	}
+
+	reduce := reducerOf(q)
+	states, err := mapAll(eng, q, data)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(states)
+	pre := make([]core.State, n)
+	suf := make([]core.State, n)
+	pre[0] = states[0]
+	for i := 1; i < n; i++ {
+		pre[i] = reduce(pre[i-1], states[i])
+	}
+	suf[n-1] = states[n-1]
+	for i := n - 2; i >= 0; i-- {
+		suf[i] = reduce(states[i], suf[i+1])
+	}
+	eng.AccountReduceOps(int64(2 * (n - 1)))
+
+	truth := &Truth{Output: finalizeOf(q, pre[n-1])}
+	truth.RemovalOutputs = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		var state core.State
+		switch {
+		case i == 0:
+			state = suf[1]
+		case i == n-1:
+			state = pre[n-2]
+		default:
+			state = reduce(pre[i-1], suf[i+1])
+			eng.AccountReduceOps(1)
+		}
+		truth.RemovalOutputs[i] = finalizeOf(q, state)
+	}
+	if nAdditions > 0 {
+		additions := make([]T, nAdditions)
+		for i := range additions {
+			additions[i] = domain(rng)
+		}
+		addStates, err := mapAll(eng, q, additions)
+		if err != nil {
+			return nil, err
+		}
+		truth.AdditionOutputs = make([][]float64, nAdditions)
+		for i, s := range addStates {
+			truth.AdditionOutputs[i] = finalizeOf(q, reduce(pre[n-1], s))
+		}
+		eng.AccountReduceOps(int64(nAdditions))
+	}
+
+	truth.computeBounds(q.OutputDim)
+	return truth, nil
+}
+
+// NaiveLocalSensitivity recomputes every removal neighbour from scratch —
+// O(|x|) reduces per neighbour, O(|x|²) total — matching the cost model of
+// the paper's brute-force strawman. Results equal LocalSensitivity's; only
+// the work differs.
+func NaiveLocalSensitivity[T any](eng *mapreduce.Engine, q core.Query[T], data []T) (*Truth, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) < 2 {
+		return nil, fmt.Errorf("bruteforce: query %q needs at least two records", q.Name)
+	}
+	reduce := reducerOf(q)
+	states, err := mapAll(eng, q, data)
+	if err != nil {
+		return nil, err
+	}
+	foldAllBut := func(skip int) core.State {
+		var acc core.State
+		for i, s := range states {
+			if i == skip {
+				continue
+			}
+			if acc == nil {
+				acc = s
+				continue
+			}
+			acc = reduce(acc, s)
+		}
+		eng.AccountReduceOps(int64(len(states) - 2))
+		return acc
+	}
+	truth := &Truth{Output: finalizeOf(q, foldAllBut(-1))}
+	truth.RemovalOutputs = make([][]float64, len(states))
+	for i := range states {
+		truth.RemovalOutputs[i] = finalizeOf(q, foldAllBut(i))
+	}
+	truth.computeBounds(q.OutputDim)
+	return truth, nil
+}
+
+func (t *Truth) computeBounds(dim int) {
+	t.LocalSensitivity = make([]float64, dim)
+	t.MinOutput = make([]float64, dim)
+	t.MaxOutput = make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		t.MinOutput[d] = math.Inf(1)
+		t.MaxOutput[d] = math.Inf(-1)
+	}
+	consider := func(out []float64) {
+		for d := 0; d < dim; d++ {
+			if diff := math.Abs(t.Output[d] - out[d]); diff > t.LocalSensitivity[d] {
+				t.LocalSensitivity[d] = diff
+			}
+			if out[d] < t.MinOutput[d] {
+				t.MinOutput[d] = out[d]
+			}
+			if out[d] > t.MaxOutput[d] {
+				t.MaxOutput[d] = out[d]
+			}
+		}
+	}
+	for _, out := range t.RemovalOutputs {
+		consider(out)
+	}
+	for _, out := range t.AdditionOutputs {
+		consider(out)
+	}
+}
+
+// AllNeighbourOutputs returns removal and addition outputs concatenated —
+// the spots of Figure 3.
+func (t *Truth) AllNeighbourOutputs() [][]float64 {
+	out := make([][]float64, 0, len(t.RemovalOutputs)+len(t.AdditionOutputs))
+	out = append(out, t.RemovalOutputs...)
+	out = append(out, t.AdditionOutputs...)
+	return out
+}
+
+func mapAll[T any](eng *mapreduce.Engine, q core.Query[T], records []T) ([]core.State, error) {
+	parts := eng.Workers()
+	if parts > len(records) {
+		parts = len(records)
+	}
+	ds, err := mapreduce.FromSlice(eng, records, parts)
+	if err != nil {
+		return nil, err
+	}
+	return mapreduce.Map(ds, q.Map).Collect()
+}
+
+func reducerOf[T any](q core.Query[T]) mapreduce.Reducer[core.State] {
+	if q.Reduce != nil {
+		return q.Reduce
+	}
+	return core.VectorAdd
+}
+
+func finalizeOf[T any](q core.Query[T], state core.State) []float64 {
+	if q.Finalize == nil {
+		out := make([]float64, len(state))
+		copy(out, state)
+		return out
+	}
+	return q.Finalize(state)
+}

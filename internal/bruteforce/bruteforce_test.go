@@ -1,0 +1,184 @@
+package bruteforce
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+func sumQuery() core.Query[float64] {
+	return core.Query[float64]{
+		Name:      "sum",
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(x float64) core.State { return core.State{x} },
+	}
+}
+
+func countQuery() core.Query[float64] {
+	return core.Query[float64]{
+		Name:      "count",
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(float64) core.State { return core.State{1} },
+	}
+}
+
+func TestValidation(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	if _, err := LocalSensitivity(eng, sumQuery(), []float64{1}, nil, 0, nil); err == nil {
+		t.Error("single record accepted")
+	}
+	if _, err := LocalSensitivity(eng, core.Query[float64]{}, []float64{1, 2}, nil, 0, nil); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if _, err := LocalSensitivity(eng, sumQuery(), []float64{1, 2}, nil, 5, nil); err == nil {
+		t.Error("additions without domain sampler accepted")
+	}
+	if _, err := NaiveLocalSensitivity(eng, sumQuery(), []float64{1}); err == nil {
+		t.Error("naive: single record accepted")
+	}
+}
+
+func TestSumSensitivityExact(t *testing.T) {
+	// For a sum, the local sensitivity over removals is max |x_i|.
+	eng := mapreduce.NewEngine()
+	data := []float64{1, -7, 3, 2, 5}
+	truth, err := LocalSensitivity(eng, sumQuery(), data, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Output[0] != 4 {
+		t.Errorf("Output = %v, want 4", truth.Output)
+	}
+	if truth.LocalSensitivity[0] != 7 {
+		t.Errorf("LocalSensitivity = %v, want 7", truth.LocalSensitivity)
+	}
+	if len(truth.RemovalOutputs) != 5 {
+		t.Fatalf("removal outputs = %d, want 5", len(truth.RemovalOutputs))
+	}
+	// Min/Max of neighbouring outputs: sum - x_i ranges over [4-5, 4+7].
+	if truth.MinOutput[0] != -1 || truth.MaxOutput[0] != 11 {
+		t.Errorf("bounds = [%v, %v], want [-1, 11]", truth.MinOutput[0], truth.MaxOutput[0])
+	}
+}
+
+func TestCountSensitivityIsOne(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	data := make([]float64, 100)
+	truth, err := LocalSensitivity(eng, countQuery(), data, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.LocalSensitivity[0] != 1 {
+		t.Errorf("count sensitivity = %v, want 1", truth.LocalSensitivity[0])
+	}
+}
+
+func TestAdditionsExtendCensus(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	data := []float64{1, 2, 3}
+	domain := func(*stats.RNG) float64 { return 100 }
+	truth, err := LocalSensitivity(eng, sumQuery(), data, domain, 4, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.AdditionOutputs) != 4 {
+		t.Fatalf("addition outputs = %d, want 4", len(truth.AdditionOutputs))
+	}
+	for _, o := range truth.AdditionOutputs {
+		if o[0] != 106 {
+			t.Fatalf("addition output = %v, want 106", o[0])
+		}
+	}
+	// Sensitivity now dominated by the +100 addition.
+	if truth.LocalSensitivity[0] != 100 {
+		t.Errorf("sensitivity = %v, want 100", truth.LocalSensitivity[0])
+	}
+	if got := len(truth.AllNeighbourOutputs()); got != 7 {
+		t.Errorf("AllNeighbourOutputs = %d entries, want 7", got)
+	}
+}
+
+// TestNaiveMatchesFast verifies the two brute-force modes agree exactly on
+// random inputs — the reuse is an optimization, not an approximation.
+func TestNaiveMatchesFast(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		data := make([]float64, len(raw))
+		for i, v := range raw {
+			data[i] = float64(v)
+		}
+		fast, err := LocalSensitivity(eng, sumQuery(), data, nil, 0, nil)
+		if err != nil {
+			return false
+		}
+		naive, err := NaiveLocalSensitivity(eng, sumQuery(), data)
+		if err != nil {
+			return false
+		}
+		if math.Abs(fast.Output[0]-naive.Output[0]) > 1e-6 {
+			return false
+		}
+		if len(fast.RemovalOutputs) != len(naive.RemovalOutputs) {
+			return false
+		}
+		for i := range fast.RemovalOutputs {
+			if math.Abs(fast.RemovalOutputs[i][0]-naive.RemovalOutputs[i][0]) > 1e-6 {
+				return false
+			}
+		}
+		return math.Abs(fast.LocalSensitivity[0]-naive.LocalSensitivity[0]) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveCostsMore(t *testing.T) {
+	data := make([]float64, 500)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	engFast := mapreduce.NewEngine()
+	if _, err := LocalSensitivity(engFast, sumQuery(), data, nil, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	engNaive := mapreduce.NewEngine()
+	if _, err := NaiveLocalSensitivity(engNaive, sumQuery(), data); err != nil {
+		t.Fatal(err)
+	}
+	fastOps := engFast.Metrics().ReduceOps
+	naiveOps := engNaive.Metrics().ReduceOps
+	if naiveOps < 50*fastOps {
+		t.Fatalf("naive mode did not pay the quadratic cost: %d vs %d reduce ops", naiveOps, fastOps)
+	}
+}
+
+func TestMultiDimensionalOutput(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	q := core.Query[float64]{
+		Name:      "sum-and-count",
+		StateDim:  2,
+		OutputDim: 2,
+		Map:       func(x float64) core.State { return core.State{x, 1} },
+	}
+	data := []float64{10, 20, 30}
+	truth, err := LocalSensitivity(eng, q, data, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.LocalSensitivity[0] != 30 || truth.LocalSensitivity[1] != 1 {
+		t.Errorf("sensitivity = %v, want [30, 1]", truth.LocalSensitivity)
+	}
+}

@@ -1,0 +1,129 @@
+// Package cluster is an analytic cost model of the paper's evaluation
+// testbed — five 24-core machines with 40 Gbps NICs running Spark over
+// 114–133 GB datasets. The engine in this repository executes in-process,
+// so its wall-clock ratios carry Go-runtime constants (allocation, GC,
+// scheduling) that a cluster would not; this model instead prices the
+// engine's *operation counts* (records mapped, reduce operations, shuffle
+// rounds and bytes, task attempts), which are exact and scale-invariant,
+// into simulated cluster time. The Figure 2(b) "simulated testbed" variant
+// reports overheads from this model.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"upa/internal/mapreduce"
+)
+
+// Model prices engine activity into simulated cluster wall-clock time.
+type Model struct {
+	// Nodes and CoresPerNode set the CPU parallelism; record-grain work is
+	// assumed perfectly parallel (the engine's operators are embarrassingly
+	// parallel between shuffles).
+	Nodes        int
+	CoresPerNode int
+	// RecordCPU is the CPU cost of mapping or reducing one record.
+	RecordCPU time.Duration
+	// RecordBytes is the serialized size of one shuffled record;
+	// BisectionGbps the cluster's aggregate shuffle bandwidth in gigabits
+	// per second.
+	RecordBytes   int
+	BisectionGbps float64
+	// ShuffleLatency is the fixed per-shuffle-round barrier cost (stage
+	// scheduling, TCP ramp); TaskOverhead the per-task-attempt scheduling
+	// cost.
+	ShuffleLatency time.Duration
+	TaskOverhead   time.Duration
+	// JobStartup is the fixed per-job cost a Spark driver pays regardless
+	// of data volume (DAG construction, stage submission, executor
+	// coordination). Estimate charges it once per priced delta; without it
+	// a zero-shuffle job would be priced at nearly nothing and every
+	// overhead ratio at small scale would be barrier-dominated.
+	JobStartup time.Duration
+}
+
+// PaperTestbed returns a model of the paper's cluster: five nodes, 24 cores
+// each, 40 Gbps networking, with per-record costs representative of
+// JVM-Spark row processing (~250 ns/record) and 100-byte rows.
+func PaperTestbed() Model {
+	return Model{
+		Nodes:          5,
+		CoresPerNode:   24,
+		RecordCPU:      250 * time.Nanosecond,
+		RecordBytes:    100,
+		BisectionGbps:  40,
+		ShuffleLatency: 50 * time.Millisecond,
+		TaskOverhead:   5 * time.Millisecond,
+		JobStartup:     300 * time.Millisecond,
+	}
+}
+
+// Validate checks the model's parameters.
+func (m Model) Validate() error {
+	if m.Nodes < 1 || m.CoresPerNode < 1 {
+		return fmt.Errorf("cluster: need at least one node and core, got %d×%d", m.Nodes, m.CoresPerNode)
+	}
+	if m.RecordCPU < 0 || m.ShuffleLatency < 0 || m.TaskOverhead < 0 || m.JobStartup < 0 {
+		return fmt.Errorf("cluster: negative cost parameter: %+v", m)
+	}
+	if m.RecordBytes < 0 || m.BisectionGbps <= 0 {
+		return fmt.Errorf("cluster: invalid network parameters: %d bytes, %v Gbps", m.RecordBytes, m.BisectionGbps)
+	}
+	return nil
+}
+
+// Cost is the priced breakdown of one engine activity delta.
+type Cost struct {
+	CPU       time.Duration
+	Network   time.Duration
+	Barriers  time.Duration
+	Scheduler time.Duration
+	Startup   time.Duration
+}
+
+// Total is the simulated wall-clock time: CPU and network overlap with
+// neither barriers nor scheduling in this simple model, so components add.
+func (c Cost) Total() time.Duration {
+	return c.CPU + c.Network + c.Barriers + c.Scheduler + c.Startup
+}
+
+// Estimate prices an engine metrics delta.
+func (m Model) Estimate(delta mapreduce.MetricsSnapshot) (Cost, error) {
+	if err := m.Validate(); err != nil {
+		return Cost{}, err
+	}
+	cores := float64(m.Nodes * m.CoresPerNode)
+	recordOps := float64(delta.RecordsMapped + delta.ReduceOps)
+	cpu := time.Duration(recordOps * float64(m.RecordCPU) / cores)
+
+	// Shuffled records cross the bisection once; broadcast records are
+	// already counted once per receiving worker by the engine.
+	bits := float64(delta.RecordsShuffled+delta.BroadcastRecords) * float64(m.RecordBytes) * 8
+	seconds := bits / (m.BisectionGbps * 1e9)
+	network := time.Duration(seconds * float64(time.Second))
+
+	barriers := time.Duration(delta.ShuffleRounds) * m.ShuffleLatency
+	// Task attempts schedule across nodes in waves.
+	waves := (delta.TaskAttempts + int64(m.Nodes) - 1) / int64(m.Nodes)
+	scheduler := time.Duration(waves) * m.TaskOverhead
+
+	return Cost{CPU: cpu, Network: network, Barriers: barriers, Scheduler: scheduler, Startup: m.JobStartup}, nil
+}
+
+// Overhead prices two deltas (a baseline and a treatment) and returns the
+// treatment's simulated time normalized to the baseline's.
+func (m Model) Overhead(baseline, treatment mapreduce.MetricsSnapshot) (float64, error) {
+	base, err := m.Estimate(baseline)
+	if err != nil {
+		return 0, err
+	}
+	treat, err := m.Estimate(treatment)
+	if err != nil {
+		return 0, err
+	}
+	if base.Total() <= 0 {
+		return 0, fmt.Errorf("cluster: baseline has zero simulated cost")
+	}
+	return float64(treat.Total()) / float64(base.Total()), nil
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"upa/internal/mapreduce"
+)
+
+func delta(mapped, reduces, shuffles, shuffled, attempts int64) mapreduce.MetricsSnapshot {
+	return mapreduce.MetricsSnapshot{
+		RecordsMapped:   mapped,
+		ReduceOps:       reduces,
+		ShuffleRounds:   shuffles,
+		RecordsShuffled: shuffled,
+		TaskAttempts:    attempts,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := PaperTestbed()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper testbed invalid: %v", err)
+	}
+	bad := []Model{
+		{Nodes: 0, CoresPerNode: 1, BisectionGbps: 1},
+		{Nodes: 1, CoresPerNode: 1, BisectionGbps: 0},
+		{Nodes: 1, CoresPerNode: 1, BisectionGbps: 1, RecordCPU: -1},
+		{Nodes: 1, CoresPerNode: 1, BisectionGbps: 1, RecordBytes: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestEstimateComponents(t *testing.T) {
+	m := Model{
+		Nodes: 2, CoresPerNode: 5, RecordCPU: 100 * time.Nanosecond,
+		RecordBytes: 125, BisectionGbps: 1, // 125 bytes = 1000 bits
+		ShuffleLatency: time.Millisecond, TaskOverhead: time.Millisecond,
+	}
+	c, err := m.Estimate(delta(5000, 5000, 3, 1_000_000, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU: 10000 ops * 100ns / 10 cores = 100µs.
+	if c.CPU != 100*time.Microsecond {
+		t.Errorf("CPU = %v, want 100µs", c.CPU)
+	}
+	// Network: 1e6 records * 1000 bits / 1e9 bps = 1s.
+	if c.Network != time.Second {
+		t.Errorf("Network = %v, want 1s", c.Network)
+	}
+	if c.Barriers != 3*time.Millisecond {
+		t.Errorf("Barriers = %v, want 3ms", c.Barriers)
+	}
+	// Scheduler: ceil(20/2) = 10 waves.
+	if c.Scheduler != 10*time.Millisecond {
+		t.Errorf("Scheduler = %v, want 10ms", c.Scheduler)
+	}
+	if c.Total() != c.CPU+c.Network+c.Barriers+c.Scheduler {
+		t.Error("Total does not add components")
+	}
+}
+
+func TestEstimateZeroDelta(t *testing.T) {
+	m := PaperTestbed()
+	c, err := m.Estimate(mapreduce.MetricsSnapshot{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != m.JobStartup {
+		t.Errorf("zero activity priced at %v, want the bare job startup %v", c.Total(), m.JobStartup)
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	m := PaperTestbed()
+	baseline := delta(1_000_000, 1_000_000, 0, 0, 100)
+	treatment := delta(2_000_000, 2_000_000, 1, 1_000_000, 200)
+	ratio, err := m.Overhead(baseline, treatment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Fatalf("strictly more work priced at ratio %v", ratio)
+	}
+	// With job startup amortizing the fixed costs, the ratio sits between
+	// 1 and the pure work ratio; a startup-free model exposes the full
+	// work ratio.
+	noStartup := m
+	noStartup.JobStartup = 0
+	raw, err := noStartup.Overhead(baseline, treatment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw < ratio || raw < 2 {
+		t.Fatalf("startup-free ratio = %v, want >= max(2, %v)", raw, ratio)
+	}
+	if _, err := noStartup.Overhead(mapreduce.MetricsSnapshot{}, treatment); err == nil {
+		t.Fatal("zero-cost baseline accepted")
+	}
+}
+
+func TestMoreNodesCheaperCPU(t *testing.T) {
+	small := PaperTestbed()
+	big := small
+	big.Nodes = 50
+	d := delta(10_000_000, 10_000_000, 0, 0, 0)
+	cs, err := small.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := big.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.CPU >= cs.CPU {
+		t.Fatalf("10x nodes did not shrink CPU time: %v vs %v", cb.CPU, cs.CPU)
+	}
+}

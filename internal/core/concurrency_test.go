@@ -1,0 +1,92 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"upa/internal/mapreduce"
+)
+
+// TestConcurrentReleases hammers one System from many goroutines: the
+// enforcer history, the release counter, the engine metrics, and the
+// per-release RNG streams must all hold up (run with -race to verify the
+// absence of data races).
+func TestConcurrentReleases(t *testing.T) {
+	sys := newTestSystem(t, func(c *Config) { c.SampleSize = 30 })
+	const goroutines = 8
+	const perG = 5
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Distinct datasets per goroutine avoid triggering the attack
+			// path, which would make removal counts scheduling-dependent.
+			data := make([]float64, 200+g)
+			for i := range data {
+				data[i] = float64(i * (g + 1))
+			}
+			for i := 0; i < perG; i++ {
+				if _, err := Run(sys, sumQuery(), data, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := sys.Enforcer().HistoryLen(); got != goroutines*perG {
+		t.Fatalf("history length = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestConcurrentEnginesIndependent runs releases on independent systems in
+// parallel; their results must equal a serial run (no shared global state).
+func TestConcurrentEnginesIndependent(t *testing.T) {
+	data := seqData(500)
+	serial := func() float64 {
+		sys := newTestSystem(t, func(c *Config) { c.Seed = 21 })
+		res, err := Run(sys, sumQuery(), data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sensitivity[0]
+	}
+	want := serial()
+
+	const parallel = 6
+	got := make([]float64, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := DefaultConfig()
+			cfg.SampleSize = 50
+			cfg.Seed = 21
+			sys, err := NewSystem(mapreduce.NewEngine(), cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			res, err := Run(sys, sumQuery(), data, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = res.Sensitivity[0]
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range got {
+		if v != want {
+			t.Fatalf("parallel run %d sensitivity %v != serial %v", i, v, want)
+		}
+	}
+}

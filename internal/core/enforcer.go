@@ -1,0 +1,108 @@
+package core
+
+import (
+	"sync"
+
+	"upa/internal/stats"
+)
+
+// RangeEnforcer implements Algorithm 2. It keeps, for every query released
+// so far, the query's output on the two partitions of its input dataset.
+// When a new query's partition outputs collide with a prior query's on at
+// least one partition, the two input datasets may be neighbouring and the
+// two queries may be the same (the attack of §III); the enforcer then forces
+// records to be removed until both partitions differ, and it clamps the
+// final output into the inferred output range so the released local
+// sensitivity is always an upper bound (the prerequisite of the §IV-C iDP
+// proof).
+//
+// The history deliberately keys on *partition outputs*, not query syntax:
+// two syntactically different queries with the same input-output mapping
+// produce the same partition outputs on overlapping data, which is exactly
+// how the paper identifies "the same query" robustly (§IV-B).
+//
+// A RangeEnforcer is safe for concurrent use.
+type RangeEnforcer struct {
+	mu      sync.Mutex
+	tol     float64
+	history []historyEntry
+}
+
+type historyEntry struct {
+	name  string
+	parts [2][]float64
+}
+
+// NewRangeEnforcer builds an enforcer that compares outputs with the given
+// relative tolerance (non-positive values fall back to 1e-9).
+func NewRangeEnforcer(tol float64) *RangeEnforcer {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	return &RangeEnforcer{tol: tol}
+}
+
+// HistoryLen reports how many query releases the enforcer has recorded.
+func (e *RangeEnforcer) HistoryLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.history)
+}
+
+// Reset drops the recorded history (used between independent experiments).
+func (e *RangeEnforcer) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.history = nil
+}
+
+// Collides reports whether parts matches some prior query's partition
+// outputs on at least one partition — Case 2 of §IV-B: fewer than two
+// partitions differ, so the two input datasets may be neighbouring and the
+// analyst may be conducting an attack. It returns the name of the first
+// colliding prior query for diagnostics.
+func (e *RangeEnforcer) Collides(parts [2][]float64) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, prior := range e.history {
+		diffNum := 0
+		for j := 0; j < 2; j++ {
+			if !vectorsAlmostEqual(prior.parts[j], parts[j], e.tol) {
+				diffNum++
+			}
+		}
+		if diffNum < 2 {
+			return prior.name, true
+		}
+	}
+	return "", false
+}
+
+// Record stores the partition outputs of a released query (Algorithm 2,
+// lines 19–21).
+func (e *RangeEnforcer) Record(name string, parts [2][]float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.history = append(e.history, historyEntry{
+		name:  name,
+		parts: [2][]float64{cloneVec(parts[0]), cloneVec(parts[1])},
+	})
+}
+
+// Clamp constrains output into [lo, hi] coordinate-wise: any coordinate
+// outside its range is replaced by a uniformly random value inside it
+// (Algorithm 2, lines 17–18). It returns the clamped vector (a fresh slice)
+// and how many coordinates were clamped.
+func Clamp(output, lo, hi []float64, rng *stats.RNG) ([]float64, int) {
+	out := make([]float64, len(output))
+	clamped := 0
+	for i, v := range output {
+		if v < lo[i] || v > hi[i] {
+			out[i] = lo[i] + rng.Float64()*(hi[i]-lo[i])
+			clamped++
+		} else {
+			out[i] = v
+		}
+	}
+	return out, clamped
+}

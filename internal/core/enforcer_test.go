@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"upa/internal/stats"
+)
+
+func TestEnforcerEmptyHistoryNeverCollides(t *testing.T) {
+	e := NewRangeEnforcer(1e-9)
+	if _, bad := e.Collides([2][]float64{{1}, {2}}); bad {
+		t.Fatal("empty history collided")
+	}
+	if e.HistoryLen() != 0 {
+		t.Fatalf("HistoryLen = %d, want 0", e.HistoryLen())
+	}
+}
+
+func TestEnforcerCase1BothPartitionsDiffer(t *testing.T) {
+	// Case 1 of §IV-B: both partition outputs differ, so the datasets are
+	// at least two records apart — not an attack.
+	e := NewRangeEnforcer(1e-9)
+	e.Record("q1", [2][]float64{{10}, {20}})
+	if name, bad := e.Collides([2][]float64{{11}, {21}}); bad {
+		t.Fatalf("Case 1 flagged as collision with %q", name)
+	}
+}
+
+func TestEnforcerCase2OnePartitionMatches(t *testing.T) {
+	// Case 2: at least one partition output matches — possible attack.
+	e := NewRangeEnforcer(1e-9)
+	e.Record("q1", [2][]float64{{10}, {20}})
+	cases := [][2][]float64{
+		{{10}, {21}}, // first partition matches
+		{{11}, {20}}, // second partition matches
+		{{10}, {20}}, // both match (identical rerun)
+	}
+	for i, parts := range cases {
+		name, bad := e.Collides(parts)
+		if !bad {
+			t.Errorf("case %d not flagged", i)
+		}
+		if name != "q1" {
+			t.Errorf("case %d collided with %q, want q1", i, name)
+		}
+	}
+}
+
+func TestEnforcerChecksAllHistory(t *testing.T) {
+	e := NewRangeEnforcer(1e-9)
+	e.Record("q1", [2][]float64{{1}, {2}})
+	e.Record("q2", [2][]float64{{3}, {4}})
+	// Differs from q1 in both parts, but matches q2's first part.
+	if name, bad := e.Collides([2][]float64{{3}, {5}}); !bad || name != "q2" {
+		t.Fatalf("Collides = %q, %v; want q2, true", name, bad)
+	}
+}
+
+func TestEnforcerToleranceAbsorbsFPNoise(t *testing.T) {
+	e := NewRangeEnforcer(1e-9)
+	e.Record("q", [2][]float64{{1e9}, {2e9}})
+	// Different reduce orders perturb floating-point sums in the last few
+	// bits; such outputs must still be recognized as "the same".
+	if _, bad := e.Collides([2][]float64{{1e9 + 1e-3}, {2e9 - 1e-3}}); !bad {
+		t.Fatal("FP-noise-identical outputs not recognized as the same")
+	}
+}
+
+func TestEnforcerReset(t *testing.T) {
+	e := NewRangeEnforcer(0) // falls back to default tolerance
+	e.Record("q", [2][]float64{{1}, {2}})
+	if e.HistoryLen() != 1 {
+		t.Fatalf("HistoryLen = %d, want 1", e.HistoryLen())
+	}
+	e.Reset()
+	if e.HistoryLen() != 0 {
+		t.Fatalf("HistoryLen after Reset = %d, want 0", e.HistoryLen())
+	}
+	if _, bad := e.Collides([2][]float64{{1}, {2}}); bad {
+		t.Fatal("reset enforcer still collides")
+	}
+}
+
+func TestEnforcerRecordCopiesInput(t *testing.T) {
+	e := NewRangeEnforcer(1e-9)
+	parts := [2][]float64{{1}, {2}}
+	e.Record("q", parts)
+	parts[0][0] = 99
+	if _, bad := e.Collides([2][]float64{{1}, {2}}); !bad {
+		t.Fatal("history entry shared caller's backing array")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	rng := stats.NewRNG(1)
+	lo := []float64{0, 0, 0}
+	hi := []float64{10, 10, 10}
+	out, n := Clamp([]float64{5, -3, 42}, lo, hi, rng)
+	if n != 2 {
+		t.Fatalf("clamped %d coordinates, want 2", n)
+	}
+	if out[0] != 5 {
+		t.Errorf("in-range coordinate altered: %v", out[0])
+	}
+	for i, v := range out {
+		if v < lo[i] || v > hi[i] {
+			t.Errorf("coordinate %d = %v escaped [%v, %v]", i, v, lo[i], hi[i])
+		}
+	}
+	// Determinism.
+	a, _ := Clamp([]float64{-1}, []float64{0}, []float64{1}, stats.NewRNG(9))
+	b, _ := Clamp([]float64{-1}, []float64{0}, []float64{1}, stats.NewRNG(9))
+	if a[0] != b[0] {
+		t.Error("Clamp not deterministic in the RNG")
+	}
+}

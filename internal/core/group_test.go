@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+func TestGroupSizeValidation(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	cfg := DefaultConfig()
+	cfg.GroupSize = -1
+	if _, err := NewSystem(eng, cfg); err == nil {
+		t.Error("negative GroupSize accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SampleSize = 10
+	cfg.GroupSize = 11
+	if _, err := NewSystem(eng, cfg); err == nil {
+		t.Error("GroupSize above SampleSize accepted")
+	}
+}
+
+func TestGroupNeighboursOff(t *testing.T) {
+	sys := newTestSystem(t, nil) // default GroupSize 0
+	res, err := Run(sys, countQuery(), seqData(300), uniformDomain(0, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.GroupRemovalOutputs) != 0 || len(res.GroupAdditionOutputs) != 0 {
+		t.Fatalf("group neighbours sampled with GroupSize 0: %d/%d",
+			len(res.GroupRemovalOutputs), len(res.GroupAdditionOutputs))
+	}
+}
+
+func TestGroupNeighboursCount(t *testing.T) {
+	const g = 5
+	sys := newTestSystem(t, func(c *Config) { c.GroupSize = g }) // n=50
+	res, err := Run(sys, countQuery(), seqData(400), uniformDomain(0, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 50 / g; len(res.GroupRemovalOutputs) != want {
+		t.Fatalf("group removals = %d, want %d", len(res.GroupRemovalOutputs), want)
+	}
+	if want := 50 / g; len(res.GroupAdditionOutputs) != want {
+		t.Fatalf("group additions = %d, want %d", len(res.GroupAdditionOutputs), want)
+	}
+	// For a count, removing a g-block yields exactly count - g; adding one
+	// yields count + g.
+	for _, o := range res.GroupRemovalOutputs {
+		if o[0] != 400-g {
+			t.Fatalf("group removal output = %v, want %v", o[0], 400-g)
+		}
+	}
+	for _, o := range res.GroupAdditionOutputs {
+		if o[0] != 400+g {
+			t.Fatalf("group addition output = %v, want %v", o[0], 400+g)
+		}
+	}
+}
+
+func TestGroupWidensSensitivity(t *testing.T) {
+	// Group neighbours shift the fitted distribution outward, so the
+	// inferred range must widen to cover group influence.
+	data := seqData(500)
+	run := func(group int) *Result {
+		sys := newTestSystem(t, func(c *Config) { c.GroupSize = group })
+		res, err := Run(sys, countQuery(), data, uniformDomain(0, 500))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	single := run(0)
+	grouped := run(10)
+	if grouped.Sensitivity[0] <= single.Sensitivity[0] {
+		t.Fatalf("group sensitivity %v not above individual %v",
+			grouped.Sensitivity[0], single.Sensitivity[0])
+	}
+	// The empirical group influence on a count is exactly the group size.
+	if grouped.EmpiricalLocalSensitivity[0] != 10 {
+		t.Fatalf("empirical group sensitivity = %v, want 10",
+			grouped.EmpiricalLocalSensitivity[0])
+	}
+	// The enforced range must cover every group neighbour.
+	for _, o := range grouped.GroupRemovalOutputs {
+		if o[0] < grouped.RangeLo[0]-grouped.Sensitivity[0] {
+			t.Fatalf("group removal %v far outside range [%v, %v]",
+				o[0], grouped.RangeLo[0], grouped.RangeHi[0])
+		}
+	}
+}
+
+func TestGroupSumBlocksAreDisjoint(t *testing.T) {
+	// Block removals must remove g distinct records: for a sum over
+	// distinct powers of two, every block-removal delta identifies its
+	// records uniquely.
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = math.Pow(2, float64(i%20)) // bounded but varied
+	}
+	sys := newTestSystem(t, func(c *Config) {
+		c.SampleSize = 20
+		c.GroupSize = 4
+	})
+	res, err := Run(sys, sumQuery(), data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, v := range data {
+		total += v
+	}
+	for _, o := range res.GroupRemovalOutputs {
+		removed := total - o[0]
+		// Each block removes 4 records, so the delta is at least 4 times
+		// the smallest record and at most 4 times the largest.
+		if removed < 4*1 || removed > 4*math.Pow(2, 19) {
+			t.Fatalf("block removal delta %v outside plausible bounds", removed)
+		}
+	}
+}
+
+func TestSplitVectorBudget(t *testing.T) {
+	vectorQuery := Query[float64]{
+		Name:      "vec3",
+		StateDim:  3,
+		OutputDim: 3,
+		Map:       func(x float64) State { return State{x, x * x, 1} },
+	}
+	data := seqData(200)
+	run := func(split bool) *Result {
+		sys := newTestSystem(t, func(c *Config) { c.SplitVectorBudget = split })
+		res, err := Run(sys, vectorQuery, data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	whole := run(false)
+	if whole.EffectiveEpsilon != 0.1 {
+		t.Errorf("EffectiveEpsilon = %v, want 0.1", whole.EffectiveEpsilon)
+	}
+	split := run(true)
+	if want := 0.1 / 3; math.Abs(split.EffectiveEpsilon-want) > 1e-12 {
+		t.Errorf("split EffectiveEpsilon = %v, want %v", split.EffectiveEpsilon, want)
+	}
+	// Scalar queries are unaffected by the option.
+	sys := newTestSystem(t, func(c *Config) { c.SplitVectorBudget = true })
+	res, err := Run(sys, countQuery(), data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveEpsilon != 0.1 {
+		t.Errorf("scalar EffectiveEpsilon = %v, want 0.1", res.EffectiveEpsilon)
+	}
+}
+
+func TestGroupDeterministic(t *testing.T) {
+	data := seqData(256)
+	run := func() []float64 {
+		sys := newTestSystem(t, func(c *Config) { c.GroupSize = 5; c.Seed = 77 })
+		res, err := Run(sys, sumQuery(), data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sensitivity
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("group sensitivity not deterministic: %v vs %v", a, b)
+		}
+	}
+	_ = stats.NewRNG // keep stats import meaningful if helpers change
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The RANGE ENFORCER's history is the system's attack-detection state: if
+// it were lost on restart, an analyst could replay the §III attack by
+// simply bouncing the service between the two releases. Save/Load
+// serialize the history so deployments can persist it across restarts.
+
+// historyEntryJSON mirrors historyEntry for encoding (the struct itself
+// keeps unexported fields).
+type historyEntryJSON struct {
+	Name  string       `json:"name"`
+	Parts [2][]float64 `json:"parts"`
+}
+
+const historyVersion = 1
+
+// Save writes the enforcer's history to w.
+func (e *RangeEnforcer) Save(w io.Writer) error {
+	e.mu.Lock()
+	entries := make([]historyEntryJSON, len(e.history))
+	for i, h := range e.history {
+		entries[i] = historyEntryJSON{
+			Name:  h.name,
+			Parts: [2][]float64{cloneVec(h.parts[0]), cloneVec(h.parts[1])},
+		}
+	}
+	e.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Version int                `json:"version"`
+		Entries []historyEntryJSON `json:"entries"`
+	}{Version: historyVersion, Entries: entries})
+}
+
+// Load replaces the enforcer's history with the one serialized in r.
+func (e *RangeEnforcer) Load(r io.Reader) error {
+	var file struct {
+		Version int                `json:"version"`
+		Entries []historyEntryJSON `json:"entries"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return fmt.Errorf("core: decode enforcer history: %w", err)
+	}
+	if file.Version != historyVersion {
+		return fmt.Errorf("core: enforcer history version %d, want %d", file.Version, historyVersion)
+	}
+	entries := make([]historyEntry, len(file.Entries))
+	for i, h := range file.Entries {
+		if h.Parts[0] == nil || h.Parts[1] == nil {
+			return fmt.Errorf("core: enforcer history entry %d has missing partitions", i)
+		}
+		entries[i] = historyEntry{
+			name:  h.Name,
+			parts: [2][]float64{cloneVec(h.Parts[0]), cloneVec(h.Parts[1])},
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.history = entries
+	return nil
+}

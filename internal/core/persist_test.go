@@ -1,0 +1,97 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistorySaveLoadRoundTrip(t *testing.T) {
+	e := NewRangeEnforcer(1e-9)
+	e.Record("q1", [2][]float64{{1, 2}, {3, 4}})
+	e.Record("q2", [2][]float64{{5}, {6}})
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewRangeEnforcer(1e-9)
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.HistoryLen() != 2 {
+		t.Fatalf("restored history length = %d, want 2", restored.HistoryLen())
+	}
+	// Collisions behave identically on the restored enforcer.
+	if name, bad := restored.Collides([2][]float64{{1, 2}, {99}}); !bad || name != "q1" {
+		t.Fatalf("restored Collides = %q, %v; want q1, true", name, bad)
+	}
+	if _, bad := restored.Collides([2][]float64{{100}, {200}}); bad {
+		t.Fatal("restored enforcer false-positive")
+	}
+}
+
+func TestHistoryLoadReplaces(t *testing.T) {
+	src := NewRangeEnforcer(1e-9)
+	src.Record("a", [2][]float64{{1}, {2}})
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewRangeEnforcer(1e-9)
+	dst.Record("old", [2][]float64{{9}, {9}})
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.HistoryLen() != 1 {
+		t.Fatalf("history length after load = %d, want 1 (replaced)", dst.HistoryLen())
+	}
+	if _, bad := dst.Collides([2][]float64{{9}, {10}}); bad {
+		t.Fatal("stale pre-load entry survived")
+	}
+}
+
+func TestHistoryLoadRejectsGarbage(t *testing.T) {
+	e := NewRangeEnforcer(1e-9)
+	if err := e.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := e.Load(strings.NewReader(`{"version":99,"entries":[]}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if err := e.Load(strings.NewReader(`{"version":1,"entries":[{"name":"q","parts":[null,null]}]}`)); err == nil {
+		t.Error("missing partitions accepted")
+	}
+}
+
+// TestAttackDetectedAcrossRestart replays the §III attack across a
+// simulated service restart: the second release goes through a *fresh*
+// system whose enforcer history was restored from the first.
+func TestAttackDetectedAcrossRestart(t *testing.T) {
+	data := seqData(300)
+
+	first := newTestSystem(t, nil)
+	if _, err := Run(first, sumQuery(), data, nil); err != nil {
+		t.Fatal(err)
+	}
+	var persisted bytes.Buffer
+	if err := first.Enforcer().Save(&persisted); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new system, history restored from disk.
+	second := newTestSystem(t, nil)
+	if err := second.Enforcer().Load(&persisted); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(second, sumQuery(), data[1:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackSuspected {
+		t.Fatal("attack not detected across restart")
+	}
+	if res.RemovedRecords < 2 {
+		t.Fatalf("RemovedRecords = %d, want >= 2", res.RemovedRecords)
+	}
+}

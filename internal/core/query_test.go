@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueryValidate(t *testing.T) {
+	valid := Query[int]{
+		Name:      "count",
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(int) State { return State{1} },
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(q *Query[int])
+	}{
+		{"missing name", func(q *Query[int]) { q.Name = "" }},
+		{"missing mapper", func(q *Query[int]) { q.Map = nil }},
+		{"zero state dim", func(q *Query[int]) { q.StateDim = 0 }},
+		{"zero output dim", func(q *Query[int]) { q.OutputDim = 0 }},
+		{"dim mismatch without finalize", func(q *Query[int]) { q.OutputDim = 2 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := valid
+			tt.mutate(&q)
+			if err := q.Validate(); err == nil {
+				t.Error("invalid query accepted")
+			}
+		})
+	}
+
+	// Dim mismatch is fine with an explicit Finalize.
+	q := valid
+	q.OutputDim = 2
+	q.Finalize = func(s State) []float64 { return []float64{s[0], s[0]} }
+	if err := q.Validate(); err != nil {
+		t.Errorf("finalized dim change rejected: %v", err)
+	}
+}
+
+func TestVectorAddProperties(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw [4]int16) bool {
+		a := make(State, 4)
+		b := make(State, 4)
+		c := make(State, 4)
+		for i := 0; i < 4; i++ {
+			a[i], b[i], c[i] = float64(aRaw[i]), float64(bRaw[i]), float64(cRaw[i])
+		}
+		ab := VectorAdd(a, b)
+		ba := VectorAdd(b, a)
+		for i := range ab {
+			if ab[i] != ba[i] { // commutativity (exact for these inputs)
+				return false
+			}
+		}
+		leftAssoc := VectorAdd(VectorAdd(a, b), c)
+		rightAssoc := VectorAdd(a, VectorAdd(b, c))
+		for i := range leftAssoc {
+			if leftAssoc[i] != rightAssoc[i] { // associativity
+				return false
+			}
+		}
+		// No mutation.
+		return a[0] == float64(aRaw[0]) && b[0] == float64(bRaw[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched state lengths did not panic")
+		}
+	}()
+	VectorAdd(State{1}, State{1, 2})
+}
+
+func TestVectorsAlmostEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []float64
+		tol  float64
+		want bool
+	}{
+		{"identical", []float64{1, 2}, []float64{1, 2}, 1e-9, true},
+		{"tiny fp noise", []float64{1e6}, []float64{1e6 + 1e-4}, 1e-9, true},
+		{"real difference", []float64{1}, []float64{2}, 1e-9, false},
+		{"length mismatch", []float64{1}, []float64{1, 1}, 1e-9, false},
+		{"zero vs tiny", []float64{0}, []float64{1e-12}, 1e-9, true},
+		{"zero vs large", []float64{0}, []float64{1}, 1e-9, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := vectorsAlmostEqual(tt.a, tt.b, tt.tol); got != tt.want {
+				t.Errorf("vectorsAlmostEqual(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}

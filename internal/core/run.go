@@ -1,0 +1,574 @@
+package core
+
+import (
+	"fmt"
+	"log/slog"
+	"strconv"
+	"time"
+
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// Run executes query q on data end-to-end under UPA and returns the iDP
+// release. domain samples a fresh record from the query's record domain D
+// (used for the "addition" neighbouring datasets); a nil domain restricts
+// the neighbouring samples to removals.
+//
+// data must hold at least two records (UPA targets big-data inputs; the
+// RANGE ENFORCER needs two non-empty partitions).
+func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) < 2 {
+		return nil, fmt.Errorf("core: query %q needs at least two input records, got %d", q.Name, len(data))
+	}
+
+	release := sys.releases.Add(1)
+	rng := sys.rng.Split(release)
+	eng := sys.eng
+	before := eng.Metrics()
+	res := &Result{Query: q.Name}
+
+	// --- Phase 1: Partition and Sample (§III) -------------------------------
+	t0 := time.Now()
+	// The RANGE ENFORCER requires the dataset split into two fixed
+	// partitions; on a cluster this repartitioning exchanges records between
+	// computers, which is the extra shuffle the paper attributes >42% of
+	// UPA's overhead on local-computation queries to (§VI-D).
+	mid := len(data) / 2
+	eng.AccountShuffle(len(data))
+
+	n := sys.cfg.SampleSize
+	if n > len(data) {
+		// Small datasets degenerate to the exact local sensitivity over all
+		// removals (§IV-A).
+		n = len(data)
+	}
+	res.SampleSize = n
+
+	sampleIdx := rng.Split(1).SampleIndices(len(data), n)
+	samples := make([]T, n)
+	halves := make([]int, n) // which RANGE ENFORCER partition each sample came from
+	inSample := make(map[int]bool, n)
+	for i, idx := range sampleIdx {
+		samples[i] = data[idx]
+		if idx >= mid {
+			halves[i] = 1
+		}
+		inSample[idx] = true
+	}
+	var sPrimeHalf [2][]T
+	for idx, rec := range data {
+		if inSample[idx] {
+			continue
+		}
+		h := 0
+		if idx >= mid {
+			h = 1
+		}
+		sPrimeHalf[h] = append(sPrimeHalf[h], rec)
+	}
+	var additions []T
+	if domain != nil {
+		addRNG := rng.Split(2)
+		additions = make([]T, n)
+		for i := range additions {
+			additions[i] = domain(addRNG)
+		}
+	}
+	res.Phases.PartitionSample = time.Since(t0)
+
+	// --- Phase 2: Parallel Map ----------------------------------------------
+	t1 := time.Now()
+	mappedPrime, err := mapSPrime(eng, q, sPrimeHalf)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := mapThrough(eng, q, samples)
+	if err != nil {
+		return nil, err
+	}
+	var msBar []State
+	if len(additions) > 0 {
+		msBar, err = mapThrough(eng, q, additions)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.Phases.ParallelMap = time.Since(t1)
+
+	// --- Phase 3: Union Preserving Reduce (Algorithm 1) ---------------------
+	t2 := time.Now()
+	reduce := q.reducer()
+
+	rsPrimeHalf, err := reduceSPrime(eng, reduce, mappedPrime)
+	if err != nil {
+		return nil, err
+	}
+	rsPrime, rsPrimeOK := combineOpt(reduce, eng, rsPrimeHalf[0], rsPrimeHalf[1])
+
+	// Persist R(M(S')) in the engine's reduction cache; the sensitivity loop
+	// below re-reads it once per sampled neighbouring dataset, which is the
+	// Spark memory-cache reuse behind Figure 4(b).
+	cacheKey := "upa:" + q.Name + ":rsprime:" +
+		strconv.FormatUint(sys.id, 10) + ":" + strconv.FormatUint(release, 10)
+	if rsPrimeOK {
+		if _, ok := mapreduce.CacheGet[State](eng.Cache(), cacheKey); !ok {
+			mapreduce.CachePut(eng.Cache(), cacheKey, rsPrime)
+		}
+	}
+
+	pre, suf := prefixSuffix(reduce, eng, ms)
+
+	fullState, fullOK := combineOpt(reduce, eng, cachedOrNil(rsPrime, rsPrimeOK), last(pre))
+	if !fullOK {
+		return nil, fmt.Errorf("core: query %q reduced to an empty state", q.Name)
+	}
+	res.VanillaOutput = q.finalize(fullState)
+
+	res.RemovalOutputs = make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		var state State
+		var ok bool
+		if sys.cfg.DisableReuse {
+			state, ok, err = removalFromScratch(eng, q, mappedPrime, ms, i)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Reuse R(M(S')) (a cache hit per iteration) and the
+			// prefix/suffix partials: O(1) combines per neighbour. When S'
+			// is empty (every record sampled) there is nothing cached to
+			// reuse, so the cache is not consulted.
+			base := State(nil)
+			baseOK := false
+			if rsPrimeOK {
+				if cached, hit := mapreduce.CacheGet[State](eng.Cache(), cacheKey); hit {
+					base, baseOK = cached, true
+				}
+			}
+			rest, restOK := combinePrefixSuffix(reduce, eng, pre, suf, i)
+			state, ok = combineOpt(reduce, eng, cachedOrNil(base, baseOK), cachedOrNil(rest, restOK))
+		}
+		if !ok {
+			// Removing the only record of a two-record dataset still leaves
+			// one; reaching here means every record was sampled and removed,
+			// which cannot happen for n >= 2 inputs. Skip defensively.
+			continue
+		}
+		res.RemovalOutputs = append(res.RemovalOutputs, q.finalize(state))
+	}
+	for _, add := range msBar {
+		state := reduce(fullState, add)
+		eng.AccountReduceOps(1)
+		res.AdditionOutputs = append(res.AdditionOutputs, q.finalize(state))
+	}
+
+	// Group extension (§VI-E): when GroupSize > 1, also sample block
+	// neighbours — whole groups of records removed or added at once —
+	// reusing the same mapped samples, prefix/suffix partials and R(M(S')).
+	// Contiguous sample blocks keep each group neighbour an O(1) combine.
+	if g := sys.cfg.GroupSize; g > 1 {
+		for start := 0; start+g <= n; start += g {
+			rest, restOK := blockComplement(reduce, eng, pre, suf, start, start+g)
+			state, ok := combineOpt(reduce, eng, cachedOrNil(rsPrime, rsPrimeOK), cachedOrNil(rest, restOK))
+			if !ok {
+				continue
+			}
+			res.GroupRemovalOutputs = append(res.GroupRemovalOutputs, q.finalize(state))
+		}
+		for start := 0; start+g <= len(msBar); start += g {
+			grp, ok := mapreduce.ReduceSlice(msBar[start:start+g], reduce)
+			if !ok {
+				continue
+			}
+			eng.AccountReduceOps(int64(g))
+			res.GroupAdditionOutputs = append(res.GroupAdditionOutputs, q.finalize(reduce(fullState, grp)))
+		}
+	}
+	res.Phases.UnionPreservingReduce = time.Since(t2)
+
+	// --- Phase 4: iDP Enforcement (Algorithm 2) ------------------------------
+	t3 := time.Now()
+	neighbours := make([][]float64, 0,
+		len(res.RemovalOutputs)+len(res.AdditionOutputs)+
+			len(res.GroupRemovalOutputs)+len(res.GroupAdditionOutputs))
+	neighbours = append(neighbours, res.RemovalOutputs...)
+	neighbours = append(neighbours, res.AdditionOutputs...)
+	neighbours = append(neighbours, res.GroupRemovalOutputs...)
+	neighbours = append(neighbours, res.GroupAdditionOutputs...)
+	infer := inferSensitivity
+	if sys.cfg.EmpiricalRange {
+		infer = inferSensitivityEmpirical
+	}
+	sens, lo, hi, err := infer(neighbours, q.OutputDim, sys.cfg.PercentileLo, sys.cfg.PercentileHi)
+	if err != nil {
+		return nil, fmt.Errorf("core: query %q: %w", q.Name, err)
+	}
+	res.Sensitivity, res.RangeLo, res.RangeHi = sens, lo, hi
+	res.EmpiricalLocalSensitivity = empiricalSensitivity(res.VanillaOutput, neighbours)
+
+	parts := partitionOutputs(q, reduce, eng, rsPrimeHalf, ms, halves, 0)
+	removed := 0
+	for {
+		name, collides := sys.enforcer.Collides(parts)
+		if !collides {
+			break
+		}
+		res.AttackSuspected = true
+		if res.CollidedWith == "" {
+			res.CollidedWith = name
+		}
+		if removed+2 > n {
+			// Sample set exhausted; release with maximal removal.
+			break
+		}
+		removed += 2
+		parts = partitionOutputs(q, reduce, eng, rsPrimeHalf, ms, halves, removed)
+	}
+	res.RemovedRecords = removed
+
+	finalState, finalOK := combineOpt(reduce, eng,
+		cachedOrNil(rsPrime, rsPrimeOK), prefixUpTo(pre, n-removed))
+	if !finalOK {
+		finalState = make(State, q.StateDim)
+	}
+	raw := q.finalize(finalState)
+	if !sys.cfg.DisableClamp {
+		clamped, nClamped := Clamp(raw, lo, hi, rng.Split(3))
+		raw = clamped
+		res.ClampedCoords = nClamped
+	}
+	res.RawOutput = raw
+	sys.enforcer.Record(q.Name, parts)
+
+	// A per-release mechanism keeps concurrent releases race-free and their
+	// noise streams deterministic per release number. Under
+	// SplitVectorBudget, vector outputs split ε across coordinates so the
+	// whole release composes to one ε.
+	effEps := sys.cfg.Epsilon
+	if sys.cfg.SplitVectorBudget && q.OutputDim > 1 {
+		effEps /= float64(q.OutputDim)
+	}
+	res.EffectiveEpsilon = effEps
+	mech, err := stats.NewMechanism(effEps, rng.Split(4))
+	if err != nil {
+		return nil, err
+	}
+	noisy, err := mech.PerturbVector(raw, sens)
+	if err != nil {
+		return nil, err
+	}
+	res.Output = noisy
+	res.Phases.IDPEnforcement = time.Since(t3)
+	res.EngineDelta = eng.Metrics().Sub(before)
+	if logger := sys.cfg.Logger; logger != nil {
+		logger.Info("upa release",
+			slog.String("query", q.Name),
+			slog.Uint64("release", release),
+			slog.Int("records", len(data)),
+			slog.Int("sample_size", n),
+			slog.Duration("partition_sample", res.Phases.PartitionSample),
+			slog.Duration("parallel_map", res.Phases.ParallelMap),
+			slog.Duration("union_preserving_reduce", res.Phases.UnionPreservingReduce),
+			slog.Duration("idp_enforcement", res.Phases.IDPEnforcement),
+			slog.Any("sensitivity", res.Sensitivity),
+			slog.Bool("attack_suspected", res.AttackSuspected),
+			slog.Int("removed_records", res.RemovedRecords),
+			slog.Int("clamped_coords", res.ClampedCoords),
+		)
+	}
+	return res, nil
+}
+
+// mapThrough maps records through the engine, preserving order.
+func mapThrough[T any](eng *mapreduce.Engine, q Query[T], records []T) ([]State, error) {
+	if len(records) == 0 {
+		return nil, nil
+	}
+	parts := eng.Workers()
+	if parts > len(records) {
+		parts = len(records)
+	}
+	ds, err := mapreduce.FromSlice(eng, records, parts)
+	if err != nil {
+		return nil, err
+	}
+	return mapreduce.Map(ds, q.Map).Collect()
+}
+
+// mapSPrime builds the lazily mapped datasets of the two remaining-record
+// halves. They stay lazy so the scratch-recompute ablation re-executes the
+// map, like lineage recomputation would.
+func mapSPrime[T any](eng *mapreduce.Engine, q Query[T], sPrimeHalf [2][]T) ([2]*mapreduce.Dataset[State], error) {
+	var out [2]*mapreduce.Dataset[State]
+	for h := 0; h < 2; h++ {
+		if len(sPrimeHalf[h]) == 0 {
+			continue
+		}
+		parts := eng.Workers()
+		if parts > len(sPrimeHalf[h]) {
+			parts = len(sPrimeHalf[h])
+		}
+		ds, err := mapreduce.FromSlice(eng, sPrimeHalf[h], parts)
+		if err != nil {
+			return out, err
+		}
+		out[h] = mapreduce.Map(ds, q.Map)
+	}
+	return out, nil
+}
+
+// reduceSPrime reduces each mapped half of S' on the engine, returning the
+// per-half partial state or nil when the half is empty.
+func reduceSPrime(eng *mapreduce.Engine, reduce mapreduce.Reducer[State], mapped [2]*mapreduce.Dataset[State]) ([2]State, error) {
+	var out [2]State
+	for h := 0; h < 2; h++ {
+		if mapped[h] == nil {
+			continue
+		}
+		state, err := mapreduce.Reduce(mapped[h], reduce)
+		if err != nil {
+			return out, err
+		}
+		out[h] = state
+	}
+	return out, nil
+}
+
+// prefixSuffix builds the partial-reduction arrays over the mapped samples:
+// pre[i] = R(ms[0..i]) and suf[i] = R(ms[i..n-1]). Together with R(M(S'))
+// they make every sampled neighbouring output an O(1) combine — the concrete
+// payoff of commutativity and associativity (§IV-A).
+func prefixSuffix(reduce mapreduce.Reducer[State], eng *mapreduce.Engine, ms []State) (pre, suf []State) {
+	n := len(ms)
+	if n == 0 {
+		return nil, nil
+	}
+	pre = make([]State, n)
+	suf = make([]State, n)
+	pre[0] = ms[0]
+	for i := 1; i < n; i++ {
+		pre[i] = reduce(pre[i-1], ms[i])
+	}
+	suf[n-1] = ms[n-1]
+	for i := n - 2; i >= 0; i-- {
+		suf[i] = reduce(ms[i], suf[i+1])
+	}
+	if n > 1 {
+		eng.AccountReduceOps(int64(2 * (n - 1)))
+	}
+	return pre, suf
+}
+
+// blockComplement reduces all mapped samples outside [lo, hi) — the group
+// analogue of combinePrefixSuffix.
+func blockComplement(reduce mapreduce.Reducer[State], eng *mapreduce.Engine, pre, suf []State, lo, hi int) (State, bool) {
+	n := len(pre)
+	var left, right State
+	if lo > 0 {
+		left = pre[lo-1]
+	}
+	if hi < n {
+		right = suf[hi]
+	}
+	return combineOpt(reduce, eng, left, right)
+}
+
+// combinePrefixSuffix reduces all mapped samples except index i.
+func combinePrefixSuffix(reduce mapreduce.Reducer[State], eng *mapreduce.Engine, pre, suf []State, i int) (State, bool) {
+	n := len(pre)
+	switch {
+	case n <= 1:
+		return nil, false
+	case i == 0:
+		return suf[1], true
+	case i == n-1:
+		return pre[n-2], true
+	default:
+		eng.AccountReduceOps(1)
+		return reduce(pre[i-1], suf[i+1]), true
+	}
+}
+
+// removalFromScratch recomputes f's state on x - samples[i] with no reuse:
+// it re-reduces the full remaining datasets and every other sample — the
+// per-neighbour linear cost UPA eliminates (ablation for §VI-E).
+func removalFromScratch[T any](eng *mapreduce.Engine, q Query[T], mapped [2]*mapreduce.Dataset[State], ms []State, i int) (State, bool, error) {
+	reduce := q.reducer()
+	rsPrimeHalf, err := reduceSPrime(eng, reduce, mapped)
+	if err != nil {
+		return nil, false, err
+	}
+	acc, ok := combineOpt(reduce, eng, rsPrimeHalf[0], rsPrimeHalf[1])
+	for j, state := range ms {
+		if j == i {
+			continue
+		}
+		if !ok {
+			acc, ok = state, true
+			continue
+		}
+		acc = reduce(acc, state)
+		eng.AccountReduceOps(1)
+	}
+	return acc, ok, nil
+}
+
+// partitionOutputs computes the query's finalized output on each RANGE
+// ENFORCER partition of x, with the last `removed` samples excluded
+// (Algorithm 2, lines 10–12).
+func partitionOutputs[T any](q Query[T], reduce mapreduce.Reducer[State], eng *mapreduce.Engine,
+	rsPrimeHalf [2]State, ms []State, halves []int, removed int) [2][]float64 {
+	var parts [2][]float64
+	keep := len(ms) - removed
+	for h := 0; h < 2; h++ {
+		acc := rsPrimeHalf[h]
+		ok := acc != nil
+		for i := 0; i < keep; i++ {
+			if halves[i] != h {
+				continue
+			}
+			if !ok {
+				acc, ok = ms[i], true
+				continue
+			}
+			acc = reduce(acc, ms[i])
+			eng.AccountReduceOps(1)
+		}
+		if !ok {
+			acc = make(State, q.StateDim)
+		}
+		parts[h] = q.finalize(acc)
+	}
+	return parts
+}
+
+// inferSensitivity fits a normal distribution per output coordinate over
+// the sampled neighbouring outputs and returns the percentile-range
+// sensitivity and output range (Algorithm 1, lines 17–21).
+func inferSensitivity(neighbours [][]float64, dim int, pLo, pHi float64) (sens, lo, hi []float64, err error) {
+	if len(neighbours) < 2 {
+		return nil, nil, nil, fmt.Errorf("only %d sampled neighbouring outputs", len(neighbours))
+	}
+	sens = make([]float64, dim)
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	column := make([]float64, len(neighbours))
+	for d := 0; d < dim; d++ {
+		for i, out := range neighbours {
+			if len(out) != dim {
+				return nil, nil, nil, fmt.Errorf("neighbouring output %d has %d coordinates, want %d", i, len(out), dim)
+			}
+			column[i] = out[d]
+		}
+		fit, ferr := stats.FitNormalMLE(column)
+		if ferr != nil {
+			return nil, nil, nil, ferr
+		}
+		l, h, rerr := fit.PercentileRange(pLo, pHi)
+		if rerr != nil {
+			return nil, nil, nil, rerr
+		}
+		lo[d], hi[d] = l, h
+		sens[d] = h - l
+	}
+	return sens, lo, hi, nil
+}
+
+// inferSensitivityEmpirical is the distribution-free alternative: the
+// output range comes from the empirical pLo/pHi quantiles of the sampled
+// neighbouring outputs instead of a fitted normal distribution. It trades
+// the paper's parametric smoothing for exactness on non-normal neighbour
+// distributions (the §VI-C TPCH1 discussion).
+func inferSensitivityEmpirical(neighbours [][]float64, dim int, pLo, pHi float64) (sens, lo, hi []float64, err error) {
+	if len(neighbours) < 2 {
+		return nil, nil, nil, fmt.Errorf("only %d sampled neighbouring outputs", len(neighbours))
+	}
+	sens = make([]float64, dim)
+	lo = make([]float64, dim)
+	hi = make([]float64, dim)
+	column := make([]float64, len(neighbours))
+	for d := 0; d < dim; d++ {
+		for i, out := range neighbours {
+			if len(out) != dim {
+				return nil, nil, nil, fmt.Errorf("neighbouring output %d has %d coordinates, want %d", i, len(out), dim)
+			}
+			column[i] = out[d]
+		}
+		l, qerr := stats.EmpiricalQuantile(column, pLo)
+		if qerr != nil {
+			return nil, nil, nil, qerr
+		}
+		h, qerr := stats.EmpiricalQuantile(column, pHi)
+		if qerr != nil {
+			return nil, nil, nil, qerr
+		}
+		lo[d], hi[d] = l, h
+		sens[d] = h - l
+	}
+	return sens, lo, hi, nil
+}
+
+// empiricalSensitivity returns, per coordinate, the greatest |f(y) - f(x)|
+// over the sampled neighbouring outputs.
+func empiricalSensitivity(output []float64, neighbours [][]float64) []float64 {
+	out := make([]float64, len(output))
+	for _, n := range neighbours {
+		for d := range output {
+			if diff := abs(n[d] - output[d]); diff > out[d] {
+				out[d] = diff
+			}
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// combineOpt reduces two optional states (nil means absent).
+func combineOpt(reduce mapreduce.Reducer[State], eng *mapreduce.Engine, a, b State) (State, bool) {
+	switch {
+	case a == nil && b == nil:
+		return nil, false
+	case a == nil:
+		return b, true
+	case b == nil:
+		return a, true
+	default:
+		eng.AccountReduceOps(1)
+		return reduce(a, b), true
+	}
+}
+
+func cachedOrNil(s State, ok bool) State {
+	if !ok {
+		return nil
+	}
+	return s
+}
+
+func last(pre []State) State {
+	if len(pre) == 0 {
+		return nil
+	}
+	return pre[len(pre)-1]
+}
+
+// prefixUpTo returns the reduction of the first k samples (nil for k <= 0).
+func prefixUpTo(pre []State, k int) State {
+	if k <= 0 || len(pre) == 0 {
+		return nil
+	}
+	if k > len(pre) {
+		k = len(pre)
+	}
+	return pre[k-1]
+}

@@ -1,0 +1,278 @@
+package dpop
+
+import (
+	"fmt"
+
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// DPPairDataset is the key-value dpobjectKV of Table I: sampled differing
+// pairs S and remaining pairs S', supporting reduceByKeyDP and joinDP.
+type DPPairDataset[K comparable, V any] struct {
+	eng     *mapreduce.Engine
+	samples []mapreduce.Pair[K, V]
+	rest    *mapreduce.Dataset[mapreduce.Pair[K, V]]
+}
+
+// DPReadKV partitions keyed data into S and S' (the dpobjectKV constructor).
+func DPReadKV[K comparable, V any](eng *mapreduce.Engine, data []mapreduce.Pair[K, V], n int, rng *stats.RNG) (*DPPairDataset[K, V], error) {
+	d, err := DPRead(eng, data, n, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &DPPairDataset[K, V]{eng: d.eng, samples: d.samples, rest: d.rest}, nil
+}
+
+// MapDPKV keys a plain DPDataset (the mapDPKV member function): it applies
+// f to S and S' and passes the pairs into a dpobjectKV.
+func MapDPKV[T any, K comparable, V any](d *DPDataset[T], f func(T) mapreduce.Pair[K, V]) (*DPPairDataset[K, V], error) {
+	mapped, err := MapDP(d, f)
+	if err != nil {
+		return nil, err
+	}
+	return &DPPairDataset[K, V]{eng: mapped.eng, samples: mapped.samples, rest: mapped.rest}, nil
+}
+
+// SampleSize reports |S|.
+func (d *DPPairDataset[K, V]) SampleSize() int { return len(d.samples) }
+
+// KeyedNeighbour is the effect of removing one sampled pair: the value its
+// key reduces to without it (Present reports whether the key survives at
+// all — false when the sampled pair was the key's only record).
+type KeyedNeighbour[K comparable, V any] struct {
+	Removed mapreduce.Pair[K, V]
+	Key     K
+	Value   V
+	Present bool
+}
+
+// ReduceByKeyResult is what reduceByKeyDP returns.
+type ReduceByKeyResult[K comparable, V any] struct {
+	// Result is the full per-key reduction, in deterministic order.
+	Result []mapreduce.Pair[K, V]
+	// Neighbours[i] describes the output change when sampled pair i is
+	// removed: only its own key's value changes (records are processed
+	// independently, §IV-B), so one entry per sampled pair suffices.
+	Neighbours []KeyedNeighbour[K, V]
+}
+
+// ReduceByKeyDP reduces S' by key on the engine, broadcasts the result as a
+// lookup table B(RS'), broadcasts the sampled pairs as B(S), and combines
+// the two — exactly the §V-B evaluation strategy. The returned neighbours
+// give, per sampled pair, the affected key's value on the corresponding
+// neighbouring dataset.
+func ReduceByKeyDP[K comparable, V any](d *DPPairDataset[K, V], f mapreduce.Reducer[V]) (*ReduceByKeyResult[K, V], error) {
+	if len(d.samples) == 0 {
+		return nil, fmt.Errorf("dpop: reduceByKeyDP with no sampled records")
+	}
+	// B(RS'): reduce the remaining pairs with one shuffle and broadcast.
+	broadcastRest := make(map[K]V)
+	var restOrder []K
+	if d.rest != nil {
+		reduced, err := mapreduce.ReduceByKey(d.rest, f).Collect()
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range reduced {
+			broadcastRest[p.Key] = p.Value
+			restOrder = append(restOrder, p.Key)
+		}
+	}
+	// B(S): group the sampled pairs by key, keeping per-key sample lists so
+	// single-sample exclusions are cheap.
+	sampleGroups := make(map[K][]V, len(d.samples))
+	samplePos := make([]int, len(d.samples)) // position of sample i within its key's group
+	var sampleOrder []K
+	for i, p := range d.samples {
+		if _, ok := sampleGroups[p.Key]; !ok {
+			if _, inRest := broadcastRest[p.Key]; !inRest {
+				sampleOrder = append(sampleOrder, p.Key)
+			}
+		}
+		samplePos[i] = len(sampleGroups[p.Key])
+		sampleGroups[p.Key] = append(sampleGroups[p.Key], p.Value)
+	}
+
+	// Full result: B(RS') combined with the sample groups.
+	res := &ReduceByKeyResult[K, V]{}
+	totals := make(map[K]V, len(broadcastRest)+len(sampleGroups))
+	reduceAll := func(init V, initOK bool, vs []V, skip int) (V, bool) {
+		acc, ok := init, initOK
+		for i, v := range vs {
+			if i == skip {
+				continue
+			}
+			if !ok {
+				acc, ok = v, true
+				continue
+			}
+			acc = f(acc, v)
+			d.eng.AccountReduceOps(1)
+		}
+		return acc, ok
+	}
+	for _, k := range restOrder {
+		total, _ := reduceAll(broadcastRest[k], true, sampleGroups[k], -1)
+		totals[k] = total
+		res.Result = append(res.Result, mapreduce.Pair[K, V]{Key: k, Value: total})
+	}
+	for _, k := range sampleOrder {
+		var zero V
+		total, _ := reduceAll(zero, false, sampleGroups[k], -1)
+		totals[k] = total
+		res.Result = append(res.Result, mapreduce.Pair[K, V]{Key: k, Value: total})
+	}
+
+	// Neighbours: removing sampled pair i changes only its own key, and
+	// excludes exactly that pair's occurrence within the key's group.
+	for i, p := range d.samples {
+		restVal, restOK := broadcastRest[p.Key]
+		group := sampleGroups[p.Key]
+		neighbourVal, present := reduceAll(restVal, restOK, group, samplePos[i])
+		res.Neighbours = append(res.Neighbours, KeyedNeighbour[K, V]{
+			Removed: p,
+			Key:     p.Key,
+			Value:   neighbourVal,
+			Present: present,
+		})
+	}
+	return res, nil
+}
+
+// JoinedTuple is one output tuple of joinDP, tagged with the indices of the
+// sampled differing tuples it derives from (-1 when the side's tuple was a
+// remaining, un-sampled one). The paper gives sampled tuples indices so the
+// influence of removing each differing tuple is tracked through the join
+// (§V-C).
+type JoinedTuple[K comparable, V, W any] struct {
+	Key         K
+	Left        V
+	Right       W
+	LeftSample  int
+	RightSample int
+}
+
+// JoinResult is what joinDP returns.
+type JoinResult[K comparable, V, W any] struct {
+	// Tuples is the full join output.
+	Tuples []JoinedTuple[K, V, W]
+	// LeftInfluence[i] is the number of joined tuples that disappear when
+	// left sampled tuple i is removed; RightInfluence likewise.
+	LeftInfluence, RightInfluence []int
+}
+
+// JoinDP computes the equi-join of two DP pair datasets in the two rounds
+// of §V-C: first the remaining tuples S1' ⋈ S2' (the bulk, one engine join
+// = two shuffles), then the differing tuples (S1 ⋈ S2', S1' ⋈ S2, S1 ⋈ S2)
+// with index tracking, which costs a second join round and is why UPA
+// "triggers Join two times and results in shuffling twice".
+func JoinDP[K comparable, V, W any](a *DPPairDataset[K, V], b *DPPairDataset[K, W]) (*JoinResult[K, V, W], error) {
+	if a.eng != b.eng {
+		return nil, fmt.Errorf("dpop: joinDP across engines")
+	}
+	eng := a.eng
+	res := &JoinResult[K, V, W]{
+		LeftInfluence:  make([]int, len(a.samples)),
+		RightInfluence: make([]int, len(b.samples)),
+	}
+
+	// Round 1: S1' ⋈ S2' on the engine.
+	if a.rest != nil && b.rest != nil {
+		joined, err := mapreduce.Join(a.rest, b.rest)
+		if err != nil {
+			return nil, err
+		}
+		bulk, err := joined.Collect()
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range bulk {
+			res.Tuples = append(res.Tuples, JoinedTuple[K, V, W]{
+				Key: p.Key, Left: p.Value.Left, Right: p.Value.Right,
+				LeftSample: -1, RightSample: -1,
+			})
+		}
+	}
+
+	// Round 2: the differing tuples. The sampled sides are tiny (n each),
+	// so they are joined via broadcast hash maps against both the sampled
+	// and remaining other side; the engine accounts the extra shuffle round
+	// this costs on a cluster.
+	restByKeyA, err := collectByKey(a.rest)
+	if err != nil {
+		return nil, err
+	}
+	restByKeyB, err := collectByKey(b.rest)
+	if err != nil {
+		return nil, err
+	}
+	eng.AccountShuffle(len(a.samples) + len(b.samples))
+
+	// S1 ⋈ S2'.
+	for i, sp := range a.samples {
+		for _, w := range restByKeyB[sp.Key] {
+			res.Tuples = append(res.Tuples, JoinedTuple[K, V, W]{
+				Key: sp.Key, Left: sp.Value, Right: w, LeftSample: i, RightSample: -1,
+			})
+			res.LeftInfluence[i]++
+		}
+	}
+	// S1' ⋈ S2.
+	for j, sp := range b.samples {
+		for _, v := range restByKeyA[sp.Key] {
+			res.Tuples = append(res.Tuples, JoinedTuple[K, V, W]{
+				Key: sp.Key, Left: v, Right: sp.Value, LeftSample: -1, RightSample: j,
+			})
+			res.RightInfluence[j]++
+		}
+	}
+	// S1 ⋈ S2.
+	for i, sa := range a.samples {
+		for j, sb := range b.samples {
+			if sa.Key != sb.Key {
+				continue
+			}
+			res.Tuples = append(res.Tuples, JoinedTuple[K, V, W]{
+				Key: sa.Key, Left: sa.Value, Right: sb.Value, LeftSample: i, RightSample: j,
+			})
+			res.LeftInfluence[i]++
+			res.RightInfluence[j]++
+		}
+	}
+	return res, nil
+}
+
+// Count returns the joined-tuple count together with the local sensitivity
+// it witnesses on each side: the largest number of joined tuples any single
+// sampled differing tuple accounts for — the quantity UPA tracks through
+// tuple indices and FLEX bounds by worst-case frequency products.
+func (r *JoinResult[K, V, W]) Count() (count int, leftSensitivity, rightSensitivity int) {
+	count = len(r.Tuples)
+	for _, inf := range r.LeftInfluence {
+		if inf > leftSensitivity {
+			leftSensitivity = inf
+		}
+	}
+	for _, inf := range r.RightInfluence {
+		if inf > rightSensitivity {
+			rightSensitivity = inf
+		}
+	}
+	return count, leftSensitivity, rightSensitivity
+}
+
+func collectByKey[K comparable, V any](d *mapreduce.Dataset[mapreduce.Pair[K, V]]) (map[K][]V, error) {
+	out := make(map[K][]V)
+	if d == nil {
+		return out, nil
+	}
+	pairs, err := d.Collect()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pairs {
+		out[p.Key] = append(out[p.Key], p.Value)
+	}
+	return out, nil
+}

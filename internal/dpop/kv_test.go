@@ -1,0 +1,285 @@
+package dpop
+
+import (
+	"testing"
+
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+func pair[K comparable, V any](k K, v V) mapreduce.Pair[K, V] {
+	return mapreduce.Pair[K, V]{Key: k, Value: v}
+}
+
+func TestReduceByKeyDPFullCensus(t *testing.T) {
+	eng := newEngine()
+	data := []mapreduce.Pair[string, int]{
+		pair("a", 1), pair("b", 10), pair("a", 2), pair("c", 100), pair("a", 4),
+	}
+	d, err := DPReadKV(eng, data, len(data), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReduceByKeyDP(d, func(x, y int) int { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]int{}
+	for _, p := range res.Result {
+		got[p.Key] = p.Value
+	}
+	want := map[string]int{"a": 7, "b": 10, "c": 100}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Result = %v, want %v", got, want)
+		}
+	}
+	if len(res.Neighbours) != len(data) {
+		t.Fatalf("%d neighbours, want %d", len(res.Neighbours), len(data))
+	}
+	for _, nb := range res.Neighbours {
+		wantVal := want[nb.Key] - nb.Removed.Value
+		if nb.Key == "b" || nb.Key == "c" {
+			// Sole record of its key: removal erases the key entirely.
+			if nb.Present {
+				t.Fatalf("key %s still present after removing its only record", nb.Key)
+			}
+			continue
+		}
+		if !nb.Present || nb.Value != wantVal {
+			t.Fatalf("neighbour for %+v = (%v, %v), want (%v, true)",
+				nb.Removed, nb.Value, nb.Present, wantVal)
+		}
+	}
+}
+
+func TestReduceByKeyDPPartialSampleUsesBroadcast(t *testing.T) {
+	eng := newEngine()
+	var data []mapreduce.Pair[int, int]
+	for i := 0; i < 200; i++ {
+		data = append(data, pair(i%4, 1))
+	}
+	d, err := DPReadKV(eng, data, 20, stats.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReduceByKeyDP(d, func(x, y int) int { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, p := range res.Result {
+		got[p.Key] = p.Value
+	}
+	for k := 0; k < 4; k++ {
+		if got[k] != 50 {
+			t.Fatalf("key %d total = %d, want 50", k, got[k])
+		}
+	}
+	for _, nb := range res.Neighbours {
+		if !nb.Present || nb.Value != 49 {
+			t.Fatalf("neighbour = %+v, want value 49 (one count removed)", nb)
+		}
+	}
+}
+
+func TestReduceByKeyDPDuplicateValuesExcludeRightOccurrence(t *testing.T) {
+	eng := newEngine()
+	data := []mapreduce.Pair[string, int]{
+		pair("k", 5), pair("k", 5), pair("k", 7),
+	}
+	d, err := DPReadKV(eng, data, 3, stats.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReduceByKeyDP(d, func(x, y int) int { return x + y })
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, nb := range res.Neighbours {
+		counts[nb.Value]++
+	}
+	// Total 17: removing a 5 gives 12 (twice), removing the 7 gives 10.
+	if counts[12] != 2 || counts[10] != 1 {
+		t.Fatalf("neighbour values = %v, want {12:2, 10:1}", counts)
+	}
+}
+
+func TestMapDPKV(t *testing.T) {
+	eng := newEngine()
+	d, err := DPRead(eng, seq(40), 10, stats.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyed, err := MapDPKV(d, func(x float64) mapreduce.Pair[int, float64] {
+		return pair(int(x)%2, x)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReduceByKeyDP(keyed, func(a, b float64) float64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, p := range res.Result {
+		total += p.Value
+	}
+	if want := 39.0 * 40 / 2; total != want {
+		t.Fatalf("keyed totals sum to %v, want %v", total, want)
+	}
+}
+
+func TestJoinDPMatchesNestedLoop(t *testing.T) {
+	eng := newEngine()
+	left := []mapreduce.Pair[int, string]{
+		pair(1, "a"), pair(2, "b"), pair(1, "c"), pair(3, "d"),
+	}
+	right := []mapreduce.Pair[int, int]{
+		pair(1, 10), pair(1, 20), pair(2, 30), pair(4, 40),
+	}
+	a, err := DPReadKV(eng, left, 2, stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DPReadKV(eng, right, 2, stats.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JoinDP(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nested-loop reference: key 1 joins 2x2, key 2 joins 1x1 → 5 tuples.
+	count, _, _ := res.Count()
+	if count != 5 {
+		t.Fatalf("joined %d tuples, want 5", count)
+	}
+	// Every tuple's key matches on both sides by construction; check the
+	// multiset of (key, left, right).
+	type tup struct {
+		k int
+		l string
+		r int
+	}
+	gotSet := map[tup]int{}
+	for _, jt := range res.Tuples {
+		gotSet[tup{jt.Key, jt.Left, jt.Right}]++
+	}
+	want := []tup{{1, "a", 10}, {1, "a", 20}, {1, "c", 10}, {1, "c", 20}, {2, "b", 30}}
+	for _, w := range want {
+		if gotSet[w] != 1 {
+			t.Fatalf("missing joined tuple %+v in %v", w, gotSet)
+		}
+	}
+}
+
+func TestJoinDPInfluenceTracking(t *testing.T) {
+	eng := newEngine()
+	// A hot key with fan-out 3 on the right; every left record sampled.
+	left := []mapreduce.Pair[int, string]{pair(1, "x"), pair(2, "y")}
+	right := []mapreduce.Pair[int, int]{pair(1, 1), pair(1, 2), pair(1, 3), pair(2, 9)}
+	a, err := DPReadKV(eng, left, 2, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DPReadKV(eng, right, 4, stats.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := JoinDP(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, leftSens, rightSens := res.Count()
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	// Removing left record "x" (key 1) erases 3 joined tuples; removing a
+	// right record erases at most 1.
+	if leftSens != 3 {
+		t.Fatalf("left sensitivity = %d, want 3", leftSens)
+	}
+	if rightSens != 1 {
+		t.Fatalf("right sensitivity = %d, want 1", rightSens)
+	}
+}
+
+func TestJoinDPTwoShuffleRounds(t *testing.T) {
+	eng := newEngine()
+	var left []mapreduce.Pair[int, int]
+	var right []mapreduce.Pair[int, int]
+	for i := 0; i < 100; i++ {
+		left = append(left, pair(i%10, i))
+		right = append(right, pair(i%10, -i))
+	}
+	a, err := DPReadKV(eng, left, 10, stats.NewRNG(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DPReadKV(eng, right, 10, stats.NewRNG(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Metrics().ShuffleRounds
+	if _, err := JoinDP(a, b); err != nil {
+		t.Fatal(err)
+	}
+	rounds := eng.Metrics().ShuffleRounds - before
+	if rounds < 3 {
+		t.Fatalf("joinDP used %d shuffle rounds, want >= 3 (bulk join ×2 + differing round)", rounds)
+	}
+}
+
+func TestJoinDPCrossEngineRejected(t *testing.T) {
+	a, err := DPReadKV(newEngine(), []mapreduce.Pair[int, int]{pair(1, 1)}, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DPReadKV(newEngine(), []mapreduce.Pair[int, int]{pair(1, 1)}, 1, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := JoinDP(a, b); err == nil {
+		t.Fatal("cross-engine joinDP accepted")
+	}
+}
+
+func TestJoinDPCompleteness(t *testing.T) {
+	// The four-way decomposition S1'⋈S2' ∪ S1⋈S2' ∪ S1'⋈S2 ∪ S1⋈S2 must
+	// reproduce the full join regardless of which records were sampled.
+	eng := newEngine()
+	var left, right []mapreduce.Pair[int, int]
+	for i := 0; i < 60; i++ {
+		left = append(left, pair(i%6, i))
+	}
+	for i := 0; i < 40; i++ {
+		right = append(right, pair(i%6, 1000+i))
+	}
+	wantCount := 0
+	for _, l := range left {
+		for _, r := range right {
+			if l.Key == r.Key {
+				wantCount++
+			}
+		}
+	}
+	for _, n := range []int{1, 7, 25, 40} {
+		a, err := DPReadKV(eng, left, n, stats.NewRNG(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := DPReadKV(eng, right, n, stats.NewRNG(uint64(n)+99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := JoinDP(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count, _, _ := res.Count(); count != wantCount {
+			t.Fatalf("n=%d: joined %d tuples, want %d", n, count, wantCount)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package flex implements the FLEX baseline (Johnson, Near, Song: "Towards
+// Practical Differential Privacy for SQL Queries", VLDB 2018) as the UPA
+// paper characterizes it (§II-B): a purely static analysis that infers the
+// local sensitivity of counting SQL queries from the composition of their
+// Join operators and per-column metadata, ignoring filters and the actual
+// join keys.
+//
+// For a count with no joins the sensitivity is 1 (adding or removing one
+// record changes the count by at most one). For each Join, FLEX multiplies
+// in the worst-case fan-out — the product of the most-frequent-key
+// frequencies of the two joined columns — and with multiple joins it
+// multiplies the per-join worst cases together, which is exactly why its
+// error "magnifies in each Join when the worst case does not occur"
+// (TPCH16/TPCH21 in Figure 2a).
+package flex
+
+import (
+	"errors"
+	"fmt"
+
+	"upa/internal/relation"
+)
+
+// ErrUnsupported is returned for queries outside FLEX's supported fragment
+// (non-count queries: arithmetic aggregates, machine learning, ...).
+var ErrUnsupported = errors.New("flex: query not supported (only counting queries with Select/Join/Filter/Count)")
+
+// Join is one equi-join as the static analysis sees it: only the column
+// statistics of the two join columns, never the data.
+type Join struct {
+	// Left and Right are the join-column statistics of the two sides.
+	Left, Right relation.ColumnStats
+}
+
+// WorstCaseFanOut is the join's contribution to the sensitivity product.
+func (j Join) WorstCaseFanOut() float64 {
+	return float64(j.Left.MaxFreq) * float64(j.Right.MaxFreq)
+}
+
+// Plan is a SQL count query as FLEX models it. Filters are deliberately
+// absent: FLEX "does not consider the effect of join condition (i.e.,
+// Filter) when inferring the worst case sensitivity" (§II-B).
+type Plan struct {
+	// Name labels the query.
+	Name string
+	// CountQuery reports whether the query's aggregate is a count; FLEX
+	// supports nothing else.
+	CountQuery bool
+	// Joins lists the query's Join operators in plan order.
+	Joins []Join
+}
+
+// LocalSensitivity returns FLEX's statically inferred local sensitivity.
+func (p Plan) LocalSensitivity() (float64, error) {
+	if !p.CountQuery {
+		return 0, fmt.Errorf("%w: %s", ErrUnsupported, p.Name)
+	}
+	sens := 1.0
+	for i, j := range p.Joins {
+		if err := j.Left.Validate(); err != nil {
+			return 0, fmt.Errorf("flex: %s join %d: %w", p.Name, i, err)
+		}
+		if err := j.Right.Validate(); err != nil {
+			return 0, fmt.Errorf("flex: %s join %d: %w", p.Name, i, err)
+		}
+		sens *= j.WorstCaseFanOut()
+	}
+	return sens, nil
+}
+
+// Supported reports whether FLEX can analyze the plan at all.
+func (p Plan) Supported() bool { return p.CountQuery }

@@ -1,0 +1,87 @@
+package flex
+
+import (
+	"errors"
+	"testing"
+
+	"upa/internal/relation"
+)
+
+func stats(rows, distinct, maxFreq int) relation.ColumnStats {
+	return relation.ColumnStats{RowCount: rows, Distinct: distinct, MaxFreq: maxFreq}
+}
+
+func TestCountNoJoinsIsOne(t *testing.T) {
+	p := Plan{Name: "tpch1", CountQuery: true}
+	got, err := p.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("sensitivity = %v, want 1 (count changes by at most one)", got)
+	}
+}
+
+func TestSingleJoinMultipliesMaxFrequencies(t *testing.T) {
+	p := Plan{
+		Name:       "q",
+		CountQuery: true,
+		Joins:      []Join{{Left: stats(100, 50, 7), Right: stats(200, 80, 11)}},
+	}
+	got, err := p.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("sensitivity = %v, want 7*11 = 77", got)
+	}
+}
+
+func TestMultipleJoinsErrorMagnifies(t *testing.T) {
+	// The paper's central criticism: with several joins FLEX multiplies the
+	// per-join worst cases, so the estimate explodes multiplicatively.
+	j := Join{Left: stats(100, 10, 10), Right: stats(100, 10, 10)}
+	p1 := Plan{Name: "one", CountQuery: true, Joins: []Join{j}}
+	p3 := Plan{Name: "three", CountQuery: true, Joins: []Join{j, j, j}}
+	s1, err := p1.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := p3.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != 100 || s3 != 1e6 {
+		t.Fatalf("sensitivities = %v, %v; want 100, 1e6", s1, s3)
+	}
+}
+
+func TestNonCountUnsupported(t *testing.T) {
+	for _, name := range []string{"tpch6", "tpch11", "kmeans", "linreg"} {
+		p := Plan{Name: name, CountQuery: false}
+		if p.Supported() {
+			t.Errorf("%s reported as supported", name)
+		}
+		if _, err := p.LocalSensitivity(); !errors.Is(err, ErrUnsupported) {
+			t.Errorf("%s: error = %v, want ErrUnsupported", name, err)
+		}
+	}
+}
+
+func TestInvalidStatsRejected(t *testing.T) {
+	p := Plan{
+		Name:       "bad",
+		CountQuery: true,
+		Joins:      []Join{{Left: stats(2, 3, 1), Right: stats(10, 5, 2)}},
+	}
+	if _, err := p.LocalSensitivity(); err == nil {
+		t.Fatal("invalid column stats accepted")
+	}
+}
+
+func TestWorstCaseFanOut(t *testing.T) {
+	j := Join{Left: stats(10, 2, 5), Right: stats(10, 5, 2)}
+	if got := j.WorstCaseFanOut(); got != 10 {
+		t.Fatalf("fan-out = %v, want 10", got)
+	}
+}

@@ -1,0 +1,70 @@
+package flex
+
+import (
+	"fmt"
+	"math"
+)
+
+// SmoothSensitivity computes FLEX's smooth upper bound on local sensitivity
+// (Nissim et al.'s smooth sensitivity instantiated with FLEX's elastic
+// analysis, as §II-B of the UPA paper describes): the maximum over distance
+// t of e^(-beta*t) times the worst-case local sensitivity of any dataset at
+// distance t from the input.
+//
+// Under FLEX's static model, moving t records can raise each join column's
+// maximum key frequency by at most t, so the elastic sensitivity at
+// distance t multiplies (maxFreq + t) pairs per join; for a join-free count
+// it stays 1. The exponential decay dominates that polynomial growth, so
+// the maximization is evaluated until the decayed bound has provably
+// peaked.
+func (p Plan) SmoothSensitivity(beta float64) (float64, error) {
+	if !p.CountQuery {
+		return 0, fmt.Errorf("%w: %s", ErrUnsupported, p.Name)
+	}
+	if beta <= 0 {
+		return 0, fmt.Errorf("flex: beta must be positive, got %v", beta)
+	}
+	for i, j := range p.Joins {
+		if err := j.Left.Validate(); err != nil {
+			return 0, fmt.Errorf("flex: %s join %d: %w", p.Name, i, err)
+		}
+		if err := j.Right.Validate(); err != nil {
+			return 0, fmt.Errorf("flex: %s join %d: %w", p.Name, i, err)
+		}
+	}
+	best := 0.0
+	// e^(-beta*t) * prod(maxFreq+t)^2 is unimodal in t once t exceeds every
+	// maxFreq; stop when the bound has decayed below the running best for a
+	// full join-count's worth of steps.
+	stale := 0
+	for t := 0; ; t++ {
+		s := p.elasticAt(t) * math.Exp(-beta*float64(t))
+		if s > best {
+			best = s
+			stale = 0
+		} else {
+			stale++
+			// The discrete derivative of log s is
+			// sum_j (1/(f+t) terms) - beta; once negative it stays
+			// negative, so a handful of non-improving steps proves the
+			// peak has passed.
+			if stale > 2*len(p.Joins)+2 {
+				return best, nil
+			}
+		}
+		if t > 1<<30 {
+			return 0, fmt.Errorf("flex: smooth sensitivity of %s did not converge", p.Name)
+		}
+	}
+}
+
+// elasticAt returns FLEX's worst-case local sensitivity for datasets at
+// distance t from the input: each join column's max frequency can have
+// grown by t.
+func (p Plan) elasticAt(t int) float64 {
+	sens := 1.0
+	for _, j := range p.Joins {
+		sens *= (float64(j.Left.MaxFreq) + float64(t)) * (float64(j.Right.MaxFreq) + float64(t))
+	}
+	return sens
+}

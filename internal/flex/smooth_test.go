@@ -1,0 +1,101 @@
+package flex
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSmoothSensitivityNoJoins(t *testing.T) {
+	p := Plan{Name: "tpch1", CountQuery: true}
+	got, err := p.SmoothSensitivity(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// elasticAt(t) == 1 for all t, so the max of e^{-beta t} is at t = 0.
+	if got != 1 {
+		t.Fatalf("smooth sensitivity = %v, want 1", got)
+	}
+}
+
+func TestSmoothSensitivityUpperBoundsLocal(t *testing.T) {
+	p := Plan{
+		Name:       "q",
+		CountQuery: true,
+		Joins:      []Join{{Left: stats(100, 50, 7), Right: stats(200, 80, 11)}},
+	}
+	local, err := p.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []float64{0.01, 0.1, 1} {
+		smooth, err := p.SmoothSensitivity(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smooth < local {
+			t.Fatalf("beta=%v: smooth %v below local %v (t=0 term alone gives local)",
+				beta, smooth, local)
+		}
+	}
+}
+
+func TestSmoothSensitivityDecreasesWithBeta(t *testing.T) {
+	p := Plan{
+		Name:       "q",
+		CountQuery: true,
+		Joins:      []Join{{Left: stats(1000, 100, 20), Right: stats(1000, 100, 20)}},
+	}
+	prev := math.Inf(1)
+	for _, beta := range []float64{0.01, 0.05, 0.2, 1} {
+		smooth, err := p.SmoothSensitivity(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smooth > prev {
+			t.Fatalf("smooth sensitivity not monotone in beta: %v then %v", prev, smooth)
+		}
+		prev = smooth
+	}
+}
+
+func TestSmoothSensitivityMatchesAnalyticPeak(t *testing.T) {
+	// One join with equal frequencies f: s(t) = e^{-bt} (f+t)^2 peaks at
+	// t* = 2/b - f (continuous); compare against the discrete max.
+	f := 10.0
+	beta := 0.05
+	p := Plan{
+		Name:       "q",
+		CountQuery: true,
+		Joins:      []Join{{Left: stats(1000, 100, int(f)), Right: stats(1000, 100, int(f))}},
+	}
+	got, err := p.SmoothSensitivity(beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for t0 := 0; t0 < 10000; t0++ {
+		s := math.Exp(-beta*float64(t0)) * (f + float64(t0)) * (f + float64(t0))
+		if s > want {
+			want = s
+		}
+	}
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("smooth sensitivity = %v, want %v", got, want)
+	}
+}
+
+func TestSmoothSensitivityValidation(t *testing.T) {
+	p := Plan{Name: "ml", CountQuery: false}
+	if _, err := p.SmoothSensitivity(0.1); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("non-count error = %v, want ErrUnsupported", err)
+	}
+	c := Plan{Name: "c", CountQuery: true}
+	if _, err := c.SmoothSensitivity(0); err == nil {
+		t.Fatal("beta 0 accepted")
+	}
+	bad := Plan{Name: "b", CountQuery: true, Joins: []Join{{Left: stats(1, 2, 3), Right: stats(5, 2, 1)}}}
+	if _, err := bad.SmoothSensitivity(0.1); err == nil {
+		t.Fatal("invalid column stats accepted")
+	}
+}

@@ -1,0 +1,114 @@
+// Package lifesci generates a synthetic stand-in for the paper's proprietary
+// "ds1.10 Life Science Data": clustered, high-dimensional feature vectors
+// for KMeans and a planted linear model with heavy-tailed noise for linear
+// regression. The heavy tail plants the few-outliers structure the paper
+// assumes for local sensitivity ("most data records ... have small influence
+// on the output value, only few outliers exist", §IV-A).
+package lifesci
+
+import (
+	"fmt"
+
+	"upa/internal/stats"
+)
+
+// Point is a feature vector with its regression target.
+type Point struct {
+	Features []float64
+	Target   float64
+}
+
+// Config controls the generator.
+type Config struct {
+	Records  int
+	Dims     int
+	Clusters int
+	// OutlierFrac is the probability that a record receives a heavy-tailed
+	// perturbation (20x noise), creating the sensitivity outliers of §VI-C.
+	OutlierFrac float64
+	Seed        uint64
+}
+
+// DefaultConfig returns the evaluation default: 20k records, 4 dimensions,
+// 3 clusters, 1% outliers.
+func DefaultConfig() Config {
+	return Config{Records: 20000, Dims: 4, Clusters: 3, OutlierFrac: 0.01, Seed: 1}
+}
+
+// Dataset is a generated life-science-like dataset. TrueWeights holds the
+// planted linear model (Dims coefficients plus an intercept appended last);
+// TrueCenters holds the planted cluster centroids.
+type Dataset struct {
+	Config      Config
+	Points      []Point
+	TrueWeights []float64
+	TrueCenters [][]float64
+}
+
+// Generate builds the dataset deterministically from cfg.
+func Generate(cfg Config) (*Dataset, error) {
+	if cfg.Records < 1 {
+		return nil, fmt.Errorf("lifesci: Records must be >= 1, got %d", cfg.Records)
+	}
+	if cfg.Dims < 1 {
+		return nil, fmt.Errorf("lifesci: Dims must be >= 1, got %d", cfg.Dims)
+	}
+	if cfg.Clusters < 1 {
+		return nil, fmt.Errorf("lifesci: Clusters must be >= 1, got %d", cfg.Clusters)
+	}
+	if cfg.OutlierFrac < 0 || cfg.OutlierFrac >= 1 {
+		return nil, fmt.Errorf("lifesci: OutlierFrac must be in [0, 1), got %v", cfg.OutlierFrac)
+	}
+	root := stats.NewRNG(cfg.Seed)
+	ds := &Dataset{Config: cfg}
+
+	// Plant cluster centres on a deterministic lattice jittered by the seed.
+	centreRNG := root.Split(1)
+	ds.TrueCenters = make([][]float64, cfg.Clusters)
+	for c := range ds.TrueCenters {
+		centre := make([]float64, cfg.Dims)
+		for d := range centre {
+			centre[d] = float64(c*7%13) + 4*centreRNG.NormFloat64()
+		}
+		ds.TrueCenters[c] = centre
+	}
+
+	// Plant the linear model.
+	weightRNG := root.Split(2)
+	ds.TrueWeights = make([]float64, cfg.Dims+1)
+	for d := range ds.TrueWeights {
+		ds.TrueWeights[d] = weightRNG.NormFloat64()
+	}
+
+	pointRNG := root.Split(3)
+	ds.Points = make([]Point, cfg.Records)
+	for i := range ds.Points {
+		ds.Points[i] = ds.samplePoint(pointRNG)
+	}
+	return ds, nil
+}
+
+// samplePoint draws one record from the planted distribution.
+func (ds *Dataset) samplePoint(rng *stats.RNG) Point {
+	cfg := ds.Config
+	centre := ds.TrueCenters[rng.Intn(cfg.Clusters)]
+	features := make([]float64, cfg.Dims)
+	for d := range features {
+		features[d] = centre[d] + rng.NormFloat64()
+	}
+	noise := 0.5 * rng.NormFloat64()
+	if cfg.OutlierFrac > 0 && rng.Float64() < cfg.OutlierFrac {
+		noise *= 20
+	}
+	target := ds.TrueWeights[cfg.Dims] // intercept
+	for d, x := range features {
+		target += ds.TrueWeights[d] * x
+	}
+	return Point{Features: features, Target: target + noise}
+}
+
+// RandomPoint draws a fresh record from the domain D — UPA uses it for the
+// "addition" neighbouring samples.
+func (ds *Dataset) RandomPoint(rng *stats.RNG) Point {
+	return ds.samplePoint(rng)
+}

@@ -1,0 +1,139 @@
+package lifesci
+
+import (
+	"math"
+	"testing"
+
+	"upa/internal/stats"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	base := DefaultConfig()
+	bad := []Config{
+		{Records: 0, Dims: 2, Clusters: 1},
+		{Records: 10, Dims: 0, Clusters: 1},
+		{Records: 10, Dims: 2, Clusters: 0},
+		{Records: 10, Dims: 2, Clusters: 1, OutlierFrac: 1},
+		{Records: 10, Dims: 2, Clusters: 1, OutlierFrac: -0.5},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) accepted invalid config", cfg)
+		}
+	}
+	if _, err := Generate(base); err != nil {
+		t.Fatalf("DefaultConfig rejected: %v", err)
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Config{Records: 500, Dims: 3, Clusters: 2, OutlierFrac: 0.05, Seed: 4}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Points) != 500 {
+		t.Fatalf("generated %d points, want 500", len(ds.Points))
+	}
+	if len(ds.TrueWeights) != 4 {
+		t.Fatalf("weights have %d entries, want Dims+1 = 4", len(ds.TrueWeights))
+	}
+	if len(ds.TrueCenters) != 2 {
+		t.Fatalf("%d centres, want 2", len(ds.TrueCenters))
+	}
+	for i, p := range ds.Points {
+		if len(p.Features) != 3 {
+			t.Fatalf("point %d has %d features, want 3", i, len(p.Features))
+		}
+		if math.IsNaN(p.Target) || math.IsInf(p.Target, 0) {
+			t.Fatalf("point %d has invalid target %v", i, p.Target)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Records: 200, Dims: 2, Clusters: 3, OutlierFrac: 0.01, Seed: 8}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Target != b.Points[i].Target {
+			t.Fatalf("point %d differs across identical configs", i)
+		}
+		for d := range a.Points[i].Features {
+			if a.Points[i].Features[d] != b.Points[i].Features[d] {
+				t.Fatalf("point %d feature %d differs", i, d)
+			}
+		}
+	}
+}
+
+func TestPlantedModelFits(t *testing.T) {
+	// Without outliers the planted linear model should explain targets
+	// almost exactly (noise sd 0.5).
+	cfg := Config{Records: 5000, Dims: 3, Clusters: 2, OutlierFrac: 0, Seed: 6}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss float64
+	for _, p := range ds.Points {
+		pred := ds.TrueWeights[cfg.Dims]
+		for d, x := range p.Features {
+			pred += ds.TrueWeights[d] * x
+		}
+		r := p.Target - pred
+		ss += r * r
+	}
+	rmse := math.Sqrt(ss / float64(len(ds.Points)))
+	if math.Abs(rmse-0.5) > 0.05 {
+		t.Fatalf("residual RMSE = %v, want about 0.5 (the planted noise)", rmse)
+	}
+}
+
+func TestOutliersWidenResiduals(t *testing.T) {
+	clean, err := Generate(Config{Records: 5000, Dims: 2, Clusters: 2, OutlierFrac: 0, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := Generate(Config{Records: 5000, Dims: 2, Clusters: 2, OutlierFrac: 0.05, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxResid := func(ds *Dataset) float64 {
+		worst := 0.0
+		for _, p := range ds.Points {
+			pred := ds.TrueWeights[len(p.Features)]
+			for d, x := range p.Features {
+				pred += ds.TrueWeights[d] * x
+			}
+			if r := math.Abs(p.Target - pred); r > worst {
+				worst = r
+			}
+		}
+		return worst
+	}
+	if mc, md := maxResid(clean), maxResid(dirty); md < 2*mc {
+		t.Fatalf("outliers did not widen residual tail: %v vs %v", mc, md)
+	}
+}
+
+func TestRandomPointDeterministic(t *testing.T) {
+	ds, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ds.RandomPoint(stats.NewRNG(3))
+	b := ds.RandomPoint(stats.NewRNG(3))
+	if a.Target != b.Target {
+		t.Fatal("RandomPoint not deterministic in the RNG")
+	}
+	if len(a.Features) != ds.Config.Dims {
+		t.Fatalf("random point has %d features, want %d", len(a.Features), ds.Config.Dims)
+	}
+}

@@ -1,0 +1,130 @@
+package mapreduce
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBroadcast(t *testing.T) {
+	eng := NewEngine(WithWorkers(4))
+	b, err := NewBroadcast(eng, map[string]int{"a": 1, "b": 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Value()["a"] != 1 || b.Records() != 2 {
+		t.Fatalf("broadcast payload wrong: %v / %d", b.Value(), b.Records())
+	}
+	m := eng.Metrics()
+	if m.BroadcastsSent != 1 {
+		t.Errorf("BroadcastsSent = %d, want 1", m.BroadcastsSent)
+	}
+	if m.BroadcastRecords != 2*4 { // records × workers
+		t.Errorf("BroadcastRecords = %d, want 8", m.BroadcastRecords)
+	}
+	if _, err := NewBroadcast(eng, 0, -1); err == nil {
+		t.Error("negative cardinality accepted")
+	}
+}
+
+func TestBroadcastMap(t *testing.T) {
+	eng := NewEngine(WithWorkers(2))
+	pairs := []Pair[int, string]{{Key: 1, Value: "x"}, {Key: 2, Value: "y"}, {Key: 1, Value: "z"}}
+	b, err := BroadcastMap(eng, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last-wins for duplicate keys; two distinct keys.
+	if len(b.Value()) != 2 || b.Value()[1] != "z" {
+		t.Fatalf("broadcast map = %v", b.Value())
+	}
+	if b.Records() != 2 {
+		t.Errorf("Records = %d, want 2", b.Records())
+	}
+}
+
+func TestBroadcastUsedInsideTasks(t *testing.T) {
+	eng := NewEngine()
+	lookup, err := BroadcastMap(eng, []Pair[int, int]{{Key: 0, Value: 100}, {Key: 1, Value: 200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromSlice(eng, intsUpTo(50), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped := Map(d, func(x int) int { return lookup.Value()[x%2] })
+	sum, err := Reduce(mapped, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 25*100+25*200 {
+		t.Fatalf("sum through broadcast = %d", sum)
+	}
+}
+
+func TestAccumulator(t *testing.T) {
+	eng := NewEngine()
+	acc, err := NewAccumulator(eng, "filtered-rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := FromSlice(eng, intsUpTo(100), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := Filter(d, func(x int) bool {
+		if x%3 == 0 {
+			acc.Add(1)
+			return false
+		}
+		return true
+	})
+	n, err := kept.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 66 {
+		t.Fatalf("kept %d rows, want 66", n)
+	}
+	if acc.Value() != 34 {
+		t.Fatalf("accumulator = %d, want 34", acc.Value())
+	}
+	if got := eng.Accumulators()["filtered-rows"]; got != 34 {
+		t.Fatalf("registry value = %d, want 34", got)
+	}
+}
+
+func TestAccumulatorValidation(t *testing.T) {
+	eng := NewEngine()
+	if _, err := NewAccumulator(eng, ""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewAccumulator(eng, "dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAccumulator(eng, "dup"); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestAccumulatorConcurrent(t *testing.T) {
+	eng := NewEngine()
+	acc, err := NewAccumulator(eng, "hits")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				acc.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if acc.Value() != 8000 {
+		t.Fatalf("accumulator = %d, want 8000", acc.Value())
+	}
+}

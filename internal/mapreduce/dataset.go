@@ -1,0 +1,209 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dataset is a partitioned, lazily evaluated, immutable collection of T —
+// the analogue of a Spark RDD. Narrow transformations (Map, Filter, ...)
+// chain compute closures without materializing; wide transformations
+// (ReduceByKey, Join) shuffle; actions (Collect, Reduce, Count) execute the
+// lineage on the engine's worker pool.
+//
+// Datasets are safe for concurrent use by multiple goroutines.
+type Dataset[T any] struct {
+	eng      *Engine
+	numParts int
+	name     string
+
+	// compute produces partition p from lineage. It must be pure: the
+	// scheduler may invoke it again if a task attempt fails.
+	compute func(p int) ([]T, error)
+
+	// persistence
+	persistMu sync.Mutex
+	persisted [][]T // nil until Persist()+materialization
+	persist   bool
+}
+
+// FromSlice creates a dataset from data split into numParts contiguous
+// partitions. It returns an error if numParts < 1. The input slice is copied
+// so later caller mutations cannot corrupt lineage recomputation.
+func FromSlice[T any](eng *Engine, data []T, numParts int) (*Dataset[T], error) {
+	if numParts < 1 {
+		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
+	}
+	owned := make([]T, len(data))
+	copy(owned, data)
+	return &Dataset[T]{
+		eng:      eng,
+		numParts: numParts,
+		name:     "source",
+		compute: func(p int) ([]T, error) {
+			lo, hi := sliceBounds(len(owned), numParts, p)
+			return owned[lo:hi], nil
+		},
+	}, nil
+}
+
+// FromPartitions creates a dataset whose partitions are exactly parts. The
+// outer and inner slices are copied.
+func FromPartitions[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
+	if len(parts) < 1 {
+		return nil, fmt.Errorf("mapreduce: need at least one partition")
+	}
+	owned := make([][]T, len(parts))
+	for i, p := range parts {
+		owned[i] = make([]T, len(p))
+		copy(owned[i], p)
+	}
+	return &Dataset[T]{
+		eng:      eng,
+		numParts: len(owned),
+		name:     "source",
+		compute:  func(p int) ([]T, error) { return owned[p], nil },
+	}, nil
+}
+
+// sliceBounds returns the [lo, hi) range of partition p when n elements are
+// split into parts contiguous partitions as evenly as possible.
+func sliceBounds(n, parts, p int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// Engine returns the engine the dataset is bound to.
+func (d *Dataset[T]) Engine() *Engine { return d.eng }
+
+// NumPartitions reports the partition count.
+func (d *Dataset[T]) NumPartitions() int { return d.numParts }
+
+// Name returns the dataset's lineage label (for debugging and cache keys).
+func (d *Dataset[T]) Name() string { return d.name }
+
+// Persist marks the dataset for in-memory materialization: the first action
+// computes and retains every partition; later actions reuse them. It returns
+// the receiver for chaining.
+func (d *Dataset[T]) Persist() *Dataset[T] {
+	d.persistMu.Lock()
+	defer d.persistMu.Unlock()
+	d.persist = true
+	return d
+}
+
+// partition returns partition p, using persisted data when available.
+func (d *Dataset[T]) partition(p int) ([]T, error) {
+	d.persistMu.Lock()
+	if d.persisted != nil {
+		part := d.persisted[p]
+		d.persistMu.Unlock()
+		return part, nil
+	}
+	wantPersist := d.persist
+	d.persistMu.Unlock()
+
+	part, err := d.compute(p)
+	if err != nil {
+		return nil, err
+	}
+	if wantPersist {
+		// Materialize all partitions at once so persisted is complete.
+		// Cheap double-compute of p is acceptable; persistence is rare.
+		if err := d.materialize(); err != nil {
+			return nil, err
+		}
+	}
+	return part, nil
+}
+
+func (d *Dataset[T]) materialize() error {
+	d.persistMu.Lock()
+	defer d.persistMu.Unlock()
+	if d.persisted != nil {
+		return nil
+	}
+	parts := make([][]T, d.numParts)
+	for p := 0; p < d.numParts; p++ {
+		part, err := d.compute(p)
+		if err != nil {
+			return err
+		}
+		parts[p] = part
+	}
+	d.persisted = parts
+	return nil
+}
+
+// CollectPartitions materializes the dataset and returns its partitions. The
+// returned outer slice is fresh; inner slices must be treated as read-only.
+func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
+	parts := make([][]T, d.numParts)
+	err := d.eng.runTasks(d.numParts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		parts[p] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// Collect materializes the dataset and returns all records in partition
+// order.
+func (d *Dataset[T]) Collect() ([]T, error) {
+	parts, err := d.CollectPartitions()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the number of records.
+func (d *Dataset[T]) Count() (int, error) {
+	counts := make([]int, d.numParts)
+	err := d.eng.runTasks(d.numParts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		counts[p] = len(part)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// derived builds a child dataset with the same engine and partition count.
+func derived[T, U any](parent *Dataset[T], name string, numParts int, compute func(p int) ([]U, error)) *Dataset[U] {
+	return &Dataset[U]{
+		eng:      parent.eng,
+		numParts: numParts,
+		name:     parent.name + "." + name,
+		compute:  compute,
+	}
+}

@@ -1,0 +1,268 @@
+// Package mapreduce is the Spark substitute underneath UPA: an in-memory,
+// multi-goroutine MapReduce/RDD engine with partitioned generic datasets,
+// lazy narrow transformations, hash shuffles for wide transformations,
+// a worker-pool scheduler with fault injection and lineage-based retry,
+// and metered shuffle/cache behaviour.
+//
+// The engine exists because UPA's correctness and performance arguments rest
+// on exactly two properties of big-data operators — commutativity and
+// associativity — and on the cost asymmetry between local computation,
+// shuffles, and cache hits. All three are reproduced and metered here.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine schedules partition-level tasks over a bounded worker pool and
+// accounts for shuffles, reduce operations, and cache traffic.
+type Engine struct {
+	workers     int
+	maxAttempts int
+
+	metrics Metrics
+
+	// faultMu guards pendingFaults, the number of upcoming task attempts
+	// the engine will fail artificially (fault injection for testing
+	// lineage-based recovery).
+	faultMu       sync.Mutex
+	pendingFaults int
+
+	cache *ReductionCache
+
+	// accMu guards accumulators, the named Accumulator registry.
+	accMu        sync.Mutex
+	accumulators map[string]*Accumulator
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the number of concurrent task slots. Values below one
+// fall back to one.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.workers = n
+	}
+}
+
+// WithMaxAttempts sets how many times a failing task is retried from lineage
+// before the job is abandoned. Values below one fall back to one.
+func WithMaxAttempts(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.maxAttempts = n
+	}
+}
+
+// NewEngine builds an engine. By default it uses GOMAXPROCS workers and
+// retries each task up to three times.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		workers:     runtime.GOMAXPROCS(0),
+		maxAttempts: 3,
+	}
+	e.cache = newReductionCache(&e.metrics)
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Workers reports the configured worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Cache returns the engine's reduction cache (UPA memoizes R(M(S')) and other
+// reusable reductions here; hit rates feed the Figure 4(b) reproduction).
+func (e *Engine) Cache() *ReductionCache { return e.cache }
+
+// AccountShuffle records one shuffle round moving records rows between
+// partitions. Components that physically move data outside the built-in wide
+// transformations (e.g. UPA's RANGE ENFORCER partitioning, §IV-B) use it so
+// the overhead accounting matches a real cluster's.
+func (e *Engine) AccountShuffle(records int) {
+	e.metrics.ShuffleRounds.Add(1)
+	e.metrics.RecordsShuffled.Add(int64(records))
+}
+
+// AccountReduceOps records n reduce operations performed outside the
+// built-in actions (e.g. UPA's in-memory prefix/suffix combines), keeping
+// the operation accounting comparable between vanilla and UPA runs.
+func (e *Engine) AccountReduceOps(n int64) {
+	e.metrics.ReduceOps.Add(n)
+}
+
+// InjectFaults arranges for the next n task attempts to fail artificially.
+// The scheduler retries them from lineage, exercising the fault-tolerance
+// path that commutativity/associativity enable.
+func (e *Engine) InjectFaults(n int) {
+	e.faultMu.Lock()
+	defer e.faultMu.Unlock()
+	if n > 0 {
+		e.pendingFaults += n
+	}
+}
+
+// errInjectedFault marks an artificial failure from fault injection.
+var errInjectedFault = errors.New("mapreduce: injected task fault")
+
+// ErrTaskFailed is returned when a task keeps failing after all retry
+// attempts.
+var ErrTaskFailed = errors.New("mapreduce: task failed after retries")
+
+func (e *Engine) takeFault() bool {
+	e.faultMu.Lock()
+	defer e.faultMu.Unlock()
+	if e.pendingFaults > 0 {
+		e.pendingFaults--
+		return true
+	}
+	return false
+}
+
+// runTasks executes task(i) for i in [0, n) on the worker pool. Every task
+// attempt may be failed by fault injection; failed attempts are retried up
+// to the engine's attempt budget. The first non-retryable error aborts the
+// remaining tasks and is returned.
+func (e *Engine) runTasks(n int, task func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		next     atomic.Int64
+		firstErr atomic.Value
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || firstErr.Load() != nil {
+					return
+				}
+				if err := e.runOneTask(i, task); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+func (e *Engine) runOneTask(i int, task func(i int) error) error {
+	var lastErr error
+	for attempt := 1; attempt <= e.maxAttempts; attempt++ {
+		e.metrics.TaskAttempts.Add(1)
+		if e.takeFault() {
+			e.metrics.TaskFaults.Add(1)
+			lastErr = errInjectedFault
+			continue // retry: recompute from lineage
+		}
+		if err := task(i); err != nil {
+			if errors.Is(err, errInjectedFault) {
+				e.metrics.TaskFaults.Add(1)
+				lastErr = err
+				continue
+			}
+			return err // application error: not retryable
+		}
+		e.metrics.TasksRun.Add(1)
+		return nil
+	}
+	return fmt.Errorf("%w: task %d: %v", ErrTaskFailed, i, lastErr)
+}
+
+// Metrics exposes the engine's atomic counters. Snapshot with
+// MetricsSnapshot for a consistent read.
+type Metrics struct {
+	TaskAttempts     atomic.Int64
+	TasksRun         atomic.Int64
+	TaskFaults       atomic.Int64
+	RecordsMapped    atomic.Int64
+	ReduceOps        atomic.Int64
+	ShuffleRounds    atomic.Int64
+	RecordsShuffled  atomic.Int64
+	CacheHits        atomic.Int64
+	CacheMisses      atomic.Int64
+	BroadcastsSent   atomic.Int64
+	BroadcastRecords atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of Metrics.
+type MetricsSnapshot struct {
+	TaskAttempts     int64
+	TasksRun         int64
+	TaskFaults       int64
+	RecordsMapped    int64
+	ReduceOps        int64
+	ShuffleRounds    int64
+	RecordsShuffled  int64
+	CacheHits        int64
+	CacheMisses      int64
+	BroadcastsSent   int64
+	BroadcastRecords int64
+}
+
+// Metrics returns a snapshot of the engine counters.
+func (e *Engine) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		TaskAttempts:     e.metrics.TaskAttempts.Load(),
+		TasksRun:         e.metrics.TasksRun.Load(),
+		TaskFaults:       e.metrics.TaskFaults.Load(),
+		RecordsMapped:    e.metrics.RecordsMapped.Load(),
+		ReduceOps:        e.metrics.ReduceOps.Load(),
+		ShuffleRounds:    e.metrics.ShuffleRounds.Load(),
+		RecordsShuffled:  e.metrics.RecordsShuffled.Load(),
+		CacheHits:        e.metrics.CacheHits.Load(),
+		CacheMisses:      e.metrics.CacheMisses.Load(),
+		BroadcastsSent:   e.metrics.BroadcastsSent.Load(),
+		BroadcastRecords: e.metrics.BroadcastRecords.Load(),
+	}
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 with no traffic.
+func (s MetricsSnapshot) CacheHitRate() float64 {
+	total := s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Sub returns the per-field difference s - prev, for metering one phase.
+func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		TaskAttempts:     s.TaskAttempts - prev.TaskAttempts,
+		TasksRun:         s.TasksRun - prev.TasksRun,
+		TaskFaults:       s.TaskFaults - prev.TaskFaults,
+		RecordsMapped:    s.RecordsMapped - prev.RecordsMapped,
+		ReduceOps:        s.ReduceOps - prev.ReduceOps,
+		ShuffleRounds:    s.ShuffleRounds - prev.ShuffleRounds,
+		RecordsShuffled:  s.RecordsShuffled - prev.RecordsShuffled,
+		CacheHits:        s.CacheHits - prev.CacheHits,
+		CacheMisses:      s.CacheMisses - prev.CacheMisses,
+		BroadcastsSent:   s.BroadcastsSent - prev.BroadcastsSent,
+		BroadcastRecords: s.BroadcastRecords - prev.BroadcastRecords,
+	}
+}

@@ -1,0 +1,230 @@
+package mapreduce
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEngineOptions(t *testing.T) {
+	e := NewEngine(WithWorkers(0), WithMaxAttempts(0))
+	if e.Workers() != 1 {
+		t.Errorf("Workers = %d, want clamp to 1", e.Workers())
+	}
+	if e.maxAttempts != 1 {
+		t.Errorf("maxAttempts = %d, want clamp to 1", e.maxAttempts)
+	}
+	e = NewEngine(WithWorkers(4), WithMaxAttempts(5))
+	if e.Workers() != 4 || e.maxAttempts != 5 {
+		t.Errorf("options not applied: %d workers, %d attempts", e.Workers(), e.maxAttempts)
+	}
+}
+
+func TestFaultInjectionRecovers(t *testing.T) {
+	eng := NewEngine(WithWorkers(2), WithMaxAttempts(3))
+	d, err := FromSlice(eng, intsUpTo(100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two faults with a three-attempt budget: even if one task absorbs
+	// both, it still has a successful attempt left.
+	eng.InjectFaults(2)
+	sum, err := Reduce(Map(d, func(x int) int { return x }), func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatalf("job failed despite retry budget: %v", err)
+	}
+	if sum != 4950 {
+		t.Fatalf("recovered result = %d, want 4950", sum)
+	}
+	m := eng.Metrics()
+	if m.TaskFaults != 2 {
+		t.Errorf("TaskFaults = %d, want 2", m.TaskFaults)
+	}
+	if m.TaskAttempts <= m.TasksRun {
+		t.Errorf("no retries recorded: attempts %d, runs %d", m.TaskAttempts, m.TasksRun)
+	}
+}
+
+func TestFaultInjectionExhaustsRetries(t *testing.T) {
+	eng := NewEngine(WithWorkers(1), WithMaxAttempts(2))
+	d, err := FromSlice(eng, intsUpTo(10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.InjectFaults(10) // more faults than the single task's attempt budget
+	_, err = d.Collect()
+	if !errors.Is(err, ErrTaskFailed) {
+		t.Fatalf("Collect error = %v, want ErrTaskFailed", err)
+	}
+}
+
+func TestFaultRecomputesFromLineage(t *testing.T) {
+	// A fault on the final collect must recompute through the whole
+	// narrow-transformation chain and still give the right answer.
+	eng := NewEngine(WithWorkers(1), WithMaxAttempts(5))
+	d, err := FromSlice(eng, intsUpTo(10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := Filter(Map(d, func(x int) int { return x + 1 }), func(x int) bool { return x%2 == 0 })
+	eng.InjectFaults(1)
+	got, err := chain.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 4, 6, 8, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Collect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Collect = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWideTransformSurvivesFaults(t *testing.T) {
+	// A fault during a shuffled job must recompute through the whole wide
+	// lineage and produce the exact same grouped result.
+	run := func(faults int) map[int]int {
+		eng := NewEngine(WithWorkers(2), WithMaxAttempts(5))
+		var pairs []Pair[int, int]
+		for i := 0; i < 500; i++ {
+			pairs = append(pairs, Pair[int, int]{Key: i % 7, Value: i})
+		}
+		d, err := FromSlice(eng, pairs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faults > 0 {
+			eng.InjectFaults(faults)
+		}
+		got, err := ReduceByKey(d, func(a, b int) int { return a + b }).Collect()
+		if err != nil {
+			t.Fatalf("shuffled job with %d faults failed: %v", faults, err)
+		}
+		out := make(map[int]int, len(got))
+		for _, p := range got {
+			out[p.Key] = p.Value
+		}
+		return out
+	}
+	clean := run(0)
+	faulty := run(3)
+	if len(clean) != len(faulty) {
+		t.Fatalf("group counts differ: %d vs %d", len(clean), len(faulty))
+	}
+	for k, v := range clean {
+		if faulty[k] != v {
+			t.Fatalf("key %d: %d under faults vs %d clean", k, faulty[k], v)
+		}
+	}
+}
+
+func TestPersistedDatasetSurvivesFaults(t *testing.T) {
+	eng := NewEngine(WithWorkers(1), WithMaxAttempts(4))
+	d, err := FromSlice(eng, intsUpTo(200), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	squared := Map(d, func(x int) int { return x * x }).Persist()
+	eng.InjectFaults(2)
+	first, err := squared.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The persisted materialization is complete and reusable after faults.
+	mappedBefore := eng.Metrics().RecordsMapped
+	second, err := squared.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Metrics().RecordsMapped != mappedBefore {
+		t.Error("persisted dataset recomputed after faulty materialization")
+	}
+	for i := range first {
+		if first[i] != second[i] || first[i] != i*i {
+			t.Fatalf("value %d corrupted: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+func TestMetricsSnapshotSub(t *testing.T) {
+	eng := NewEngine()
+	d, err := FromSlice(eng, intsUpTo(10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Metrics()
+	if _, err := Map(d, func(x int) int { return x }).Collect(); err != nil {
+		t.Fatal(err)
+	}
+	delta := eng.Metrics().Sub(before)
+	if delta.RecordsMapped != 10 {
+		t.Errorf("delta RecordsMapped = %d, want 10", delta.RecordsMapped)
+	}
+	if delta.TasksRun != 2 {
+		t.Errorf("delta TasksRun = %d, want 2", delta.TasksRun)
+	}
+}
+
+func TestCacheHitRate(t *testing.T) {
+	var s MetricsSnapshot
+	if s.CacheHitRate() != 0 {
+		t.Error("empty snapshot should have zero hit rate")
+	}
+	s.CacheHits, s.CacheMisses = 3, 1
+	if got := s.CacheHitRate(); got != 0.75 {
+		t.Errorf("CacheHitRate = %v, want 0.75", got)
+	}
+}
+
+func TestReductionCache(t *testing.T) {
+	eng := NewEngine()
+	c := eng.Cache()
+	if _, ok := CacheGet[[]float64](c, "k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	CachePut(c, "k", []float64{1, 2})
+	got, ok := CacheGet[[]float64](c, "k")
+	if !ok || len(got) != 2 {
+		t.Fatalf("CacheGet = %v, %v", got, ok)
+	}
+	// Wrong-type access is a miss, not a panic.
+	if _, ok := CacheGet[string](c, "k"); ok {
+		t.Fatal("wrong-type cache access succeeded")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Errorf("Len after Clear = %d, want 0", c.Len())
+	}
+	m := eng.Metrics()
+	if m.CacheHits != 1 || m.CacheMisses != 2 {
+		t.Errorf("cache counters = %d hits / %d misses, want 1/2", m.CacheHits, m.CacheMisses)
+	}
+}
+
+func TestRunTasksZero(t *testing.T) {
+	eng := NewEngine()
+	if err := eng.runTasks(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("runTasks(0) = %v, want nil", err)
+	}
+}
+
+func TestApplicationErrorNotRetried(t *testing.T) {
+	eng := NewEngine(WithMaxAttempts(5))
+	appErr := errors.New("app failure")
+	calls := 0
+	err := eng.runTasks(1, func(int) error {
+		calls++
+		return appErr
+	})
+	if !errors.Is(err, appErr) {
+		t.Fatalf("error = %v, want %v", err, appErr)
+	}
+	if calls != 1 {
+		t.Fatalf("application error retried %d times", calls)
+	}
+}

@@ -1,0 +1,170 @@
+package mapreduce
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic laws of the engine's operators: these hold for pure functions
+// and are what allow Spark-style optimizers (and UPA's reuse argument) to
+// reorder work freely.
+
+func collectInts(t *testing.T, d *Dataset[int]) []int {
+	t.Helper()
+	out, err := d.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Map fusion: Map(g) ∘ Map(f) ≡ Map(g ∘ f).
+func TestMapFusionLaw(t *testing.T) {
+	eng := NewEngine()
+	f := func(x int) int { return 3*x + 1 }
+	g := func(x int) int { return x * x }
+	prop := func(raw []int16, partsRaw uint8) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		parts := int(partsRaw%6) + 1
+		d1, err := FromSlice(eng, data, parts)
+		if err != nil {
+			return false
+		}
+		d2, err := FromSlice(eng, data, parts)
+		if err != nil {
+			return false
+		}
+		chained, err := Map(Map(d1, f), g).Collect()
+		if err != nil {
+			return false
+		}
+		fused, err := Map(d2, func(x int) int { return g(f(x)) }).Collect()
+		if err != nil {
+			return false
+		}
+		return equalInts(chained, fused)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Filter–map commutation: for a predicate on the mapped value,
+// Filter(p) ∘ Map(f) ≡ Map(f) ∘ Filter(p ∘ f).
+func TestFilterMapCommutationLaw(t *testing.T) {
+	eng := NewEngine()
+	f := func(x int) int { return x - 7 }
+	p := func(x int) bool { return x%2 == 0 }
+	prop := func(raw []int16) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		d1, err := FromSlice(eng, data, 3)
+		if err != nil {
+			return false
+		}
+		d2, err := FromSlice(eng, data, 3)
+		if err != nil {
+			return false
+		}
+		mapThenFilter, err := Filter(Map(d1, f), p).Collect()
+		if err != nil {
+			return false
+		}
+		filterThenMap, err := Map(Filter(d2, func(x int) bool { return p(f(x)) }), f).Collect()
+		if err != nil {
+			return false
+		}
+		return equalInts(mapThenFilter, filterThenMap)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Filter conjunction: Filter(p) ∘ Filter(q) ≡ Filter(p ∧ q).
+func TestFilterConjunctionLaw(t *testing.T) {
+	eng := NewEngine()
+	p := func(x int) bool { return x > 0 }
+	q := func(x int) bool { return x%3 != 0 }
+	prop := func(raw []int16) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		d1, err := FromSlice(eng, data, 2)
+		if err != nil {
+			return false
+		}
+		d2, err := FromSlice(eng, data, 2)
+		if err != nil {
+			return false
+		}
+		chained, err := Filter(Filter(d1, q), p).Collect()
+		if err != nil {
+			return false
+		}
+		combined, err := Filter(d2, func(x int) bool { return p(x) && q(x) }).Collect()
+		if err != nil {
+			return false
+		}
+		return equalInts(chained, combined)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Partitioning invariance: the partition count never changes an action's
+// result (the property that makes the engine's parallelism safe).
+func TestPartitioningInvarianceLaw(t *testing.T) {
+	eng := NewEngine()
+	prop := func(raw []int16, p1Raw, p2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		p1 := int(p1Raw%8) + 1
+		p2 := int(p2Raw%8) + 1
+		d1, err := FromSlice(eng, data, p1)
+		if err != nil {
+			return false
+		}
+		d2, err := FromSlice(eng, data, p2)
+		if err != nil {
+			return false
+		}
+		sum := func(a, b int) int { return a + b }
+		r1, err := Reduce(Map(d1, func(x int) int { return x * x }), sum)
+		if err != nil {
+			return false
+		}
+		r2, err := Reduce(Map(d2, func(x int) int { return x * x }), sum)
+		if err != nil {
+			return false
+		}
+		return r1 == r2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

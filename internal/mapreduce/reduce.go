@@ -1,0 +1,118 @@
+package mapreduce
+
+import "errors"
+
+// ErrEmptyDataset is returned by Reduce on a dataset with no records.
+var ErrEmptyDataset = errors.New("mapreduce: reduce of empty dataset")
+
+// Reducer is a binary combination function. UPA (and Spark) require reducers
+// to be commutative and associative; the engine exploits both by reducing
+// partitions independently and combining the partials in arbitrary order.
+// The contract is checked for concrete reducers by property tests.
+type Reducer[T any] func(T, T) T
+
+// Reduce folds the dataset with the commutative, associative reducer f:
+// per-partition sequential reduction in parallel, then a combination of the
+// partition partials. Empty partitions are skipped; an entirely empty
+// dataset returns ErrEmptyDataset.
+func Reduce[T any](d *Dataset[T], f Reducer[T]) (T, error) {
+	partials, nonEmpty, err := ReduceByPartition(d, f)
+	var zero T
+	if err != nil {
+		return zero, err
+	}
+	first := true
+	var acc T
+	for p, ok := range nonEmpty {
+		if !ok {
+			continue
+		}
+		if first {
+			acc = partials[p]
+			first = false
+			continue
+		}
+		acc = f(acc, partials[p])
+		d.eng.metrics.ReduceOps.Add(1)
+	}
+	if first {
+		return zero, ErrEmptyDataset
+	}
+	return acc, nil
+}
+
+// ReduceByPartition reduces each partition independently (the paper's
+// ReduceByPar helper in Algorithms 1 and 2). It returns one partial per
+// partition plus a mask of which partitions were non-empty.
+func ReduceByPartition[T any](d *Dataset[T], f Reducer[T]) (partials []T, nonEmpty []bool, err error) {
+	partials = make([]T, d.numParts)
+	nonEmpty = make([]bool, d.numParts)
+	err = d.eng.runTasks(d.numParts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		if len(part) == 0 {
+			return nil
+		}
+		acc := part[0]
+		for _, v := range part[1:] {
+			acc = f(acc, v)
+		}
+		d.eng.metrics.ReduceOps.Add(int64(len(part) - 1))
+		partials[p] = acc
+		nonEmpty[p] = true
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return partials, nonEmpty, nil
+}
+
+// Aggregate folds the dataset into a value of a different type: seqOp folds
+// records into a per-partition accumulator starting from zero (zero must be
+// the identity of combOp), and combOp merges the per-partition accumulators.
+// combOp must be commutative and associative.
+func Aggregate[T, U any](d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
+	partials := make([]U, d.numParts)
+	err := d.eng.runTasks(d.numParts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		acc := zero
+		for _, v := range part {
+			acc = seqOp(acc, v)
+		}
+		d.eng.metrics.ReduceOps.Add(int64(len(part)))
+		partials[p] = acc
+		return nil
+	})
+	if err != nil {
+		var z U
+		return z, err
+	}
+	acc := zero
+	for _, p := range partials {
+		acc = combOp(acc, p)
+		d.eng.metrics.ReduceOps.Add(1)
+	}
+	return acc, nil
+}
+
+// ReduceSlice sequentially reduces a plain slice with f, returning ok=false
+// on an empty slice. It exists so UPA's union-preserving reduce can fold
+// in-memory sample sets with exactly the same reducer semantics as the
+// engine.
+func ReduceSlice[T any](xs []T, f Reducer[T]) (T, bool) {
+	var zero T
+	if len(xs) == 0 {
+		return zero, false
+	}
+	acc := xs[0]
+	for _, v := range xs[1:] {
+		acc = f(acc, v)
+	}
+	return acc, true
+}

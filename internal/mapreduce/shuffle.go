@@ -1,0 +1,206 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// shuffle materializes a pair dataset and redistributes its records into
+// numParts buckets by key hash. Within a bucket the records keep a
+// deterministic order (source partition order, then record order), so all
+// downstream results are reproducible. Each call accounts for one shuffle
+// round and len(records) shuffled records — the unit the paper's overhead
+// analysis is phrased in (joinDP "triggers shuffling twice", §V-C).
+func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+	parts, err := d.CollectPartitions()
+	if err != nil {
+		return nil, err
+	}
+	buckets := make([][]Pair[K, V], numParts)
+	total := 0
+	for _, part := range parts {
+		for _, rec := range part {
+			b := int(hashOf(rec.Key) % uint64(numParts))
+			buckets[b] = append(buckets[b], rec)
+			total++
+		}
+	}
+	d.eng.metrics.ShuffleRounds.Add(1)
+	d.eng.metrics.RecordsShuffled.Add(int64(total))
+	return buckets, nil
+}
+
+// shuffled lazily wraps a one-time shuffle of d so several child partitions
+// share it.
+type shuffled[K comparable, V any] struct {
+	once    sync.Once
+	buckets [][]Pair[K, V]
+	err     error
+}
+
+func (s *shuffled[K, V]) get(d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+	s.once.Do(func() { s.buckets, s.err = shuffle(d, numParts) })
+	return s.buckets, s.err
+}
+
+// ReduceByKey combines all values of each key with the commutative,
+// associative reducer f. It is a wide transformation: one shuffle round.
+// Output keys appear in deterministic first-seen order within each
+// partition.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f Reducer[V]) *Dataset[Pair[K, V]] {
+	sh := &shuffled[K, V]{}
+	numParts := d.numParts
+	return derived[Pair[K, V], Pair[K, V]](d, "reduceByKey", numParts, func(p int) ([]Pair[K, V], error) {
+		buckets, err := sh.get(d, numParts)
+		if err != nil {
+			return nil, err
+		}
+		acc := make(map[K]V)
+		order := make([]K, 0)
+		for _, rec := range buckets[p] {
+			if cur, ok := acc[rec.Key]; ok {
+				acc[rec.Key] = f(cur, rec.Value)
+				d.eng.metrics.ReduceOps.Add(1)
+			} else {
+				acc[rec.Key] = rec.Value
+				order = append(order, rec.Key)
+			}
+		}
+		out := make([]Pair[K, V], len(order))
+		for i, k := range order {
+			out[i] = Pair[K, V]{Key: k, Value: acc[k]}
+		}
+		return out, nil
+	})
+}
+
+// GroupByKey gathers all values of each key into a slice, in deterministic
+// order. One shuffle round.
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
+	sh := &shuffled[K, V]{}
+	numParts := d.numParts
+	return derived[Pair[K, V], Pair[K, []V]](d, "groupByKey", numParts, func(p int) ([]Pair[K, []V], error) {
+		buckets, err := sh.get(d, numParts)
+		if err != nil {
+			return nil, err
+		}
+		groups := make(map[K][]V)
+		order := make([]K, 0)
+		for _, rec := range buckets[p] {
+			if _, ok := groups[rec.Key]; !ok {
+				order = append(order, rec.Key)
+			}
+			groups[rec.Key] = append(groups[rec.Key], rec.Value)
+		}
+		out := make([]Pair[K, []V], len(order))
+		for i, k := range order {
+			out[i] = Pair[K, []V]{Key: k, Value: groups[k]}
+		}
+		return out, nil
+	})
+}
+
+// Joined is the value type produced by Join: one left and one right value
+// sharing a key.
+type Joined[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join computes the inner equi-join of a and b: every (v, w) combination
+// with equal keys. Both sides shuffle (two shuffle rounds total — exactly
+// the cost vanilla Spark pays once per Join and UPA pays twice in joinDP).
+// The output order is deterministic.
+func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[V, W]]], error) {
+	if a.eng != b.eng {
+		return nil, fmt.Errorf("mapreduce: join across engines")
+	}
+	shA := &shuffled[K, V]{}
+	shB := &shuffled[K, W]{}
+	numParts := a.numParts
+	child := derived[Pair[K, V], Pair[K, Joined[V, W]]](a, "join", numParts, func(p int) ([]Pair[K, Joined[V, W]], error) {
+		left, err := shA.get(a, numParts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := shB.get(b, numParts)
+		if err != nil {
+			return nil, err
+		}
+		// Build side: hash the right bucket; probe side: stream the left
+		// bucket in order for deterministic output.
+		build := make(map[K][]W)
+		for _, rec := range right[p] {
+			build[rec.Key] = append(build[rec.Key], rec.Value)
+		}
+		var out []Pair[K, Joined[V, W]]
+		for _, rec := range left[p] {
+			for _, w := range build[rec.Key] {
+				out = append(out, Pair[K, Joined[V, W]]{
+					Key:   rec.Key,
+					Value: Joined[V, W]{Left: rec.Value, Right: w},
+				})
+			}
+		}
+		return out, nil
+	})
+	return child, nil
+}
+
+// CoGroup groups the values of both datasets by key: for every key present
+// on either side, the output holds all left values and all right values.
+// Two shuffle rounds.
+func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[[]V, []W]]], error) {
+	if a.eng != b.eng {
+		return nil, fmt.Errorf("mapreduce: cogroup across engines")
+	}
+	shA := &shuffled[K, V]{}
+	shB := &shuffled[K, W]{}
+	numParts := a.numParts
+	child := derived[Pair[K, V], Pair[K, Joined[[]V, []W]]](a, "cogroup", numParts, func(p int) ([]Pair[K, Joined[[]V, []W]], error) {
+		left, err := shA.get(a, numParts)
+		if err != nil {
+			return nil, err
+		}
+		right, err := shB.get(b, numParts)
+		if err != nil {
+			return nil, err
+		}
+		lefts := make(map[K][]V)
+		rights := make(map[K][]W)
+		order := make([]K, 0)
+		seen := make(map[K]bool)
+		for _, rec := range left[p] {
+			if !seen[rec.Key] {
+				seen[rec.Key] = true
+				order = append(order, rec.Key)
+			}
+			lefts[rec.Key] = append(lefts[rec.Key], rec.Value)
+		}
+		for _, rec := range right[p] {
+			if !seen[rec.Key] {
+				seen[rec.Key] = true
+				order = append(order, rec.Key)
+			}
+			rights[rec.Key] = append(rights[rec.Key], rec.Value)
+		}
+		out := make([]Pair[K, Joined[[]V, []W]], len(order))
+		for i, k := range order {
+			out[i] = Pair[K, Joined[[]V, []W]]{
+				Key:   k,
+				Value: Joined[[]V, []W]{Left: lefts[k], Right: rights[k]},
+			}
+		}
+		return out, nil
+	})
+	return child, nil
+}
+
+// Distinct removes duplicate records of a comparable element type,
+// preserving first-seen order. One shuffle round (records must be
+// co-located by value to deduplicate globally).
+func Distinct[T comparable](d *Dataset[T]) *Dataset[T] {
+	pairs := Map(d, func(t T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: t} })
+	reduced := ReduceByKey(pairs, func(a, _ struct{}) struct{} { return a })
+	return Map(reduced, func(p Pair[T, struct{}]) T { return p.Key })
+}

@@ -1,0 +1,102 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SortBy globally sorts the dataset by the given less function into
+// numParts contiguous partitions. Like Spark's sortBy it is a wide
+// transformation: all records move (one shuffle round), then each output
+// partition holds a contiguous range of the sorted order.
+//
+// The sort is stable, so records comparing equal keep their source order —
+// which keeps every downstream result deterministic.
+func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Dataset[T], error) {
+	if numParts < 1 {
+		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
+	}
+	shared := &sortedOnce[T]{}
+	return &Dataset[T]{
+		eng:      d.eng,
+		numParts: numParts,
+		name:     d.name + ".sortBy",
+		compute: func(p int) ([]T, error) {
+			sorted, err := shared.get(d, less)
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := sliceBounds(len(sorted), numParts, p)
+			return sorted[lo:hi], nil
+		},
+	}, nil
+}
+
+// sortedOnce materializes and sorts the parent once, shared by all output
+// partitions.
+type sortedOnce[T any] struct {
+	mu     sync.Mutex
+	done   bool
+	sorted []T
+	err    error
+}
+
+func (s *sortedOnce[T]) get(d *Dataset[T], less func(a, b T) bool) ([]T, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return s.sorted, s.err
+	}
+	s.done = true
+	all, err := d.Collect()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	owned := make([]T, len(all))
+	copy(owned, all)
+	sort.SliceStable(owned, func(i, j int) bool { return less(owned[i], owned[j]) })
+	d.eng.AccountShuffle(len(owned))
+	s.sorted = owned
+	return s.sorted, nil
+}
+
+// Top returns the k greatest records under less (the analogue of Spark's
+// top action): a per-partition selection followed by a final merge, without
+// a full shuffle.
+func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("mapreduce: negative k %d", k)
+	}
+	if k == 0 {
+		return nil, nil
+	}
+	partTops := make([][]T, d.numParts)
+	err := d.eng.runTasks(d.numParts, func(p int) error {
+		part, err := d.partition(p)
+		if err != nil {
+			return err
+		}
+		local := make([]T, len(part))
+		copy(local, part)
+		sort.SliceStable(local, func(i, j int) bool { return less(local[j], local[i]) })
+		if len(local) > k {
+			local = local[:k]
+		}
+		partTops[p] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged []T
+	for _, t := range partTops {
+		merged = append(merged, t...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool { return less(merged[j], merged[i]) })
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged, nil
+}

@@ -1,0 +1,161 @@
+package mapreduce
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortBy(t *testing.T) {
+	eng := NewEngine()
+	data := []int{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	d, err := FromSlice(eng, data, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := SortBy(d, 4, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.NumPartitions() != 4 {
+		t.Fatalf("NumPartitions = %d, want 4", sorted.NumPartitions())
+	}
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sorted output = %v", got)
+		}
+	}
+	if _, err := SortBy(d, 0, func(a, b int) bool { return a < b }); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+}
+
+func TestSortByCountsShuffle(t *testing.T) {
+	eng := NewEngine()
+	d, err := FromSlice(eng, intsUpTo(100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := SortBy(d, 2, func(a, b int) bool { return a > b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Metrics().ShuffleRounds
+	if _, err := sorted.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Metrics().ShuffleRounds - before; got != 1 {
+		t.Fatalf("sort used %d shuffle rounds, want 1", got)
+	}
+	// Re-collecting does not re-shuffle (shared sorted materialization).
+	if _, err := sorted.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Metrics().ShuffleRounds - before; got != 1 {
+		t.Fatalf("re-collect re-shuffled: %d rounds", got)
+	}
+}
+
+func TestSortByStable(t *testing.T) {
+	type rec struct{ k, seq int }
+	eng := NewEngine()
+	data := []rec{{1, 0}, {0, 1}, {1, 2}, {0, 3}, {1, 4}}
+	d, err := FromSlice(eng, data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := SortBy(d, 1, func(a, b rec) bool { return a.k < b.k })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sorted.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevSeq := -1
+	for _, r := range got {
+		if r.k == 1 {
+			if r.seq < prevSeq {
+				t.Fatalf("stability broken: %v", got)
+			}
+			prevSeq = r.seq
+		}
+	}
+}
+
+func TestSortByProperty(t *testing.T) {
+	eng := NewEngine()
+	f := func(raw []int16, partsRaw uint8) bool {
+		data := make([]int, len(raw))
+		for i, v := range raw {
+			data[i] = int(v)
+		}
+		parts := int(partsRaw%5) + 1
+		d, err := FromSlice(eng, data, parts)
+		if err != nil {
+			return false
+		}
+		sorted, err := SortBy(d, parts, func(a, b int) bool { return a < b })
+		if err != nil {
+			return false
+		}
+		got, err := sorted.Collect()
+		if err != nil {
+			return false
+		}
+		want := make([]int, len(data))
+		copy(want, data)
+		sort.Ints(want)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTop(t *testing.T) {
+	eng := NewEngine()
+	d, err := FromSlice(eng, []int{4, 9, 1, 7, 3, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Top(d, 3, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{9, 8, 7}
+	if len(got) != 3 {
+		t.Fatalf("Top = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Top = %v, want %v", got, want)
+		}
+	}
+	// k larger than the dataset returns everything.
+	all, err := Top(d, 100, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 {
+		t.Fatalf("Top(100) returned %d records", len(all))
+	}
+	if zero, err := Top(d, 0, func(a, b int) bool { return a < b }); err != nil || zero != nil {
+		t.Fatalf("Top(0) = %v, %v", zero, err)
+	}
+	if _, err := Top(d, -1, func(a, b int) bool { return a < b }); err == nil {
+		t.Fatal("negative k accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+
+	"upa/internal/stats"
+)
+
+// Map applies f to every record. It is a narrow transformation: partition p
+// of the child depends only on partition p of the parent, so it is both
+// embarrassingly parallel and recomputable from lineage.
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return derived[T, U](d, "map", d.numParts, func(p int) ([]U, error) {
+		in, err := d.partition(p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		d.eng.metrics.RecordsMapped.Add(int64(len(in)))
+		return out, nil
+	})
+}
+
+// FlatMap applies f to every record and concatenates the results.
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return derived[T, U](d, "flatMap", d.numParts, func(p int) ([]U, error) {
+		in, err := d.partition(p)
+		if err != nil {
+			return nil, err
+		}
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		d.eng.metrics.RecordsMapped.Add(int64(len(in)))
+		return out, nil
+	})
+}
+
+// Filter keeps the records for which keep returns true.
+func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
+	return derived[T, T](d, "filter", d.numParts, func(p int) ([]T, error) {
+		in, err := d.partition(p)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]T, 0, len(in))
+		for _, v := range in {
+			if keep(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// MapPartitions applies f to each whole partition. f must not retain or
+// mutate its input slice.
+func MapPartitions[T, U any](d *Dataset[T], f func(p int, in []T) ([]U, error)) *Dataset[U] {
+	return derived[T, U](d, "mapPartitions", d.numParts, func(p int) ([]U, error) {
+		in, err := d.partition(p)
+		if err != nil {
+			return nil, err
+		}
+		return f(p, in)
+	})
+}
+
+// Union concatenates two datasets of the same element type. The child has
+// the partitions of a followed by the partitions of b. Union is the
+// "commutative" composition point of MapReduce: for a commutative,
+// associative reducer R, Reduce(Union(a, b)) == R(Reduce(a), Reduce(b)).
+func Union[T any](a, b *Dataset[T]) (*Dataset[T], error) {
+	if a.eng != b.eng {
+		return nil, fmt.Errorf("mapreduce: union across engines")
+	}
+	return &Dataset[T]{
+		eng:      a.eng,
+		numParts: a.numParts + b.numParts,
+		name:     "union(" + a.name + "," + b.name + ")",
+		compute: func(p int) ([]T, error) {
+			if p < a.numParts {
+				return a.partition(p)
+			}
+			return b.partition(p - a.numParts)
+		},
+	}, nil
+}
+
+// Sample returns k records drawn uniformly without replacement (all records
+// if k >= count), together with the indices of the sampled records in
+// partition order. Sampling is deterministic in rng.
+func Sample[T any](d *Dataset[T], rng *stats.RNG, k int) (records []T, indices []int, err error) {
+	all, err := d.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := rng.SampleIndices(len(all), k)
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out, idx, nil
+}
+
+// Repartition redistributes records into numParts contiguous partitions.
+func Repartition[T any](d *Dataset[T], numParts int) (*Dataset[T], error) {
+	if numParts < 1 {
+		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
+	}
+	var (
+		once  sync.Once
+		all   []T
+		onceE error
+	)
+	load := func() ([]T, error) {
+		once.Do(func() { all, onceE = d.Collect() })
+		return all, onceE
+	}
+	return &Dataset[T]{
+		eng:      d.eng,
+		numParts: numParts,
+		name:     d.name + ".repartition",
+		compute: func(p int) ([]T, error) {
+			data, err := load()
+			if err != nil {
+				return nil, err
+			}
+			lo, hi := sliceBounds(len(data), numParts, p)
+			return data[lo:hi], nil
+		},
+	}, nil
+}

@@ -1,0 +1,131 @@
+package queries
+
+import (
+	"upa/internal/core"
+	"upa/internal/lifesci"
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// lrLearningRate is the fixed step size of the single released SGD step.
+// It is small because the generated features are O(10), so the least-squares
+// curvature is O(100); larger steps overshoot.
+const lrLearningRate = 0.001
+
+// KMeans (Machine Learning, unsupported by FLEX): one Lloyd iteration from a
+// fixed initialization. The Mapper assigns its record to the nearest initial
+// centre and emits per-cluster coordinate sums plus a count; the Reducer is
+// vector addition; Finalize divides sums by counts to produce the updated
+// centroids (k*d output coordinates). Empty clusters keep their initial
+// centre.
+func (w *Workload) KMeans() Runner {
+	ls := w.LS
+	init := w.kmInit
+	k := len(init)
+	d := ls.Config.Dims
+	stateDim := k * (d + 1)
+	return &runner[lifesci.Point]{
+		name: "KMeans",
+		kind: KindML,
+		size: len(ls.Points),
+		bind: func(*mapreduce.Engine) (core.Query[lifesci.Point], []lifesci.Point, func(*stats.RNG) lifesci.Point, error) {
+			q := core.Query[lifesci.Point]{
+				Name:      "KMeans",
+				StateDim:  stateDim,
+				OutputDim: k * d,
+				Map: func(p lifesci.Point) core.State {
+					best, bestDist := 0, dist2(p.Features, init[0])
+					for c := 1; c < k; c++ {
+						if dd := dist2(p.Features, init[c]); dd < bestDist {
+							best, bestDist = c, dd
+						}
+					}
+					state := make(core.State, stateDim)
+					base := best * (d + 1)
+					copy(state[base:], p.Features)
+					state[base+d] = 1
+					return state
+				},
+				Finalize: func(s core.State) []float64 {
+					out := make([]float64, k*d)
+					for c := 0; c < k; c++ {
+						base := c * (d + 1)
+						count := s[base+d]
+						for j := 0; j < d; j++ {
+							if count > 0 {
+								out[c*d+j] = s[base+j] / count
+							} else {
+								out[c*d+j] = init[c][j]
+							}
+						}
+					}
+					return out
+				},
+			}
+			return q, ls.Points, ls.RandomPoint, nil
+		},
+		plan: unsupportedPlan("KMeans"),
+	}
+}
+
+// LinearRegression (Machine Learning, unsupported by FLEX): one batch
+// gradient step of least-squares SGD from fixed starting weights, as in the
+// paper's LR walkthrough (§III). The Mapper emits the record's gradient
+// contribution plus a count; Finalize applies w = w0 - lr * grad / count.
+// The released output is the updated weight vector (d+1 coordinates, the
+// intercept last).
+func (w *Workload) LinearRegression() Runner {
+	ls := w.LS
+	w0 := w.lrInit
+	d := ls.Config.Dims
+	stateDim := d + 2 // gradient (d+1) plus count
+	return &runner[lifesci.Point]{
+		name: "Linear Regression",
+		kind: KindML,
+		size: len(ls.Points),
+		bind: func(*mapreduce.Engine) (core.Query[lifesci.Point], []lifesci.Point, func(*stats.RNG) lifesci.Point, error) {
+			q := core.Query[lifesci.Point]{
+				Name:      "Linear Regression",
+				StateDim:  stateDim,
+				OutputDim: d + 1,
+				Map: func(p lifesci.Point) core.State {
+					pred := w0[d]
+					for j, x := range p.Features {
+						pred += w0[j] * x
+					}
+					resid := pred - p.Target
+					state := make(core.State, stateDim)
+					for j, x := range p.Features {
+						state[j] = resid * x
+					}
+					state[d] = resid // intercept gradient
+					state[d+1] = 1
+					return state
+				},
+				Finalize: func(s core.State) []float64 {
+					out := make([]float64, d+1)
+					count := s[d+1]
+					for j := 0; j <= d; j++ {
+						if count > 0 {
+							out[j] = w0[j] - lrLearningRate*s[j]/count
+						} else {
+							out[j] = w0[j]
+						}
+					}
+					return out
+				},
+			}
+			return q, ls.Points, ls.RandomPoint, nil
+		},
+		plan: unsupportedPlan("Linear Regression"),
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

@@ -1,0 +1,70 @@
+// Package relation provides the relational metadata layer over the engine:
+// column statistics (row counts, distinct keys, maximum key frequency)
+// computed as MapReduce jobs. FLEX's static analysis consumes exactly this
+// metadata — it never looks at actual join matches, which is the root of its
+// overestimation (§II-B).
+package relation
+
+import (
+	"fmt"
+
+	"upa/internal/mapreduce"
+)
+
+// ColumnStats summarizes one join column of one relation.
+type ColumnStats struct {
+	// RowCount is the number of rows in the relation.
+	RowCount int
+	// Distinct is the number of distinct keys in the column.
+	Distinct int
+	// MaxFreq is the frequency of the most frequently occurring key — the
+	// quantity FLEX multiplies into its worst-case join sensitivity.
+	MaxFreq int
+}
+
+// KeyFrequency computes the statistics of the column selected by key over
+// records, as a ReduceByKey job on the engine.
+func KeyFrequency[T any, K comparable](eng *mapreduce.Engine, records []T, key func(T) K) (ColumnStats, error) {
+	if len(records) == 0 {
+		return ColumnStats{}, nil
+	}
+	parts := eng.Workers()
+	if parts > len(records) {
+		parts = len(records)
+	}
+	ds, err := mapreduce.FromSlice(eng, records, parts)
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	ones := mapreduce.Map(ds, func(t T) mapreduce.Pair[K, int] {
+		return mapreduce.Pair[K, int]{Key: key(t), Value: 1}
+	})
+	counts, err := mapreduce.ReduceByKey(ones, func(a, b int) int { return a + b }).Collect()
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	stats := ColumnStats{RowCount: len(records), Distinct: len(counts)}
+	for _, p := range counts {
+		if p.Value > stats.MaxFreq {
+			stats.MaxFreq = p.Value
+		}
+	}
+	return stats, nil
+}
+
+// Validate checks internal consistency of the statistics.
+func (s ColumnStats) Validate() error {
+	if s.RowCount < 0 || s.Distinct < 0 || s.MaxFreq < 0 {
+		return fmt.Errorf("relation: negative statistic: %+v", s)
+	}
+	if s.Distinct > s.RowCount {
+		return fmt.Errorf("relation: %d distinct keys in %d rows", s.Distinct, s.RowCount)
+	}
+	if s.MaxFreq > s.RowCount {
+		return fmt.Errorf("relation: max frequency %d exceeds %d rows", s.MaxFreq, s.RowCount)
+	}
+	if s.RowCount > 0 && (s.Distinct == 0 || s.MaxFreq == 0) {
+		return fmt.Errorf("relation: non-empty relation with empty column stats: %+v", s)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package relation
+
+import (
+	"testing"
+
+	"upa/internal/mapreduce"
+)
+
+func TestKeyFrequency(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	records := []string{"a", "b", "a", "c", "a", "b"}
+	stats, err := KeyFrequency(eng, records, func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RowCount != 6 {
+		t.Errorf("RowCount = %d, want 6", stats.RowCount)
+	}
+	if stats.Distinct != 3 {
+		t.Errorf("Distinct = %d, want 3", stats.Distinct)
+	}
+	if stats.MaxFreq != 3 {
+		t.Errorf("MaxFreq = %d, want 3", stats.MaxFreq)
+	}
+	if err := stats.Validate(); err != nil {
+		t.Errorf("computed stats invalid: %v", err)
+	}
+}
+
+func TestKeyFrequencyEmpty(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	stats, err := KeyFrequency(eng, nil, func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != (ColumnStats{}) {
+		t.Errorf("empty relation stats = %+v, want zero", stats)
+	}
+}
+
+func TestKeyFrequencyDerivedKey(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	records := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	stats, err := KeyFrequency(eng, records, func(x int) int { return x % 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Distinct != 3 {
+		t.Errorf("Distinct = %d, want 3", stats.Distinct)
+	}
+	if stats.MaxFreq != 3 { // residues 1 and 2 occur 3 times
+		t.Errorf("MaxFreq = %d, want 3", stats.MaxFreq)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []ColumnStats{
+		{RowCount: -1},
+		{RowCount: 2, Distinct: 3, MaxFreq: 1},
+		{RowCount: 2, Distinct: 1, MaxFreq: 3},
+		{RowCount: 2, Distinct: 0, MaxFreq: 1},
+		{RowCount: 2, Distinct: 1, MaxFreq: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: invalid stats accepted: %+v", i, s)
+		}
+	}
+	good := []ColumnStats{
+		{},
+		{RowCount: 5, Distinct: 2, MaxFreq: 4},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("case %d: valid stats rejected: %v", i, err)
+		}
+	}
+}

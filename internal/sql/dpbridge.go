@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"fmt"
+
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+)
+
+// IndexedRow is one protected-table row tagged with its position, the
+// record type of DP-compiled plans.
+type IndexedRow struct {
+	Idx int
+	Row Row
+}
+
+// CompileDPCount lowers a global counting plan into a UPA query protecting
+// the rows of the named base table: the returned query's Mapper gives each
+// protected row its exact join fan-out through the plan (how many output
+// tuples vanish if the row does), computed in a single engine execution by
+// threading a hidden row-index column through the Filter/Join tree and
+// grouping the final count by it.
+//
+// Together with core.Run this turns any supported SQL count into an
+// end-to-end iDP release — the SparkSQL-query path of the paper's
+// evaluation. The supported fragment matches FLEX's (§II-B) so the two are
+// directly comparable: a global single-Count aggregate over Filters, Joins
+// and Scans, with the protected table appearing exactly once.
+//
+// The influence map is computed against the full input and reused for the
+// sampled neighbouring datasets, like every broadcast in §V-B; addition
+// neighbours need a domain-aware rebinding and are not sampled here (pass a
+// nil domain to core.Run).
+func CompileDPCount(eng *mapreduce.Engine, plan Plan, protectedTable string) (core.Query[IndexedRow], []IndexedRow, error) {
+	var zero core.Query[IndexedRow]
+	if !isGlobalCount(plan) {
+		return zero, nil, fmt.Errorf("sql: plan is not a global single-count aggregate")
+	}
+	agg, err := countRootOf(plan)
+	if err != nil {
+		return zero, nil, err
+	}
+	scans := findScans(agg.Input, protectedTable)
+	if len(scans) == 0 {
+		return zero, nil, fmt.Errorf("sql: protected table %q not found in plan", protectedTable)
+	}
+	if len(scans) > 1 {
+		return zero, nil, fmt.Errorf("sql: protected table %q appears %d times; self-joins on the protected table are not supported", protectedTable, len(scans))
+	}
+	protected := scans[0]
+
+	const idxCol = "__protected_idx"
+	if _, err := protected.Cols.IndexOf(idxCol); err == nil {
+		return zero, nil, fmt.Errorf("sql: protected table already has a %s column", idxCol)
+	}
+	tagged, err := tagProtectedScan(agg.Input, protected, idxCol)
+	if err != nil {
+		return zero, nil, err
+	}
+	perRow := GroupBy(tagged, []string{idxCol}, AggSpec{Name: "influence", Func: AggCount})
+	rows, _, err := Execute(eng, perRow)
+	if err != nil {
+		return zero, nil, err
+	}
+	influence := make(map[int64]float64, len(rows))
+	for _, r := range rows {
+		idx, ok := r[0].AsInt()
+		if !ok {
+			return zero, nil, fmt.Errorf("sql: influence key has kind %s", r[0].Kind())
+		}
+		n, _ := r[1].AsInt()
+		influence[idx] = float64(n)
+	}
+	// Ship the influence table as a broadcast, like any §V-B lookup.
+	broadcast, err := mapreduce.NewBroadcast(eng, influence, len(influence))
+	if err != nil {
+		return zero, nil, err
+	}
+
+	data := make([]IndexedRow, len(protected.Rows))
+	for i, r := range protected.Rows {
+		data[i] = IndexedRow{Idx: i, Row: r}
+	}
+	q := core.Query[IndexedRow]{
+		Name:      "dpcount:" + protectedTable,
+		StateDim:  1,
+		OutputDim: 1,
+		Map: func(ir IndexedRow) core.State {
+			return core.State{broadcast.Value()[int64(ir.Idx)]}
+		},
+	}
+	return q, data, nil
+}
+
+// countRootOf unwraps Limit/OrderBy above the counting aggregate.
+func countRootOf(plan Plan) (*AggregatePlan, error) {
+	for {
+		switch p := plan.(type) {
+		case *LimitPlan:
+			plan = p.Input
+		case *OrderByPlan:
+			plan = p.Input
+		case *AggregatePlan:
+			return p, nil
+		default:
+			return nil, fmt.Errorf("sql: no counting aggregate at plan root")
+		}
+	}
+}
+
+// findScans returns every scan of the named table beneath plan.
+func findScans(plan Plan, name string) []*ScanPlan {
+	switch p := plan.(type) {
+	case *ScanPlan:
+		if p.Name == name {
+			return []*ScanPlan{p}
+		}
+		return nil
+	case *FilterPlan:
+		return findScans(p.Input, name)
+	case *JoinPlan:
+		return append(findScans(p.Left, name), findScans(p.Right, name)...)
+	default:
+		return nil
+	}
+}
+
+// tagProtectedScan rewrites the Filter/Join tree, replacing the protected
+// scan with a copy carrying the hidden index column. Any other node kind in
+// the interior would drop or reshape columns, so it is rejected.
+func tagProtectedScan(plan Plan, protected *ScanPlan, idxCol string) (Plan, error) {
+	switch p := plan.(type) {
+	case *ScanPlan:
+		if p != protected {
+			return p, nil
+		}
+		cols := make(Schema, 0, len(p.Cols)+1)
+		cols = append(cols, p.Cols...)
+		cols = append(cols, Column{Name: idxCol, Kind: KindInt})
+		rows := make([]Row, len(p.Rows))
+		for i, r := range p.Rows {
+			row := make(Row, 0, len(r)+1)
+			row = append(row, r...)
+			row = append(row, Int(int64(i)))
+			rows[i] = row
+		}
+		return Scan(p.Name, cols, rows), nil
+	case *FilterPlan:
+		in, err := tagProtectedScan(p.Input, protected, idxCol)
+		if err != nil {
+			return nil, err
+		}
+		return Where(in, p.Pred), nil
+	case *JoinPlan:
+		left, err := tagProtectedScan(p.Left, protected, idxCol)
+		if err != nil {
+			return nil, err
+		}
+		right, err := tagProtectedScan(p.Right, protected, idxCol)
+		if err != nil {
+			return nil, err
+		}
+		return JoinOn(left, p.LeftKey, right, p.RightKey), nil
+	default:
+		return nil, fmt.Errorf("sql: DP compilation supports Filter/Join/Scan interiors, found %T", plan)
+	}
+}

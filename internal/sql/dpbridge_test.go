@@ -1,0 +1,196 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"upa/internal/bruteforce"
+	"upa/internal/core"
+	"upa/internal/mapreduce"
+)
+
+// q4ish builds the test plan: count (order, lineitem) joined pairs with a
+// filter on both sides.
+func q4ish(orders, lineitems *ScanPlan) Plan {
+	joined := JoinOn(orders, "custkey", lineitems, "okey")
+	filtered := Where(joined, Gt(Col("price"), Lit(Float(60))))
+	return GroupBy(filtered, nil, AggSpec{Name: "n", Func: AggCount})
+}
+
+func lineitemsScan() *ScanPlan {
+	cols := Schema{{Name: "okey", Kind: KindInt}, {Name: "qty", Kind: KindInt}}
+	rows := []Row{
+		{Int(10), Int(1)}, {Int(10), Int(2)}, {Int(10), Int(3)},
+		{Int(11), Int(4)}, {Int(12), Int(5)},
+	}
+	return Scan("lineitem", cols, rows)
+}
+
+func TestCompileDPCountMatchesExecute(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	plan := q4ish(ordersScan(), lineitemsScan())
+	want, err := ExecuteCount(eng, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, data, err := CompileDPCount(eng, plan, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.RunVanilla(eng, q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != float64(want) {
+		t.Fatalf("DP-compiled count = %v, Execute = %d", out[0], want)
+	}
+}
+
+func TestCompileDPCountInfluenceIsExact(t *testing.T) {
+	// Brute force over the compiled query must equal re-executing the plan
+	// with each protected row removed.
+	eng := mapreduce.NewEngine()
+	orders := ordersScan()
+	plan := q4ish(orders, lineitemsScan())
+	q, data, err := CompileDPCount(eng, plan, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := bruteforce.LocalSensitivity(eng, q, data, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orders.Rows {
+		// Reference: drop row i and re-execute.
+		kept := make([]Row, 0, len(orders.Rows)-1)
+		kept = append(kept, orders.Rows[:i]...)
+		kept = append(kept, orders.Rows[i+1:]...)
+		refPlan := q4ish(Scan("orders", orders.Cols, kept), lineitemsScan())
+		want, err := ExecuteCount(eng, refPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := truth.RemovalOutputs[i][0]; got != float64(want) {
+			t.Fatalf("row %d: removal output %v, re-execution %d", i, got, want)
+		}
+	}
+}
+
+func TestCompileDPCountEndToEndRelease(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	plan := q4ish(ordersScan(), lineitemsScan())
+	q, data, err := CompileDPCount(eng, plan, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.SampleSize = len(data) // exact neighbours on the tiny relation
+	sys, err := core.NewSystem(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(sys, q, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 {
+		t.Fatalf("release dim = %d", len(res.Output))
+	}
+	// The order with custkey 10 (two orders, price 100 and 50) joins three
+	// lineitems each; price>60 keeps only the 100-priced one → its removal
+	// erases 3 pairs. Exact neighbours make this the empirical sensitivity.
+	if res.EmpiricalLocalSensitivity[0] != 3 {
+		t.Fatalf("empirical sensitivity = %v, want 3", res.EmpiricalLocalSensitivity[0])
+	}
+}
+
+func TestCompileDPCountValidation(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	orders := ordersScan()
+	lineitems := lineitemsScan()
+
+	// Not a count.
+	notCount := GroupBy(orders, nil, AggSpec{Name: "s", Func: AggSum, Arg: Col("price")})
+	if _, _, err := CompileDPCount(eng, notCount, "orders"); err == nil {
+		t.Error("non-count plan accepted")
+	}
+	// Unknown protected table.
+	plan := q4ish(orders, lineitems)
+	if _, _, err := CompileDPCount(eng, plan, "nope"); err == nil {
+		t.Error("unknown protected table accepted")
+	}
+	// Self-join on the protected table.
+	self := GroupBy(JoinOn(orders, "custkey", orders, "custkey"), nil,
+		AggSpec{Name: "n", Func: AggCount})
+	if _, _, err := CompileDPCount(eng, self, "orders"); err == nil {
+		t.Error("protected self-join accepted")
+	}
+	// Interior Project is outside the fragment.
+	projected := GroupBy(
+		Project(orders, NamedExpr{Name: "custkey", Expr: Col("custkey")}),
+		nil, AggSpec{Name: "n", Func: AggCount})
+	if _, _, err := CompileDPCount(eng, projected, "orders"); err == nil {
+		t.Error("interior Project accepted")
+	}
+	// Reserved column clash.
+	clash := Scan("t", Schema{{Name: "__protected_idx", Kind: KindInt}}, []Row{{Int(1)}})
+	clashPlan := GroupBy(clash, nil, AggSpec{Name: "n", Func: AggCount})
+	if _, _, err := CompileDPCount(eng, clashPlan, "t"); err == nil ||
+		!strings.Contains(err.Error(), "__protected_idx") {
+		t.Errorf("reserved column clash not rejected: %v", err)
+	}
+}
+
+func TestCompileDPCountUnwrapsRootDecorations(t *testing.T) {
+	// ORDER BY and LIMIT above the counting aggregate are presentation-only
+	// and must not block DP compilation.
+	eng := mapreduce.NewEngine()
+	inner := q4ish(ordersScan(), lineitemsScan())
+	decorated := Limit(OrderBy(inner, SortKey{Column: "n"}), 1)
+	q, data, err := CompileDPCount(eng, decorated, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExecuteCount(eng, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := core.RunVanilla(eng, q, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != float64(want) {
+		t.Fatalf("decorated DP count = %v, want %d", out[0], want)
+	}
+}
+
+func TestCompileDPCountZeroInfluenceRows(t *testing.T) {
+	// Rows filtered out entirely have zero influence; the broadcast map
+	// must default them to 0 rather than fail.
+	eng := mapreduce.NewEngine()
+	plan := GroupBy(
+		Where(ordersScan(), Eq(Col("status"), Lit(Str("F")))),
+		nil, AggSpec{Name: "n", Func: AggCount})
+	q, data, err := CompileDPCount(eng, plan, "orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := bruteforce.LocalSensitivity(eng, q, data, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Status O rows (two of five) contribute 0; their removal outputs equal
+	// the full count of 3.
+	zeroInfluence := 0
+	for _, o := range truth.RemovalOutputs {
+		if o[0] == truth.Output[0] {
+			zeroInfluence++
+		}
+	}
+	if zeroInfluence != 2 {
+		t.Fatalf("%d zero-influence rows, want 2", zeroInfluence)
+	}
+	if truth.LocalSensitivity[0] != 1 {
+		t.Fatalf("count sensitivity = %v, want 1", truth.LocalSensitivity[0])
+	}
+}

@@ -1,0 +1,386 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"upa/internal/mapreduce"
+)
+
+// Execute compiles a logical plan onto the engine and runs it: scans become
+// partitioned datasets, filters/projections narrow transformations, joins
+// engine hash joins (with their shuffle accounting), and aggregations
+// ReduceByKey jobs. It returns the result rows and their schema.
+func Execute(eng *mapreduce.Engine, plan Plan) ([]Row, Schema, error) {
+	schema, err := plan.Schema()
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := compile(eng, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := ds.Collect()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, schema, nil
+}
+
+// ExecuteCount is a convenience for global-count plans: it returns the
+// single integer of a one-row, one-column result.
+func ExecuteCount(eng *mapreduce.Engine, plan Plan) (int64, error) {
+	rows, schema, err := Execute(eng, plan)
+	if err != nil {
+		return 0, err
+	}
+	if len(rows) != 1 || len(schema) != 1 {
+		return 0, fmt.Errorf("sql: plan is not a global single-aggregate (got %d rows × %d cols)",
+			len(rows), len(schema))
+	}
+	v, ok := rows[0][0].AsInt()
+	if !ok {
+		f, okF := rows[0][0].AsFloat()
+		if !okF {
+			return 0, fmt.Errorf("sql: count result is %s", rows[0][0].Kind())
+		}
+		v = int64(f)
+	}
+	return v, nil
+}
+
+func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) {
+	switch p := plan.(type) {
+	case *ScanPlan:
+		parts := eng.Workers()
+		if parts > len(p.Rows) {
+			parts = len(p.Rows)
+		}
+		if parts < 1 {
+			parts = 1
+		}
+		return mapreduce.FromSlice(eng, p.Rows, parts)
+
+	case *FilterPlan:
+		in, err := p.Input.Schema()
+		if err != nil {
+			return nil, err
+		}
+		pred, kind, err := p.Pred.bind(in)
+		if err != nil {
+			return nil, err
+		}
+		if kind != KindBool {
+			return nil, fmt.Errorf("sql: filter predicate is %s, want bool", kind)
+		}
+		ds, err := compile(eng, p.Input)
+		if err != nil {
+			return nil, err
+		}
+		// Predicate errors surface via MapPartitions rather than Filter so
+		// they abort the job instead of being swallowed.
+		return mapreduce.MapPartitions(ds, func(_ int, rows []Row) ([]Row, error) {
+			out := make([]Row, 0, len(rows))
+			for _, r := range rows {
+				v, err := pred(r)
+				if err != nil {
+					return nil, err
+				}
+				if b, _ := v.AsBool(); b {
+					out = append(out, r)
+				}
+			}
+			return out, nil
+		}), nil
+
+	case *ProjectPlan:
+		in, err := p.Input.Schema()
+		if err != nil {
+			return nil, err
+		}
+		bound := make([]boundExpr, len(p.Exprs))
+		for i, ne := range p.Exprs {
+			b, _, err := ne.Expr.bind(in)
+			if err != nil {
+				return nil, err
+			}
+			bound[i] = b
+		}
+		ds, err := compile(eng, p.Input)
+		if err != nil {
+			return nil, err
+		}
+		return mapreduce.MapPartitions(ds, func(_ int, rows []Row) ([]Row, error) {
+			out := make([]Row, len(rows))
+			for ri, r := range rows {
+				row := make(Row, len(bound))
+				for i, b := range bound {
+					v, err := b(r)
+					if err != nil {
+						return nil, err
+					}
+					row[i] = v
+				}
+				out[ri] = row
+			}
+			return out, nil
+		}), nil
+
+	case *JoinPlan:
+		ls, err := p.Left.Schema()
+		if err != nil {
+			return nil, err
+		}
+		rs, err := p.Right.Schema()
+		if err != nil {
+			return nil, err
+		}
+		li, err := ls.IndexOf(p.LeftKey)
+		if err != nil {
+			return nil, err
+		}
+		ri, err := rs.IndexOf(p.RightKey)
+		if err != nil {
+			return nil, err
+		}
+		left, err := compile(eng, p.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compile(eng, p.Right)
+		if err != nil {
+			return nil, err
+		}
+		keyedLeft := mapreduce.KeyBy(left, func(r Row) Value { return r[li] })
+		keyedRight := mapreduce.KeyBy(right, func(r Row) Value { return r[ri] })
+		joined, err := mapreduce.Join(keyedLeft, keyedRight)
+		if err != nil {
+			return nil, err
+		}
+		return mapreduce.Map(joined, func(p mapreduce.Pair[Value, mapreduce.Joined[Row, Row]]) Row {
+			out := make(Row, 0, len(p.Value.Left)+len(p.Value.Right))
+			out = append(out, p.Value.Left...)
+			out = append(out, p.Value.Right...)
+			return out
+		}), nil
+
+	case *AggregatePlan:
+		return compileAggregate(eng, p)
+
+	case *OrderByPlan:
+		return compileOrderBy(eng, p)
+
+	case *DistinctPlan:
+		return compileDistinct(eng, p)
+
+	case *LimitPlan:
+		ds, err := compile(eng, p.Input)
+		if err != nil {
+			return nil, err
+		}
+		if p.N < 0 {
+			return nil, fmt.Errorf("sql: negative limit %d", p.N)
+		}
+		// Limit needs the global prefix, so it repartitions to one.
+		single, err := mapreduce.Repartition(ds, 1)
+		if err != nil {
+			return nil, err
+		}
+		n := p.N
+		return mapreduce.MapPartitions(single, func(_ int, rows []Row) ([]Row, error) {
+			if len(rows) > n {
+				rows = rows[:n]
+			}
+			out := make([]Row, len(rows))
+			copy(out, rows)
+			return out, nil
+		}), nil
+
+	default:
+		return nil, fmt.Errorf("sql: unknown plan node %T", plan)
+	}
+}
+
+// aggState is the mergeable accumulator of one group: one slot per AggSpec.
+type aggState struct {
+	count int64
+	sums  []float64
+	mins  []float64
+	maxs  []float64
+}
+
+func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Dataset[Row], error) {
+	in, err := p.Input.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Aggs) == 0 {
+		return nil, fmt.Errorf("sql: aggregate without aggregate functions")
+	}
+	groupIdx := make([]int, len(p.GroupBy))
+	for i, g := range p.GroupBy {
+		idx, err := in.IndexOf(g)
+		if err != nil {
+			return nil, err
+		}
+		groupIdx[i] = idx
+	}
+	args := make([]boundExpr, len(p.Aggs))
+	for i, a := range p.Aggs {
+		if a.Func == AggCount {
+			continue
+		}
+		if a.Arg == nil {
+			return nil, fmt.Errorf("sql: aggregate %s(%s) needs an argument", a.Func, a.Name)
+		}
+		b, kind, err := a.Arg.bind(in)
+		if err != nil {
+			return nil, err
+		}
+		if !numeric(kind) {
+			return nil, fmt.Errorf("sql: %s over %s argument", a.Func, kind)
+		}
+		args[i] = b
+	}
+
+	ds, err := compile(eng, p.Input)
+	if err != nil {
+		return nil, err
+	}
+
+	nAggs := len(p.Aggs)
+	toState := func(r Row) (mapreduce.Pair[string, aggState], error) {
+		st := aggState{
+			count: 1,
+			sums:  make([]float64, nAggs),
+			mins:  make([]float64, nAggs),
+			maxs:  make([]float64, nAggs),
+		}
+		for i, b := range args {
+			if b == nil {
+				continue
+			}
+			v, err := b(r)
+			if err != nil {
+				return mapreduce.Pair[string, aggState]{}, err
+			}
+			f, _ := v.AsFloat()
+			st.sums[i] = f
+			st.mins[i] = f
+			st.maxs[i] = f
+		}
+		key := ""
+		for _, gi := range groupIdx {
+			key += r[gi].String() + "\x1f"
+		}
+		return mapreduce.Pair[string, aggState]{Key: key, Value: st}, nil
+	}
+
+	// Keep the group-key row values for output reconstruction.
+	type keyed struct {
+		Pair mapreduce.Pair[string, aggState]
+		Keys Row
+	}
+	keyedDS := mapreduce.MapPartitions(ds, func(_ int, rows []Row) ([]keyed, error) {
+		out := make([]keyed, len(rows))
+		for i, r := range rows {
+			pair, err := toState(r)
+			if err != nil {
+				return nil, err
+			}
+			keys := make(Row, len(groupIdx))
+			for j, gi := range groupIdx {
+				keys[j] = r[gi]
+			}
+			out[i] = keyed{Pair: pair, Keys: keys}
+		}
+		return out, nil
+	})
+
+	pairs := mapreduce.Map(keyedDS, func(k keyed) mapreduce.Pair[string, groupAcc] {
+		return mapreduce.Pair[string, groupAcc]{
+			Key:   k.Pair.Key,
+			Value: groupAcc{State: k.Pair.Value, Keys: k.Keys},
+		}
+	})
+	merged := mapreduce.ReduceByKey(pairs, mergeGroups)
+
+	specs := p.Aggs
+	out := mapreduce.Map(merged, func(pr mapreduce.Pair[string, groupAcc]) Row {
+		st := pr.Value.State
+		row := make(Row, 0, len(pr.Value.Keys)+len(specs))
+		row = append(row, pr.Value.Keys...)
+		for i, a := range specs {
+			switch a.Func {
+			case AggCount:
+				row = append(row, Int(st.count))
+			case AggSum:
+				row = append(row, Float(st.sums[i]))
+			case AggAvg:
+				if st.count == 0 {
+					row = append(row, Float(math.NaN()))
+				} else {
+					row = append(row, Float(st.sums[i]/float64(st.count)))
+				}
+			case AggMin:
+				row = append(row, Float(st.mins[i]))
+			case AggMax:
+				row = append(row, Float(st.maxs[i]))
+			}
+		}
+		return row
+	})
+
+	if len(p.GroupBy) == 0 {
+		return globalAggregateFallback(eng, out, specs)
+	}
+	return out, nil
+}
+
+// groupAcc carries the accumulator plus the group's key values.
+type groupAcc struct {
+	State aggState
+	Keys  Row
+}
+
+// mergeGroups is the commutative, associative reducer over group
+// accumulators.
+func mergeGroups(a, b groupAcc) groupAcc {
+	n := len(a.State.sums)
+	out := groupAcc{
+		Keys: a.Keys,
+		State: aggState{
+			count: a.State.count + b.State.count,
+			sums:  make([]float64, n),
+			mins:  make([]float64, n),
+			maxs:  make([]float64, n),
+		},
+	}
+	for i := 0; i < n; i++ {
+		out.State.sums[i] = a.State.sums[i] + b.State.sums[i]
+		out.State.mins[i] = math.Min(a.State.mins[i], b.State.mins[i])
+		out.State.maxs[i] = math.Max(a.State.maxs[i], b.State.maxs[i])
+	}
+	return out
+}
+
+// globalAggregateFallback handles the empty-input global aggregate: SQL
+// semantics return one row (count 0) even with no input rows.
+func globalAggregateFallback(eng *mapreduce.Engine, out *mapreduce.Dataset[Row], specs []AggSpec) (*mapreduce.Dataset[Row], error) {
+	rows, err := out.Collect()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) > 0 {
+		return mapreduce.FromPartitions(eng, [][]Row{rows})
+	}
+	row := make(Row, len(specs))
+	for i, a := range specs {
+		if a.Func == AggCount {
+			row[i] = Int(0)
+		} else {
+			row[i] = Float(0)
+		}
+	}
+	return mapreduce.FromPartitions(eng, [][]Row{{row}})
+}

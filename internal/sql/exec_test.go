@@ -1,0 +1,273 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"upa/internal/mapreduce"
+)
+
+func eng() *mapreduce.Engine { return mapreduce.NewEngine() }
+
+// orders is a small test relation.
+func ordersScan() *ScanPlan {
+	cols := Schema{
+		{Name: "orderkey", Kind: KindInt},
+		{Name: "custkey", Kind: KindInt},
+		{Name: "price", Kind: KindFloat},
+		{Name: "status", Kind: KindString},
+	}
+	rows := []Row{
+		{Int(1), Int(10), Float(100), Str("F")},
+		{Int(2), Int(11), Float(250), Str("O")},
+		{Int(3), Int(10), Float(50), Str("F")},
+		{Int(4), Int(12), Float(400), Str("F")},
+		{Int(5), Int(11), Float(75), Str("O")},
+	}
+	return Scan("orders", cols, rows)
+}
+
+func customersScan() *ScanPlan {
+	cols := Schema{
+		{Name: "custkey", Kind: KindInt},
+		{Name: "nation", Kind: KindString},
+	}
+	rows := []Row{
+		{Int(10), Str("DE")},
+		{Int(11), Str("FR")},
+		{Int(12), Str("DE")},
+		{Int(13), Str("US")},
+	}
+	return Scan("customers", cols, rows)
+}
+
+func TestScanExecute(t *testing.T) {
+	rows, schema, err := Execute(eng(), ordersScan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 || len(schema) != 4 {
+		t.Fatalf("scan returned %d rows × %d cols", len(rows), len(schema))
+	}
+}
+
+func TestFilterExecute(t *testing.T) {
+	plan := Where(ordersScan(), Eq(Col("status"), Lit(Str("F"))))
+	rows, _, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("filter kept %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if s, _ := r[3].AsString(); s != "F" {
+			t.Fatalf("non-matching row survived: %v", r)
+		}
+	}
+}
+
+func TestProjectExecute(t *testing.T) {
+	plan := Project(ordersScan(),
+		NamedExpr{Name: "okey", Expr: Col("orderkey")},
+		NamedExpr{Name: "taxed", Expr: Mul(Col("price"), Lit(Float(1.1)))},
+	)
+	rows, schema, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 2 || schema[1].Name != "taxed" || schema[1].Kind != KindFloat {
+		t.Fatalf("schema = %v", schema)
+	}
+	if v, _ := rows[0][1].AsFloat(); math.Abs(v-110) > 1e-9 {
+		t.Fatalf("taxed price = %v, want 110", v)
+	}
+}
+
+func TestJoinExecute(t *testing.T) {
+	plan := JoinOn(ordersScan(), "custkey", customersScan(), "custkey")
+	rows, schema, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 6 {
+		t.Fatalf("join schema has %d columns, want 6", len(schema))
+	}
+	if len(rows) != 5 { // every order matches exactly one customer
+		t.Fatalf("join produced %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		ok1, _ := r[1].AsInt()
+		ok2, _ := r[4].AsInt()
+		if ok1 != ok2 {
+			t.Fatalf("join keys differ in output row: %v", r)
+		}
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	plan := GroupBy(ordersScan(), nil,
+		AggSpec{Name: "n", Func: AggCount},
+		AggSpec{Name: "total", Func: AggSum, Arg: Col("price")},
+		AggSpec{Name: "avg", Func: AggAvg, Arg: Col("price")},
+		AggSpec{Name: "lo", Func: AggMin, Arg: Col("price")},
+		AggSpec{Name: "hi", Func: AggMax, Arg: Col("price")},
+	)
+	rows, schema, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(schema) != 5 {
+		t.Fatalf("global aggregate returned %d rows × %d cols", len(rows), len(schema))
+	}
+	r := rows[0]
+	if n, _ := r[0].AsInt(); n != 5 {
+		t.Errorf("count = %v, want 5", r[0])
+	}
+	if v, _ := r[1].AsFloat(); v != 875 {
+		t.Errorf("sum = %v, want 875", v)
+	}
+	if v, _ := r[2].AsFloat(); v != 175 {
+		t.Errorf("avg = %v, want 175", v)
+	}
+	if v, _ := r[3].AsFloat(); v != 50 {
+		t.Errorf("min = %v, want 50", v)
+	}
+	if v, _ := r[4].AsFloat(); v != 400 {
+		t.Errorf("max = %v, want 400", v)
+	}
+}
+
+func TestGroupByAggregate(t *testing.T) {
+	plan := GroupBy(ordersScan(), []string{"custkey"},
+		AggSpec{Name: "n", Func: AggCount},
+		AggSpec{Name: "spend", Func: AggSum, Arg: Col("price")},
+	)
+	rows, schema, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 3 || schema[0].Name != "custkey" {
+		t.Fatalf("schema = %v", schema)
+	}
+	got := map[int64][2]float64{}
+	for _, r := range rows {
+		k, _ := r[0].AsInt()
+		n, _ := r[1].AsInt()
+		s, _ := r[2].AsFloat()
+		got[k] = [2]float64{float64(n), s}
+	}
+	want := map[int64][2]float64{10: {2, 150}, 11: {2, 325}, 12: {1, 400}}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("group %d = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestEmptyGlobalCount(t *testing.T) {
+	empty := Scan("empty", Schema{{Name: "x", Kind: KindInt}}, nil)
+	plan := GroupBy(empty, nil, AggSpec{Name: "n", Func: AggCount})
+	n, err := ExecuteCount(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("count over empty relation = %d, want 0", n)
+	}
+}
+
+func TestLimitExecute(t *testing.T) {
+	rows, _, err := Execute(eng(), Limit(ordersScan(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("limit kept %d rows, want 2", len(rows))
+	}
+	if _, _, err := Execute(eng(), Limit(ordersScan(), -1)); err == nil {
+		t.Fatal("negative limit accepted")
+	}
+}
+
+func TestExecuteCountValidation(t *testing.T) {
+	if _, err := ExecuteCount(eng(), ordersScan()); err == nil {
+		t.Fatal("multi-row plan accepted as count")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, _, err := Execute(eng(), GroupBy(ordersScan(), nil)); err == nil {
+		t.Fatal("aggregate with no functions accepted")
+	}
+	if _, _, err := Execute(eng(), GroupBy(ordersScan(), nil,
+		AggSpec{Name: "s", Func: AggSum})); err == nil {
+		t.Fatal("sum without argument accepted")
+	}
+	if _, _, err := Execute(eng(), GroupBy(ordersScan(), nil,
+		AggSpec{Name: "s", Func: AggSum, Arg: Col("status")})); err == nil {
+		t.Fatal("sum over string accepted")
+	}
+	if _, _, err := Execute(eng(), GroupBy(ordersScan(), []string{"nope"},
+		AggSpec{Name: "n", Func: AggCount})); err == nil {
+		t.Fatal("group-by over unknown column accepted")
+	}
+}
+
+func TestFilterTypeError(t *testing.T) {
+	if _, _, err := Execute(eng(), Where(ordersScan(), Col("price"))); err == nil {
+		t.Fatal("non-boolean predicate accepted")
+	}
+}
+
+// TestJoinAggregateMatchesReference cross-checks the executor against an
+// in-memory reference on random relations: count of joined pairs grouped
+// sums.
+func TestJoinAggregateMatchesReference(t *testing.T) {
+	f := func(leftKeys, rightKeys []uint8) bool {
+		leftCols := Schema{{Name: "k", Kind: KindInt}, {Name: "v", Kind: KindInt}}
+		rightCols := Schema{{Name: "k2", Kind: KindInt}, {Name: "w", Kind: KindInt}}
+		var left, right []Row
+		for i, k := range leftKeys {
+			left = append(left, Row{Int(int64(k % 8)), Int(int64(i))})
+		}
+		for i, k := range rightKeys {
+			right = append(right, Row{Int(int64(k % 8)), Int(int64(i))})
+		}
+		want := 0
+		for _, l := range left {
+			for _, r := range right {
+				if l[0] == r[0] {
+					want++
+				}
+			}
+		}
+		plan := GroupBy(
+			JoinOn(Scan("l", leftCols, left), "k", Scan("r", rightCols, right), "k2"),
+			nil, AggSpec{Name: "n", Func: AggCount})
+		n, err := ExecuteCount(eng(), plan)
+		if err != nil {
+			return false
+		}
+		return int(n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribePlan(t *testing.T) {
+	plan := Limit(GroupBy(Where(ordersScan(), Eq(Col("status"), Lit(Str("F")))), nil,
+		AggSpec{Name: "n", Func: AggCount}), 1)
+	d := Describe(plan)
+	for _, want := range []string{"limit", "aggregate", "filter", "scan(orders)"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe = %q, missing %q", d, want)
+		}
+	}
+}

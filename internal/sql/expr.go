@@ -1,0 +1,257 @@
+package sql
+
+import "fmt"
+
+// Expr is a scalar expression over a row. Expressions are built unbound
+// (column references by name) and bound to a schema before execution, so
+// per-row evaluation is index-based.
+type Expr interface {
+	// bind resolves column references against schema and returns the
+	// expression's result kind.
+	bind(schema Schema) (boundExpr, Kind, error)
+	// describe renders the expression for diagnostics.
+	describe() string
+}
+
+// boundExpr evaluates against a concrete row.
+type boundExpr func(Row) (Value, error)
+
+// Col references a column by name.
+func Col(name string) Expr { return colExpr{name: name} }
+
+type colExpr struct{ name string }
+
+func (e colExpr) bind(schema Schema) (boundExpr, Kind, error) {
+	idx, err := schema.IndexOf(e.name)
+	if err != nil {
+		return nil, 0, err
+	}
+	kind := schema[idx].Kind
+	return func(r Row) (Value, error) {
+		if idx >= len(r) {
+			return Value{}, fmt.Errorf("sql: row has %d columns, need %d", len(r), idx+1)
+		}
+		return r[idx], nil
+	}, kind, nil
+}
+
+func (e colExpr) describe() string { return e.name }
+
+// Lit wraps a constant value.
+func Lit(v Value) Expr { return litExpr{v: v} }
+
+type litExpr struct{ v Value }
+
+func (e litExpr) bind(Schema) (boundExpr, Kind, error) {
+	v := e.v
+	return func(Row) (Value, error) { return v, nil }, v.Kind(), nil
+}
+
+func (e litExpr) describe() string { return e.v.String() }
+
+// binOp is the operator of a binary expression.
+type binOp int
+
+const (
+	opAdd binOp = iota + 1
+	opSub
+	opMul
+	opDiv
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opAnd
+	opOr
+)
+
+var opNames = map[binOp]string{
+	opAdd: "+", opSub: "-", opMul: "*", opDiv: "/",
+	opEq: "=", opNe: "<>", opLt: "<", opLe: "<=", opGt: ">", opGe: ">=",
+	opAnd: "AND", opOr: "OR",
+}
+
+type binExpr struct {
+	op          binOp
+	left, right Expr
+}
+
+// Arithmetic constructors.
+func Add(a, b Expr) Expr { return binExpr{op: opAdd, left: a, right: b} }
+func Sub(a, b Expr) Expr { return binExpr{op: opSub, left: a, right: b} }
+func Mul(a, b Expr) Expr { return binExpr{op: opMul, left: a, right: b} }
+func Div(a, b Expr) Expr { return binExpr{op: opDiv, left: a, right: b} }
+
+// Comparison constructors.
+func Eq(a, b Expr) Expr { return binExpr{op: opEq, left: a, right: b} }
+func Ne(a, b Expr) Expr { return binExpr{op: opNe, left: a, right: b} }
+func Lt(a, b Expr) Expr { return binExpr{op: opLt, left: a, right: b} }
+func Le(a, b Expr) Expr { return binExpr{op: opLe, left: a, right: b} }
+func Gt(a, b Expr) Expr { return binExpr{op: opGt, left: a, right: b} }
+func Ge(a, b Expr) Expr { return binExpr{op: opGe, left: a, right: b} }
+
+// Logical constructors.
+func And(a, b Expr) Expr { return binExpr{op: opAnd, left: a, right: b} }
+func Or(a, b Expr) Expr  { return binExpr{op: opOr, left: a, right: b} }
+
+// Not negates a boolean expression.
+func Not(e Expr) Expr { return notExpr{inner: e} }
+
+type notExpr struct{ inner Expr }
+
+func (e notExpr) bind(schema Schema) (boundExpr, Kind, error) {
+	inner, kind, err := e.inner.bind(schema)
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != KindBool {
+		return nil, 0, fmt.Errorf("sql: NOT over %s", kind)
+	}
+	return func(r Row) (Value, error) {
+		v, err := inner(r)
+		if err != nil {
+			return Value{}, err
+		}
+		b, _ := v.AsBool()
+		return Bool(!b), nil
+	}, KindBool, nil
+}
+
+func (e notExpr) describe() string { return "NOT " + e.inner.describe() }
+
+func (e binExpr) describe() string {
+	return "(" + e.left.describe() + " " + opNames[e.op] + " " + e.right.describe() + ")"
+}
+
+func (e binExpr) bind(schema Schema) (boundExpr, Kind, error) {
+	left, lk, err := e.left.bind(schema)
+	if err != nil {
+		return nil, 0, err
+	}
+	right, rk, err := e.right.bind(schema)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch e.op {
+	case opAdd, opSub, opMul, opDiv:
+		if !numeric(lk) || !numeric(rk) {
+			return nil, 0, fmt.Errorf("sql: %s over %s and %s", opNames[e.op], lk, rk)
+		}
+		// Integer arithmetic stays integral except division.
+		outKind := KindFloat
+		if lk == KindInt && rk == KindInt && e.op != opDiv {
+			outKind = KindInt
+		}
+		op := e.op
+		return func(r Row) (Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := right(r)
+			if err != nil {
+				return Value{}, err
+			}
+			if outKind == KindInt {
+				li, _ := lv.AsInt()
+				ri, _ := rv.AsInt()
+				switch op {
+				case opAdd:
+					return Int(li + ri), nil
+				case opSub:
+					return Int(li - ri), nil
+				default:
+					return Int(li * ri), nil
+				}
+			}
+			lf, _ := lv.AsFloat()
+			rf, _ := rv.AsFloat()
+			switch op {
+			case opAdd:
+				return Float(lf + rf), nil
+			case opSub:
+				return Float(lf - rf), nil
+			case opMul:
+				return Float(lf * rf), nil
+			default:
+				if rf == 0 {
+					return Value{}, fmt.Errorf("sql: division by zero in %s", e.describe())
+				}
+				return Float(lf / rf), nil
+			}
+		}, outKind, nil
+
+	case opEq, opNe, opLt, opLe, opGt, opGe:
+		op := e.op
+		return func(r Row) (Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return Value{}, err
+			}
+			rv, err := right(r)
+			if err != nil {
+				return Value{}, err
+			}
+			// Equality over identical kinds short-circuits; mixed numeric
+			// kinds and orderings go through Compare.
+			if (op == opEq || op == opNe) && lv.Kind() == rv.Kind() {
+				eq := lv == rv
+				if op == opNe {
+					eq = !eq
+				}
+				return Bool(eq), nil
+			}
+			c, err := Compare(lv, rv)
+			if err != nil {
+				return Value{}, fmt.Errorf("sql: %s: %w", e.describe(), err)
+			}
+			var out bool
+			switch op {
+			case opEq:
+				out = c == 0
+			case opNe:
+				out = c != 0
+			case opLt:
+				out = c < 0
+			case opLe:
+				out = c <= 0
+			case opGt:
+				out = c > 0
+			default:
+				out = c >= 0
+			}
+			return Bool(out), nil
+		}, KindBool, nil
+
+	case opAnd, opOr:
+		if lk != KindBool || rk != KindBool {
+			return nil, 0, fmt.Errorf("sql: %s over %s and %s", opNames[e.op], lk, rk)
+		}
+		isAnd := e.op == opAnd
+		return func(r Row) (Value, error) {
+			lv, err := left(r)
+			if err != nil {
+				return Value{}, err
+			}
+			lb, _ := lv.AsBool()
+			if isAnd && !lb {
+				return Bool(false), nil
+			}
+			if !isAnd && lb {
+				return Bool(true), nil
+			}
+			rv, err := right(r)
+			if err != nil {
+				return Value{}, err
+			}
+			rb, _ := rv.AsBool()
+			return Bool(rb), nil
+		}, KindBool, nil
+	default:
+		return nil, 0, fmt.Errorf("sql: unknown operator %d", e.op)
+	}
+}
+
+func numeric(k Kind) bool { return k == KindInt || k == KindFloat }

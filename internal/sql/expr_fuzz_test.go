@@ -1,0 +1,185 @@
+package sql
+
+import (
+	"math"
+	"testing"
+
+	"upa/internal/stats"
+)
+
+// exprNode mirrors a generated expression for reference evaluation.
+type exprNode struct {
+	op          string // "col", "lit", "+", "-", "*", "<", "<=", "=", "and", "or", "not"
+	col         int
+	lit         float64
+	left, right *exprNode
+}
+
+// genNumeric builds a random numeric expression tree of bounded depth.
+func genNumeric(rng *stats.RNG, depth int) *exprNode {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return &exprNode{op: "col", col: rng.Intn(3)}
+		}
+		return &exprNode{op: "lit", lit: float64(rng.Intn(21) - 10)}
+	}
+	ops := []string{"+", "-", "*"}
+	return &exprNode{
+		op:    ops[rng.Intn(len(ops))],
+		left:  genNumeric(rng, depth-1),
+		right: genNumeric(rng, depth-1),
+	}
+}
+
+// genBool builds a random boolean expression tree over numeric comparisons.
+func genBool(rng *stats.RNG, depth int) *exprNode {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		ops := []string{"<", "<=", "="}
+		return &exprNode{
+			op:    ops[rng.Intn(len(ops))],
+			left:  genNumeric(rng, 2),
+			right: genNumeric(rng, 2),
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return &exprNode{op: "not", left: genBool(rng, depth-1)}
+	case 1:
+		return &exprNode{op: "and", left: genBool(rng, depth-1), right: genBool(rng, depth-1)}
+	default:
+		return &exprNode{op: "or", left: genBool(rng, depth-1), right: genBool(rng, depth-1)}
+	}
+}
+
+// toExpr lowers the mirror tree into the package's Expr builders.
+func toExpr(n *exprNode, cols []string) Expr {
+	switch n.op {
+	case "col":
+		return Col(cols[n.col])
+	case "lit":
+		return Lit(Float(n.lit))
+	case "+":
+		return Add(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "-":
+		return Sub(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "*":
+		return Mul(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "<":
+		return Lt(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "<=":
+		return Le(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "=":
+		return Eq(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "and":
+		return And(toExpr(n.left, cols), toExpr(n.right, cols))
+	case "or":
+		return Or(toExpr(n.left, cols), toExpr(n.right, cols))
+	default: // "not"
+		return Not(toExpr(n.left, cols))
+	}
+}
+
+// refNumeric is the reference interpreter.
+func refNumeric(n *exprNode, row []float64) float64 {
+	switch n.op {
+	case "col":
+		return row[n.col]
+	case "lit":
+		return n.lit
+	case "+":
+		return refNumeric(n.left, row) + refNumeric(n.right, row)
+	case "-":
+		return refNumeric(n.left, row) - refNumeric(n.right, row)
+	default: // "*"
+		return refNumeric(n.left, row) * refNumeric(n.right, row)
+	}
+}
+
+func refBool(n *exprNode, row []float64) bool {
+	switch n.op {
+	case "<":
+		return refNumeric(n.left, row) < refNumeric(n.right, row)
+	case "<=":
+		return refNumeric(n.left, row) <= refNumeric(n.right, row)
+	case "=":
+		return refNumeric(n.left, row) == refNumeric(n.right, row)
+	case "and":
+		return refBool(n.left, row) && refBool(n.right, row)
+	case "or":
+		return refBool(n.left, row) || refBool(n.right, row)
+	default: // "not"
+		return !refBool(n.left, row)
+	}
+}
+
+// TestRandomNumericExpressions cross-checks the expression compiler against
+// the mirror interpreter on random trees and rows.
+func TestRandomNumericExpressions(t *testing.T) {
+	rng := stats.NewRNG(515)
+	cols := []string{"a", "b", "c"}
+	schema := Schema{{Name: "a", Kind: KindFloat}, {Name: "b", Kind: KindFloat}, {Name: "c", Kind: KindFloat}}
+	for trial := 0; trial < 400; trial++ {
+		tree := genNumeric(rng, 4)
+		expr := toExpr(tree, cols)
+		bound, kind, err := expr.bind(schema)
+		if err != nil {
+			t.Fatalf("trial %d: bind %s: %v", trial, expr.describe(), err)
+		}
+		if kind != KindFloat {
+			t.Fatalf("trial %d: numeric tree bound to %s", trial, kind)
+		}
+		for r := 0; r < 5; r++ {
+			rowVals := []float64{
+				float64(rng.Intn(41) - 20),
+				float64(rng.Intn(41) - 20),
+				float64(rng.Intn(41) - 20),
+			}
+			row := Row{Float(rowVals[0]), Float(rowVals[1]), Float(rowVals[2])}
+			got, err := bound(row)
+			if err != nil {
+				t.Fatalf("trial %d: eval: %v", trial, err)
+			}
+			gf, _ := got.AsFloat()
+			want := refNumeric(tree, rowVals)
+			if math.Abs(gf-want) > 1e-9*math.Max(1, math.Abs(want)) {
+				t.Fatalf("trial %d: %s = %v, want %v (row %v)",
+					trial, expr.describe(), gf, want, rowVals)
+			}
+		}
+	}
+}
+
+// TestRandomBooleanExpressions does the same for boolean trees.
+func TestRandomBooleanExpressions(t *testing.T) {
+	rng := stats.NewRNG(929)
+	cols := []string{"a", "b", "c"}
+	schema := Schema{{Name: "a", Kind: KindFloat}, {Name: "b", Kind: KindFloat}, {Name: "c", Kind: KindFloat}}
+	for trial := 0; trial < 400; trial++ {
+		tree := genBool(rng, 3)
+		expr := toExpr(tree, cols)
+		bound, kind, err := expr.bind(schema)
+		if err != nil {
+			t.Fatalf("trial %d: bind %s: %v", trial, expr.describe(), err)
+		}
+		if kind != KindBool {
+			t.Fatalf("trial %d: boolean tree bound to %s", trial, kind)
+		}
+		for r := 0; r < 5; r++ {
+			rowVals := []float64{
+				float64(rng.Intn(9) - 4),
+				float64(rng.Intn(9) - 4),
+				float64(rng.Intn(9) - 4),
+			}
+			row := Row{Float(rowVals[0]), Float(rowVals[1]), Float(rowVals[2])}
+			got, err := bound(row)
+			if err != nil {
+				t.Fatalf("trial %d: eval: %v", trial, err)
+			}
+			gb, _ := got.AsBool()
+			if want := refBool(tree, rowVals); gb != want {
+				t.Fatalf("trial %d: %s = %v, want %v (row %v)",
+					trial, expr.describe(), gb, want, rowVals)
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+var exprSchema = Schema{
+	{Name: "i", Kind: KindInt},
+	{Name: "f", Kind: KindFloat},
+	{Name: "s", Kind: KindString},
+	{Name: "b", Kind: KindBool},
+}
+
+var exprRow = Row{Int(6), Float(2.5), Str("hello"), Bool(true)}
+
+func evalExpr(t *testing.T, e Expr) Value {
+	t.Helper()
+	bound, _, err := e.bind(exprSchema)
+	if err != nil {
+		t.Fatalf("bind %s: %v", e.describe(), err)
+	}
+	v, err := bound(exprRow)
+	if err != nil {
+		t.Fatalf("eval %s: %v", e.describe(), err)
+	}
+	return v
+}
+
+func TestExprEvaluation(t *testing.T) {
+	tests := []struct {
+		name string
+		expr Expr
+		want Value
+	}{
+		{"col int", Col("i"), Int(6)},
+		{"col string", Col("s"), Str("hello")},
+		{"lit", Lit(Float(1.25)), Float(1.25)},
+		{"int add", Add(Col("i"), Lit(Int(4))), Int(10)},
+		{"int sub", Sub(Col("i"), Lit(Int(10))), Int(-4)},
+		{"int mul", Mul(Col("i"), Lit(Int(3))), Int(18)},
+		{"mixed add widens", Add(Col("i"), Col("f")), Float(8.5)},
+		{"div always float", Div(Col("i"), Lit(Int(4))), Float(1.5)},
+		{"eq true", Eq(Col("i"), Lit(Int(6))), Bool(true)},
+		{"eq false", Eq(Col("i"), Lit(Int(7))), Bool(false)},
+		{"eq cross numeric", Eq(Col("i"), Lit(Float(6))), Bool(true)},
+		{"ne", Ne(Col("s"), Lit(Str("world"))), Bool(true)},
+		{"lt", Lt(Col("f"), Lit(Float(3))), Bool(true)},
+		{"le", Le(Col("i"), Lit(Int(6))), Bool(true)},
+		{"gt", Gt(Col("i"), Lit(Int(5))), Bool(true)},
+		{"ge false", Ge(Col("f"), Lit(Float(3))), Bool(false)},
+		{"and", And(Col("b"), Gt(Col("i"), Lit(Int(0)))), Bool(true)},
+		{"or short circuit", Or(Col("b"), Eq(Col("s"), Lit(Str("x")))), Bool(true)},
+		{"not", Not(Eq(Col("i"), Lit(Int(0)))), Bool(true)},
+		{"string eq", Eq(Col("s"), Lit(Str("hello"))), Bool(true)},
+		{"string lt", Lt(Col("s"), Lit(Str("zzz"))), Bool(true)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := evalExpr(t, tt.expr); got != tt.want {
+				t.Errorf("%s = %v, want %v", tt.expr.describe(), got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExprBindErrors(t *testing.T) {
+	bad := []Expr{
+		Col("missing"),
+		Add(Col("s"), Lit(Int(1))),
+		And(Col("i"), Col("b")),
+		Not(Col("i")),
+		Mul(Col("b"), Col("b")),
+	}
+	for _, e := range bad {
+		if _, _, err := e.bind(exprSchema); err == nil {
+			t.Errorf("bind %s succeeded, want error", e.describe())
+		}
+	}
+}
+
+func TestExprRuntimeErrors(t *testing.T) {
+	// Division by zero surfaces as an evaluation error.
+	e := Div(Col("i"), Sub(Col("i"), Lit(Int(6))))
+	bound, _, err := e.bind(exprSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bound(exprRow); err == nil {
+		t.Fatal("division by zero succeeded")
+	}
+	// Cross-kind ordering surfaces at evaluation.
+	cmp := Lt(Col("s"), Col("i"))
+	bound, _, err = cmp.bind(exprSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bound(exprRow); err == nil {
+		t.Fatal("string < int succeeded")
+	}
+}
+
+func TestExprDescribe(t *testing.T) {
+	e := And(Eq(Col("a"), Lit(Int(1))), Not(Col("b")))
+	d := e.describe()
+	for _, want := range []string{"a", "=", "1", "AND", "NOT", "b"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("describe %q missing %q", d, want)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package sql
+
+import (
+	"testing"
+)
+
+// skewedOrders builds a relation where custkey 10 dominates.
+func skewedOrders() *ScanPlan {
+	cols := Schema{
+		{Name: "orderkey", Kind: KindInt},
+		{Name: "custkey", Kind: KindInt},
+		{Name: "price", Kind: KindFloat},
+	}
+	var rows []Row
+	for i := 0; i < 40; i++ {
+		key := int64(10)
+		if i%4 == 0 {
+			key = int64(11 + i%5)
+		}
+		rows = append(rows, Row{Int(int64(i)), Int(key), Float(float64(i))})
+	}
+	return Scan("orders", cols, rows)
+}
+
+func TestFLEXPlanCountDetection(t *testing.T) {
+	countPlan := GroupBy(ordersScan(), nil, AggSpec{Name: "n", Func: AggCount})
+	p, err := FLEXPlan(eng(), "q", countPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CountQuery {
+		t.Fatal("global count not detected")
+	}
+
+	notCount := []Plan{
+		ordersScan(),
+		GroupBy(ordersScan(), nil, AggSpec{Name: "s", Func: AggSum, Arg: Col("price")}),
+		GroupBy(ordersScan(), []string{"custkey"}, AggSpec{Name: "n", Func: AggCount}),
+		GroupBy(ordersScan(), nil,
+			AggSpec{Name: "n", Func: AggCount},
+			AggSpec{Name: "s", Func: AggSum, Arg: Col("price")}),
+	}
+	for i, plan := range notCount {
+		p, err := FLEXPlan(eng(), "q", plan)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if p.CountQuery {
+			t.Errorf("case %d wrongly detected as count", i)
+		}
+	}
+
+	// Count under Limit still detected.
+	p, err = FLEXPlan(eng(), "q", Limit(countPlan, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CountQuery {
+		t.Fatal("count under limit not detected")
+	}
+}
+
+func TestFLEXPlanJoinStats(t *testing.T) {
+	plan := GroupBy(
+		JoinOn(customersScan(), "custkey", skewedOrders(), "custkey"),
+		nil, AggSpec{Name: "n", Func: AggCount})
+	p, err := FLEXPlan(eng(), "q13ish", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Joins) != 1 {
+		t.Fatalf("extracted %d joins, want 1", len(p.Joins))
+	}
+	j := p.Joins[0]
+	if j.Left.MaxFreq != 1 {
+		t.Errorf("customer key max frequency = %d, want 1 (primary key)", j.Left.MaxFreq)
+	}
+	if j.Right.MaxFreq != 30 { // custkey 10 appears in 30 of 40 rows
+		t.Errorf("orders custkey max frequency = %d, want 30", j.Right.MaxFreq)
+	}
+	sens, err := p.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sens != 30 {
+		t.Errorf("FLEX sensitivity = %v, want 30", sens)
+	}
+}
+
+func TestFLEXPlanIgnoresFilters(t *testing.T) {
+	// A filter that would eliminate the hot key entirely: FLEX must not
+	// see it (§II-B: filters ignored), so the stats are unchanged.
+	filtered := Where(skewedOrders(), Ne(Col("custkey"), Lit(Int(10))))
+	plan := GroupBy(
+		JoinOn(customersScan(), "custkey", filtered, "custkey"),
+		nil, AggSpec{Name: "n", Func: AggCount})
+	p, err := FLEXPlan(eng(), "filtered", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Joins[0].Right.MaxFreq != 30 {
+		t.Fatalf("FLEX saw the filter: max frequency %d, want 30", p.Joins[0].Right.MaxFreq)
+	}
+	// The actual count is far below FLEX's bound because the filter does
+	// run at execution time.
+	n, err := ExecuteCount(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Of the 10 non-hot rows, keys 11/12/13 (two rows each) match a
+	// customer; keys 14/15 match none.
+	if n != 6 {
+		t.Fatalf("executed count = %d, want 6", n)
+	}
+}
+
+func TestFLEXPlanMultiJoin(t *testing.T) {
+	// Two joins: the worst-case products multiply (error magnification).
+	inner := JoinOn(customersScan(), "custkey", skewedOrders(), "custkey")
+	nations := Scan("nations", Schema{{Name: "nation", Kind: KindString}},
+		[]Row{{Str("DE")}, {Str("FR")}, {Str("US")}})
+	plan := GroupBy(
+		JoinOn(inner, "nation", nations, "nation"),
+		nil, AggSpec{Name: "n", Func: AggCount})
+	p, err := FLEXPlan(eng(), "two-joins", plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Joins) != 2 {
+		t.Fatalf("extracted %d joins, want 2", len(p.Joins))
+	}
+	sens, err := p.LocalSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join 1 contributes 1*30; join 2 contributes maxfreq(nation in joined
+	// left, filter-stripped) * maxfreq(nations.nation = 1).
+	if sens < 30 {
+		t.Fatalf("multi-join sensitivity = %v, want >= 30", sens)
+	}
+}
+
+func TestStripFiltersPreservesShape(t *testing.T) {
+	plan := Limit(Project(Where(ordersScan(), Eq(Col("status"), Lit(Str("F")))),
+		NamedExpr{Name: "k", Expr: Col("orderkey")}), 3)
+	stripped := stripFilters(plan)
+	rows, _, err := Execute(eng(), stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Filter gone: all 5 source rows flow through (limit keeps 3).
+	if len(rows) != 3 {
+		t.Fatalf("stripped plan returned %d rows, want 3 (limit)", len(rows))
+	}
+	unlimited := stripFilters(Project(Where(ordersScan(), Eq(Col("status"), Lit(Str("F")))),
+		NamedExpr{Name: "k", Expr: Col("orderkey")}))
+	rows, _, err = Execute(eng(), unlimited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("stripped plan returned %d rows, want all 5", len(rows))
+	}
+}

@@ -1,0 +1,121 @@
+package sql
+
+import "testing"
+
+func TestOrderByExecute(t *testing.T) {
+	plan := OrderBy(ordersScan(), SortKey{Column: "price"})
+	rows, _, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, r := range rows {
+		v, _ := r[2].AsFloat()
+		if v < prev {
+			t.Fatalf("ascending order broken: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestOrderByDescendingAndTies(t *testing.T) {
+	plan := OrderBy(ordersScan(),
+		SortKey{Column: "status"},            // F before O
+		SortKey{Column: "price", Desc: true}) // within status, descending
+	rows, _, err := Execute(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First group: status F with prices 400, 100, 50.
+	wantPrices := []float64{400, 100, 50, 250, 75}
+	for i, r := range rows {
+		v, _ := r[2].AsFloat()
+		if v != wantPrices[i] {
+			t.Fatalf("row %d price = %v, want %v (rows %v)", i, v, wantPrices[i], rows)
+		}
+	}
+}
+
+func TestOrderByValidation(t *testing.T) {
+	if _, _, err := Execute(eng(), OrderBy(ordersScan())); err == nil {
+		t.Fatal("ORDER BY with no keys accepted")
+	}
+	if _, _, err := Execute(eng(), OrderBy(ordersScan(), SortKey{Column: "nope"})); err == nil {
+		t.Fatal("unknown sort column accepted")
+	}
+}
+
+func TestDistinctExecute(t *testing.T) {
+	cols := Schema{{Name: "a", Kind: KindInt}, {Name: "b", Kind: KindString}}
+	rows := []Row{
+		{Int(1), Str("x")},
+		{Int(2), Str("y")},
+		{Int(1), Str("x")},
+		{Int(1), Str("y")},
+		{Int(2), Str("y")},
+	}
+	got, _, err := Execute(eng(), Distinct(Scan("t", cols, rows)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("distinct kept %d rows, want 3: %v", len(got), got)
+	}
+	seen := map[string]bool{}
+	for _, r := range got {
+		k := rowKey(r)
+		if seen[k] {
+			t.Fatalf("duplicate row survived: %v", r)
+		}
+		seen[k] = true
+	}
+}
+
+func TestHavingViaFilterOverAggregate(t *testing.T) {
+	// SQL HAVING is a Filter over the aggregate's output schema — the plan
+	// algebra composes without a dedicated node.
+	grouped := GroupBy(ordersScan(), []string{"custkey"},
+		AggSpec{Name: "n", Func: AggCount},
+		AggSpec{Name: "spend", Func: AggSum, Arg: Col("price")},
+	)
+	having := Where(grouped, Gt(Col("spend"), Lit(Float(200))))
+	rows, schema, err := Execute(eng(), having)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 3 {
+		t.Fatalf("schema = %v", schema)
+	}
+	// Groups: 10 → 150, 11 → 325, 12 → 400; HAVING spend > 200 keeps two.
+	if len(rows) != 2 {
+		t.Fatalf("HAVING kept %d groups, want 2: %v", len(rows), rows)
+	}
+	for _, r := range rows {
+		if v, _ := r[2].AsFloat(); v <= 200 {
+			t.Fatalf("group %v escaped HAVING", r)
+		}
+	}
+}
+
+func TestDistinctCountPlan(t *testing.T) {
+	// SELECT count(*) FROM (SELECT DISTINCT custkey FROM orders): the shape
+	// of real TPC-H Q4's distinct-order counting.
+	plan := GroupBy(
+		Distinct(Project(ordersScan(), NamedExpr{Name: "custkey", Expr: Col("custkey")})),
+		nil, AggSpec{Name: "n", Func: AggCount})
+	n, err := ExecuteCount(eng(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 { // custkeys 10, 11, 12
+		t.Fatalf("distinct count = %d, want 3", n)
+	}
+	// FLEX detection works through Distinct and OrderBy wrappers.
+	p, err := FLEXPlan(eng(), "q", OrderBy(plan, SortKey{Column: "n"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CountQuery {
+		t.Fatal("count under OrderBy not detected")
+	}
+}

@@ -1,0 +1,221 @@
+package sql
+
+import "fmt"
+
+// Plan is a logical relational query plan. Build plans with the
+// constructors below and run them with Execute.
+type Plan interface {
+	// Schema returns the plan's output schema.
+	Schema() (Schema, error)
+	// describe renders the node for diagnostics.
+	describe() string
+}
+
+// ScanPlan reads a named base relation.
+type ScanPlan struct {
+	// Name labels the relation (used by FLEX extraction diagnostics).
+	Name string
+	// Cols is the relation's schema; Rows its tuples.
+	Cols Schema
+	Rows []Row
+}
+
+// Scan builds a base-relation scan.
+func Scan(name string, cols Schema, rows []Row) *ScanPlan {
+	return &ScanPlan{Name: name, Cols: cols, Rows: rows}
+}
+
+// Schema implements Plan.
+func (p *ScanPlan) Schema() (Schema, error) { return p.Cols, nil }
+
+func (p *ScanPlan) describe() string { return "scan(" + p.Name + ")" }
+
+// FilterPlan keeps the rows whose predicate evaluates to true.
+type FilterPlan struct {
+	Input Plan
+	Pred  Expr
+}
+
+// Where builds a filter over input.
+func Where(input Plan, pred Expr) *FilterPlan { return &FilterPlan{Input: input, Pred: pred} }
+
+// Schema implements Plan.
+func (p *FilterPlan) Schema() (Schema, error) { return p.Input.Schema() }
+
+func (p *FilterPlan) describe() string {
+	return "filter[" + p.Pred.describe() + "](" + p.Input.describe() + ")"
+}
+
+// NamedExpr is a projected expression with its output column name.
+type NamedExpr struct {
+	Name string
+	Expr Expr
+}
+
+// ProjectPlan computes a new row per input row.
+type ProjectPlan struct {
+	Input Plan
+	Exprs []NamedExpr
+}
+
+// Project builds a projection over input.
+func Project(input Plan, exprs ...NamedExpr) *ProjectPlan {
+	return &ProjectPlan{Input: input, Exprs: exprs}
+}
+
+// Schema implements Plan.
+func (p *ProjectPlan) Schema() (Schema, error) {
+	in, err := p.Input.Schema()
+	if err != nil {
+		return nil, err
+	}
+	out := make(Schema, len(p.Exprs))
+	for i, ne := range p.Exprs {
+		_, kind, err := ne.Expr.bind(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Column{Name: ne.Name, Kind: kind}
+	}
+	return out, nil
+}
+
+func (p *ProjectPlan) describe() string { return "project(" + p.Input.describe() + ")" }
+
+// JoinPlan is the equi-join of two inputs on one column each. The output
+// schema concatenates the left and right schemas (duplicate names keep both
+// entries; qualify upstream with Project if needed).
+type JoinPlan struct {
+	Left, Right       Plan
+	LeftKey, RightKey string
+}
+
+// JoinOn builds an inner equi-join.
+func JoinOn(left Plan, leftKey string, right Plan, rightKey string) *JoinPlan {
+	return &JoinPlan{Left: left, Right: right, LeftKey: leftKey, RightKey: rightKey}
+}
+
+// Schema implements Plan.
+func (p *JoinPlan) Schema() (Schema, error) {
+	ls, err := p.Left.Schema()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := p.Right.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := ls.IndexOf(p.LeftKey); err != nil {
+		return nil, fmt.Errorf("sql: join left key: %w", err)
+	}
+	if _, err := rs.IndexOf(p.RightKey); err != nil {
+		return nil, fmt.Errorf("sql: join right key: %w", err)
+	}
+	out := make(Schema, 0, len(ls)+len(rs))
+	out = append(out, ls...)
+	out = append(out, rs...)
+	return out, nil
+}
+
+func (p *JoinPlan) describe() string {
+	return fmt.Sprintf("join[%s=%s](%s, %s)", p.LeftKey, p.RightKey, p.Left.describe(), p.Right.describe())
+}
+
+// AggFunc is an aggregate function.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota + 1
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", int(f))
+	}
+}
+
+// AggSpec is one aggregate output: Func over Arg (Arg ignored for Count).
+type AggSpec struct {
+	Name string
+	Func AggFunc
+	Arg  Expr
+}
+
+// AggregatePlan groups by the named columns and computes the aggregates.
+// With no group-by columns it returns a single global row.
+type AggregatePlan struct {
+	Input   Plan
+	GroupBy []string
+	Aggs    []AggSpec
+}
+
+// GroupBy builds an aggregation over input.
+func GroupBy(input Plan, groupCols []string, aggs ...AggSpec) *AggregatePlan {
+	return &AggregatePlan{Input: input, GroupBy: groupCols, Aggs: aggs}
+}
+
+// Schema implements Plan.
+func (p *AggregatePlan) Schema() (Schema, error) {
+	in, err := p.Input.Schema()
+	if err != nil {
+		return nil, err
+	}
+	out := make(Schema, 0, len(p.GroupBy)+len(p.Aggs))
+	for _, g := range p.GroupBy {
+		idx, err := in.IndexOf(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in[idx])
+	}
+	for _, a := range p.Aggs {
+		kind := KindFloat
+		if a.Func == AggCount {
+			kind = KindInt
+		} else {
+			if a.Arg == nil {
+				return nil, fmt.Errorf("sql: aggregate %s(%s) needs an argument", a.Func, a.Name)
+			}
+			if _, _, err := a.Arg.bind(in); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, Column{Name: a.Name, Kind: kind})
+	}
+	return out, nil
+}
+
+func (p *AggregatePlan) describe() string { return "aggregate(" + p.Input.describe() + ")" }
+
+// LimitPlan keeps the first N rows in deterministic plan order.
+type LimitPlan struct {
+	Input Plan
+	N     int
+}
+
+// Limit caps the row count.
+func Limit(input Plan, n int) *LimitPlan { return &LimitPlan{Input: input, N: n} }
+
+// Schema implements Plan.
+func (p *LimitPlan) Schema() (Schema, error) { return p.Input.Schema() }
+
+func (p *LimitPlan) describe() string { return fmt.Sprintf("limit[%d](%s)", p.N, p.Input.describe()) }
+
+// Describe renders the whole plan tree on one line.
+func Describe(p Plan) string { return p.describe() }

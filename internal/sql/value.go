@@ -1,0 +1,175 @@
+// Package sql is the SparkSQL stand-in: typed rows and schemas, an
+// expression language, logical query plans (Scan, Filter, Project, Join,
+// Aggregate, Limit) and an executor that compiles plans onto the mapreduce
+// engine. The paper evaluates "seven SparkSQL queries"; this package is the
+// substrate that lets those queries be written as relational plans, runs
+// them with engine-metered shuffles, and exposes the plan structure that
+// FLEX's static analysis consumes (see FLEXPlan).
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind is a column/value type.
+type Kind int
+
+// Value kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Value is one cell: a tagged union over the four supported kinds.
+// Comparable with ==, so Values can key engine shuffles directly.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Int builds an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float builds a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str builds a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool builds a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's kind (zero for the zero Value).
+func (v Value) Kind() Kind { return v.kind }
+
+// AsInt returns the integer payload.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns the numeric payload, widening integers.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// AsString returns the string payload.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsBool returns the boolean payload.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "<nil>"
+	}
+}
+
+// Compare orders two values of the same kind: -1, 0, +1. Numeric kinds
+// compare after widening; mixing other kinds is an error.
+func Compare(a, b Value) (int, error) {
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok := b.AsFloat(); ok {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if a.kind != b.kind {
+		return 0, fmt.Errorf("sql: comparing %s with %s", a.kind, b.kind)
+	}
+	switch a.kind {
+	case KindString:
+		switch {
+		case a.s < b.s:
+			return -1, nil
+		case a.s > b.s:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1, nil
+		case a.b && !b.b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("sql: cannot compare %s values", a.kind)
+	}
+}
+
+// Column is one schema entry.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// IndexOf resolves a column name (case-sensitive) to its position.
+func (s Schema) IndexOf(name string) (int, error) {
+	for i, c := range s {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: unknown column %q (have %v)", name, s.Names())
+}
+
+// Names lists the column names.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Row is one tuple, positionally aligned with its Schema.
+type Row []Value

@@ -1,0 +1,101 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValueAccessors(t *testing.T) {
+	if v, ok := Int(7).AsInt(); !ok || v != 7 {
+		t.Errorf("AsInt = %v, %v", v, ok)
+	}
+	if v, ok := Int(7).AsFloat(); !ok || v != 7 {
+		t.Errorf("int AsFloat = %v, %v", v, ok)
+	}
+	if v, ok := Float(2.5).AsFloat(); !ok || v != 2.5 {
+		t.Errorf("AsFloat = %v, %v", v, ok)
+	}
+	if _, ok := Float(2.5).AsInt(); ok {
+		t.Error("float AsInt succeeded")
+	}
+	if v, ok := Str("x").AsString(); !ok || v != "x" {
+		t.Errorf("AsString = %v, %v", v, ok)
+	}
+	if v, ok := Bool(true).AsBool(); !ok || !v {
+		t.Errorf("AsBool = %v, %v", v, ok)
+	}
+	if Int(1).Kind() != KindInt || Str("").Kind() != KindString {
+		t.Error("Kind mismatched")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("a\"b"), `"a\"b"`},
+		{Bool(false), "false"},
+		{Value{}, "<nil>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Float(3), Int(2), 1},
+		{Int(2), Float(2.5), -1},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+	}
+	for _, tt := range tests {
+		got, err := Compare(tt.a, tt.b)
+		if err != nil {
+			t.Errorf("Compare(%v, %v): %v", tt.a, tt.b, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+	if _, err := Compare(Str("a"), Int(1)); err == nil {
+		t.Error("cross-kind compare accepted")
+	}
+	if _, err := Compare(Bool(true), Str("t")); err == nil {
+		t.Error("bool/string compare accepted")
+	}
+}
+
+func TestSchemaIndexOf(t *testing.T) {
+	s := Schema{{Name: "a", Kind: KindInt}, {Name: "b", Kind: KindString}}
+	if i, err := s.IndexOf("b"); err != nil || i != 1 {
+		t.Errorf("IndexOf(b) = %d, %v", i, err)
+	}
+	if _, err := s.IndexOf("c"); err == nil {
+		t.Error("unknown column resolved")
+	}
+	if !strings.Contains(strings.Join(s.Names(), ","), "a,b") {
+		t.Errorf("Names = %v", s.Names())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{KindInt: "int", KindFloat: "float", KindString: "string", KindBool: "bool"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package stats
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+func BenchmarkSampleIndicesSparse(b *testing.B) {
+	r := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.SampleIndices(1_000_000, 1000) // Floyd path: O(k)
+	}
+}
+
+func BenchmarkSampleIndicesDense(b *testing.B) {
+	r := NewRNG(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.SampleIndices(2000, 1000) // Fisher-Yates path
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	n := Normal{Mu: 3, Sigma: 2}
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Quantile(0.99); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitNormalMLE(b *testing.B) {
+	r := NewRNG(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitNormalMLE(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaplaceSample(b *testing.B) {
+	r := NewRNG(1)
+	l := Laplace{Mu: 0, B: 10}
+	for i := 0; i < b.N; i++ {
+		_ = l.Sample(r)
+	}
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Laplace is a Laplace distribution centred at Mu with scale B.
+type Laplace struct {
+	Mu float64
+	B  float64
+}
+
+// Sample draws one variate via inverse-transform sampling.
+func (l Laplace) Sample(rng *RNG) float64 {
+	// u uniform in (-1/2, 1/2]; avoid u == -1/2 exactly (log 0).
+	u := rng.Float64() - 0.5
+	if u == -0.5 {
+		u = 0.5
+	}
+	if u < 0 {
+		return l.Mu + l.B*math.Log(1+2*u)
+	}
+	return l.Mu - l.B*math.Log(1-2*u)
+}
+
+// PDF returns the density at x.
+func (l Laplace) PDF(x float64) float64 {
+	if l.B <= 0 {
+		return 0
+	}
+	return math.Exp(-math.Abs(x-l.Mu)/l.B) / (2 * l.B)
+}
+
+// Mechanism is the Laplace mechanism of differential privacy: it perturbs
+// query outputs with Laplace noise scaled to sensitivity/epsilon. A zero
+// Mechanism is not valid; construct with NewMechanism.
+type Mechanism struct {
+	epsilon float64
+	rng     *RNG
+}
+
+// NewMechanism builds a Laplace mechanism with privacy budget epsilon per
+// release, drawing noise deterministically from rng. It returns an error for
+// a non-positive epsilon.
+func NewMechanism(epsilon float64, rng *RNG) (*Mechanism, error) {
+	if epsilon <= 0 {
+		return nil, fmt.Errorf("stats: epsilon must be positive, got %v", epsilon)
+	}
+	if rng == nil {
+		rng = NewRNG(0)
+	}
+	return &Mechanism{epsilon: epsilon, rng: rng}, nil
+}
+
+// Epsilon reports the per-release privacy budget.
+func (m *Mechanism) Epsilon() float64 { return m.epsilon }
+
+// Perturb returns value + Lap(sensitivity/epsilon). A zero sensitivity means
+// the output cannot change between neighbouring datasets, so no noise is
+// required and the value is returned unchanged.
+func (m *Mechanism) Perturb(value, sensitivity float64) float64 {
+	if sensitivity == 0 {
+		return value
+	}
+	return Laplace{Mu: value, B: sensitivity / m.epsilon}.Sample(m.rng)
+}
+
+// PerturbVector perturbs each coordinate of value with noise scaled to the
+// matching coordinate of sensitivity. The two slices must have equal length.
+// The result is a fresh slice; value is not modified.
+func (m *Mechanism) PerturbVector(value, sensitivity []float64) ([]float64, error) {
+	if len(value) != len(sensitivity) {
+		return nil, fmt.Errorf("stats: value has %d coordinates but sensitivity has %d",
+			len(value), len(sensitivity))
+	}
+	out := make([]float64, len(value))
+	for i, v := range value {
+		out[i] = m.Perturb(v, sensitivity[i])
+	}
+	return out, nil
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplaceSampleMoments(t *testing.T) {
+	rng := NewRNG(31)
+	l := Laplace{Mu: 2, B: 3}
+	const n = 300000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := l.Sample(rng)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Errorf("Laplace mean = %v, want about 2", mean)
+	}
+	if wantVar := 2 * 3.0 * 3.0; math.Abs(variance-wantVar)/wantVar > 0.05 {
+		t.Errorf("Laplace variance = %v, want about %v", variance, wantVar)
+	}
+}
+
+func TestLaplacePDF(t *testing.T) {
+	l := Laplace{Mu: 0, B: 1}
+	if got, want := l.PDF(0), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF(0) = %v, want %v", got, want)
+	}
+	if got, want := l.PDF(1), 0.5*math.Exp(-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PDF(1) = %v, want %v", got, want)
+	}
+	if l.PDF(-1) != l.PDF(1) {
+		t.Error("PDF not symmetric about Mu")
+	}
+	if (Laplace{Mu: 0, B: 0}).PDF(0) != 0 {
+		t.Error("degenerate scale should have zero density")
+	}
+}
+
+func TestNewMechanismValidation(t *testing.T) {
+	if _, err := NewMechanism(0, nil); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+	if _, err := NewMechanism(-1, nil); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	m, err := NewMechanism(0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epsilon() != 0.1 {
+		t.Errorf("Epsilon() = %v, want 0.1", m.Epsilon())
+	}
+}
+
+func TestPerturbZeroSensitivity(t *testing.T) {
+	m, err := NewMechanism(0.1, NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Perturb(42, 0); got != 42 {
+		t.Errorf("Perturb with zero sensitivity = %v, want 42", got)
+	}
+}
+
+func TestPerturbNoiseScale(t *testing.T) {
+	m, err := NewMechanism(0.5, NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	var ss float64
+	for i := 0; i < n; i++ {
+		d := m.Perturb(0, 2) // scale b = 2/0.5 = 4, variance = 2b^2 = 32
+		ss += d * d
+	}
+	variance := ss / n
+	if math.Abs(variance-32)/32 > 0.05 {
+		t.Errorf("noise variance = %v, want about 32", variance)
+	}
+}
+
+// TestMechanismDPRatio verifies the defining ratio bound of the Laplace
+// mechanism empirically: for neighbouring outputs differing by exactly the
+// sensitivity, density ratios at any point are bounded by exp(epsilon).
+func TestMechanismDPRatio(t *testing.T) {
+	const (
+		eps         = 0.1
+		sensitivity = 3.0
+	)
+	b := sensitivity / eps
+	la := Laplace{Mu: 0, B: b}
+	lb := Laplace{Mu: sensitivity, B: b}
+	for x := -50.0; x <= 50; x += 0.5 {
+		ratio := la.PDF(x) / lb.PDF(x)
+		if ratio > math.Exp(eps)+1e-9 || ratio < math.Exp(-eps)-1e-9 {
+			t.Fatalf("density ratio at %v is %v, outside [e^-eps, e^eps]", x, ratio)
+		}
+	}
+}
+
+func TestPerturbVector(t *testing.T) {
+	m, err := NewMechanism(1, NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := []float64{1, 2, 3}
+	sens := []float64{0, 0, 0}
+	out, err := m.PerturbVector(val, sens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range val {
+		if out[i] != val[i] {
+			t.Errorf("coordinate %d perturbed with zero sensitivity", i)
+		}
+	}
+	if _, err := m.PerturbVector([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	// Ensure the output is a fresh slice.
+	out2, err := m.PerturbVector(val, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out2[0] == &val[0] {
+		t.Error("PerturbVector aliased its input")
+	}
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Normal is a normal (Gaussian) distribution with mean Mu and standard
+// deviation Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// ErrTooFewSamples is returned by FitNormalMLE when fewer than two samples
+// are supplied; the MLE variance is undefined on fewer.
+var ErrTooFewSamples = errors.New("stats: need at least two samples to fit a normal distribution")
+
+// FitNormalMLE fits a normal distribution to samples by maximum likelihood:
+// mu is the sample mean and sigma is the (biased, 1/n) standard deviation,
+// which is the MLE. This mirrors Algorithm 1's MLE step: UPA identifies the
+// underlying normal distribution of the sampled neighbouring outputs.
+//
+// Degenerate sample sets (all values identical) fit with Sigma == 0, which is
+// a valid point-mass limit; percentile lookups on such a fit return Mu.
+func FitNormalMLE(samples []float64) (Normal, error) {
+	if len(samples) < 2 {
+		return Normal{}, ErrTooFewSamples
+	}
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	mu := sum / float64(len(samples))
+	var ss float64
+	for _, v := range samples {
+		d := v - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(samples)))
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// CDF returns P(X <= x) for X ~ N(Mu, Sigma²).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma == 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((x-n.Mu)/(n.Sigma*math.Sqrt2)))
+}
+
+// Quantile returns the p-th quantile of the distribution, p in (0, 1).
+// It returns an error for p outside (0, 1).
+func (n Normal) Quantile(p float64) (float64, error) {
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: quantile probability %v out of (0,1)", p)
+	}
+	if n.Sigma == 0 {
+		return n.Mu, nil
+	}
+	return n.Mu + n.Sigma*probit(p), nil
+}
+
+// PercentileRange returns the (lo, hi) percentile pair of the distribution,
+// e.g. PercentileRange(0.01, 0.99) gives the 1st and 99th percentiles used by
+// UPA as the constrained output range (Algorithm 1, line 19).
+func (n Normal) PercentileRange(lo, hi float64) (low, high float64, err error) {
+	if lo >= hi {
+		return 0, 0, fmt.Errorf("stats: percentile range [%v, %v] is empty", lo, hi)
+	}
+	low, err = n.Quantile(lo)
+	if err != nil {
+		return 0, 0, err
+	}
+	high, err = n.Quantile(hi)
+	if err != nil {
+		return 0, 0, err
+	}
+	return low, high, nil
+}
+
+// Sample draws one variate from the distribution using rng.
+func (n Normal) Sample(rng *RNG) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// probit is the inverse standard normal CDF, computed with Acklam's rational
+// approximation (relative error < 1.15e-9 over the full domain), refined with
+// one Halley step against math.Erf for near machine precision.
+func probit(p float64) float64 {
+	// Coefficients for the central and tail rational approximations.
+	var (
+		a = [6]float64{
+			-3.969683028665376e+01, 2.209460984245205e+02,
+			-2.759285104469687e+02, 1.383577518672690e+02,
+			-3.066479806614716e+01, 2.506628277459239e+00,
+		}
+		b = [5]float64{
+			-5.447609879822406e+01, 1.615858368580409e+02,
+			-1.556989798598866e+02, 6.680131188771972e+01,
+			-1.328068155288572e+01,
+		}
+		c = [6]float64{
+			-7.784894002430293e-03, -3.223964580411365e-01,
+			-2.400758277161838e+00, -2.549732539343734e+00,
+			4.374664141464968e+00, 2.938163982698783e+00,
+		}
+		d = [4]float64{
+			7.784695709041462e-03, 3.224671290700398e-01,
+			2.445134137142996e+00, 3.754408661907416e+00,
+		}
+	)
+	const plow, phigh = 0.02425, 1 - 0.02425
+
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+
+	// One Halley refinement step: e = CDF(x) - p.
+	e := 0.5*(1+math.Erf(x/math.Sqrt2)) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitNormalMLEExact(t *testing.T) {
+	tests := []struct {
+		name      string
+		samples   []float64
+		wantMu    float64
+		wantSigma float64
+	}{
+		{"symmetric pair", []float64{-1, 1}, 0, 1},
+		{"constant", []float64{5, 5, 5, 5}, 5, 0},
+		{"simple", []float64{1, 2, 3, 4}, 2.5, math.Sqrt(1.25)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n, err := FitNormalMLE(tt.samples)
+			if err != nil {
+				t.Fatalf("FitNormalMLE: %v", err)
+			}
+			if math.Abs(n.Mu-tt.wantMu) > 1e-12 {
+				t.Errorf("Mu = %v, want %v", n.Mu, tt.wantMu)
+			}
+			if math.Abs(n.Sigma-tt.wantSigma) > 1e-12 {
+				t.Errorf("Sigma = %v, want %v", n.Sigma, tt.wantSigma)
+			}
+		})
+	}
+}
+
+func TestFitNormalMLETooFew(t *testing.T) {
+	for _, samples := range [][]float64{nil, {}, {1}} {
+		if _, err := FitNormalMLE(samples); err == nil {
+			t.Fatalf("FitNormalMLE(%v) succeeded, want error", samples)
+		}
+	}
+}
+
+func TestFitNormalMLERecovers(t *testing.T) {
+	rng := NewRNG(101)
+	truth := Normal{Mu: 3.7, Sigma: 2.1}
+	samples := make([]float64, 50000)
+	for i := range samples {
+		samples[i] = truth.Sample(rng)
+	}
+	fit, err := FitNormalMLE(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mu-truth.Mu) > 0.05 {
+		t.Errorf("recovered Mu = %v, want about %v", fit.Mu, truth.Mu)
+	}
+	if math.Abs(fit.Sigma-truth.Sigma) > 0.05 {
+		t.Errorf("recovered Sigma = %v, want about %v", fit.Sigma, truth.Sigma)
+	}
+}
+
+func TestQuantileKnownValues(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.025, -1.959963984540054},
+		{0.99, 2.3263478740408408},
+		{0.01, -2.3263478740408408},
+		{0.841344746068543, 1}, // Phi(1)
+	}
+	for _, tt := range tests {
+		got, err := n.Quantile(tt.p)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.p, err)
+		}
+		if math.Abs(got-tt.want) > 1e-8 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestQuantileRejectsBadP(t *testing.T) {
+	n := Normal{Mu: 0, Sigma: 1}
+	for _, p := range []float64{-0.1, 0, 1, 1.5} {
+		if _, err := n.Quantile(p); err == nil {
+			t.Errorf("Quantile(%v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestQuantileCDFInverse(t *testing.T) {
+	f := func(muRaw, sigmaRaw, pRaw uint16) bool {
+		mu := float64(muRaw)/100 - 300
+		sigma := float64(sigmaRaw)/1000 + 0.01
+		p := (float64(pRaw) + 1) / 65537 // in (0,1)
+		n := Normal{Mu: mu, Sigma: sigma}
+		x, err := n.Quantile(p)
+		if err != nil {
+			return false
+		}
+		return math.Abs(n.CDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	n := Normal{Mu: 1, Sigma: 2}
+	prev := -1.0
+	for x := -10.0; x <= 12; x += 0.25 {
+		c := n.CDF(x)
+		if c < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestDegenerateNormal(t *testing.T) {
+	n := Normal{Mu: 4, Sigma: 0}
+	if got := n.CDF(3.999); got != 0 {
+		t.Errorf("CDF below point mass = %v, want 0", got)
+	}
+	if got := n.CDF(4); got != 1 {
+		t.Errorf("CDF at point mass = %v, want 1", got)
+	}
+	q, err := n.Quantile(0.42)
+	if err != nil || q != 4 {
+		t.Errorf("Quantile of point mass = %v, %v; want 4, nil", q, err)
+	}
+}
+
+func TestPercentileRange(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 3}
+	lo, hi, err := n.PercentileRange(0.01, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("percentile range inverted: [%v, %v]", lo, hi)
+	}
+	wantHalfWidth := 3 * 2.3263478740408408
+	if math.Abs((hi-lo)/2-wantHalfWidth) > 1e-6 {
+		t.Errorf("range half-width = %v, want %v", (hi-lo)/2, wantHalfWidth)
+	}
+	if _, _, err := n.PercentileRange(0.9, 0.1); err == nil {
+		t.Error("inverted percentile range accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Package stats provides the statistics substrate used throughout UPA:
+// deterministic pseudo-random number generation, the Laplace mechanism,
+// maximum-likelihood fitting of normal distributions, percentiles, and
+// empirical summaries (RMSE, quantiles, histograms).
+//
+// Everything in this package is deterministic given an explicit seed so that
+// experiments are reproducible bit-for-bit.
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random number generator based on
+// the splitmix64 finalizer. It is used instead of math/rand so that samplers
+// can be split into independent deterministic streams (see Split) and so the
+// whole repository has a single, auditable randomness source.
+//
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives a new independent generator from r. The derived stream is a
+// deterministic function of r's current state and the supplied label, so two
+// components splitting with distinct labels never share a stream.
+func (r *RNG) Split(label uint64) *RNG {
+	// Mix the label through one splitmix64 round before combining so that
+	// small consecutive labels (0, 1, 2, ...) land far apart in state space.
+	mixed := mix64(label ^ 0x9e3779b97f4a7c15)
+	return &RNG{state: mix64(r.state ^ mixed)}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	// 53 high bits give a uniform dyadic rational in [0,1).
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching the
+// contract of math/rand.Intn; callers validate n at their boundary.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn called with non-positive n")
+	}
+	// Rejection sampling removes modulo bias.
+	limit := uint64(n)
+	mask := ^uint64(0) - ^uint64(0)%limit
+	for {
+		v := r.Uint64()
+		if v < mask {
+			return int(v % limit)
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate using the Marsaglia polar
+// method.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	// 1 - Float64() is in (0, 1], so the log is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// SampleIndices returns k distinct indices drawn uniformly without
+// replacement from [0, n). If k >= n it returns all n indices.
+//
+// For k much smaller than n it uses Floyd's algorithm — O(k) time and
+// memory, independent of n — which keeps UPA's sampling phase constant in
+// the dataset size (the §VI-E amortization argument). Dense draws fall back
+// to a partial Fisher-Yates shuffle.
+func (r *RNG) SampleIndices(n, k int) []int {
+	if k >= n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	if k > n/4 {
+		// Dense draw: partial Fisher-Yates over an index table.
+		p := make([]int, n)
+		for i := range p {
+			p[i] = i
+		}
+		for i := 0; i < k; i++ {
+			j := i + r.Intn(n-i)
+			p[i], p[j] = p[j], p[i]
+		}
+		out := make([]int, k)
+		copy(out, p[:k])
+		return out
+	}
+	// Sparse draw: Floyd's algorithm. Iterating j over the last k values
+	// and mapping collisions to j yields a uniform k-subset.
+	chosen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := r.Intn(j + 1)
+		if chosen[v] {
+			v = j
+		}
+		chosen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

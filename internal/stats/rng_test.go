@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("step %d: generators with equal seeds diverged: %d vs %d", i, got, want)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs of 100", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	s1 := parent.Split(1)
+	s2 := parent.Split(2)
+	if s1.Uint64() == s2.Uint64() {
+		t.Fatal("splits with distinct labels produced the same first output")
+	}
+	// Splitting with the same label from the same state is deterministic.
+	p1 := NewRNG(7).Split(1)
+	p2 := NewRNG(7).Split(1)
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("identical splits diverged")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want about 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(9)
+	const n, trials = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Fatalf("bucket %d has %d hits, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want about 1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential variate negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want about 1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(19)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIndicesProperties(t *testing.T) {
+	r := NewRNG(23)
+	f := func(nRaw, kRaw uint16) bool {
+		n := int(nRaw%500) + 1
+		k := int(kRaw % 600)
+		idx := r.SampleIndices(n, k)
+		wantLen := k
+		if wantLen > n {
+			wantLen = n
+		}
+		if len(idx) != wantLen {
+			return false
+		}
+		seen := make(map[int]bool, len(idx))
+		for _, v := range idx {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleIndicesFloydUniform(t *testing.T) {
+	// Sparse draws take the Floyd path; every index must be selected with
+	// probability k/n.
+	r := NewRNG(31)
+	const n, k, trials = 200, 10, 20000
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		for _, idx := range r.SampleIndices(n, k) {
+			counts[idx]++
+		}
+	}
+	want := float64(trials) * k / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.25 {
+			t.Fatalf("index %d selected %d times, want about %.0f", i, c, want)
+		}
+	}
+}
+
+func TestSampleIndicesEdgeCases(t *testing.T) {
+	r := NewRNG(29)
+	if got := r.SampleIndices(10, 0); got != nil {
+		t.Fatalf("SampleIndices(10, 0) = %v, want nil", got)
+	}
+	if got := r.SampleIndices(0, 5); got != nil {
+		t.Fatalf("SampleIndices(0, 5) = %v, want nil", got)
+	}
+	if got := r.SampleIndices(5, 99); len(got) != 5 {
+		t.Fatalf("SampleIndices(5, 99) returned %d indices, want 5", len(got))
+	}
+}

@@ -1,0 +1,195 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual empirical summary statistics of a sample.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64 // unbiased (1/(n-1)) standard deviation
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes summary statistics over xs. An empty sample yields a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, v := range xs {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// RMSE returns the root mean square error between predicted and truth. The
+// slices must be the same non-zero length.
+func RMSE(predicted, truth []float64) (float64, error) {
+	if len(predicted) != len(truth) {
+		return 0, fmt.Errorf("stats: RMSE over %d predictions vs %d truths", len(predicted), len(truth))
+	}
+	if len(predicted) == 0 {
+		return 0, fmt.Errorf("stats: RMSE over empty sample")
+	}
+	var ss float64
+	for i, p := range predicted {
+		d := p - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(predicted))), nil
+}
+
+// RelativeRMSE returns RMSE(predicted, truth) normalized by the mean absolute
+// truth, expressed as a fraction (0.0381 for the paper's "3.81% RMSE"). A
+// zero-mean truth falls back to the unnormalized RMSE.
+func RelativeRMSE(predicted, truth []float64) (float64, error) {
+	rmse, err := RMSE(predicted, truth)
+	if err != nil {
+		return 0, err
+	}
+	var denom float64
+	for _, t := range truth {
+		denom += math.Abs(t)
+	}
+	denom /= float64(len(truth))
+	if denom == 0 {
+		return rmse, nil
+	}
+	return rmse / denom, nil
+}
+
+// EmpiricalQuantile returns the q-th empirical quantile of xs (q in [0, 1])
+// using linear interpolation between order statistics. It returns an error
+// for an empty sample or q outside [0, 1]. xs is not modified.
+func EmpiricalQuantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile probability %v out of [0,1]", q)
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// CoverageFraction reports the fraction of xs lying within [lo, hi]. An
+// empty sample covers vacuously (returns 1).
+func CoverageFraction(xs []float64, lo, hi float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	in := 0
+	for _, v := range xs {
+		if v >= lo && v <= hi {
+			in++
+		}
+	}
+	return float64(in) / float64(len(xs))
+}
+
+// KSStatistic returns the Kolmogorov-Smirnov statistic of xs against the
+// normal distribution dist: the largest absolute gap between the empirical
+// CDF and the fitted CDF. The paper attributes UPA's residual error to the
+// neighbouring outputs "not perfectly following a normal distribution"
+// (§VI-C); this statistic quantifies exactly that per query.
+func KSStatistic(xs []float64, dist Normal) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: KS statistic of empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	worst := 0.0
+	for i, v := range sorted {
+		cdf := dist.CDF(v)
+		// The empirical CDF jumps at v from i/n to (i+1)/n; both sides of
+		// the jump bound the supremum.
+		lo := math.Abs(cdf - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - cdf)
+		worst = math.Max(worst, math.Max(lo, hi))
+	}
+	return worst, nil
+}
+
+// Histogram is a fixed-width binning of a sample, used by the Figure 3
+// reproduction to render neighbouring-output distributions as text.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Under  int // values below Lo
+	Over   int // values above Hi
+}
+
+// NewHistogram bins xs into bins equal-width buckets over [lo, hi]. It
+// returns an error if bins < 1 or the interval is empty.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram interval [%v, %v] is empty", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, v := range xs {
+		switch {
+		case v < lo:
+			h.Under++
+		case v > hi:
+			h.Over++
+		default:
+			i := int((v - lo) / width)
+			if i == bins { // v == hi lands in the last bin
+				i = bins - 1
+			}
+			h.Counts[i]++
+		}
+	}
+	return h, nil
+}
+
+// MaxCount returns the largest bin count (0 for an all-empty histogram).
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, c := range h.Counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"single", []float64{3}, Summary{Count: 1, Mean: 3, Min: 3, Max: 3}},
+		{"pair", []float64{1, 3}, Summary{Count: 2, Mean: 2, StdDev: math.Sqrt2, Min: 1, Max: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Summarize(tt.xs)
+			if got.Count != tt.want.Count || math.Abs(got.Mean-tt.want.Mean) > 1e-12 ||
+				math.Abs(got.StdDev-tt.want.StdDev) > 1e-12 ||
+				got.Min != tt.want.Min || got.Max != tt.want.Max {
+				t.Errorf("Summarize(%v) = %+v, want %+v", tt.xs, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("RMSE of identical = %v, %v; want 0, nil", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(12.5); math.Abs(got-want) > 1e-12 {
+		t.Errorf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestRelativeRMSE(t *testing.T) {
+	got, err := RelativeRMSE([]float64{11, 22}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt((1.0+4.0)/2) / 15
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RelativeRMSE = %v, want %v", got, want)
+	}
+	// Zero-mean truth falls back to the unnormalized RMSE.
+	got, err = RelativeRMSE([]float64{1, -1}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("zero-truth RelativeRMSE = %v, want 1", got)
+	}
+}
+
+func TestEmpiricalQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, tt := range tests {
+		got, err := EmpiricalQuantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("quantile %v: %v", tt.q, err)
+		}
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("EmpiricalQuantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if xs[0] != 4 {
+		t.Error("EmpiricalQuantile mutated its input")
+	}
+	if _, err := EmpiricalQuantile(nil, 0.5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := EmpiricalQuantile(xs, 1.5); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+}
+
+func TestEmpiricalQuantileProperties(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		got, err := EmpiricalQuantile(xs, q)
+		if err != nil {
+			return false
+		}
+		sorted := make([]float64, len(xs))
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		// The quantile always lies within [min, max].
+		return got >= sorted[0] && got <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageFraction(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := CoverageFraction(xs, 2, 4); got != 0.6 {
+		t.Errorf("coverage = %v, want 0.6", got)
+	}
+	if got := CoverageFraction(xs, 0, 10); got != 1 {
+		t.Errorf("full coverage = %v, want 1", got)
+	}
+	if got := CoverageFraction(nil, 0, 1); got != 1 {
+		t.Errorf("vacuous coverage = %v, want 1", got)
+	}
+}
+
+func TestKSStatistic(t *testing.T) {
+	// Samples drawn from the reference distribution have a small statistic
+	// (expected O(1/sqrt(n))).
+	rng := NewRNG(71)
+	dist := Normal{Mu: 2, Sigma: 3}
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = dist.Sample(rng)
+	}
+	ks, err := KSStatistic(xs, dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks > 0.03 {
+		t.Errorf("KS of matching sample = %v, want small", ks)
+	}
+	// A grossly shifted distribution scores near 1.
+	ks, err = KSStatistic(xs, Normal{Mu: 100, Sigma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks < 0.9 {
+		t.Errorf("KS of mismatched sample = %v, want near 1", ks)
+	}
+	// A two-point sample against its own MLE fit exposes non-normality.
+	binary := make([]float64, 0, 100)
+	for i := 0; i < 100; i++ {
+		binary = append(binary, float64(i%2))
+	}
+	fit, err := FitNormalMLE(binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err = KSStatistic(binary, fit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks < 0.2 {
+		t.Errorf("KS of binary sample vs normal fit = %v, want large", ks)
+	}
+	if _, err := KSStatistic(nil, dist); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, -1, 3}
+	h, err := NewHistogram(xs, 0, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under/over = %d/%d, want 1/1", h.Under, h.Over)
+	}
+	total := h.Under + h.Over
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram accounts for %d values, want %d", total, len(xs))
+	}
+	// Upper boundary value lands in the last bin.
+	if h.Counts[3] == 0 {
+		t.Error("value at hi boundary not counted in last bin")
+	}
+	if h.MaxCount() < 1 {
+		t.Error("MaxCount of populated histogram is zero")
+	}
+	if _, err := NewHistogram(xs, 2, 2, 4); err == nil {
+		t.Error("empty interval accepted")
+	}
+	if _, err := NewHistogram(xs, 0, 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}

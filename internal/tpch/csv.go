@@ -1,0 +1,179 @@
+package tpch
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV readers for the table formats cmd/upa-datagen emits, so generated
+// datasets round-trip through files and users can bring their own
+// TPC-H-shaped data. Each reader expects the exact header its writer
+// produces and returns an error naming the first offending row otherwise.
+
+// ReadLineitems parses a lineitem CSV.
+func ReadLineitems(r io.Reader) ([]Lineitem, error) {
+	rows, err := readTable(r, []string{
+		"orderkey", "partkey", "suppkey", "linenumber", "quantity",
+		"extendedprice", "discount", "tax", "returnflag", "linestatus",
+		"shipdate", "commitdate", "receiptdate", "shipmode",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Lineitem, len(rows))
+	for i, rec := range rows {
+		p := fieldParser{row: i, rec: rec}
+		out[i] = Lineitem{
+			OrderKey:      p.intAt(0),
+			PartKey:       p.intAt(1),
+			SuppKey:       p.intAt(2),
+			LineNumber:    p.intAt(3),
+			Quantity:      p.floatAt(4),
+			ExtendedPrice: p.floatAt(5),
+			Discount:      p.floatAt(6),
+			Tax:           p.floatAt(7),
+			ReturnFlag:    rec[8],
+			LineStatus:    rec[9],
+			ShipDate:      Date(p.intAt(10)),
+			CommitDate:    Date(p.intAt(11)),
+			ReceiptDate:   Date(p.intAt(12)),
+			ShipMode:      rec[13],
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("tpch: lineitem %w", p.err)
+		}
+	}
+	return out, nil
+}
+
+// ReadOrders parses an orders CSV.
+func ReadOrders(r io.Reader) ([]Order, error) {
+	rows, err := readTable(r, []string{
+		"orderkey", "custkey", "orderstatus", "totalprice",
+		"orderdate", "orderpriority", "specialrequest",
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Order, len(rows))
+	for i, rec := range rows {
+		p := fieldParser{row: i, rec: rec}
+		out[i] = Order{
+			OrderKey:       p.intAt(0),
+			CustKey:        p.intAt(1),
+			OrderStatus:    rec[2],
+			TotalPrice:     p.floatAt(3),
+			OrderDate:      Date(p.intAt(4)),
+			OrderPriority:  rec[5],
+			SpecialRequest: p.boolAt(6),
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("tpch: order %w", p.err)
+		}
+	}
+	return out, nil
+}
+
+// ReadPartSupps parses a partsupp CSV.
+func ReadPartSupps(r io.Reader) ([]PartSupp, error) {
+	rows, err := readTable(r, []string{"partkey", "suppkey", "availqty", "supplycost"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PartSupp, len(rows))
+	for i, rec := range rows {
+		p := fieldParser{row: i, rec: rec}
+		out[i] = PartSupp{
+			PartKey:    p.intAt(0),
+			SuppKey:    p.intAt(1),
+			AvailQty:   p.intAt(2),
+			SupplyCost: p.floatAt(3),
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("tpch: partsupp %w", p.err)
+		}
+	}
+	return out, nil
+}
+
+// ReadSuppliers parses a supplier CSV.
+func ReadSuppliers(r io.Reader) ([]Supplier, error) {
+	rows, err := readTable(r, []string{"suppkey", "nationkey", "complaint"})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Supplier, len(rows))
+	for i, rec := range rows {
+		p := fieldParser{row: i, rec: rec}
+		out[i] = Supplier{
+			SuppKey:   p.intAt(0),
+			NationKey: p.intAt(1),
+			Complaint: p.boolAt(2),
+		}
+		if p.err != nil {
+			return nil, fmt.Errorf("tpch: supplier %w", p.err)
+		}
+	}
+	return out, nil
+}
+
+// readTable reads and validates a header-prefixed CSV.
+func readTable(r io.Reader, header []string) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("tpch: read csv: %w", err)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("tpch: empty csv (missing header)")
+	}
+	for i, name := range header {
+		if all[0][i] != name {
+			return nil, fmt.Errorf("tpch: header column %d is %q, want %q", i, all[0][i], name)
+		}
+	}
+	return all[1:], nil
+}
+
+// fieldParser accumulates the first parse error of a row.
+type fieldParser struct {
+	row int
+	rec []string
+	err error
+}
+
+func (p *fieldParser) intAt(i int) int {
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.Atoi(p.rec[i])
+	if err != nil {
+		p.err = fmt.Errorf("row %d column %d: %w", p.row, i, err)
+	}
+	return v
+}
+
+func (p *fieldParser) floatAt(i int) float64 {
+	if p.err != nil {
+		return 0
+	}
+	v, err := strconv.ParseFloat(p.rec[i], 64)
+	if err != nil {
+		p.err = fmt.Errorf("row %d column %d: %w", p.row, i, err)
+	}
+	return v
+}
+
+func (p *fieldParser) boolAt(i int) bool {
+	if p.err != nil {
+		return false
+	}
+	v, err := strconv.ParseBool(p.rec[i])
+	if err != nil {
+		p.err = fmt.Errorf("row %d column %d: %w", p.row, i, err)
+	}
+	return v
+}

@@ -1,0 +1,113 @@
+package tpch
+
+import (
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeLineitemCSV mirrors cmd/upa-datagen's lineitem format.
+func writeLineitemCSV(t *testing.T, items []Lineitem) string {
+	t.Helper()
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(w.Write([]string{"orderkey", "partkey", "suppkey", "linenumber", "quantity",
+		"extendedprice", "discount", "tax", "returnflag", "linestatus",
+		"shipdate", "commitdate", "receiptdate", "shipmode"}))
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, l := range items {
+		must(w.Write([]string{
+			strconv.Itoa(l.OrderKey), strconv.Itoa(l.PartKey), strconv.Itoa(l.SuppKey),
+			strconv.Itoa(l.LineNumber), f(l.Quantity), f(l.ExtendedPrice), f(l.Discount), f(l.Tax),
+			l.ReturnFlag, l.LineStatus,
+			strconv.Itoa(int(l.ShipDate)), strconv.Itoa(int(l.CommitDate)),
+			strconv.Itoa(int(l.ReceiptDate)), l.ShipMode,
+		}))
+	}
+	w.Flush()
+	must(w.Error())
+	return sb.String()
+}
+
+func TestLineitemRoundTrip(t *testing.T) {
+	db, err := Generate(Config{Lineitems: 300, Skew: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := writeLineitemCSV(t, db.Lineitems)
+	back, err := ReadLineitems(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(db.Lineitems) {
+		t.Fatalf("round trip kept %d rows, want %d", len(back), len(db.Lineitems))
+	}
+	for i := range back {
+		if back[i] != db.Lineitems[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, back[i], db.Lineitems[i])
+		}
+	}
+}
+
+func TestReadOrders(t *testing.T) {
+	text := "orderkey,custkey,orderstatus,totalprice,orderdate,orderpriority,specialrequest\n" +
+		"7,3,F,1234.5,100,1-URGENT,true\n" +
+		"8,4,O,99,200,5-LOW,false\n"
+	orders, err := ReadOrders(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(orders) != 2 {
+		t.Fatalf("parsed %d orders, want 2", len(orders))
+	}
+	if orders[0].OrderKey != 7 || !orders[0].SpecialRequest || orders[0].TotalPrice != 1234.5 {
+		t.Fatalf("order 0 = %+v", orders[0])
+	}
+	if orders[1].OrderDate != 200 || orders[1].SpecialRequest {
+		t.Fatalf("order 1 = %+v", orders[1])
+	}
+}
+
+func TestReadPartSuppsAndSuppliers(t *testing.T) {
+	ps, err := ReadPartSupps(strings.NewReader("partkey,suppkey,availqty,supplycost\n1,2,30,4.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 1 || ps[0].AvailQty != 30 || ps[0].SupplyCost != 4.5 {
+		t.Fatalf("partsupp = %+v", ps)
+	}
+	sup, err := ReadSuppliers(strings.NewReader("suppkey,nationkey,complaint\n9,3,true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != 1 || !sup[0].Complaint || sup[0].NationKey != 3 {
+		t.Fatalf("supplier = %+v", sup)
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"wrong header", "a,b,c,d,e,f,g\n"},
+		{"wrong column count", "orderkey,custkey\n1,2\n"},
+		{"bad int", "orderkey,custkey,orderstatus,totalprice,orderdate,orderpriority,specialrequest\nX,3,F,1,1,P,true\n"},
+		{"bad float", "orderkey,custkey,orderstatus,totalprice,orderdate,orderpriority,specialrequest\n1,3,F,xx,1,P,true\n"},
+		{"bad bool", "orderkey,custkey,orderstatus,totalprice,orderdate,orderpriority,specialrequest\n1,3,F,1,1,P,maybe\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadOrders(strings.NewReader(tc.text)); err == nil {
+				t.Error("malformed input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CSV readers face user-supplied files; they must reject garbage with
+// errors, never panic or return half-parsed silent junk.
+
+func FuzzReadOrders(f *testing.F) {
+	f.Add("orderkey,custkey,orderstatus,totalprice,orderdate,orderpriority,specialrequest\n1,2,F,3.5,4,1-URGENT,true\n")
+	f.Add("")
+	f.Add("orderkey,custkey\n1,2\n")
+	f.Add("orderkey,custkey,orderstatus,totalprice,orderdate,orderpriority,specialrequest\nx,y,z,w,v,u,t\n")
+	f.Add("\"unterminated")
+	f.Fuzz(func(t *testing.T, input string) {
+		orders, err := ReadOrders(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// On success, the input must at least mention the header's first
+		// column (csv may have unquoted it, so substring not prefix).
+		if !strings.Contains(input, "orderkey") {
+			t.Fatalf("accepted input without the orders header (%d rows)", len(orders))
+		}
+	})
+}
+
+func FuzzReadLineitems(f *testing.F) {
+	f.Add("orderkey,partkey,suppkey,linenumber,quantity,extendedprice,discount,tax,returnflag,linestatus,shipdate,commitdate,receiptdate,shipmode\n" +
+		"1,2,3,4,5,6,0.05,0.01,R,O,10,11,12,AIR\n")
+	f.Add("not,a,lineitem\n")
+	f.Add("orderkey,partkey,suppkey,linenumber,quantity,extendedprice,discount,tax,returnflag,linestatus,shipdate,commitdate,receiptdate,shipmode\n" +
+		"NaN,2,3,4,5,6,7,8,R,O,10,11,12,AIR\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		_, _ = ReadLineitems(strings.NewReader(input)) // must not panic
+	})
+}

@@ -1,0 +1,317 @@
+// Package tpch generates deterministic, synthetic TPC-H-like tables at
+// laptop scale. It substitutes for the paper's 114–133 GB TPC-H datasets:
+// sensitivity behaviour depends on the distributional shape (join-key
+// frequencies, filter selectivity), which the generator reproduces with
+// explicit skew knobs, not on absolute data volume.
+package tpch
+
+import (
+	"fmt"
+
+	"upa/internal/stats"
+)
+
+// Date is a day count since 1992-01-01, the TPC-H epoch. Seven years of
+// dates span [0, 2557).
+type Date int
+
+// Dates per year, approximated as in TPC-H's uniform date draws.
+const (
+	DaysPerYear = 365
+	DateMax     = 7 * DaysPerYear
+)
+
+// Year returns the calendar year of the date (1992-based).
+func (d Date) Year() int { return 1992 + int(d)/DaysPerYear }
+
+// Priorities, flags and statuses mirror the TPC-H value domains the nine
+// queries filter on.
+var (
+	orderPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes       = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	returnFlags     = []string{"R", "A", "N"}
+	nationNames     = []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	partBrands     = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#45", "Brand#55"}
+	partTypePre    = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	partTypeMid    = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	partTypeSuf    = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	partContainers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP PACK"}
+)
+
+// Lineitem is the protected fact table of most TPC-H queries.
+type Lineitem struct {
+	OrderKey      int
+	PartKey       int
+	SuppKey       int
+	LineNumber    int
+	Quantity      float64
+	ExtendedPrice float64
+	Discount      float64
+	Tax           float64
+	ReturnFlag    string
+	LineStatus    string
+	ShipDate      Date
+	CommitDate    Date
+	ReceiptDate   Date
+	ShipMode      string
+}
+
+// Order is a TPC-H orders row.
+type Order struct {
+	OrderKey      int
+	CustKey       int
+	OrderStatus   string
+	TotalPrice    float64
+	OrderDate     Date
+	OrderPriority string
+	// SpecialRequest marks the comment pattern Q13 excludes
+	// ('%special%requests%').
+	SpecialRequest bool
+}
+
+// Customer is a TPC-H customer row.
+type Customer struct {
+	CustKey    int
+	NationKey  int
+	MktSegment string
+}
+
+// Part is a TPC-H part row.
+type Part struct {
+	PartKey   int
+	Brand     string
+	Type      string
+	Size      int
+	Container string
+}
+
+// Supplier is a TPC-H supplier row.
+type Supplier struct {
+	SuppKey   int
+	NationKey int
+	// Complaint marks the comment pattern Q16 excludes
+	// ('%Customer%Complaints%').
+	Complaint bool
+}
+
+// PartSupp is a TPC-H partsupp row.
+type PartSupp struct {
+	PartKey    int
+	SuppKey    int
+	AvailQty   int
+	SupplyCost float64
+}
+
+// Nation is a TPC-H nation row.
+type Nation struct {
+	NationKey int
+	Name      string
+}
+
+// Config controls the generator. Row counts derive from Lineitems with the
+// usual TPC-H ratios; Skew in [0, 1) is the probability that a foreign key
+// is drawn from a small hot set, which concentrates join-key frequency the
+// way FLEX's worst-case analysis is sensitive to.
+type Config struct {
+	Lineitems int
+	Skew      float64
+	Seed      uint64
+}
+
+// DefaultConfig returns the evaluation default: 20k lineitems with moderate
+// key skew.
+func DefaultConfig() Config {
+	return Config{Lineitems: 20000, Skew: 0.2, Seed: 1}
+}
+
+// DB is a fully generated database.
+type DB struct {
+	Config    Config
+	Lineitems []Lineitem
+	Orders    []Order
+	Customers []Customer
+	Parts     []Part
+	Suppliers []Supplier
+	PartSupps []PartSupp
+	Nations   []Nation
+}
+
+// Generate builds the database deterministically from cfg.
+func Generate(cfg Config) (*DB, error) {
+	if cfg.Lineitems < 1 {
+		return nil, fmt.Errorf("tpch: Lineitems must be >= 1, got %d", cfg.Lineitems)
+	}
+	if cfg.Skew < 0 || cfg.Skew >= 1 {
+		return nil, fmt.Errorf("tpch: Skew must be in [0, 1), got %v", cfg.Skew)
+	}
+	db := &DB{Config: cfg}
+
+	nOrders := max(cfg.Lineitems/4, 1)
+	nCustomers := max(nOrders/10, 1)
+	nParts := max(cfg.Lineitems/8, 1)
+	nSuppliers := max(nParts/10, 1)
+	nPartSupps := nParts * 2
+
+	root := stats.NewRNG(cfg.Seed)
+
+	db.Nations = make([]Nation, len(nationNames))
+	for i, name := range nationNames {
+		db.Nations[i] = Nation{NationKey: i, Name: name}
+	}
+
+	db.Customers = genCustomers(root.Split(1), nCustomers, len(nationNames))
+	db.Suppliers = genSuppliers(root.Split(2), nSuppliers, len(nationNames))
+	db.Parts = genParts(root.Split(3), nParts)
+	db.Orders = genOrders(root.Split(4), nOrders, nCustomers, cfg.Skew)
+	db.PartSupps = genPartSupps(root.Split(5), nPartSupps, nParts, nSuppliers, cfg.Skew)
+	db.Lineitems = genLineitems(root.Split(6), cfg.Lineitems, nOrders, nParts, nSuppliers, cfg.Skew)
+	return db, nil
+}
+
+// skewedKey draws a key in [0, n): with probability skew from a hot set of
+// about 1% of the keys (at least 1), otherwise uniformly.
+func skewedKey(rng *stats.RNG, n int, skew float64) int {
+	if n <= 1 {
+		return 0
+	}
+	if skew > 0 && rng.Float64() < skew {
+		hot := max(n/100, 1)
+		return rng.Intn(hot)
+	}
+	return rng.Intn(n)
+}
+
+func genCustomers(rng *stats.RNG, n, nations int) []Customer {
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	out := make([]Customer, n)
+	for i := range out {
+		out[i] = Customer{
+			CustKey:    i,
+			NationKey:  rng.Intn(nations),
+			MktSegment: segments[rng.Intn(len(segments))],
+		}
+	}
+	return out
+}
+
+func genSuppliers(rng *stats.RNG, n, nations int) []Supplier {
+	out := make([]Supplier, n)
+	for i := range out {
+		out[i] = Supplier{
+			SuppKey:   i,
+			NationKey: rng.Intn(nations),
+			Complaint: rng.Float64() < 0.05,
+		}
+	}
+	return out
+}
+
+func genParts(rng *stats.RNG, n int) []Part {
+	out := make([]Part, n)
+	for i := range out {
+		out[i] = Part{
+			PartKey: i,
+			Brand:   partBrands[rng.Intn(len(partBrands))],
+			Type: partTypePre[rng.Intn(len(partTypePre))] + " " +
+				partTypeMid[rng.Intn(len(partTypeMid))] + " " +
+				partTypeSuf[rng.Intn(len(partTypeSuf))],
+			Size:      1 + rng.Intn(50),
+			Container: partContainers[rng.Intn(len(partContainers))],
+		}
+	}
+	return out
+}
+
+func genOrders(rng *stats.RNG, n, nCustomers int, skew float64) []Order {
+	statuses := []string{"F", "O", "P"}
+	out := make([]Order, n)
+	for i := range out {
+		out[i] = Order{
+			OrderKey:       i,
+			CustKey:        skewedKey(rng, nCustomers, skew),
+			OrderStatus:    statuses[rng.Intn(len(statuses))],
+			TotalPrice:     1000 + rng.Float64()*500000,
+			OrderDate:      Date(rng.Intn(DateMax - 151)),
+			OrderPriority:  orderPriorities[rng.Intn(len(orderPriorities))],
+			SpecialRequest: rng.Float64() < 0.1,
+		}
+	}
+	return out
+}
+
+func genPartSupps(rng *stats.RNG, n, nParts, nSuppliers int, skew float64) []PartSupp {
+	out := make([]PartSupp, n)
+	for i := range out {
+		out[i] = PartSupp{
+			PartKey:    skewedKey(rng, nParts, skew),
+			SuppKey:    skewedKey(rng, nSuppliers, skew),
+			AvailQty:   1 + rng.Intn(9999),
+			SupplyCost: 1 + rng.Float64()*999,
+		}
+	}
+	return out
+}
+
+func genLineitems(rng *stats.RNG, n, nOrders, nParts, nSuppliers int, skew float64) []Lineitem {
+	out := make([]Lineitem, n)
+	for i := range out {
+		ship := Date(rng.Intn(DateMax - 60))
+		commit := ship + Date(rng.Intn(60)) - 30
+		if commit < 0 {
+			commit = 0
+		}
+		receipt := ship + 1 + Date(rng.Intn(30))
+		price := 900 + rng.Float64()*100000
+		out[i] = Lineitem{
+			OrderKey:      skewedKey(rng, nOrders, skew),
+			PartKey:       skewedKey(rng, nParts, skew),
+			SuppKey:       skewedKey(rng, nSuppliers, skew),
+			LineNumber:    i,
+			Quantity:      1 + float64(rng.Intn(50)),
+			ExtendedPrice: price,
+			Discount:      float64(rng.Intn(11)) / 100,
+			Tax:           float64(rng.Intn(9)) / 100,
+			ReturnFlag:    returnFlags[rng.Intn(len(returnFlags))],
+			LineStatus:    pick(rng, "O", "F"),
+			ShipDate:      ship,
+			CommitDate:    commit,
+			ReceiptDate:   receipt,
+			ShipMode:      shipModes[rng.Intn(len(shipModes))],
+		}
+	}
+	return out
+}
+
+func pick(rng *stats.RNG, a, b string) string {
+	if rng.Float64() < 0.5 {
+		return a
+	}
+	return b
+}
+
+// RandomLineitem draws a fresh lineitem from the record domain D, used by
+// UPA to sample the "addition" neighbouring datasets (records in D but not
+// in x). The key ranges match the database's.
+func (db *DB) RandomLineitem(rng *stats.RNG) Lineitem {
+	return genLineitems(rng, 1, len(db.Orders), len(db.Parts), len(db.Suppliers), db.Config.Skew)[0]
+}
+
+// RandomOrder draws a fresh order from the record domain.
+func (db *DB) RandomOrder(rng *stats.RNG) Order {
+	o := genOrders(rng, 1, len(db.Customers), db.Config.Skew)[0]
+	// A fresh order gets a fresh key beyond the existing range so it joins
+	// with no pre-existing lineitems, like a newly inserted order would.
+	o.OrderKey = len(db.Orders) + rng.Intn(1<<20)
+	return o
+}
+
+// RandomPartSupp draws a fresh partsupp row from the record domain.
+func (db *DB) RandomPartSupp(rng *stats.RNG) PartSupp {
+	return genPartSupps(rng, 1, len(db.Parts), len(db.Suppliers), db.Config.Skew)[0]
+}

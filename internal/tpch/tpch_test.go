@@ -1,0 +1,195 @@
+package tpch
+
+import (
+	"testing"
+
+	"upa/internal/stats"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Lineitems: 0}); err == nil {
+		t.Error("zero lineitems accepted")
+	}
+	if _, err := Generate(Config{Lineitems: 10, Skew: 1}); err == nil {
+		t.Error("skew 1 accepted")
+	}
+	if _, err := Generate(Config{Lineitems: 10, Skew: -0.1}); err == nil {
+		t.Error("negative skew accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Lineitems: 500, Skew: 0.3, Seed: 7}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Lineitems) != len(b.Lineitems) {
+		t.Fatal("row counts differ across identical configs")
+	}
+	for i := range a.Lineitems {
+		if a.Lineitems[i] != b.Lineitems[i] {
+			t.Fatalf("lineitem %d differs across identical configs", i)
+		}
+	}
+	for i := range a.Orders {
+		if a.Orders[i] != b.Orders[i] {
+			t.Fatalf("order %d differs across identical configs", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, err := Generate(Config{Lineitems: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Lineitems: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Lineitems {
+		if a.Lineitems[i] == b.Lineitems[i] {
+			same++
+		}
+	}
+	if same == len(a.Lineitems) {
+		t.Fatal("different seeds generated identical lineitems")
+	}
+}
+
+func TestForeignKeysInRange(t *testing.T) {
+	db, err := Generate(Config{Lineitems: 2000, Skew: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range db.Lineitems {
+		if l.OrderKey < 0 || l.OrderKey >= len(db.Orders) {
+			t.Fatalf("lineitem orderkey %d out of range", l.OrderKey)
+		}
+		if l.PartKey < 0 || l.PartKey >= len(db.Parts) {
+			t.Fatalf("lineitem partkey %d out of range", l.PartKey)
+		}
+		if l.SuppKey < 0 || l.SuppKey >= len(db.Suppliers) {
+			t.Fatalf("lineitem suppkey %d out of range", l.SuppKey)
+		}
+	}
+	for _, o := range db.Orders {
+		if o.CustKey < 0 || o.CustKey >= len(db.Customers) {
+			t.Fatalf("order custkey %d out of range", o.CustKey)
+		}
+	}
+	for _, ps := range db.PartSupps {
+		if ps.PartKey < 0 || ps.PartKey >= len(db.Parts) {
+			t.Fatalf("partsupp partkey %d out of range", ps.PartKey)
+		}
+		if ps.SuppKey < 0 || ps.SuppKey >= len(db.Suppliers) {
+			t.Fatalf("partsupp suppkey %d out of range", ps.SuppKey)
+		}
+	}
+	for _, c := range db.Customers {
+		if c.NationKey < 0 || c.NationKey >= len(db.Nations) {
+			t.Fatalf("customer nationkey %d out of range", c.NationKey)
+		}
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	db, err := Generate(Config{Lineitems: 1000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range db.Lineitems {
+		if l.Quantity < 1 || l.Quantity > 50 {
+			t.Fatalf("quantity %v out of [1, 50]", l.Quantity)
+		}
+		if l.Discount < 0 || l.Discount > 0.10 {
+			t.Fatalf("discount %v out of [0, 0.10]", l.Discount)
+		}
+		if l.ShipDate < 0 || l.ShipDate >= DateMax {
+			t.Fatalf("shipdate %v out of range", l.ShipDate)
+		}
+		if l.ReceiptDate <= l.ShipDate {
+			t.Fatalf("receipt %v not after ship %v", l.ReceiptDate, l.ShipDate)
+		}
+	}
+}
+
+func TestSkewConcentratesKeys(t *testing.T) {
+	flat, err := Generate(Config{Lineitems: 20000, Skew: 0, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := Generate(Config{Lineitems: 20000, Skew: 0.5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFreq := func(db *DB) int {
+		freq := make(map[int]int)
+		for _, l := range db.Lineitems {
+			freq[l.PartKey]++
+		}
+		best := 0
+		for _, c := range freq {
+			if c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	if mf, ms := maxFreq(flat), maxFreq(skewed); ms <= 2*mf {
+		t.Fatalf("skew did not concentrate keys: max frequency %d (flat) vs %d (skewed)", mf, ms)
+	}
+}
+
+func TestDateYear(t *testing.T) {
+	if got := Date(0).Year(); got != 1992 {
+		t.Errorf("Year(0) = %d, want 1992", got)
+	}
+	if got := Date(DaysPerYear * 3).Year(); got != 1995 {
+		t.Errorf("Year(3y) = %d, want 1995", got)
+	}
+}
+
+func TestRandomDomainRecords(t *testing.T) {
+	db, err := Generate(Config{Lineitems: 1000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(42)
+	for i := 0; i < 100; i++ {
+		l := db.RandomLineitem(rng)
+		if l.OrderKey < 0 || l.OrderKey >= len(db.Orders) {
+			t.Fatalf("random lineitem orderkey %d out of range", l.OrderKey)
+		}
+		ps := db.RandomPartSupp(rng)
+		if ps.PartKey < 0 || ps.PartKey >= len(db.Parts) {
+			t.Fatalf("random partsupp partkey %d out of range", ps.PartKey)
+		}
+		o := db.RandomOrder(rng)
+		if o.OrderKey < len(db.Orders) {
+			t.Fatalf("random order reuses existing key %d", o.OrderKey)
+		}
+	}
+	// Determinism of domain sampling.
+	a := db.RandomLineitem(stats.NewRNG(5))
+	b := db.RandomLineitem(stats.NewRNG(5))
+	if a != b {
+		t.Fatal("RandomLineitem not deterministic in the RNG")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Lineitems <= 0 || cfg.Skew < 0 || cfg.Skew >= 1 {
+		t.Fatalf("DefaultConfig invalid: %+v", cfg)
+	}
+	if _, err := Generate(cfg); err != nil {
+		t.Fatalf("DefaultConfig does not generate: %v", err)
+	}
+}

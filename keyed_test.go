@@ -1,0 +1,177 @@
+package upa
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func keyedCount() KeyedQuery[user, string] {
+	return KeyedQuery[user, string]{
+		Name: "visits-by-tier",
+		Key: func(u user) string {
+			if u.Active {
+				return "active"
+			}
+			return "casual"
+		},
+		Value: func(user) float64 { return 1 },
+	}
+}
+
+func TestReleaseByKeyBasics(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(100), WithSeed(6))
+	users := testUsers(900)
+	res, err := ReleaseByKey(s, keyedCount(), users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Query != "visits-by-tier" {
+		t.Errorf("Query = %q", res.Query)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+	exact := map[string]float64{}
+	for _, u := range users {
+		if u.Active {
+			exact["active"]++
+		} else {
+			exact["casual"]++
+		}
+	}
+	for _, g := range res.Groups {
+		if g.Sensitivity <= 0 {
+			t.Errorf("group %v has sensitivity %v", g.Key, g.Sensitivity)
+		}
+		// Count sensitivity is 1; noise at eps=0.1 has scale 10.
+		if math.Abs(g.Output-exact[g.Key]) > 200 {
+			t.Errorf("group %v output %v wildly far from exact %v", g.Key, g.Output, exact[g.Key])
+		}
+	}
+	// Counts: each record's influence on its group is exactly 1.
+	if res.GlobalSensitivity != 1 {
+		t.Errorf("GlobalSensitivity = %v, want 1", res.GlobalSensitivity)
+	}
+	// Deterministic group order (lexicographic by rendered key).
+	if res.Groups[0].Key != "active" || res.Groups[1].Key != "casual" {
+		t.Errorf("groups not sorted: %v, %v", res.Groups[0].Key, res.Groups[1].Key)
+	}
+}
+
+func TestReleaseByKeySumSensitivity(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(600), WithSeed(8))
+	users := testUsers(600) // sample covers everything: exact sensitivities
+	q := KeyedQuery[user, string]{
+		Name:  "spend-by-tier",
+		Key:   func(u user) string { return map[bool]string{true: "active", false: "casual"}[u.Active] },
+		Value: func(u user) float64 { return u.Spend },
+	}
+	res, err := ReleaseByKey(s, q, users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSpend float64
+	for _, u := range users {
+		maxSpend = math.Max(maxSpend, u.Spend)
+	}
+	if res.GlobalSensitivity != maxSpend {
+		t.Errorf("GlobalSensitivity = %v, want max spend %v", res.GlobalSensitivity, maxSpend)
+	}
+}
+
+func TestReleaseByKeyWithDomain(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(50), WithSeed(3))
+	// All data lands in one group; the domain sampler introduces a second
+	// group through addition neighbours, widening the global sensitivity.
+	data := make([]user, 300)
+	for i := range data {
+		data[i] = user{Active: false, Spend: 1}
+	}
+	domain := func(*RNG) user { return user{Active: true, Spend: 500} }
+	q := KeyedQuery[user, string]{
+		Name:  "with-additions",
+		Key:   func(u user) string { return map[bool]string{true: "p", false: "f"}[u.Active] },
+		Value: func(u user) float64 { return u.Spend },
+	}
+	res, err := ReleaseByKey(s, q, data, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalSensitivity < 500 {
+		t.Errorf("addition neighbour ignored: global sensitivity %v, want >= 500",
+			res.GlobalSensitivity)
+	}
+}
+
+func TestReleaseByKeyValidation(t *testing.T) {
+	s := newSessionT(t)
+	if _, err := ReleaseByKey(s, KeyedQuery[user, string]{}, testUsers(10), nil); err == nil {
+		t.Error("invalid keyed query accepted")
+	}
+	if _, err := ReleaseByKey(s, keyedCount(), testUsers(1), nil); err == nil {
+		t.Error("single-record input accepted")
+	}
+}
+
+func TestReleaseByKeySpendsBudgetOnce(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(50), WithTotalBudget(0.15))
+	if _, err := ReleaseByKey(s, keyedCount(), testUsers(300), nil); err != nil {
+		t.Fatal(err)
+	}
+	// One keyed release spends one epsilon (parallel composition), so a
+	// second would exceed the 0.15 budget at eps 0.1.
+	if got := s.SpentBudget(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("SpentBudget = %v, want 0.1", got)
+	}
+	if _, err := ReleaseByKey(s, keyedCount(), testUsers(300), nil); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("second release error = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestReleaseByKeyCustomReducer(t *testing.T) {
+	// A per-key maximum: the reducer is commutative and associative but not
+	// invertible, exercising the exclusion-based neighbour computation.
+	s := newSessionT(t, WithSampleSize(600), WithSeed(12))
+	users := testUsers(600) // full sampling: exact per-key sensitivities
+	q := KeyedQuery[user, string]{
+		Name:   "max-spend-by-tier",
+		Key:    func(u user) string { return map[bool]string{true: "active", false: "casual"}[u.Active] },
+		Value:  func(u user) float64 { return u.Spend },
+		Reduce: math.Max,
+	}
+	res, err := ReleaseByKey(s, q, users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-key influence of the maximum: max minus the runner-up when the
+	// removed record is the unique maximum, else 0; the global sensitivity
+	// is bounded by the overall max spend.
+	var maxSpend float64
+	for _, u := range users {
+		maxSpend = math.Max(maxSpend, u.Spend)
+	}
+	if res.GlobalSensitivity < 0 || res.GlobalSensitivity > maxSpend {
+		t.Fatalf("global sensitivity %v outside [0, %v]", res.GlobalSensitivity, maxSpend)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+}
+
+func TestReleaseByKeyDeterministic(t *testing.T) {
+	run := func() []KeyedValue[string] {
+		s := newSessionT(t, WithSampleSize(80), WithSeed(44))
+		res, err := ReleaseByKey(s, keyedCount(), testUsers(400), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Groups
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("keyed release not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}

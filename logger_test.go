@@ -1,0 +1,44 @@
+package upa
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestWithLoggerEmitsReleaseRecords(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
+	s := newSessionT(t, WithSampleSize(30), WithSeed(2), WithLogger(logger))
+
+	if _, err := Release(s, Count[user]("logged-count", nil), testUsers(200), nil); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"upa release", "query=logged-count", "sample_size=30",
+		"attack_suspected=false", "sensitivity=", "records=200",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("log output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The second, attacking release is logged with the enforcer decision.
+	buf.Reset()
+	if _, err := Release(s, Count[user]("logged-count", nil), testUsers(199), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "attack_suspected=true") {
+		t.Errorf("attack decision not logged:\n%s", buf.String())
+	}
+}
+
+func TestNoLoggerStaysSilent(t *testing.T) {
+	// The default session must not write anywhere (nil logger short-circuits).
+	s := newSessionT(t, WithSampleSize(30))
+	if _, err := Release(s, Count[user]("quiet", nil), testUsers(100), nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package upa
+
+import (
+	"fmt"
+
+	"upa/internal/core"
+)
+
+// State is the intermediate aggregate a Mapper emits per record and a
+// Reducer combines; scalar queries use length-1 states.
+type State = []float64
+
+// Query is a big-data query in UPA's Mapper/Reducer form. Construct simple
+// aggregations with the Count, Sum, Mean, and VectorSum helpers, or fill the
+// struct directly for custom queries (one KMeans/SGD iteration, fused
+// multi-aggregate scans, ...).
+//
+// The reducer must be commutative and associative and must not mutate its
+// arguments: UPA's reuse of intermediate reductions — the source of its
+// efficiency — is sound exactly under those properties. Leave Reduce nil for
+// coordinate-wise addition, which satisfies both.
+type Query[T any] struct {
+	// Name labels the query in results.
+	Name string
+	// StateDim is the length of every State emitted by Map.
+	StateDim int
+	// OutputDim is the length of the finalized output vector.
+	OutputDim int
+	// Map computes one record's contribution. It must be pure.
+	Map func(T) State
+	// Reduce combines two states; nil means coordinate-wise addition.
+	Reduce func(State, State) State
+	// Finalize converts the total state into the released output; nil means
+	// identity (requires OutputDim == StateDim).
+	Finalize func(State) []float64
+}
+
+func (q Query[T]) toCore() (core.Query[T], error) {
+	cq := core.Query[T]{
+		Name:      q.Name,
+		StateDim:  q.StateDim,
+		OutputDim: q.OutputDim,
+		Map:       q.Map,
+		Reduce:    q.Reduce,
+		Finalize:  q.Finalize,
+	}
+	if err := cq.Validate(); err != nil {
+		return core.Query[T]{}, fmt.Errorf("upa: %w", err)
+	}
+	return cq, nil
+}
+
+// Count builds a query that counts the records satisfying pred (all records
+// when pred is nil).
+func Count[T any](name string, pred func(T) bool) Query[T] {
+	return Query[T]{
+		Name:      name,
+		StateDim:  1,
+		OutputDim: 1,
+		Map: func(t T) State {
+			if pred == nil || pred(t) {
+				return State{1}
+			}
+			return State{0}
+		},
+	}
+}
+
+// Sum builds a query that sums value over all records.
+func Sum[T any](name string, value func(T) float64) Query[T] {
+	return Query[T]{
+		Name:      name,
+		StateDim:  1,
+		OutputDim: 1,
+		Map:       func(t T) State { return State{value(t)} },
+	}
+}
+
+// Mean builds a query that averages value over all records.
+func Mean[T any](name string, value func(T) float64) Query[T] {
+	return Query[T]{
+		Name:      name,
+		StateDim:  2,
+		OutputDim: 1,
+		Map:       func(t T) State { return State{value(t), 1} },
+		Finalize: func(s State) []float64 {
+			if s[1] == 0 {
+				return []float64{0}
+			}
+			return []float64{s[0] / s[1]}
+		},
+	}
+}
+
+// VectorSum builds a query that sums a dim-dimensional contribution over all
+// records — the building block of gradient aggregation and histogram
+// queries.
+func VectorSum[T any](name string, dim int, contrib func(T) []float64) Query[T] {
+	return Query[T]{
+		Name:      name,
+		StateDim:  dim,
+		OutputDim: dim,
+		Map:       func(t T) State { return contrib(t) },
+	}
+}

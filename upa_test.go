@@ -1,0 +1,225 @@
+package upa
+
+import (
+	"math"
+	"testing"
+)
+
+type user struct {
+	Active bool
+	Spend  float64
+}
+
+func testUsers(n int) []user {
+	users := make([]user, n)
+	for i := range users {
+		users[i] = user{Active: i%3 != 0, Spend: float64(i % 100)}
+	}
+	return users
+}
+
+func newSessionT(t *testing.T, opts ...Option) *Session {
+	t.Helper()
+	s, err := NewSession(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionDefaults(t *testing.T) {
+	s := newSessionT(t)
+	if s.Epsilon() != 0.1 {
+		t.Errorf("Epsilon = %v, want 0.1", s.Epsilon())
+	}
+	if s.SampleSize() != 1000 {
+		t.Errorf("SampleSize = %d, want 1000", s.SampleSize())
+	}
+	if s.HistoryLen() != 0 {
+		t.Errorf("fresh session has history %d", s.HistoryLen())
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	s := newSessionT(t, WithEpsilon(0.5), WithSampleSize(77), WithSeed(9),
+		WithPercentiles(0.05, 0.95), WithWorkers(2))
+	if s.Epsilon() != 0.5 || s.SampleSize() != 77 {
+		t.Errorf("options not applied: eps=%v n=%d", s.Epsilon(), s.SampleSize())
+	}
+}
+
+func TestSessionRejectsBadOptions(t *testing.T) {
+	if _, err := NewSession(WithEpsilon(-1)); err == nil {
+		t.Error("negative epsilon accepted")
+	}
+	if _, err := NewSession(WithSampleSize(0)); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	if _, err := NewSession(WithPercentiles(0.9, 0.1)); err == nil {
+		t.Error("inverted percentiles accepted")
+	}
+}
+
+func TestReleaseCount(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(50), WithSeed(4))
+	users := testUsers(600)
+	q := Count("active", func(u user) bool { return u.Active })
+	res, err := Release(s, q, users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := 0.0
+	for _, u := range users {
+		if u.Active {
+			exact++
+		}
+	}
+	if math.Abs(res.Output[0]-exact) > 400 {
+		t.Errorf("noisy count %v wildly far from exact %v", res.Output[0], exact)
+	}
+	if res.Sensitivity[0] <= 0 || res.Sensitivity[0] > 10 {
+		t.Errorf("count sensitivity = %v, want small positive", res.Sensitivity[0])
+	}
+	if res.SampleSize != 50 {
+		t.Errorf("SampleSize = %d, want 50", res.SampleSize)
+	}
+	if s.HistoryLen() != 1 {
+		t.Errorf("history = %d after one release", s.HistoryLen())
+	}
+	if res.Phases.Total() <= 0 {
+		t.Error("no phase timing recorded")
+	}
+}
+
+func TestReleaseWithDomainSampler(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(40), WithSeed(2))
+	q := Sum("spend", func(u user) float64 { return u.Spend })
+	domain := func(r *RNG) user { return user{Active: true, Spend: float64(r.Intn(100))} }
+	res, err := Release(s, q, testUsers(500), domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spend per record is < 100, so the local sensitivity cannot be much
+	// larger (the percentile range is a mild widening).
+	if res.Sensitivity[0] <= 0 || res.Sensitivity[0] > 500 {
+		t.Errorf("sum sensitivity = %v, implausible for per-record max 99", res.Sensitivity[0])
+	}
+}
+
+func TestReleaseInvalidQuery(t *testing.T) {
+	s := newSessionT(t)
+	if _, err := Release(s, Query[user]{}, testUsers(10), nil); err == nil {
+		t.Error("invalid query accepted")
+	}
+	q := Count[user]("c", nil)
+	if _, err := Release(s, q, testUsers(1), nil); err == nil {
+		t.Error("single-record dataset accepted")
+	}
+}
+
+func TestEvaluateMatchesDirect(t *testing.T) {
+	s := newSessionT(t)
+	users := testUsers(300)
+	out, err := Evaluate(s, Sum("spend", func(u user) float64 { return u.Spend }), users)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, u := range users {
+		want += u.Spend
+	}
+	if math.Abs(out[0]-want) > 1e-9 {
+		t.Errorf("Evaluate = %v, want %v", out[0], want)
+	}
+	if s.HistoryLen() != 0 {
+		t.Error("Evaluate touched the enforcer history")
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	s := newSessionT(t)
+	out, err := Evaluate(s, Mean("spend", func(u user) float64 { return u.Spend }), testUsers(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, u := range testUsers(200) {
+		sum += u.Spend
+	}
+	if want := sum / 200; math.Abs(out[0]-want) > 1e-9 {
+		t.Errorf("mean = %v, want %v", out[0], want)
+	}
+}
+
+func TestVectorSumHelper(t *testing.T) {
+	s := newSessionT(t)
+	q := VectorSum("hist", 2, func(u user) []float64 {
+		if u.Active {
+			return []float64{1, 0}
+		}
+		return []float64{0, 1}
+	})
+	out, err := Evaluate(s, q, testUsers(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0]+out[1] != 300 {
+		t.Errorf("histogram total = %v, want 300", out[0]+out[1])
+	}
+}
+
+func TestRepeatedQueryAttackSurfaces(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(40), WithSeed(11))
+	users := testUsers(400)
+	q := Sum("spend", func(u user) float64 { return u.Spend })
+	first, err := Release(s, q, users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.AttackSuspected {
+		t.Fatal("first release flagged")
+	}
+	// Neighbouring rerun: drop one record.
+	res, err := Release(s, q, users[1:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AttackSuspected {
+		t.Fatal("neighbouring rerun not flagged as attack")
+	}
+	if res.RemovedRecords < 2 {
+		t.Errorf("RemovedRecords = %d, want >= 2", res.RemovedRecords)
+	}
+	s.ResetHistory()
+	if s.HistoryLen() != 0 {
+		t.Error("ResetHistory did not clear")
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	s := newSessionT(t, WithSampleSize(30))
+	if _, err := Release(s, Count[user]("c", nil), testUsers(300), nil); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.RecordsMapped == 0 || m.ReduceOps == 0 || m.ShuffleRounds == 0 {
+		t.Errorf("metrics empty after a release: %+v", m)
+	}
+}
+
+func TestReleaseDeterministicWithSeed(t *testing.T) {
+	run := func() []float64 {
+		s := newSessionT(t, WithSampleSize(30), WithSeed(123))
+		res, err := Release(s, Count[user]("c", nil), testUsers(250), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Sensitivity
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("sensitivity differs across identically seeded sessions: %v vs %v", a, b)
+		}
+	}
+}
