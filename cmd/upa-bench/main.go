@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("upa-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "table2 | fig2a | fig2b | fig2bsim | fig3 | fig4a | fig4b | ablations | all")
+		experiment = fs.String("experiment", "all", "table2 | fig2a | fig2b | fig2bsim | stages | fig3 | fig4a | fig4b | ablations | all")
 		lineitems  = fs.Int("lineitems", 0, "TPC-H lineitem rows (default from bench config)")
 		lsRecords  = fs.Int("lsrecords", 0, "life-science records (default from bench config)")
 		skew       = fs.Float64("skew", -1, "TPC-H join-key skew in [0,1)")
@@ -141,6 +141,16 @@ func run(args []string, out io.Writer) error {
 			}
 			return bench.RenderFig2bSimulated(rows), nil
 		},
+		"stages": func() (string, error) {
+			stages, plans, err := bench.StageBreakdown(cfg, cluster.PaperTestbed())
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("stages", func(w io.Writer) error { return bench.WriteStagesCSV(w, stages) }); err != nil {
+				return "", err
+			}
+			return bench.RenderStageBreakdown(stages, plans), nil
+		},
 		"fig3": func() (string, error) {
 			rows, err := bench.Fig3(cfg, sampleSweep)
 			if err != nil {
@@ -173,7 +183,7 @@ func run(args []string, out io.Writer) error {
 		},
 	}
 
-	order := []string{"table2", "fig2a", "fig2b", "fig2bsim", "fig3", "fig4a", "fig4b", "ablations"}
+	order := []string{"table2", "fig2a", "fig2b", "fig2bsim", "stages", "fig3", "fig4a", "fig4b", "ablations"}
 	selected := order
 	if *experiment != "all" {
 		if _, ok := experiments[*experiment]; !ok {

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden JSON-shape files")
+
+// shapeOf reduces a decoded JSON value to its type shape: objects keep their
+// keys (sorted) with the shapes of their values, arrays keep their first
+// element's shape, and scalars collapse to their JSON type. Two responses
+// with the same shape are interchangeable to a typed client, so pinning the
+// shape in a golden file catches schema drift without pinning values.
+func shapeOf(v any) string {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fields := make([]string, 0, len(keys))
+		for _, k := range keys {
+			fields = append(fields, fmt.Sprintf("%s: %s", k, shapeOf(x[k])))
+		}
+		return "{" + strings.Join(fields, ", ") + "}"
+	case []any:
+		if len(x) == 0 {
+			return "array<empty>"
+		}
+		return "array<" + shapeOf(x[0]) + ">"
+	case string:
+		return "string"
+	case float64:
+		return "number"
+	case bool:
+		return "bool"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("unknown(%T)", v)
+	}
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != strings.TrimRight(string(want), "\n") {
+		t.Errorf("schema drift for %s:\n got: %s\nwant: %s\n(run go test -update if intentional)",
+			name, got, strings.TrimRight(string(want), "\n"))
+	}
+}
+
+// TestMetricsShapeGolden pins the GET /metrics schema.
+func TestMetricsShapeGolden(t *testing.T) {
+	h := testServer(t, "").routes()
+	if rec, _ := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH6"}`); rec.Code != http.StatusOK {
+		t.Fatal("release failed")
+	}
+	rec, _ := doJSON(t, h, http.MethodGet, "/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var v any
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics_shape", shapeOf(v))
+}
+
+// TestJobsShapeGolden pins the GET /jobs schema, including the per-stage
+// span fields the cost model and any dashboard depend on.
+func TestJobsShapeGolden(t *testing.T) {
+	h := testServer(t, "").routes()
+	if rec, _ := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH6"}`); rec.Code != http.StatusOK {
+		t.Fatal("release failed")
+	}
+	rec, _ := doJSON(t, h, http.MethodGet, "/jobs", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var v any
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "jobs_shape", shapeOf(v))
+
+	// Structural invariants the shape alone cannot pin: deps must always be
+	// a JSON array (never null), and every stage must be present.
+	var body struct {
+		Jobs []struct {
+			ID     uint64 `json:"id"`
+			Query  string `json:"query"`
+			Stages []struct {
+				Stage string    `json:"stage"`
+				Deps  *[]string `json:"deps"`
+				SimUS float64   `json:"simUs"`
+			} `json:"stages"`
+			CriticalPath    []string `json:"criticalPath"`
+			SimPipelinedUS  float64  `json:"simPipelinedUs"`
+			SimSequentialUS float64  `json:"simSequentialUs"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(body.Jobs))
+	}
+	job := body.Jobs[0]
+	if job.Query != "TPCH6" || job.ID != 1 {
+		t.Errorf("job header = %+v", job)
+	}
+	if len(job.Stages) < 8 {
+		t.Errorf("only %d stages recorded", len(job.Stages))
+	}
+	for _, s := range job.Stages {
+		if s.Deps == nil {
+			t.Errorf("stage %s serialized deps as null", s.Stage)
+		}
+	}
+	if len(job.CriticalPath) == 0 {
+		t.Error("empty critical path")
+	}
+	if job.SimPipelinedUS <= 0 || job.SimSequentialUS < job.SimPipelinedUS {
+		t.Errorf("plan costs: sequential %v, pipelined %v", job.SimSequentialUS, job.SimPipelinedUS)
+	}
+}
+
+// TestJobLogEviction bounds the job log at jobLogCap records.
+func TestJobLogEviction(t *testing.T) {
+	srv := testServer(t, "")
+	h := srv.routes()
+	queriesList := []string{"TPCH1", "TPCH6", "TPCH11", "TPCH13"}
+	for i := 0; i < jobLogCap+4; i++ {
+		q := queriesList[i%len(queriesList)]
+		if rec, _ := doJSON(t, h, http.MethodPost, "/release", `{"query":"`+q+`"}`); rec.Code != http.StatusOK {
+			t.Fatalf("release %d failed", i)
+		}
+	}
+	_, body := doJSON(t, h, http.MethodGet, "/jobs", "")
+	jobs, ok := body["jobs"].([]any)
+	if !ok || len(jobs) != jobLogCap {
+		t.Fatalf("job log holds %d records, want %d", len(jobs), jobLogCap)
+	}
+	// Newest first: the first record is the last release.
+	first := jobs[0].(map[string]any)
+	if got := first["id"].(float64); int(got) != jobLogCap+4 {
+		t.Errorf("newest job id = %v, want %d", got, jobLogCap+4)
+	}
+}

@@ -10,6 +10,8 @@
 //	POST /release   {"query": "TPCH6"} -> one iDP release
 //	GET  /metrics   engine activity counters
 //	GET  /history   RANGE ENFORCER status
+//	GET  /jobs      recent releases' stage DAGs: per-stage spans plus
+//	                simulated cluster cost and critical path
 //
 // Usage:
 //
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"upa/internal/bench"
+	"upa/internal/cluster"
 	"upa/internal/core"
 	"upa/internal/lifesci"
 	"upa/internal/mapreduce"
@@ -88,16 +91,25 @@ type serverConfig struct {
 	StatePath            string
 }
 
+// jobLogCap bounds the job log: GET /jobs reports the most recent releases
+// only, oldest evicted first.
+const jobLogCap = 32
+
 // server holds the workload and the long-lived UPA system.
 type server struct {
-	cfg serverConfig
-	w   *queries.Workload
-	eng *mapreduce.Engine
-	sys *core.System
+	cfg   serverConfig
+	w     *queries.Workload
+	eng   *mapreduce.Engine
+	sys   *core.System
+	model cluster.Model
 
 	// releaseMu serializes persistence of the enforcer state with the
 	// releases that mutate it.
 	releaseMu sync.Mutex
+
+	// jobsMu guards the ring of recent job records behind GET /jobs.
+	jobsMu sync.Mutex
+	jobs   []jobRecord
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -117,7 +129,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys}
+	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys, model: cluster.PaperTestbed()}
 	if cfg.StatePath != "" {
 		if err := srv.loadState(); err != nil {
 			return nil, err
@@ -163,7 +175,99 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /release", s.handleRelease)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /history", s.handleHistory)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
 	return mux
+}
+
+// jobStage is one stage of a job record: the span the stage reported plus
+// the cluster model's price for it.
+type jobStage struct {
+	Stage           string   `json:"stage"`
+	Deps            []string `json:"deps"`
+	DurationUS      float64  `json:"durationUs"`
+	Attempts        int      `json:"attempts"`
+	Speculative     int      `json:"speculative"`
+	Records         int64    `json:"records"`
+	ShuffledRecords int64    `json:"shuffledRecords"`
+	ShuffleBytes    int64    `json:"shuffleBytes"`
+	ReduceOps       int64    `json:"reduceOps"`
+	CacheHits       int64    `json:"cacheHits"`
+	SimUS           float64  `json:"simUs"`
+	Critical        bool     `json:"critical"`
+}
+
+// jobRecord is one release's stage DAG as reported by GET /jobs.
+type jobRecord struct {
+	ID              uint64     `json:"id"`
+	Query           string     `json:"query"`
+	Stages          []jobStage `json:"stages"`
+	CriticalPath    []string   `json:"criticalPath"`
+	SimSequentialUS float64    `json:"simSequentialUs"`
+	SimPipelinedUS  float64    `json:"simPipelinedUs"`
+}
+
+func micros(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// recordJob prices a release's spans and appends the job record, evicting
+// the oldest past jobLogCap.
+func (s *server) recordJob(res *core.Result) {
+	rec := jobRecord{
+		ID:           res.Release,
+		Query:        res.Query,
+		Stages:       make([]jobStage, 0, len(res.Spans)),
+		CriticalPath: []string{},
+	}
+	plan, err := s.model.PricePlan(res.Spans)
+	if err != nil {
+		// Pricing cannot fail on spans the scheduler produced; if it ever
+		// does, keep the unpriced spans rather than dropping the record.
+		slog.Error("price job plan", slog.Any("error", err))
+		plan = cluster.PlanCost{Stages: make([]cluster.StageCost, len(res.Spans))}
+	}
+	critical := make(map[string]bool, len(plan.CriticalPath))
+	for _, name := range plan.CriticalPath {
+		critical[name] = true
+	}
+	rec.CriticalPath = append(rec.CriticalPath, plan.CriticalPath...)
+	rec.SimSequentialUS = micros(plan.Sequential)
+	rec.SimPipelinedUS = micros(plan.Total)
+	for i, span := range res.Spans {
+		deps := span.Deps
+		if deps == nil {
+			deps = []string{} // keep "deps" an array, never null, in JSON
+		}
+		rec.Stages = append(rec.Stages, jobStage{
+			Stage:           span.Stage,
+			Deps:            deps,
+			DurationUS:      micros(span.Duration()),
+			Attempts:        span.Attempts,
+			Speculative:     span.Speculative,
+			Records:         span.Records,
+			ShuffledRecords: span.ShuffledRecords,
+			ShuffleBytes:    span.ShuffleBytes,
+			ReduceOps:       span.ReduceOps,
+			CacheHits:       span.CacheHits,
+			SimUS:           micros(plan.Stages[i].Cost.Total()),
+			Critical:        critical[span.Stage],
+		})
+	}
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	s.jobs = append(s.jobs, rec)
+	if len(s.jobs) > jobLogCap {
+		s.jobs = append(s.jobs[:0], s.jobs[len(s.jobs)-jobLogCap:]...)
+	}
+}
+
+func (s *server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	s.jobsMu.Lock()
+	// Newest first, so analysts see their latest release on top.
+	jobs := make([]jobRecord, 0, len(s.jobs))
+	for i := len(s.jobs) - 1; i >= 0; i-- {
+		jobs = append(jobs, s.jobs[i])
+	}
+	s.jobsMu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
 func (s *server) handleQueries(w http.ResponseWriter, _ *http.Request) {
@@ -211,6 +315,7 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		// return.
 		slog.Error("persist enforcer state", slog.Any("error", err))
 	}
+	s.recordJob(res)
 	writeJSON(w, http.StatusOK, releaseResponse{
 		Query:           res.Query,
 		Output:          res.Output,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -80,6 +81,19 @@ func WriteFig4aCSV(w io.Writer, rows []ScaleRow) error {
 	return writeCSV(w, header, len(rows), func(i int) []string {
 		r := rows[i]
 		return []string{itoa(r.ScaleFactor), itoa(r.Lineitems), ftoa(r.MeanNormalized)}
+	})
+}
+
+// WriteStagesCSV writes the per-stage release breakdown.
+func WriteStagesCSV(w io.Writer, rows []StageRow) error {
+	header := []string{"query", "stage", "deps", "measured_us", "records", "shuffled_records",
+		"shuffle_bytes", "reduce_ops", "cache_hits", "attempts", "speculative", "sim_us", "critical"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Query, r.Stage, strings.Join(r.Deps, ";"), dtoa(r.Measured),
+			itoa64(r.Records), itoa64(r.ShuffledRecords), itoa64(r.ShuffleBytes),
+			itoa64(r.ReduceOps), itoa64(r.CacheHits), itoa(r.Attempts), itoa(r.Speculative),
+			dtoa(r.SimCost), strconv.FormatBool(r.Critical)}
 	})
 }
 

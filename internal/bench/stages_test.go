@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"upa/internal/cluster"
+	"upa/internal/core"
+)
+
+func TestStageBreakdownShape(t *testing.T) {
+	stages, plans, err := StageBreakdown(smallConfig(), cluster.PaperTestbed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 9 {
+		t.Fatalf("%d plan rows, want 9", len(plans))
+	}
+	byQuery := map[string][]StageRow{}
+	for _, s := range stages {
+		byQuery[s.Query] = append(byQuery[s.Query], s)
+	}
+	for _, p := range plans {
+		qs := byQuery[p.Query]
+		if len(qs) == 0 {
+			t.Fatalf("%s: no stage rows", p.Query)
+		}
+		seen := map[string]bool{}
+		critical := 0
+		for _, s := range qs {
+			seen[s.Stage] = true
+			if s.Critical {
+				critical++
+			}
+		}
+		// Every release runs the paper's backbone stages.
+		for _, want := range []string{
+			core.StagePartitionSample, core.StageBulkReduce, core.StageMapSamples,
+			core.StagePrefixSuffix, core.StageNeighbourJoin, core.StageFit,
+			core.StageEnforce, core.StagePerturb,
+		} {
+			if !seen[want] {
+				t.Errorf("%s: stage %q missing from breakdown", p.Query, want)
+			}
+		}
+		if critical != len(p.CriticalPath) {
+			t.Errorf("%s: %d critical-marked stages vs path of %d", p.Query, critical, len(p.CriticalPath))
+		}
+		// The pipelined plan can never cost more than the sequential one, and
+		// with the off-path map/delta stages it must be strictly cheaper.
+		if p.SimPipelined >= p.SimSequential {
+			t.Errorf("%s: pipelined %v not below sequential %v", p.Query, p.SimPipelined, p.SimSequential)
+		}
+		if p.Speedup <= 1 {
+			t.Errorf("%s: DAG speedup %v, want > 1", p.Query, p.Speedup)
+		}
+		// partition-sample repartitions the whole input, so it carries the
+		// release's shuffle volume.
+		for _, s := range qs {
+			if s.Stage == core.StagePartitionSample && s.ShuffledRecords <= 0 {
+				t.Errorf("%s: partition-sample shuffled %d records", p.Query, s.ShuffledRecords)
+			}
+			if s.Stage == core.StageNeighbourJoin && s.CacheHits <= 0 {
+				t.Errorf("%s: neighbour-join reported %d cache hits", p.Query, s.CacheHits)
+			}
+		}
+	}
+	out := RenderStageBreakdown(stages, plans)
+	for _, want := range []string{"Stage", "critical path", core.StageNeighbourDeltas, "->"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered breakdown missing %q", want)
+		}
+	}
+}

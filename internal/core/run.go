@@ -1,13 +1,50 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"strconv"
 	"time"
 
+	"upa/internal/jobgraph"
 	"upa/internal/mapreduce"
 	"upa/internal/stats"
+)
+
+// approxRecordBytes estimates the serialized size of one shuffled record for
+// the per-stage span accounting — the same 100-byte row the cluster cost
+// model assumes for the paper's testbed.
+const approxRecordBytes = 100
+
+// speculationAfter is how long a partition of a partitioned release stage
+// may straggle before the scheduler launches a speculative duplicate. Stage
+// partitions are pure up to their commit, so duplicates never change
+// outputs; releases normally complete in milliseconds, so this only fires on
+// a genuinely wedged worker.
+const speculationAfter = time.Second
+
+// Stage names of the release jobgraph. The DAG (see DESIGN.md):
+//
+//	partition-sample ─┬─► bulk-reduce ────────────────┐
+//	                  ├─► map-samples ─► prefix-suffix┼─► neighbour-join ─► fit ─► enforce ─► perturb
+//	                  │                     └► neighbour-deltas ─┘
+//	                  └─► map-additions ──────────────┘
+//
+// neighbour-deltas (the per-neighbour prefix/suffix combines) depends only
+// on prefix-suffix, so it overlaps the bulk R(M(S')) reduction — the
+// pipelining that a flat phase loop serialized at artificial barriers.
+const (
+	StagePartitionSample = "partition-sample"
+	StageBulkReduce      = "bulk-reduce"
+	StageMapSamples      = "map-samples"
+	StageMapAdditions    = "map-additions"
+	StagePrefixSuffix    = "prefix-suffix"
+	StageNeighbourDeltas = "neighbour-deltas"
+	StageNeighbourJoin   = "neighbour-join"
+	StageFit             = "fit"
+	StageEnforce         = "enforce"
+	StagePerturb         = "perturb"
 )
 
 // Run executes query q on data end-to-end under UPA and returns the iDP
@@ -18,6 +55,13 @@ import (
 // data must hold at least two records (UPA targets big-data inputs; the
 // RANGE ENFORCER needs two non-empty partitions).
 func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Result, error) {
+	return RunCtx(context.Background(), sys, q, data, domain)
+}
+
+// RunCtx is Run under a context: the release executes as a jobgraph of
+// stages on the engine's worker pool, and cancelling ctx stops the scheduler
+// from starting new stages and the engine from claiming new partition tasks.
+func RunCtx[T any](ctx context.Context, sys *System, q Query[T], data []T, domain domainSampler[T]) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -29,16 +73,7 @@ func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Re
 	rng := sys.rng.Split(release)
 	eng := sys.eng
 	before := eng.Metrics()
-	res := &Result{Query: q.Name}
-
-	// --- Phase 1: Partition and Sample (§III) -------------------------------
-	t0 := time.Now()
-	// The RANGE ENFORCER requires the dataset split into two fixed
-	// partitions; on a cluster this repartitioning exchanges records between
-	// computers, which is the extra shuffle the paper attributes >42% of
-	// UPA's overhead on local-computation queries to (§VI-D).
-	mid := len(data) / 2
-	eng.AccountShuffle(len(data))
+	res := &Result{Query: q.Name, Release: release}
 
 	n := sys.cfg.SampleSize
 	if n > len(data) {
@@ -48,221 +83,333 @@ func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Re
 	}
 	res.SampleSize = n
 
-	sampleIdx := rng.Split(1).SampleIndices(len(data), n)
-	samples := make([]T, n)
-	halves := make([]int, n) // which RANGE ENFORCER partition each sample came from
-	inSample := make(map[int]bool, n)
-	for i, idx := range sampleIdx {
-		samples[i] = data[idx]
-		if idx >= mid {
-			halves[i] = 1
-		}
-		inSample[idx] = true
-	}
-	var sPrimeHalf [2][]T
-	for idx, rec := range data {
-		if inSample[idx] {
-			continue
-		}
-		h := 0
-		if idx >= mid {
-			h = 1
-		}
-		sPrimeHalf[h] = append(sPrimeHalf[h], rec)
-	}
-	var additions []T
-	if domain != nil {
-		addRNG := rng.Split(2)
-		additions = make([]T, n)
-		for i := range additions {
-			additions[i] = domain(addRNG)
-		}
-	}
-	res.Phases.PartitionSample = time.Since(t0)
-
-	// --- Phase 2: Parallel Map ----------------------------------------------
-	t1 := time.Now()
-	mappedPrime, err := mapSPrime(eng, q, sPrimeHalf)
-	if err != nil {
-		return nil, err
-	}
-	ms, err := mapThrough(eng, q, samples)
-	if err != nil {
-		return nil, err
-	}
-	var msBar []State
-	if len(additions) > 0 {
-		msBar, err = mapThrough(eng, q, additions)
-		if err != nil {
-			return nil, err
-		}
-	}
-	res.Phases.ParallelMap = time.Since(t1)
-
-	// --- Phase 3: Union Preserving Reduce (Algorithm 1) ---------------------
-	t2 := time.Now()
 	reduce := q.reducer()
-
-	rsPrimeHalf, err := reduceSPrime(eng, reduce, mappedPrime)
-	if err != nil {
-		return nil, err
-	}
-	rsPrime, rsPrimeOK := combineOpt(reduce, eng, rsPrimeHalf[0], rsPrimeHalf[1])
-
-	// Persist R(M(S')) in the engine's reduction cache; the sensitivity loop
-	// below re-reads it once per sampled neighbouring dataset, which is the
-	// Spark memory-cache reuse behind Figure 4(b).
+	// Cache key for R(M(S')): the sensitivity loop re-reads it once per
+	// sampled neighbouring dataset, which is the Spark memory-cache reuse
+	// behind Figure 4(b).
 	cacheKey := "upa:" + q.Name + ":rsprime:" +
 		strconv.FormatUint(sys.id, 10) + ":" + strconv.FormatUint(release, 10)
-	if rsPrimeOK {
-		if _, ok := mapreduce.CacheGet[State](eng.Cache(), cacheKey); !ok {
-			mapreduce.CachePut(eng.Cache(), cacheKey, rsPrime)
-		}
-	}
 
-	pre, suf := prefixSuffix(reduce, eng, ms)
+	// State shared between stages. Every variable is written by exactly one
+	// stage and read only by stages that depend on it, so the scheduler's
+	// completion ordering provides the happens-before edges.
+	var (
+		samples     []T
+		halves      []int // which RANGE ENFORCER partition each sample came from
+		sPrimeHalf  [2][]T
+		additions   []T
+		mappedPrime [2]*mapreduce.Dataset[State]
+		ms, msBar   []State
+		rsPrimeHalf [2]State
+		rsPrime     State
+		rsPrimeOK   bool
+		pre, suf    []State
+		rest        []State // rest[i] = R(ms \ ms[i]) via prefix/suffix
+		restOK      []bool
+		lo, hi      []float64
+	)
 
-	fullState, fullOK := combineOpt(reduce, eng, cachedOrNil(rsPrime, rsPrimeOK), last(pre))
-	if !fullOK {
-		return nil, fmt.Errorf("core: query %q reduced to an empty state", q.Name)
-	}
-	res.VanillaOutput = q.finalize(fullState)
+	g := jobgraph.New("release:"+q.Name,
+		jobgraph.WithSlots(eng.Workers()),
+		jobgraph.WithSpeculation(speculationAfter))
 
-	res.RemovalOutputs = make([][]float64, 0, n)
-	for i := 0; i < n; i++ {
-		var state State
-		var ok bool
-		if sys.cfg.DisableReuse {
-			state, ok, err = removalFromScratch(eng, q, mappedPrime, ms, i)
-			if err != nil {
-				return nil, err
+	// --- Phase 1: Partition and Sample (§III) -------------------------------
+	g.Stage(StagePartitionSample, func(_ context.Context, sc *jobgraph.StageContext) error {
+		// The RANGE ENFORCER requires the dataset split into two fixed
+		// partitions; on a cluster this repartitioning exchanges records
+		// between computers, which is the extra shuffle the paper attributes
+		// >42% of UPA's overhead on local-computation queries to (§VI-D).
+		mid := len(data) / 2
+		eng.AccountShuffle(len(data))
+		sc.AddRecords(int64(len(data)))
+		sc.AddShuffle(int64(len(data)), int64(len(data))*approxRecordBytes)
+
+		sampleIdx := rng.Split(1).SampleIndices(len(data), n)
+		samples = make([]T, n)
+		halves = make([]int, n)
+		inSample := make(map[int]bool, n)
+		for i, idx := range sampleIdx {
+			samples[i] = data[idx]
+			if idx >= mid {
+				halves[i] = 1
 			}
-		} else {
-			// Reuse R(M(S')) (a cache hit per iteration) and the
-			// prefix/suffix partials: O(1) combines per neighbour. When S'
-			// is empty (every record sampled) there is nothing cached to
-			// reuse, so the cache is not consulted.
-			base := State(nil)
-			baseOK := false
-			if rsPrimeOK {
-				if cached, hit := mapreduce.CacheGet[State](eng.Cache(), cacheKey); hit {
-					base, baseOK = cached, true
+			inSample[idx] = true
+		}
+		for idx, rec := range data {
+			if inSample[idx] {
+				continue
+			}
+			h := 0
+			if idx >= mid {
+				h = 1
+			}
+			sPrimeHalf[h] = append(sPrimeHalf[h], rec)
+		}
+		if domain != nil {
+			addRNG := rng.Split(2)
+			additions = make([]T, n)
+			for i := range additions {
+				additions[i] = domain(addRNG)
+			}
+		}
+		// The mapped S' halves stay lazy so the scratch-recompute ablation
+		// re-executes the map, like lineage recomputation would.
+		var err error
+		mappedPrime, err = mapSPrime(eng, q, sPrimeHalf)
+		return err
+	})
+
+	// --- Phase 2/3: bulk reduction of R(M(S')) ------------------------------
+	g.Stage(StageBulkReduce, func(ctx context.Context, sc *jobgraph.StageContext) error {
+		var err error
+		rsPrimeHalf, err = reduceSPrime(ctx, eng, reduce, mappedPrime)
+		if err != nil {
+			return err
+		}
+		rsPrime, rsPrimeOK = combineOpt(reduce, eng, rsPrimeHalf[0], rsPrimeHalf[1])
+		bulk := int64(len(sPrimeHalf[0]) + len(sPrimeHalf[1]))
+		sc.AddRecords(bulk)
+		if bulk > 1 {
+			sc.AddReduceOps(bulk - 1)
+		}
+		if rsPrimeOK {
+			if _, ok := mapreduce.CacheGet[State](eng.Cache(), cacheKey); !ok {
+				mapreduce.CachePut(eng.Cache(), cacheKey, rsPrime)
+			}
+		}
+		return nil
+	}, StagePartitionSample)
+
+	// --- Phase 2: Parallel Map of the sampled differing records -------------
+	g.Stage(StageMapSamples, func(ctx context.Context, sc *jobgraph.StageContext) error {
+		var err error
+		ms, err = mapThrough(ctx, eng, q, samples)
+		sc.AddRecords(int64(len(samples)))
+		return err
+	}, StagePartitionSample)
+	if domain != nil {
+		g.Stage(StageMapAdditions, func(ctx context.Context, sc *jobgraph.StageContext) error {
+			var err error
+			msBar, err = mapThrough(ctx, eng, q, additions)
+			sc.AddRecords(int64(len(additions)))
+			return err
+		}, StagePartitionSample)
+	}
+
+	// --- Phase 3: Union Preserving Reduce (Algorithm 1) ---------------------
+	g.Stage(StagePrefixSuffix, func(_ context.Context, sc *jobgraph.StageContext) error {
+		pre, suf = prefixSuffix(reduce, eng, ms)
+		if n > 1 {
+			sc.AddReduceOps(int64(2 * (n - 1)))
+		}
+		return nil
+	}, StageMapSamples)
+
+	joinDeps := []string{StageBulkReduce, StagePrefixSuffix}
+	if !sys.cfg.DisableReuse {
+		// The per-neighbour complements rest[i] depend only on the
+		// prefix/suffix partials, so this stage overlaps the bulk reduction.
+		// It is partitioned so straggling chunks can be speculatively
+		// re-executed; each partition publishes through its commit closure,
+		// keeping duplicate attempts output-invisible.
+		parts := eng.Workers()
+		if parts > n {
+			parts = n
+		}
+		rest = make([]State, n)
+		restOK = make([]bool, n)
+		g.Partitioned(StageNeighbourDeltas, parts, func(_ context.Context, sc *jobgraph.StageContext, p int) (func(), error) {
+			clo, chi := chunkBounds(n, parts, p)
+			localRest := make([]State, chi-clo)
+			localOK := make([]bool, chi-clo)
+			var ops int64
+			for i := clo; i < chi; i++ {
+				localRest[i-clo], localOK[i-clo] = combinePrefixSuffix(reduce, eng, pre, suf, i)
+				if i > 0 && i < n-1 {
+					ops++
 				}
 			}
-			rest, restOK := combinePrefixSuffix(reduce, eng, pre, suf, i)
-			state, ok = combineOpt(reduce, eng, cachedOrNil(base, baseOK), cachedOrNil(rest, restOK))
-		}
-		if !ok {
-			// Removing the only record of a two-record dataset still leaves
-			// one; reaching here means every record was sampled and removed,
-			// which cannot happen for n >= 2 inputs. Skip defensively.
-			continue
-		}
-		res.RemovalOutputs = append(res.RemovalOutputs, q.finalize(state))
+			sc.AddReduceOps(ops)
+			return func() {
+				copy(rest[clo:chi], localRest)
+				copy(restOK[clo:chi], localOK)
+			}, nil
+		}, StagePrefixSuffix)
+		joinDeps = append(joinDeps, StageNeighbourDeltas)
 	}
-	for _, add := range msBar {
-		state := reduce(fullState, add)
-		eng.AccountReduceOps(1)
-		res.AdditionOutputs = append(res.AdditionOutputs, q.finalize(state))
+	if domain != nil {
+		joinDeps = append(joinDeps, StageMapAdditions)
 	}
 
-	// Group extension (§VI-E): when GroupSize > 1, also sample block
-	// neighbours — whole groups of records removed or added at once —
-	// reusing the same mapped samples, prefix/suffix partials and R(M(S')).
-	// Contiguous sample blocks keep each group neighbour an O(1) combine.
-	if g := sys.cfg.GroupSize; g > 1 {
-		for start := 0; start+g <= n; start += g {
-			rest, restOK := blockComplement(reduce, eng, pre, suf, start, start+g)
-			state, ok := combineOpt(reduce, eng, cachedOrNil(rsPrime, rsPrimeOK), cachedOrNil(rest, restOK))
+	g.Stage(StageNeighbourJoin, func(ctx context.Context, sc *jobgraph.StageContext) error {
+		fullState, fullOK := combineOpt(reduce, eng, cachedOrNil(rsPrime, rsPrimeOK), last(pre))
+		if !fullOK {
+			return fmt.Errorf("core: query %q reduced to an empty state", q.Name)
+		}
+		res.VanillaOutput = q.finalize(fullState)
+
+		res.RemovalOutputs = make([][]float64, 0, n)
+		for i := 0; i < n; i++ {
+			var state State
+			var ok bool
+			if sys.cfg.DisableReuse {
+				var err error
+				state, ok, err = removalFromScratch(ctx, eng, q, mappedPrime, ms, i)
+				if err != nil {
+					return err
+				}
+			} else {
+				// Reuse R(M(S')) (a cache hit per iteration) and the
+				// precomputed prefix/suffix complement: O(1) combines per
+				// neighbour. When S' is empty (every record sampled) there
+				// is nothing cached to reuse, so the cache is not consulted.
+				base := State(nil)
+				baseOK := false
+				if rsPrimeOK {
+					if cached, hit := mapreduce.CacheGet[State](eng.Cache(), cacheKey); hit {
+						base, baseOK = cached, true
+						sc.AddCacheHits(1)
+					}
+				}
+				state, ok = combineOpt(reduce, eng, cachedOrNil(base, baseOK), cachedOrNil(rest[i], restOK[i]))
+				sc.AddReduceOps(1)
+			}
 			if !ok {
+				// Removing the only record of a two-record dataset still
+				// leaves one; reaching here means every record was sampled
+				// and removed, which cannot happen for n >= 2 inputs. Skip
+				// defensively.
 				continue
 			}
-			res.GroupRemovalOutputs = append(res.GroupRemovalOutputs, q.finalize(state))
+			res.RemovalOutputs = append(res.RemovalOutputs, q.finalize(state))
 		}
-		for start := 0; start+g <= len(msBar); start += g {
-			grp, ok := mapreduce.ReduceSlice(msBar[start:start+g], reduce)
-			if !ok {
-				continue
+		for _, add := range msBar {
+			state := reduce(fullState, add)
+			eng.AccountReduceOps(1)
+			sc.AddReduceOps(1)
+			res.AdditionOutputs = append(res.AdditionOutputs, q.finalize(state))
+		}
+
+		// Group extension (§VI-E): when GroupSize > 1, also sample block
+		// neighbours — whole groups of records removed or added at once —
+		// reusing the same mapped samples, prefix/suffix partials and
+		// R(M(S')). Contiguous sample blocks keep each group neighbour an
+		// O(1) combine.
+		if grp := sys.cfg.GroupSize; grp > 1 {
+			for start := 0; start+grp <= n; start += grp {
+				blockRest, blockOK := blockComplement(reduce, eng, pre, suf, start, start+grp)
+				state, ok := combineOpt(reduce, eng, cachedOrNil(rsPrime, rsPrimeOK), cachedOrNil(blockRest, blockOK))
+				if !ok {
+					continue
+				}
+				res.GroupRemovalOutputs = append(res.GroupRemovalOutputs, q.finalize(state))
 			}
-			eng.AccountReduceOps(int64(g))
-			res.GroupAdditionOutputs = append(res.GroupAdditionOutputs, q.finalize(reduce(fullState, grp)))
+			for start := 0; start+grp <= len(msBar); start += grp {
+				g, ok := mapreduce.ReduceSlice(msBar[start:start+grp], reduce)
+				if !ok {
+					continue
+				}
+				eng.AccountReduceOps(int64(grp))
+				sc.AddReduceOps(int64(grp))
+				res.GroupAdditionOutputs = append(res.GroupAdditionOutputs, q.finalize(reduce(fullState, g)))
+			}
 		}
-	}
-	res.Phases.UnionPreservingReduce = time.Since(t2)
+		// Stash fullState for the enforcer via the result's vanilla output;
+		// the final state is recomputed from rsPrime + prefix below.
+		return nil
+	}, joinDeps...)
 
 	// --- Phase 4: iDP Enforcement (Algorithm 2) ------------------------------
-	t3 := time.Now()
-	neighbours := make([][]float64, 0,
-		len(res.RemovalOutputs)+len(res.AdditionOutputs)+
-			len(res.GroupRemovalOutputs)+len(res.GroupAdditionOutputs))
-	neighbours = append(neighbours, res.RemovalOutputs...)
-	neighbours = append(neighbours, res.AdditionOutputs...)
-	neighbours = append(neighbours, res.GroupRemovalOutputs...)
-	neighbours = append(neighbours, res.GroupAdditionOutputs...)
-	infer := inferSensitivity
-	if sys.cfg.EmpiricalRange {
-		infer = inferSensitivityEmpirical
-	}
-	sens, lo, hi, err := infer(neighbours, q.OutputDim, sys.cfg.PercentileLo, sys.cfg.PercentileHi)
-	if err != nil {
-		return nil, fmt.Errorf("core: query %q: %w", q.Name, err)
-	}
-	res.Sensitivity, res.RangeLo, res.RangeHi = sens, lo, hi
-	res.EmpiricalLocalSensitivity = empiricalSensitivity(res.VanillaOutput, neighbours)
-
-	parts := partitionOutputs(q, reduce, eng, rsPrimeHalf, ms, halves, 0)
-	removed := 0
-	for {
-		name, collides := sys.enforcer.Collides(parts)
-		if !collides {
-			break
+	g.Stage(StageFit, func(_ context.Context, sc *jobgraph.StageContext) error {
+		neighbours := make([][]float64, 0,
+			len(res.RemovalOutputs)+len(res.AdditionOutputs)+
+				len(res.GroupRemovalOutputs)+len(res.GroupAdditionOutputs))
+		neighbours = append(neighbours, res.RemovalOutputs...)
+		neighbours = append(neighbours, res.AdditionOutputs...)
+		neighbours = append(neighbours, res.GroupRemovalOutputs...)
+		neighbours = append(neighbours, res.GroupAdditionOutputs...)
+		sc.AddRecords(int64(len(neighbours)))
+		infer := inferSensitivity
+		if sys.cfg.EmpiricalRange {
+			infer = inferSensitivityEmpirical
 		}
-		res.AttackSuspected = true
-		if res.CollidedWith == "" {
-			res.CollidedWith = name
+		var sens []float64
+		var err error
+		sens, lo, hi, err = infer(neighbours, q.OutputDim, sys.cfg.PercentileLo, sys.cfg.PercentileHi)
+		if err != nil {
+			return fmt.Errorf("core: query %q: %w", q.Name, err)
 		}
-		if removed+2 > n {
-			// Sample set exhausted; release with maximal removal.
-			break
+		res.Sensitivity, res.RangeLo, res.RangeHi = sens, lo, hi
+		res.EmpiricalLocalSensitivity = empiricalSensitivity(res.VanillaOutput, neighbours)
+		return nil
+	}, StageNeighbourJoin)
+
+	g.Stage(StageEnforce, func(_ context.Context, sc *jobgraph.StageContext) error {
+		parts := partitionOutputs(q, reduce, eng, rsPrimeHalf, ms, halves, 0)
+		removed := 0
+		for {
+			name, collides := sys.enforcer.Collides(parts)
+			if !collides {
+				break
+			}
+			res.AttackSuspected = true
+			if res.CollidedWith == "" {
+				res.CollidedWith = name
+			}
+			if removed+2 > n {
+				// Sample set exhausted; release with maximal removal.
+				break
+			}
+			removed += 2
+			parts = partitionOutputs(q, reduce, eng, rsPrimeHalf, ms, halves, removed)
+			sc.AddReduceOps(int64(n - removed))
 		}
-		removed += 2
-		parts = partitionOutputs(q, reduce, eng, rsPrimeHalf, ms, halves, removed)
-	}
-	res.RemovedRecords = removed
+		res.RemovedRecords = removed
 
-	finalState, finalOK := combineOpt(reduce, eng,
-		cachedOrNil(rsPrime, rsPrimeOK), prefixUpTo(pre, n-removed))
-	if !finalOK {
-		finalState = make(State, q.StateDim)
-	}
-	raw := q.finalize(finalState)
-	if !sys.cfg.DisableClamp {
-		clamped, nClamped := Clamp(raw, lo, hi, rng.Split(3))
-		raw = clamped
-		res.ClampedCoords = nClamped
-	}
-	res.RawOutput = raw
-	sys.enforcer.Record(q.Name, parts)
+		finalState, finalOK := combineOpt(reduce, eng,
+			cachedOrNil(rsPrime, rsPrimeOK), prefixUpTo(pre, n-removed))
+		if !finalOK {
+			finalState = make(State, q.StateDim)
+		}
+		raw := q.finalize(finalState)
+		if !sys.cfg.DisableClamp {
+			clamped, nClamped := Clamp(raw, lo, hi, rng.Split(3))
+			raw = clamped
+			res.ClampedCoords = nClamped
+		}
+		res.RawOutput = raw
+		sys.enforcer.Record(q.Name, parts)
+		return nil
+	}, StageFit)
 
-	// A per-release mechanism keeps concurrent releases race-free and their
-	// noise streams deterministic per release number. Under
-	// SplitVectorBudget, vector outputs split ε across coordinates so the
-	// whole release composes to one ε.
-	effEps := sys.cfg.Epsilon
-	if sys.cfg.SplitVectorBudget && q.OutputDim > 1 {
-		effEps /= float64(q.OutputDim)
-	}
-	res.EffectiveEpsilon = effEps
-	mech, err := stats.NewMechanism(effEps, rng.Split(4))
+	g.Stage(StagePerturb, func(_ context.Context, _ *jobgraph.StageContext) error {
+		// A per-release mechanism keeps concurrent releases race-free and
+		// their noise streams deterministic per release number. Under
+		// SplitVectorBudget, vector outputs split ε across coordinates so
+		// the whole release composes to one ε.
+		effEps := sys.cfg.Epsilon
+		if sys.cfg.SplitVectorBudget && q.OutputDim > 1 {
+			effEps /= float64(q.OutputDim)
+		}
+		res.EffectiveEpsilon = effEps
+		mech, err := stats.NewMechanism(effEps, rng.Split(4))
+		if err != nil {
+			return err
+		}
+		noisy, err := mech.PerturbVector(res.RawOutput, res.Sensitivity)
+		if err != nil {
+			return err
+		}
+		res.Output = noisy
+		return nil
+	}, StageEnforce)
+
+	spans, err := g.Run(ctx)
+	res.Spans = spans
 	if err != nil {
 		return nil, err
 	}
-	noisy, err := mech.PerturbVector(raw, sens)
-	if err != nil {
-		return nil, err
-	}
-	res.Output = noisy
-	res.Phases.IDPEnforcement = time.Since(t3)
+	res.Phases = phasesFromSpans(spans)
 	res.EngineDelta = eng.Metrics().Sub(before)
 	if logger := sys.cfg.Logger; logger != nil {
 		logger.Info("upa release",
@@ -270,6 +417,7 @@ func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Re
 			slog.Uint64("release", release),
 			slog.Int("records", len(data)),
 			slog.Int("sample_size", n),
+			slog.Int("stages", len(spans)),
 			slog.Duration("partition_sample", res.Phases.PartitionSample),
 			slog.Duration("parallel_map", res.Phases.ParallelMap),
 			slog.Duration("union_preserving_reduce", res.Phases.UnionPreservingReduce),
@@ -283,8 +431,41 @@ func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Re
 	return res, nil
 }
 
+// phasesFromSpans maps the jobgraph stage spans onto the paper's four phases
+// (§III). Stages within a phase may have overlapped, so a phase's time is
+// the sum of its stages' busy time, not a wall-clock interval.
+func phasesFromSpans(spans []jobgraph.Span) PhaseTimings {
+	var p PhaseTimings
+	for _, s := range spans {
+		switch s.Stage {
+		case StagePartitionSample:
+			p.PartitionSample += s.Duration()
+		case StageMapSamples, StageMapAdditions:
+			p.ParallelMap += s.Duration()
+		case StageBulkReduce, StagePrefixSuffix, StageNeighbourDeltas, StageNeighbourJoin:
+			p.UnionPreservingReduce += s.Duration()
+		case StageFit, StageEnforce, StagePerturb:
+			p.IDPEnforcement += s.Duration()
+		}
+	}
+	return p
+}
+
+// chunkBounds splits n items into parts contiguous chunks as evenly as
+// possible and returns chunk p's [lo, hi) range.
+func chunkBounds(n, parts, p int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
 // mapThrough maps records through the engine, preserving order.
-func mapThrough[T any](eng *mapreduce.Engine, q Query[T], records []T) ([]State, error) {
+func mapThrough[T any](ctx context.Context, eng *mapreduce.Engine, q Query[T], records []T) ([]State, error) {
 	if len(records) == 0 {
 		return nil, nil
 	}
@@ -296,7 +477,7 @@ func mapThrough[T any](eng *mapreduce.Engine, q Query[T], records []T) ([]State,
 	if err != nil {
 		return nil, err
 	}
-	return mapreduce.Map(ds, q.Map).Collect()
+	return mapreduce.Map(ds, q.Map).CollectCtx(ctx)
 }
 
 // mapSPrime builds the lazily mapped datasets of the two remaining-record
@@ -323,13 +504,13 @@ func mapSPrime[T any](eng *mapreduce.Engine, q Query[T], sPrimeHalf [2][]T) ([2]
 
 // reduceSPrime reduces each mapped half of S' on the engine, returning the
 // per-half partial state or nil when the half is empty.
-func reduceSPrime(eng *mapreduce.Engine, reduce mapreduce.Reducer[State], mapped [2]*mapreduce.Dataset[State]) ([2]State, error) {
+func reduceSPrime(ctx context.Context, eng *mapreduce.Engine, reduce mapreduce.Reducer[State], mapped [2]*mapreduce.Dataset[State]) ([2]State, error) {
 	var out [2]State
 	for h := 0; h < 2; h++ {
 		if mapped[h] == nil {
 			continue
 		}
-		state, err := mapreduce.Reduce(mapped[h], reduce)
+		state, err := mapreduce.ReduceCtx(ctx, mapped[h], reduce)
 		if err != nil {
 			return out, err
 		}
@@ -396,9 +577,9 @@ func combinePrefixSuffix(reduce mapreduce.Reducer[State], eng *mapreduce.Engine,
 // removalFromScratch recomputes f's state on x - samples[i] with no reuse:
 // it re-reduces the full remaining datasets and every other sample — the
 // per-neighbour linear cost UPA eliminates (ablation for §VI-E).
-func removalFromScratch[T any](eng *mapreduce.Engine, q Query[T], mapped [2]*mapreduce.Dataset[State], ms []State, i int) (State, bool, error) {
+func removalFromScratch[T any](ctx context.Context, eng *mapreduce.Engine, q Query[T], mapped [2]*mapreduce.Dataset[State], ms []State, i int) (State, bool, error) {
 	reduce := q.reducer()
-	rsPrimeHalf, err := reduceSPrime(eng, reduce, mapped)
+	rsPrimeHalf, err := reduceSPrime(ctx, eng, reduce, mapped)
 	if err != nil {
 		return nil, false, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"upa/internal/jobgraph"
 	"upa/internal/mapreduce"
 	"upa/internal/stats"
 )
@@ -220,4 +221,11 @@ type Result struct {
 	// (shuffles, reduce ops, cache traffic) attributable to this release.
 	Phases      PhaseTimings
 	EngineDelta mapreduce.MetricsSnapshot
+	// Release is this release's sequence number on its System (1-based); it
+	// seeds the release's RNG stream and keys its cache entries.
+	Release uint64
+	// Spans records one entry per jobgraph stage the release executed —
+	// start/end, attempts (including speculative re-executions), and the
+	// records/shuffle/reduce/cache counters each stage reported.
+	Spans []jobgraph.Span
 }

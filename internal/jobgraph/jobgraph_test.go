@@ -1,0 +1,259 @@
+package jobgraph
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func noop(context.Context, *StageContext) error { return nil }
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want string
+	}{
+		{"empty graph", New("g"), "empty graph"},
+		{"empty stage name", New("g").Stage("", noop), "empty name"},
+		{"duplicate stage", New("g").Stage("a", noop).Stage("a", noop), "duplicate"},
+		{"nil function", New("g").Stage("a", nil), "nil function"},
+		{"unknown dep", New("g").Stage("a", noop, "ghost"), "unknown stage"},
+		{"zero partitions", New("g").Partitioned("a", 0, func(context.Context, *StageContext, int) (func(), error) { return nil, nil }), "partitions"},
+		{"self cycle", New("g").Stage("a", noop, "a"), "cycle"},
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	g := New("g").
+		Stage("a", noop, "c").
+		Stage("b", noop, "a").
+		Stage("c", noop, "b")
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate() = %v, want ErrCycle", err)
+	}
+	if _, err := g.Run(context.Background()); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Run() = %v, want ErrCycle", err)
+	}
+}
+
+func TestRunRespectsDependencies(t *testing.T) {
+	var order []string
+	record := func(name string) StageFunc {
+		return func(context.Context, *StageContext) error {
+			order = append(order, name) // safe: chain is linear
+			return nil
+		}
+	}
+	g := New("g", WithSlots(4)).
+		Stage("c", record("c"), "b").
+		Stage("a", record("a")).
+		Stage("b", record("b"), "a")
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("execution order = %v, want [a b c]", order)
+	}
+	// Spans come back in declaration order with deps recorded.
+	if spans[0].Stage != "c" || len(spans[0].Deps) != 1 || spans[0].Deps[0] != "b" {
+		t.Errorf("span[0] = %+v", spans[0])
+	}
+	for _, s := range spans {
+		if s.Duration() <= 0 {
+			t.Errorf("stage %s has non-positive duration", s.Stage)
+		}
+		if s.Attempts != 1 {
+			t.Errorf("stage %s attempts = %d, want 1", s.Stage, s.Attempts)
+		}
+	}
+}
+
+// TestIndependentStagesOverlap proves the pipelining claim: two stages with
+// no dependency between them must be in flight simultaneously. Each stage
+// signals its start and then waits for the other's signal; a serial
+// scheduler would deadlock (bounded here by a timeout).
+func TestIndependentStagesOverlap(t *testing.T) {
+	aStarted := make(chan struct{})
+	bStarted := make(chan struct{})
+	rendezvous := func(mine, other chan struct{}) StageFunc {
+		return func(ctx context.Context, _ *StageContext) error {
+			close(mine)
+			select {
+			case <-other:
+				return nil
+			case <-time.After(5 * time.Second):
+				return errors.New("peer stage never started: no overlap")
+			}
+		}
+	}
+	g := New("g", WithSlots(2)).
+		Stage("a", rendezvous(aStarted, bStarted)).
+		Stage("b", rendezvous(bStarted, aStarted))
+	if _, err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionedStageCommitsEveryPartition(t *testing.T) {
+	const parts = 8
+	out := make([]int, parts)
+	g := New("g", WithSlots(3)).
+		Partitioned("square", parts, func(_ context.Context, sc *StageContext, p int) (func(), error) {
+			v := p * p
+			sc.AddRecords(1)
+			return func() { out[p] = v }, nil
+		})
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, v := range out {
+		if v != p*p {
+			t.Errorf("out[%d] = %d, want %d", p, v, p*p)
+		}
+	}
+	if spans[0].Attempts != parts || spans[0].Records != parts {
+		t.Errorf("span = %+v, want %d attempts and records", spans[0], parts)
+	}
+	if spans[0].Speculative != 0 {
+		t.Errorf("speculative = %d, want 0 without speculation", spans[0].Speculative)
+	}
+}
+
+// TestSpeculativeRetry blocks the first attempt of one partition forever;
+// with speculation enabled a duplicate attempt completes the stage, the
+// duplicate's commit wins, and the straggler's late result is discarded.
+func TestSpeculativeRetry(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	var calls atomic.Int64
+	out := make([]string, 2)
+	g := New("g", WithSlots(4), WithSpeculation(5*time.Millisecond)).
+		Partitioned("work", 2, func(ctx context.Context, _ *StageContext, p int) (func(), error) {
+			if p == 0 && calls.Add(1) == 1 {
+				// First attempt of partition 0 straggles until the test ends.
+				select {
+				case <-release:
+				case <-ctx.Done():
+				}
+				return func() { out[0] = "straggler" }, nil
+			}
+			return func() { out[p] = "fast" }, nil
+		})
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spans[0].Speculative < 1 {
+		t.Fatalf("speculative = %d, want >= 1", spans[0].Speculative)
+	}
+	if out[0] != "fast" || out[1] != "fast" {
+		t.Fatalf("out = %v, want both committed by winning attempts", out)
+	}
+	if spans[0].Attempts < 3 {
+		t.Errorf("attempts = %d, want >= 3 (2 primaries + 1 speculative)", spans[0].Attempts)
+	}
+}
+
+func TestStageErrorAbortsDownstream(t *testing.T) {
+	boom := errors.New("boom")
+	ran := false
+	g := New("g").
+		Stage("fail", func(context.Context, *StageContext) error { return boom }).
+		Stage("after", func(context.Context, *StageContext) error { ran = true; return nil }, "fail")
+	spans, err := g.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run() = %v, want boom", err)
+	}
+	if ran {
+		t.Fatal("dependent stage ran after its dependency failed")
+	}
+	if spans[0].Err == "" {
+		t.Errorf("failed stage span missing error: %+v", spans[0])
+	}
+	if !spans[1].Start.IsZero() || spans[1].Duration() != 0 {
+		t.Errorf("never-started stage has a span time: %+v", spans[1])
+	}
+}
+
+func TestPartitionFailureFailsStage(t *testing.T) {
+	boom := errors.New("part boom")
+	g := New("g", WithSlots(2)).
+		Partitioned("work", 4, func(_ context.Context, _ *StageContext, p int) (func(), error) {
+			if p == 2 {
+				return nil, boom
+			}
+			return nil, nil
+		})
+	if _, err := g.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("Run() = %v, want part boom", err)
+	}
+}
+
+// TestCancellationStopsScheduling cancels the context while the root stage
+// is running: the root observes the cancellation, and no dependent stage is
+// ever started.
+func TestCancellationStopsScheduling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := false
+	g := New("g", WithSlots(2)).
+		Stage("root", func(ctx context.Context, _ *StageContext) error {
+			cancel()
+			<-ctx.Done()
+			return ctx.Err()
+		}).
+		Stage("after", func(context.Context, *StageContext) error { ran = true; return nil }, "root")
+	_, err := g.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run() = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("dependent stage ran after cancellation")
+	}
+}
+
+// TestCancellationSkipsUnstartedRoots cancels before Run: even root stages
+// must not execute their bodies.
+func TestCancellationSkipsUnstartedRoots(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := atomic.Bool{}
+	g := New("g", WithSlots(1)).
+		Stage("a", func(context.Context, *StageContext) error { ran.Store(true); return nil })
+	if _, err := g.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run() = %v, want context.Canceled", err)
+	}
+	if ran.Load() {
+		t.Fatal("stage body ran under a cancelled context")
+	}
+}
+
+func TestSpanCounters(t *testing.T) {
+	g := New("g").
+		Stage("a", func(_ context.Context, sc *StageContext) error {
+			sc.AddRecords(10)
+			sc.AddShuffle(4, 400)
+			sc.AddReduceOps(9)
+			sc.AddCacheHits(3)
+			return nil
+		})
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := spans[0]
+	if s.Records != 10 || s.ShuffledRecords != 4 || s.ShuffleBytes != 400 || s.ReduceOps != 9 || s.CacheHits != 3 {
+		t.Fatalf("span counters = %+v", s)
+	}
+}

@@ -1,0 +1,249 @@
+package jobgraph
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// StageContext collects a running stage's span counters. Its methods are
+// safe for concurrent use by the partitions of a partitioned stage.
+type StageContext struct {
+	records         atomic.Int64
+	shuffledRecords atomic.Int64
+	shuffleBytes    atomic.Int64
+	reduceOps       atomic.Int64
+	cacheHits       atomic.Int64
+}
+
+// AddRecords reports n input records processed by the stage.
+func (sc *StageContext) AddRecords(n int64) { sc.records.Add(n) }
+
+// AddShuffle reports a data exchange of records rows totalling bytes.
+func (sc *StageContext) AddShuffle(records, bytes int64) {
+	sc.shuffledRecords.Add(records)
+	sc.shuffleBytes.Add(bytes)
+}
+
+// AddReduceOps reports n reduce operations performed by the stage.
+func (sc *StageContext) AddReduceOps(n int64) { sc.reduceOps.Add(n) }
+
+// AddCacheHits reports n reduction-cache hits taken by the stage.
+func (sc *StageContext) AddCacheHits(n int64) { sc.cacheHits.Add(n) }
+
+// snapshot copies the counters into span. Losing speculative attempts may
+// keep counting after the snapshot; their updates are discarded along with
+// their results.
+func (sc *StageContext) snapshot(span *Span) {
+	span.Records = sc.records.Load()
+	span.ShuffledRecords = sc.shuffledRecords.Load()
+	span.ShuffleBytes = sc.shuffleBytes.Load()
+	span.ReduceOps = sc.reduceOps.Load()
+	span.CacheHits = sc.cacheHits.Load()
+}
+
+// Run validates the graph and executes it: every stage starts as soon as all
+// its dependencies have completed, so independent stages overlap on the
+// shared slot pool. The first stage error (or a context cancellation) stops
+// the scheduler from starting further stages, waits for in-flight stages to
+// drain, and is returned. Spans are returned in declaration order even on
+// failure; stages that never started have zero times.
+func (g *Graph) Run(ctx context.Context) ([]Span, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := len(g.stages)
+	spans := make([]Span, n)
+	indegree := make([]int, n)
+	dependents := make([][]int, n)
+	for i, s := range g.stages {
+		spans[i].Stage = s.name
+		spans[i].Deps = append([]string{}, s.deps...)
+		indegree[i] = len(s.deps)
+		for _, d := range s.deps {
+			j := g.index[d]
+			dependents[j] = append(dependents[j], i)
+		}
+	}
+
+	slots := make(chan struct{}, g.slots)
+	type completion struct {
+		stage int
+		err   error
+	}
+	done := make(chan completion)
+
+	var firstErr error
+	running := 0
+	start := func(i int) {
+		running++
+		go func() {
+			spans[i].Start = time.Now()
+			err := g.runStage(runCtx, i, &spans[i], slots)
+			spans[i].End = time.Now()
+			if err != nil {
+				spans[i].Err = err.Error()
+			}
+			done <- completion{stage: i, err: err}
+		}()
+	}
+
+	for i, deg := range indegree {
+		if deg == 0 {
+			start(i)
+		}
+	}
+	for running > 0 {
+		c := <-done
+		running--
+		if c.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("jobgraph: %s: stage %q: %w", g.name, g.stages[c.stage].name, c.err)
+				cancel() // abort in-flight stages; no new ones start below
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue
+		}
+		for _, dep := range dependents[c.stage] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				start(dep)
+			}
+		}
+	}
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = fmt.Errorf("jobgraph: %s: %w", g.name, err)
+		}
+	}
+	return spans, firstErr
+}
+
+// runStage executes one stage, occupying a slot per task.
+func (g *Graph) runStage(ctx context.Context, i int, span *Span, slots chan struct{}) error {
+	s := g.stages[i]
+	sc := &StageContext{}
+	// Check cancellation before acquiring a slot: with both a free slot and
+	// a cancelled context the select below would pick at random.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.parts == 0 {
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		defer func() { <-slots }()
+		err := s.fn(ctx, sc)
+		sc.snapshot(span)
+		span.Attempts = 1
+		return err
+	}
+	return g.runPartitioned(ctx, s, span, sc, slots)
+}
+
+// runPartitioned schedules the stage's partitions on the slot pool. With
+// speculation enabled, partitions still running specAfter after the stage
+// started get one duplicate attempt; the first attempt to finish a partition
+// claims it and applies its commit, and the loser's result is discarded.
+// Losing attempts may briefly outlive the stage — they observe the cancelled
+// stage context, exit, and their sends land in the buffered results channel.
+func (g *Graph) runPartitioned(ctx context.Context, s *stage, span *Span, sc *StageContext, slots chan struct{}) error {
+	stageCtx, cancel := context.WithCancel(ctx)
+	defer cancel() // unblocks stragglers once the stage has completed
+
+	type outcome struct {
+		part int
+		err  error
+		won  bool
+	}
+	// Buffered for the maximum possible attempts (primary + one speculative
+	// per partition) so late finishers never block on send.
+	results := make(chan outcome, 2*s.parts)
+	claimed := make([]atomic.Bool, s.parts)
+	spawned := make([]atomic.Bool, s.parts) // speculative attempt launched?
+	var attempts, speculative atomic.Int64
+
+	launch := func(part int) {
+		go func() {
+			if err := stageCtx.Err(); err != nil {
+				results <- outcome{part: part, err: err}
+				return
+			}
+			select {
+			case slots <- struct{}{}:
+			case <-stageCtx.Done():
+				results <- outcome{part: part, err: stageCtx.Err()}
+				return
+			}
+			defer func() { <-slots }()
+			if claimed[part].Load() { // twin finished while we queued
+				results <- outcome{part: part}
+				return
+			}
+			attempts.Add(1)
+			commit, err := s.partFn(stageCtx, sc, part)
+			if err != nil {
+				results <- outcome{part: part, err: err}
+				return
+			}
+			if claimed[part].CompareAndSwap(false, true) {
+				if commit != nil {
+					commit()
+				}
+				results <- outcome{part: part, won: true}
+				return
+			}
+			results <- outcome{part: part} // lost to the speculative twin
+		}()
+	}
+	for p := 0; p < s.parts; p++ {
+		launch(p)
+	}
+
+	var specC <-chan time.Time
+	if g.specAfter > 0 {
+		specTimer := time.NewTimer(g.specAfter)
+		defer specTimer.Stop()
+		specC = specTimer.C
+	}
+
+	finish := func(err error) error {
+		sc.snapshot(span)
+		span.Attempts = int(attempts.Load())
+		span.Speculative = int(speculative.Load())
+		return err
+	}
+	won := 0
+	for won < s.parts {
+		select {
+		case r := <-results:
+			switch {
+			case r.won:
+				won++
+			case r.err != nil && !claimed[r.part].Load():
+				// A failure of an unclaimed partition fails the stage
+				// (lineage-level retry lives in the engine, not here); an
+				// error from a losing speculative twin is ignored.
+				return finish(fmt.Errorf("partition %d: %w", r.part, r.err))
+			}
+		case <-specC:
+			for p := 0; p < s.parts; p++ {
+				if !claimed[p].Load() && spawned[p].CompareAndSwap(false, true) {
+					speculative.Add(1)
+					launch(p)
+				}
+			}
+		case <-stageCtx.Done():
+			return finish(stageCtx.Err())
+		}
+	}
+	return finish(nil)
+}

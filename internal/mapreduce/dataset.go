@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -144,8 +145,14 @@ func (d *Dataset[T]) materialize() error {
 // CollectPartitions materializes the dataset and returns its partitions. The
 // returned outer slice is fresh; inner slices must be treated as read-only.
 func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
+	return d.CollectPartitionsCtx(context.Background())
+}
+
+// CollectPartitionsCtx is CollectPartitions under a context: cancelling ctx
+// stops the scheduler from claiming further partition tasks.
+func (d *Dataset[T]) CollectPartitionsCtx(ctx context.Context) ([][]T, error) {
 	parts := make([][]T, d.numParts)
-	err := d.eng.runTasks(d.numParts, func(p int) error {
+	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err
@@ -162,7 +169,12 @@ func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
 // Collect materializes the dataset and returns all records in partition
 // order.
 func (d *Dataset[T]) Collect() ([]T, error) {
-	parts, err := d.CollectPartitions()
+	return d.CollectCtx(context.Background())
+}
+
+// CollectCtx is Collect under a context.
+func (d *Dataset[T]) CollectCtx(ctx context.Context) ([]T, error) {
+	parts, err := d.CollectPartitionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -179,8 +191,13 @@ func (d *Dataset[T]) Collect() ([]T, error) {
 
 // Count returns the number of records.
 func (d *Dataset[T]) Count() (int, error) {
+	return d.CountCtx(context.Background())
+}
+
+// CountCtx is Count under a context.
+func (d *Dataset[T]) CountCtx(ctx context.Context) (int, error) {
 	counts := make([]int, d.numParts)
-	err := d.eng.runTasks(d.numParts, func(p int) error {
+	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err

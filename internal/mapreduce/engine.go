@@ -11,6 +11,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -132,8 +133,11 @@ func (e *Engine) takeFault() bool {
 // runTasks executes task(i) for i in [0, n) on the worker pool. Every task
 // attempt may be failed by fault injection; failed attempts are retried up
 // to the engine's attempt budget. The first non-retryable error aborts the
-// remaining tasks and is returned.
-func (e *Engine) runTasks(n int, task func(i int) error) error {
+// remaining tasks and is returned. Cancelling ctx stops workers from
+// claiming new tasks (and from retrying failed attempts) and returns the
+// context's error; a cancelled job therefore stops scheduling promptly
+// instead of running to completion.
+func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -152,11 +156,15 @@ func (e *Engine) runTasks(n int, task func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if err := ctx.Err(); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
 				i := int(next.Add(1) - 1)
 				if i >= n || firstErr.Load() != nil {
 					return
 				}
-				if err := e.runOneTask(i, task); err != nil {
+				if err := e.runOneTask(ctx, i, task); err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
 				}
@@ -170,9 +178,12 @@ func (e *Engine) runTasks(n int, task func(i int) error) error {
 	return nil
 }
 
-func (e *Engine) runOneTask(i int, task func(i int) error) error {
+func (e *Engine) runOneTask(ctx context.Context, i int, task func(i int) error) error {
 	var lastErr error
 	for attempt := 1; attempt <= e.maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err // cancelled between attempts: stop retrying
+		}
 		e.metrics.TaskAttempts.Add(1)
 		if e.takeFault() {
 			e.metrics.TaskFaults.Add(1)

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"testing"
 )
@@ -208,7 +209,7 @@ func TestReductionCache(t *testing.T) {
 
 func TestRunTasksZero(t *testing.T) {
 	eng := NewEngine()
-	if err := eng.runTasks(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := eng.runTasks(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatalf("runTasks(0) = %v, want nil", err)
 	}
 }
@@ -217,7 +218,7 @@ func TestApplicationErrorNotRetried(t *testing.T) {
 	eng := NewEngine(WithMaxAttempts(5))
 	appErr := errors.New("app failure")
 	calls := 0
-	err := eng.runTasks(1, func(int) error {
+	err := eng.runTasks(context.Background(), 1, func(int) error {
 		calls++
 		return appErr
 	})

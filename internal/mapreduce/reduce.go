@@ -1,6 +1,9 @@
 package mapreduce
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 // ErrEmptyDataset is returned by Reduce on a dataset with no records.
 var ErrEmptyDataset = errors.New("mapreduce: reduce of empty dataset")
@@ -16,7 +19,13 @@ type Reducer[T any] func(T, T) T
 // partition partials. Empty partitions are skipped; an entirely empty
 // dataset returns ErrEmptyDataset.
 func Reduce[T any](d *Dataset[T], f Reducer[T]) (T, error) {
-	partials, nonEmpty, err := ReduceByPartition(d, f)
+	return ReduceCtx(context.Background(), d, f)
+}
+
+// ReduceCtx is Reduce under a context: cancelling ctx stops the scheduler
+// from claiming further partition tasks.
+func ReduceCtx[T any](ctx context.Context, d *Dataset[T], f Reducer[T]) (T, error) {
+	partials, nonEmpty, err := ReduceByPartitionCtx(ctx, d, f)
 	var zero T
 	if err != nil {
 		return zero, err
@@ -45,9 +54,14 @@ func Reduce[T any](d *Dataset[T], f Reducer[T]) (T, error) {
 // ReduceByPar helper in Algorithms 1 and 2). It returns one partial per
 // partition plus a mask of which partitions were non-empty.
 func ReduceByPartition[T any](d *Dataset[T], f Reducer[T]) (partials []T, nonEmpty []bool, err error) {
+	return ReduceByPartitionCtx(context.Background(), d, f)
+}
+
+// ReduceByPartitionCtx is ReduceByPartition under a context.
+func ReduceByPartitionCtx[T any](ctx context.Context, d *Dataset[T], f Reducer[T]) (partials []T, nonEmpty []bool, err error) {
 	partials = make([]T, d.numParts)
 	nonEmpty = make([]bool, d.numParts)
-	err = d.eng.runTasks(d.numParts, func(p int) error {
+	err = d.eng.runTasks(ctx, d.numParts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err
@@ -75,8 +89,13 @@ func ReduceByPartition[T any](d *Dataset[T], f Reducer[T]) (partials []T, nonEmp
 // the identity of combOp), and combOp merges the per-partition accumulators.
 // combOp must be commutative and associative.
 func Aggregate[T, U any](d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
+	return AggregateCtx(context.Background(), d, zero, seqOp, combOp)
+}
+
+// AggregateCtx is Aggregate under a context.
+func AggregateCtx[T, U any](ctx context.Context, d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
 	partials := make([]U, d.numParts)
-	err := d.eng.runTasks(d.numParts, func(p int) error {
+	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -73,7 +74,7 @@ func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
 		return nil, nil
 	}
 	partTops := make([][]T, d.numParts)
-	err := d.eng.runTasks(d.numParts, func(p int) error {
+	err := d.eng.runTasks(context.Background(), d.numParts, func(p int) error {
 		part, err := d.partition(p)
 		if err != nil {
 			return err
