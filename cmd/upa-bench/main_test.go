@@ -79,6 +79,24 @@ func TestRunFig4b(t *testing.T) {
 	}
 }
 
+func TestRunShuffle(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "shuffle", "-csvdir", dir), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Map-side combine") {
+		t.Error("output missing shuffle sweep header")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "shuffle.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "skew,records,partitions") {
+		t.Errorf("csv header wrong: %q", string(data[:min(60, len(data))]))
+	}
+}
+
 func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder

@@ -192,6 +192,7 @@ type jobStage struct {
 	ShuffleBytes    int64    `json:"shuffleBytes"`
 	ReduceOps       int64    `json:"reduceOps"`
 	CacheHits       int64    `json:"cacheHits"`
+	RecordsCombined int64    `json:"recordsCombined"`
 	SimUS           float64  `json:"simUs"`
 	Critical        bool     `json:"critical"`
 }
@@ -247,6 +248,7 @@ func (s *server) recordJob(res *core.Result) {
 			ShuffleBytes:    span.ShuffleBytes,
 			ReduceOps:       span.ReduceOps,
 			CacheHits:       span.CacheHits,
+			RecordsCombined: span.RecordsCombined,
 			SimUS:           micros(plan.Stages[i].Cost.Total()),
 			Critical:        critical[span.Stage],
 		})
@@ -330,12 +332,15 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.eng.Metrics()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"tasksRun":        m.TasksRun,
-		"recordsMapped":   m.RecordsMapped,
-		"reduceOps":       m.ReduceOps,
-		"shuffleRounds":   m.ShuffleRounds,
-		"recordsShuffled": m.RecordsShuffled,
-		"cacheHitRate":    m.CacheHitRate(),
+		"tasksRun":               m.TasksRun,
+		"recordsMapped":          m.RecordsMapped,
+		"reduceOps":              m.ReduceOps,
+		"shuffleRounds":          m.ShuffleRounds,
+		"recordsShuffled":        m.RecordsShuffled,
+		"recordsPreCombine":      m.RecordsPreCombine,
+		"recordsPostCombine":     m.RecordsPostCombine,
+		"recordsCombinedMapSide": m.RecordsCombinedMapSide,
+		"cacheHitRate":           m.CacheHitRate(),
 	})
 }
 

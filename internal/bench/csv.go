@@ -87,13 +87,28 @@ func WriteFig4aCSV(w io.Writer, rows []ScaleRow) error {
 // WriteStagesCSV writes the per-stage release breakdown.
 func WriteStagesCSV(w io.Writer, rows []StageRow) error {
 	header := []string{"query", "stage", "deps", "measured_us", "records", "shuffled_records",
-		"shuffle_bytes", "reduce_ops", "cache_hits", "attempts", "speculative", "sim_us", "critical"}
+		"shuffle_bytes", "reduce_ops", "cache_hits", "records_combined", "attempts",
+		"speculative", "sim_us", "critical"}
 	return writeCSV(w, header, len(rows), func(i int) []string {
 		r := rows[i]
 		return []string{r.Query, r.Stage, strings.Join(r.Deps, ";"), dtoa(r.Measured),
 			itoa64(r.Records), itoa64(r.ShuffledRecords), itoa64(r.ShuffleBytes),
-			itoa64(r.ReduceOps), itoa64(r.CacheHits), itoa(r.Attempts), itoa(r.Speculative),
+			itoa64(r.ReduceOps), itoa64(r.CacheHits), itoa64(r.RecordsCombined),
+			itoa(r.Attempts), itoa(r.Speculative),
 			dtoa(r.SimCost), strconv.FormatBool(r.Critical)}
+	})
+}
+
+// WriteShuffleCSV writes the map-side-combine shuffle experiment rows.
+func WriteShuffleCSV(w io.Writer, rows []ShuffleRow) error {
+	header := []string{"skew", "records", "partitions", "distinct_keys",
+		"raw_shuffled", "combined_shuffled", "combined_away", "reduction",
+		"combined_sim_us", "raw_sim_us"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{ftoa(r.Skew), itoa(r.Records), itoa(r.Partitions), itoa(r.DistinctKeys),
+			itoa64(r.RawShuffled), itoa64(r.CombinedShuffled), itoa64(r.CombinedAway),
+			ftoa(r.Reduction), dtoa(r.CombinedSimCost), dtoa(r.RawSimCost)}
 	})
 }
 

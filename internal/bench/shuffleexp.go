@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"upa/internal/cluster"
+	"upa/internal/mapreduce"
+	"upa/internal/stats"
+)
+
+// ShuffleRow is one skew level of the map-side-combine experiment: the same
+// per-key sum computed through a raw shuffle (GroupByKey then fold, every
+// record crosses the wire) and through ReduceByKey's map-side combine (at
+// most one record per partition×key crosses), with both engine deltas priced
+// by the cluster model.
+type ShuffleRow struct {
+	// Skew is the hot-set probability of the generated keys; Records,
+	// Partitions and DistinctKeys size the keyed dataset.
+	Skew         float64
+	Records      int
+	Partitions   int
+	DistinctKeys int
+	// RawShuffled is the records the combine-less baseline ships;
+	// CombinedShuffled what ReduceByKey ships after its map-side combine;
+	// CombinedAway the records the combine kept off the wire
+	// (RecordsCombinedMapSide).
+	RawShuffled      int64
+	CombinedShuffled int64
+	CombinedAway     int64
+	// Reduction is 1 - combined/raw: the fraction of shuffle traffic the
+	// combine eliminated.
+	Reduction float64
+	// CombinedSimCost and RawSimCost are the cluster-model prices of the two
+	// engine deltas: the combine trades network for mapper CPU, so the gap is
+	// the simulated-testbed win.
+	CombinedSimCost time.Duration
+	RawSimCost      time.Duration
+}
+
+// ShuffleBench measures how much shuffle traffic the map-side combine
+// eliminates as key skew grows. For each skew level it generates Lineitems
+// keyed records (hot-set draw, like the TPC-H generator's foreign keys),
+// computes the per-key sum both ways on fresh engines, and reads the
+// RecordsShuffled / RecordsCombinedMapSide deltas. skews nil defaults to
+// {0, 0.2, 0.5, 0.8}.
+func ShuffleBench(cfg Config, model cluster.Model, skews []float64) ([]ShuffleRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(skews) == 0 {
+		skews = []float64{0, 0.2, 0.5, 0.8}
+	}
+	// The key space is wide relative to the per-partition record count, so
+	// the per-partition distinct-key count — what the combine ships — falls
+	// as skew concentrates records onto the hot set.
+	const (
+		numParts = 8
+		keySpace = 4096
+		hotKeys  = 4
+	)
+	root := stats.NewRNG(cfg.Seed)
+	rows := make([]ShuffleRow, 0, len(skews))
+	for i, skew := range skews {
+		if skew < 0 || skew >= 1 {
+			return nil, fmt.Errorf("bench: shuffle skew must be in [0, 1), got %v", skew)
+		}
+		rng := root.Split(uint64(i))
+		pairs := make([]mapreduce.Pair[int, int], cfg.Lineitems)
+		distinct := make(map[int]bool)
+		for j := range pairs {
+			key := rng.Intn(keySpace)
+			if rng.Float64() < skew {
+				key = rng.Intn(hotKeys)
+			}
+			pairs[j] = mapreduce.Pair[int, int]{Key: key, Value: 1}
+			distinct[key] = true
+		}
+		sum := func(a, b int) int { return a + b }
+
+		combinedDelta, combined, err := runKeyedSum(pairs, numParts, func(d *mapreduce.Dataset[mapreduce.Pair[int, int]]) *mapreduce.Dataset[mapreduce.Pair[int, int]] {
+			return mapreduce.ReduceByKey(d, sum)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: shuffle skew %v combined: %w", skew, err)
+		}
+		rawDelta, raw, err := runKeyedSum(pairs, numParts, func(d *mapreduce.Dataset[mapreduce.Pair[int, int]]) *mapreduce.Dataset[mapreduce.Pair[int, int]] {
+			grouped := mapreduce.GroupByKey(d)
+			return mapreduce.Map(grouped, func(g mapreduce.Pair[int, []int]) mapreduce.Pair[int, int] {
+				total := 0
+				for _, v := range g.Value {
+					total += v
+				}
+				return mapreduce.Pair[int, int]{Key: g.Key, Value: total}
+			})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: shuffle skew %v raw: %w", skew, err)
+		}
+		if err := sameSums(raw, combined); err != nil {
+			return nil, fmt.Errorf("bench: shuffle skew %v: %w", skew, err)
+		}
+
+		combinedCost, err := model.Estimate(combinedDelta)
+		if err != nil {
+			return nil, err
+		}
+		rawCost, err := model.Estimate(rawDelta)
+		if err != nil {
+			return nil, err
+		}
+		row := ShuffleRow{
+			Skew:             skew,
+			Records:          cfg.Lineitems,
+			Partitions:       numParts,
+			DistinctKeys:     len(distinct),
+			RawShuffled:      rawDelta.RecordsShuffled,
+			CombinedShuffled: combinedDelta.RecordsShuffled,
+			CombinedAway:     combinedDelta.RecordsCombinedMapSide,
+			CombinedSimCost:  combinedCost.Total(),
+			RawSimCost:       rawCost.Total(),
+		}
+		if row.RawShuffled > 0 {
+			row.Reduction = 1 - float64(row.CombinedShuffled)/float64(row.RawShuffled)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runKeyedSum computes one per-key aggregation on a fresh engine and returns
+// the engine's metrics delta alongside the result.
+func runKeyedSum(pairs []mapreduce.Pair[int, int], numParts int,
+	aggregate func(*mapreduce.Dataset[mapreduce.Pair[int, int]]) *mapreduce.Dataset[mapreduce.Pair[int, int]],
+) (mapreduce.MetricsSnapshot, []mapreduce.Pair[int, int], error) {
+	eng := mapreduce.NewEngine()
+	d, err := mapreduce.FromSlice(eng, pairs, numParts)
+	if err != nil {
+		return mapreduce.MetricsSnapshot{}, nil, err
+	}
+	before := eng.Metrics()
+	out, err := aggregate(d).Collect()
+	if err != nil {
+		return mapreduce.MetricsSnapshot{}, nil, err
+	}
+	return eng.Metrics().Sub(before), out, nil
+}
+
+// sameSums checks the two aggregation paths agree key for key — the combine's
+// output-invariance contract, enforced on every experiment run.
+func sameSums(raw, combined []mapreduce.Pair[int, int]) error {
+	if len(raw) != len(combined) {
+		return fmt.Errorf("paths disagree: raw has %d keys, combined %d", len(raw), len(combined))
+	}
+	want := make(map[int]int, len(raw))
+	for _, p := range raw {
+		want[p.Key] = p.Value
+	}
+	for _, p := range combined {
+		if want[p.Key] != p.Value {
+			return fmt.Errorf("paths disagree on key %d: raw %d, combined %d", p.Key, want[p.Key], p.Value)
+		}
+	}
+	return nil
+}
+
+// RenderShuffle renders the map-side-combine sweep.
+func RenderShuffle(rows []ShuffleRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Map-side combine: shuffle volume and simulated cost vs key skew\n")
+	fmt.Fprintf(&b, "%-6s %9s %6s %9s %10s %10s %10s %12s %12s\n",
+		"skew", "records", "keys", "raw", "combined", "saved", "reduction", "sim(comb)", "sim(raw)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6.2f %9d %6d %9d %10d %10d %9.1f%% %12v %12v\n",
+			r.Skew, r.Records, r.DistinctKeys, r.RawShuffled, r.CombinedShuffled,
+			r.CombinedAway, 100*r.Reduction,
+			r.CombinedSimCost.Round(time.Microsecond), r.RawSimCost.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"upa/internal/cluster"
+)
+
+func TestShuffleBenchCombineShrinksShuffle(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lineitems = 4000
+	rows, err := ShuffleBench(cfg, cluster.PaperTestbed(), []float64{0, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.RawShuffled != int64(cfg.Lineitems) {
+			t.Errorf("skew %v: raw path shuffled %d records, want all %d", r.Skew, r.RawShuffled, cfg.Lineitems)
+		}
+		if r.CombinedShuffled >= r.RawShuffled {
+			t.Errorf("skew %v: combine did not shrink the shuffle: %d >= %d", r.Skew, r.CombinedShuffled, r.RawShuffled)
+		}
+		// The combine conserves records: shipped plus combined-away is the
+		// pre-combine total, which is exactly what the raw path ships.
+		if r.CombinedShuffled+r.CombinedAway != r.RawShuffled {
+			t.Errorf("skew %v: accounting broken: %d shipped + %d combined != %d",
+				r.Skew, r.CombinedShuffled, r.CombinedAway, r.RawShuffled)
+		}
+		if r.Reduction <= 0 || r.Reduction >= 1 {
+			t.Errorf("skew %v: reduction %v out of (0, 1)", r.Skew, r.Reduction)
+		}
+		if r.CombinedSimCost >= r.RawSimCost {
+			t.Errorf("skew %v: model prices combined path at %v, raw at %v — no simulated win",
+				r.Skew, r.CombinedSimCost, r.RawSimCost)
+		}
+	}
+	// Skew concentrates keys, so the skewed sweep point ships no more than
+	// the uniform one.
+	if rows[1].CombinedShuffled > rows[0].CombinedShuffled {
+		t.Errorf("skewed point shuffled more than uniform: %d > %d",
+			rows[1].CombinedShuffled, rows[0].CombinedShuffled)
+	}
+}
+
+func TestShuffleBenchRejectsBadSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lineitems = 500
+	if _, err := ShuffleBench(cfg, cluster.PaperTestbed(), []float64{1.0}); err == nil {
+		t.Fatal("skew 1.0 accepted")
+	}
+	if _, err := ShuffleBench(cfg, cluster.PaperTestbed(), []float64{-0.1}); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+}
+
+func TestWriteShuffleCSV(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lineitems = 1000
+	rows, err := ShuffleBench(cfg, cluster.PaperTestbed(), []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteShuffleCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d csv lines, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "skew,records,partitions,distinct_keys") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -25,7 +25,9 @@ type StageRow struct {
 	Measured time.Duration
 	// Counters the stage reported into its span.
 	Records, ShuffledRecords, ShuffleBytes, ReduceOps, CacheHits int64
-	Attempts, Speculative                                        int
+	// RecordsCombined counts records a map-side combine kept off the wire.
+	RecordsCombined       int64
+	Attempts, Speculative int
 	// SimCost is the stage's modeled cluster time; Critical marks membership
 	// in the plan's critical path.
 	SimCost  time.Duration
@@ -86,6 +88,7 @@ func StageBreakdown(cfg Config, model cluster.Model) ([]StageRow, []PlanRow, err
 				ShuffleBytes:    s.ShuffleBytes,
 				ReduceOps:       s.ReduceOps,
 				CacheHits:       s.CacheHits,
+				RecordsCombined: s.RecordsCombined,
 				Attempts:        s.Attempts,
 				Speculative:     s.Speculative,
 				SimCost:         plan.Stages[i].Cost.Total(),

@@ -10,11 +10,13 @@ import (
 // StageContext collects a running stage's span counters. Its methods are
 // safe for concurrent use by the partitions of a partitioned stage.
 type StageContext struct {
-	records         atomic.Int64
-	shuffledRecords atomic.Int64
-	shuffleBytes    atomic.Int64
-	reduceOps       atomic.Int64
-	cacheHits       atomic.Int64
+	records            atomic.Int64
+	shuffledRecords    atomic.Int64
+	shuffleBytes       atomic.Int64
+	reduceOps          atomic.Int64
+	cacheHits          atomic.Int64
+	recordsPreCombine  atomic.Int64
+	recordsPostCombine atomic.Int64
 }
 
 // AddRecords reports n input records processed by the stage.
@@ -32,6 +34,14 @@ func (sc *StageContext) AddReduceOps(n int64) { sc.reduceOps.Add(n) }
 // AddCacheHits reports n reduction-cache hits taken by the stage.
 func (sc *StageContext) AddCacheHits(n int64) { sc.cacheHits.Add(n) }
 
+// AddCombine reports one map-side combine pass: pre records entered the
+// combiners and post combined records went on to the shuffle. The eliminated
+// difference lands in the span's RecordsCombined.
+func (sc *StageContext) AddCombine(pre, post int64) {
+	sc.recordsPreCombine.Add(pre)
+	sc.recordsPostCombine.Add(post)
+}
+
 // snapshot copies the counters into span. Losing speculative attempts may
 // keep counting after the snapshot; their updates are discarded along with
 // their results.
@@ -41,6 +51,9 @@ func (sc *StageContext) snapshot(span *Span) {
 	span.ShuffleBytes = sc.shuffleBytes.Load()
 	span.ReduceOps = sc.reduceOps.Load()
 	span.CacheHits = sc.cacheHits.Load()
+	span.RecordsPreCombine = sc.recordsPreCombine.Load()
+	span.RecordsPostCombine = sc.recordsPostCombine.Load()
+	span.RecordsCombined = span.RecordsPreCombine - span.RecordsPostCombine
 }
 
 // Run validates the graph and executes it: every stage starts as soon as all

@@ -10,6 +10,12 @@ import "sync"
 //
 // Values are opaque; typed access goes through CacheGet/CachePut below so a
 // stale entry of the wrong type is reported as a miss rather than a panic.
+//
+// The cache is unbounded: nothing is ever evicted, so it grows until Clear
+// is called. That is the right trade for UPA's working set — one entry per
+// reusable reduction, reused across a whole sensitivity loop — but callers
+// keying entries per record or per release must call Clear between phases
+// or bound their key space themselves.
 type ReductionCache struct {
 	mu      sync.Mutex
 	entries map[string]any

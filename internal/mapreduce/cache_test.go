@@ -1,0 +1,55 @@
+package mapreduce
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestReductionCacheConcurrent hammers the cache from concurrent readers,
+// writers and clearers; under -race this pins the locking discipline of
+// every public entry point.
+func TestReductionCacheConcurrent(t *testing.T) {
+	eng := NewEngine()
+	c := eng.Cache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				switch {
+				case i%31 == 0:
+					c.Clear()
+				case g%2 == 0:
+					CachePut(c, key, g*1000+i)
+				default:
+					if v, ok := CacheGet[int](c, key); ok && v < 0 {
+						t.Errorf("cache returned impossible value %d", v)
+					}
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestReductionCacheGrowsUnbounded documents the eviction-free contract:
+// distinct keys accumulate until Clear, so Len tracks insertions exactly.
+func TestReductionCacheGrowsUnbounded(t *testing.T) {
+	eng := NewEngine()
+	c := eng.Cache()
+	const n = 500
+	for i := 0; i < n; i++ {
+		CachePut(c, fmt.Sprintf("entry-%d", i), i)
+		if got := c.Len(); got != i+1 {
+			t.Fatalf("Len after %d puts = %d: the cache must not evict", i+1, got)
+		}
+	}
+	c.Clear()
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len after Clear = %d, want 0", got)
+	}
+}

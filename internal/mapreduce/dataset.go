@@ -18,9 +18,11 @@ type Dataset[T any] struct {
 	numParts int
 	name     string
 
-	// compute produces partition p from lineage. It must be pure: the
-	// scheduler may invoke it again if a task attempt fails.
-	compute func(p int) ([]T, error)
+	// compute produces partition p from lineage under the action's context.
+	// It must be pure: the scheduler may invoke it again if a task attempt
+	// fails, and cancelling ctx must only abort the computation, never leave
+	// partial state behind.
+	compute func(ctx context.Context, p int) ([]T, error)
 
 	// persistence
 	persistMu sync.Mutex
@@ -41,7 +43,7 @@ func FromSlice[T any](eng *Engine, data []T, numParts int) (*Dataset[T], error) 
 		eng:      eng,
 		numParts: numParts,
 		name:     "source",
-		compute: func(p int) ([]T, error) {
+		compute: func(_ context.Context, p int) ([]T, error) {
 			lo, hi := sliceBounds(len(owned), numParts, p)
 			return owned[lo:hi], nil
 		},
@@ -63,7 +65,7 @@ func FromPartitions[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
 		eng:      eng,
 		numParts: len(owned),
 		name:     "source",
-		compute:  func(p int) ([]T, error) { return owned[p], nil },
+		compute:  func(_ context.Context, p int) ([]T, error) { return owned[p], nil },
 	}, nil
 }
 
@@ -100,7 +102,7 @@ func (d *Dataset[T]) Persist() *Dataset[T] {
 }
 
 // partition returns partition p, using persisted data when available.
-func (d *Dataset[T]) partition(p int) ([]T, error) {
+func (d *Dataset[T]) partition(ctx context.Context, p int) ([]T, error) {
 	d.persistMu.Lock()
 	if d.persisted != nil {
 		part := d.persisted[p]
@@ -110,21 +112,21 @@ func (d *Dataset[T]) partition(p int) ([]T, error) {
 	wantPersist := d.persist
 	d.persistMu.Unlock()
 
-	part, err := d.compute(p)
+	part, err := d.compute(ctx, p)
 	if err != nil {
 		return nil, err
 	}
 	if wantPersist {
 		// Materialize all partitions at once so persisted is complete.
 		// Cheap double-compute of p is acceptable; persistence is rare.
-		if err := d.materialize(); err != nil {
+		if err := d.materialize(ctx); err != nil {
 			return nil, err
 		}
 	}
 	return part, nil
 }
 
-func (d *Dataset[T]) materialize() error {
+func (d *Dataset[T]) materialize(ctx context.Context) error {
 	d.persistMu.Lock()
 	defer d.persistMu.Unlock()
 	if d.persisted != nil {
@@ -132,7 +134,7 @@ func (d *Dataset[T]) materialize() error {
 	}
 	parts := make([][]T, d.numParts)
 	for p := 0; p < d.numParts; p++ {
-		part, err := d.compute(p)
+		part, err := d.compute(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -149,11 +151,13 @@ func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
 }
 
 // CollectPartitionsCtx is CollectPartitions under a context: cancelling ctx
-// stops the scheduler from claiming further partition tasks.
+// stops the scheduler from claiming further partition tasks, and the context
+// reaches every lineage stage — including shuffles — so a cancelled job
+// aborts mid-shuffle instead of running to completion.
 func (d *Dataset[T]) CollectPartitionsCtx(ctx context.Context) ([][]T, error) {
 	parts := make([][]T, d.numParts)
 	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(p)
+		part, err := d.partition(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -198,7 +202,7 @@ func (d *Dataset[T]) Count() (int, error) {
 func (d *Dataset[T]) CountCtx(ctx context.Context) (int, error) {
 	counts := make([]int, d.numParts)
 	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(p)
+		part, err := d.partition(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -216,7 +220,7 @@ func (d *Dataset[T]) CountCtx(ctx context.Context) (int, error) {
 }
 
 // derived builds a child dataset with the same engine and partition count.
-func derived[T, U any](parent *Dataset[T], name string, numParts int, compute func(p int) ([]U, error)) *Dataset[U] {
+func derived[T, U any](parent *Dataset[T], name string, numParts int, compute func(ctx context.Context, p int) ([]U, error)) *Dataset[U] {
 	return &Dataset[U]{
 		eng:      parent.eng,
 		numParts: numParts,

@@ -130,6 +130,34 @@ func (e *Engine) takeFault() bool {
 	return false
 }
 
+// firstErrSlot retains the first error reported by any worker. A plain
+// mutex-guarded slot, deliberately not an atomic.Value: workers racing to
+// store different concrete error types (context.Canceled vs a wrapped
+// ErrTaskFailed) would panic atomic.Value's consistent-typing check.
+type firstErrSlot struct {
+	mu  sync.Mutex
+	err error
+}
+
+// set records err if no earlier error is held. A nil err is ignored.
+func (s *firstErrSlot) set(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// get returns the held error, or nil.
+func (s *firstErrSlot) get() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
 // runTasks executes task(i) for i in [0, n) on the worker pool. Every task
 // attempt may be failed by fault injection; failed attempts are retried up
 // to the engine's attempt budget. The first non-retryable error aborts the
@@ -148,7 +176,7 @@ func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) er
 
 	var (
 		next     atomic.Int64
-		firstErr atomic.Value
+		firstErr firstErrSlot
 		wg       sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
@@ -157,25 +185,22 @@ func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) er
 			defer wg.Done()
 			for {
 				if err := ctx.Err(); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					return
 				}
 				i := int(next.Add(1) - 1)
-				if i >= n || firstErr.Load() != nil {
+				if i >= n || firstErr.get() != nil {
 					return
 				}
 				if err := e.runOneTask(ctx, i, task); err != nil {
-					firstErr.CompareAndSwap(nil, err)
+					firstErr.set(err)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	if err, ok := firstErr.Load().(error); ok && err != nil {
-		return err
-	}
-	return nil
+	return firstErr.get()
 }
 
 func (e *Engine) runOneTask(ctx context.Context, i int, task func(i int) error) error {
@@ -207,48 +232,62 @@ func (e *Engine) runOneTask(ctx context.Context, i int, task func(i int) error) 
 // Metrics exposes the engine's atomic counters. Snapshot with
 // MetricsSnapshot for a consistent read.
 type Metrics struct {
-	TaskAttempts     atomic.Int64
-	TasksRun         atomic.Int64
-	TaskFaults       atomic.Int64
-	RecordsMapped    atomic.Int64
-	ReduceOps        atomic.Int64
-	ShuffleRounds    atomic.Int64
-	RecordsShuffled  atomic.Int64
-	CacheHits        atomic.Int64
-	CacheMisses      atomic.Int64
-	BroadcastsSent   atomic.Int64
-	BroadcastRecords atomic.Int64
+	TaskAttempts    atomic.Int64
+	TasksRun        atomic.Int64
+	TaskFaults      atomic.Int64
+	RecordsMapped   atomic.Int64
+	ReduceOps       atomic.Int64
+	ShuffleRounds   atomic.Int64
+	RecordsShuffled atomic.Int64
+	// RecordsPreCombine counts records entering a map-side combiner — what a
+	// combine-less engine would have shuffled. RecordsPostCombine counts the
+	// combined records that actually reached the wire, and
+	// RecordsCombinedMapSide their difference: records the combiner
+	// eliminated before the shuffle.
+	RecordsPreCombine      atomic.Int64
+	RecordsPostCombine     atomic.Int64
+	RecordsCombinedMapSide atomic.Int64
+	CacheHits              atomic.Int64
+	CacheMisses            atomic.Int64
+	BroadcastsSent         atomic.Int64
+	BroadcastRecords       atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
 type MetricsSnapshot struct {
-	TaskAttempts     int64
-	TasksRun         int64
-	TaskFaults       int64
-	RecordsMapped    int64
-	ReduceOps        int64
-	ShuffleRounds    int64
-	RecordsShuffled  int64
-	CacheHits        int64
-	CacheMisses      int64
-	BroadcastsSent   int64
-	BroadcastRecords int64
+	TaskAttempts           int64
+	TasksRun               int64
+	TaskFaults             int64
+	RecordsMapped          int64
+	ReduceOps              int64
+	ShuffleRounds          int64
+	RecordsShuffled        int64
+	RecordsPreCombine      int64
+	RecordsPostCombine     int64
+	RecordsCombinedMapSide int64
+	CacheHits              int64
+	CacheMisses            int64
+	BroadcastsSent         int64
+	BroadcastRecords       int64
 }
 
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		TaskAttempts:     e.metrics.TaskAttempts.Load(),
-		TasksRun:         e.metrics.TasksRun.Load(),
-		TaskFaults:       e.metrics.TaskFaults.Load(),
-		RecordsMapped:    e.metrics.RecordsMapped.Load(),
-		ReduceOps:        e.metrics.ReduceOps.Load(),
-		ShuffleRounds:    e.metrics.ShuffleRounds.Load(),
-		RecordsShuffled:  e.metrics.RecordsShuffled.Load(),
-		CacheHits:        e.metrics.CacheHits.Load(),
-		CacheMisses:      e.metrics.CacheMisses.Load(),
-		BroadcastsSent:   e.metrics.BroadcastsSent.Load(),
-		BroadcastRecords: e.metrics.BroadcastRecords.Load(),
+		TaskAttempts:           e.metrics.TaskAttempts.Load(),
+		TasksRun:               e.metrics.TasksRun.Load(),
+		TaskFaults:             e.metrics.TaskFaults.Load(),
+		RecordsMapped:          e.metrics.RecordsMapped.Load(),
+		ReduceOps:              e.metrics.ReduceOps.Load(),
+		ShuffleRounds:          e.metrics.ShuffleRounds.Load(),
+		RecordsShuffled:        e.metrics.RecordsShuffled.Load(),
+		RecordsPreCombine:      e.metrics.RecordsPreCombine.Load(),
+		RecordsPostCombine:     e.metrics.RecordsPostCombine.Load(),
+		RecordsCombinedMapSide: e.metrics.RecordsCombinedMapSide.Load(),
+		CacheHits:              e.metrics.CacheHits.Load(),
+		CacheMisses:            e.metrics.CacheMisses.Load(),
+		BroadcastsSent:         e.metrics.BroadcastsSent.Load(),
+		BroadcastRecords:       e.metrics.BroadcastRecords.Load(),
 	}
 }
 
@@ -264,16 +303,19 @@ func (s MetricsSnapshot) CacheHitRate() float64 {
 // Sub returns the per-field difference s - prev, for metering one phase.
 func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
-		TaskAttempts:     s.TaskAttempts - prev.TaskAttempts,
-		TasksRun:         s.TasksRun - prev.TasksRun,
-		TaskFaults:       s.TaskFaults - prev.TaskFaults,
-		RecordsMapped:    s.RecordsMapped - prev.RecordsMapped,
-		ReduceOps:        s.ReduceOps - prev.ReduceOps,
-		ShuffleRounds:    s.ShuffleRounds - prev.ShuffleRounds,
-		RecordsShuffled:  s.RecordsShuffled - prev.RecordsShuffled,
-		CacheHits:        s.CacheHits - prev.CacheHits,
-		CacheMisses:      s.CacheMisses - prev.CacheMisses,
-		BroadcastsSent:   s.BroadcastsSent - prev.BroadcastsSent,
-		BroadcastRecords: s.BroadcastRecords - prev.BroadcastRecords,
+		TaskAttempts:           s.TaskAttempts - prev.TaskAttempts,
+		TasksRun:               s.TasksRun - prev.TasksRun,
+		TaskFaults:             s.TaskFaults - prev.TaskFaults,
+		RecordsMapped:          s.RecordsMapped - prev.RecordsMapped,
+		ReduceOps:              s.ReduceOps - prev.ReduceOps,
+		ShuffleRounds:          s.ShuffleRounds - prev.ShuffleRounds,
+		RecordsShuffled:        s.RecordsShuffled - prev.RecordsShuffled,
+		RecordsPreCombine:      s.RecordsPreCombine - prev.RecordsPreCombine,
+		RecordsPostCombine:     s.RecordsPostCombine - prev.RecordsPostCombine,
+		RecordsCombinedMapSide: s.RecordsCombinedMapSide - prev.RecordsCombinedMapSide,
+		CacheHits:              s.CacheHits - prev.CacheHits,
+		CacheMisses:            s.CacheMisses - prev.CacheMisses,
+		BroadcastsSent:         s.BroadcastsSent - prev.BroadcastsSent,
+		BroadcastRecords:       s.BroadcastRecords - prev.BroadcastRecords,
 	}
 }

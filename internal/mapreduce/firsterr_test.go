@@ -1,0 +1,73 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestRunTasksMixedErrorTypes is the regression test for the first-error
+// slot: two workers failing simultaneously with *different* concrete error
+// types. The old atomic.Value-based slot panicked here ("compare and swap of
+// inconsistently typed value") because CompareAndSwap demands every stored
+// value share one concrete type, which unrelated application errors do not.
+func TestRunTasksMixedErrorTypes(t *testing.T) {
+	errPlain := errors.New("plain failure")
+	eng := NewEngine(WithWorkers(2))
+	// Both tasks rendezvous before failing, so both workers hold an error at
+	// the same time and both report it — one *errors.errorString, one
+	// *fmt.wrapError.
+	var arrived sync.WaitGroup
+	arrived.Add(2)
+	err := eng.runTasks(context.Background(), 2, func(i int) error {
+		arrived.Done()
+		arrived.Wait()
+		if i == 0 {
+			return errPlain
+		}
+		return fmt.Errorf("wrapped failure: %w", errPlain)
+	})
+	if !errors.Is(err, errPlain) {
+		t.Fatalf("runTasks = %v, want one of the task errors", err)
+	}
+}
+
+// TestRunTasksErrorTypeRaceWithCancel races task failures against context
+// cancellation: workers observing ctx.Err() report context.Canceled while
+// workers inside tasks report wrapped application errors, again mixing
+// concrete types in the first-error slot. Run under -race this also checks
+// the slot itself is data-race-free.
+func TestRunTasksErrorTypeRaceWithCancel(t *testing.T) {
+	errBoom := errors.New("boom")
+	for round := 0; round < 20; round++ {
+		eng := NewEngine(WithWorkers(4))
+		ctx, cancel := context.WithCancel(context.Background())
+		err := eng.runTasks(ctx, 64, func(i int) error {
+			cancel()
+			return fmt.Errorf("task %d: %w", i, errBoom)
+		})
+		cancel()
+		if err == nil {
+			t.Fatalf("round %d: runTasks returned nil despite failures and cancellation", round)
+		}
+		if !errors.Is(err, errBoom) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("round %d: runTasks = %v, want a task error or context.Canceled", round, err)
+		}
+	}
+}
+
+// TestRunTasksReportsFirstErrorOnly checks the slot keeps the earliest
+// report: once an error is held, later ones are dropped rather than
+// overwriting it.
+func TestRunTasksReportsFirstErrorOnly(t *testing.T) {
+	var slot firstErrSlot
+	first := errors.New("first")
+	slot.set(nil) // ignored
+	slot.set(first)
+	slot.set(errors.New("second"))
+	if got := slot.get(); got != first {
+		t.Fatalf("slot.get() = %v, want the first error", got)
+	}
+}

@@ -1,0 +1,34 @@
+package mapreduce
+
+import "sync"
+
+// memo caches the first successful result of a fallible load so several
+// child partitions share one materialization. Unlike sync.Once, a failed
+// attempt is NOT cached: the next caller retries the load. This matters
+// under cancellation — a shuffle aborted by a cancelled context must not
+// permanently poison the dataset for later, healthy collections.
+//
+// Concurrent callers serialize on the mutex, so at most one load runs at a
+// time and every waiter observes either the cached success or its own retry.
+type memo[T any] struct {
+	mu   sync.Mutex
+	done bool
+	val  T
+}
+
+// get returns the cached value, or runs load and caches its result on
+// success. Errors are returned to the caller and never cached.
+func (m *memo[T]) get(load func() (T, error)) (T, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return m.val, nil
+	}
+	val, err := load()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	m.val, m.done = val, true
+	return val, nil
+}

@@ -62,7 +62,7 @@ func ReduceByPartitionCtx[T any](ctx context.Context, d *Dataset[T], f Reducer[T
 	partials = make([]T, d.numParts)
 	nonEmpty = make([]bool, d.numParts)
 	err = d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(p)
+		part, err := d.partition(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -96,7 +96,7 @@ func Aggregate[T, U any](d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(
 func AggregateCtx[T, U any](ctx context.Context, d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
 	partials := make([]U, d.numParts)
 	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(p)
+		part, err := d.partition(ctx, p)
 		if err != nil {
 			return err
 		}

@@ -1,86 +1,221 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
-	"sync"
 )
 
 // shuffle materializes a pair dataset and redistributes its records into
-// numParts buckets by key hash. Within a bucket the records keep a
-// deterministic order (source partition order, then record order), so all
-// downstream results are reproducible. Each call accounts for one shuffle
-// round and len(records) shuffled records — the unit the paper's overhead
-// analysis is phrased in (joinDP "triggers shuffling twice", §V-C).
-func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
-	parts, err := d.CollectPartitions()
+// numParts buckets by key hash. Bucket-building is parallelized over the
+// engine's worker pool: each source partition is bucketed independently,
+// then the per-destination slices are merged in source-partition order, so
+// the final bucket contents are byte-identical to a single-threaded pass
+// (source partition order, then record order) and all downstream results
+// stay reproducible. Each call accounts for one shuffle round and
+// len(records) shuffled records — the unit the paper's overhead analysis is
+// phrased in (joinDP "triggers shuffling twice", §V-C). Cancelling ctx
+// aborts both the parent collection and the bucketing tasks.
+func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+	parts, err := d.CollectPartitionsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	buckets := make([][]Pair[K, V], numParts)
-	total := 0
-	for _, part := range parts {
-		for _, rec := range part {
+	// Per-source-partition bucketing: local[p][b] holds partition p's records
+	// destined for bucket b, in record order. Tasks are pure per index, so
+	// lineage retry under fault injection is safe.
+	local := make([][][]Pair[K, V], len(parts))
+	err = d.eng.runTasks(ctx, len(parts), func(p int) error {
+		buckets := make([][]Pair[K, V], numParts)
+		for _, rec := range parts[p] {
 			b := int(hashOf(rec.Key) % uint64(numParts))
 			buckets[b] = append(buckets[b], rec)
-			total++
 		}
+		local[p] = buckets
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic per-destination merge, also on the worker pool: bucket b
+	// is the concatenation of every partition's local[p][b] in source order.
+	buckets := make([][]Pair[K, V], numParts)
+	err = d.eng.runTasks(ctx, numParts, func(b int) error {
+		size := 0
+		for p := range local {
+			size += len(local[p][b])
+		}
+		merged := make([]Pair[K, V], 0, size)
+		for p := range local {
+			merged = append(merged, local[p][b]...)
+		}
+		buckets[b] = merged
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, b := range buckets {
+		total += len(b)
 	}
 	d.eng.metrics.ShuffleRounds.Add(1)
 	d.eng.metrics.RecordsShuffled.Add(int64(total))
 	return buckets, nil
 }
 
-// shuffled lazily wraps a one-time shuffle of d so several child partitions
-// share it.
+// shuffled lazily wraps a shuffle of d so several child partitions share it.
+// The first successful shuffle is memoized; failures (e.g. a cancelled
+// context) are retried on the next collection instead of being cached.
 type shuffled[K comparable, V any] struct {
-	once    sync.Once
-	buckets [][]Pair[K, V]
-	err     error
+	memo memo[[][]Pair[K, V]]
 }
 
-func (s *shuffled[K, V]) get(d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
-	s.once.Do(func() { s.buckets, s.err = shuffle(d, numParts) })
-	return s.buckets, s.err
+func (s *shuffled[K, V]) get(ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+	return s.memo.get(func() ([][]Pair[K, V], error) { return shuffle(ctx, d, numParts) })
 }
 
-// ReduceByKey combines all values of each key with the commutative,
-// associative reducer f. It is a wide transformation: one shuffle round.
-// Output keys appear in deterministic first-seen order within each
-// partition.
-func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f Reducer[V]) *Dataset[Pair[K, V]] {
-	sh := &shuffled[K, V]{}
-	numParts := d.numParts
-	return derived[Pair[K, V], Pair[K, V]](d, "reduceByKey", numParts, func(p int) ([]Pair[K, V], error) {
-		buckets, err := sh.get(d, numParts)
+// joinContexts combines a construction-time bound context with the
+// per-action call context: the returned context is cancelled when either is.
+// A nil or Background bound context adds nothing. The returned stop function
+// releases the watcher and must be called when the computation finishes.
+func joinContexts(bound, call context.Context) (context.Context, context.CancelFunc) {
+	if bound == nil || bound == context.Background() {
+		return call, func() {}
+	}
+	merged, cancel := context.WithCancel(call)
+	stop := context.AfterFunc(bound, cancel)
+	return merged, func() { stop(); cancel() }
+}
+
+// CombineByKey is the engine's map-side-combining wide transformation, the
+// analogue of Spark's combineByKey. Per source partition — before any data
+// moves — every record's value is folded into a per-key combiner C (create
+// for the first value of a key, mergeValue for the rest); only the combined
+// pairs are shuffled, and each destination bucket merges the per-partition
+// combiners with mergeCombiners. mergeCombiners must be commutative and
+// associative — exactly the contract UPA and Spark already demand of
+// reducers (§II) — which is what makes the pre-shuffle fold output-invariant:
+// fold(p1 ++ p2) == mergeCombiners(fold(p1), fold(p2)).
+//
+// On skewed keys this shrinks RecordsShuffled from O(records) to
+// O(partitions × distinct keys); the RecordsPreCombine / RecordsPostCombine /
+// RecordsCombinedMapSide counters meter the reduction. Output keys appear in
+// deterministic first-seen order within each partition, identical to the
+// order a combine-less shuffle would produce.
+func CombineByKey[K comparable, V, C any](d *Dataset[Pair[K, V]], create func(V) C, mergeValue func(C, V) C, mergeCombiners Reducer[C]) *Dataset[Pair[K, C]] {
+	return combineByKey(nil, d, "combineByKey", create, mergeValue, mergeCombiners)
+}
+
+// CombineByKeyCtx is CombineByKey with a bound context: cancelling ctx
+// aborts the shuffle even when the dataset is later collected without one.
+func CombineByKeyCtx[K comparable, V, C any](ctx context.Context, d *Dataset[Pair[K, V]], create func(V) C, mergeValue func(C, V) C, mergeCombiners Reducer[C]) *Dataset[Pair[K, C]] {
+	return combineByKey(ctx, d, "combineByKey", create, mergeValue, mergeCombiners)
+}
+
+// mapSideCombine folds each source partition's records into one combiner per
+// distinct key, in first-seen order — the narrow half of CombineByKey. Every
+// mergeValue application counts as one reduce op, so the total operation
+// accounting matches a combine-less reduction exactly.
+func mapSideCombine[K comparable, V, C any](d *Dataset[Pair[K, V]], create func(V) C, mergeValue func(C, V) C) *Dataset[Pair[K, C]] {
+	return derived[Pair[K, V], Pair[K, C]](d, "combine", d.numParts, func(ctx context.Context, p int) ([]Pair[K, C], error) {
+		in, err := d.partition(ctx, p)
 		if err != nil {
 			return nil, err
 		}
-		acc := make(map[K]V)
+		acc := make(map[K]C)
+		order := make([]K, 0)
+		var combines int64
+		for _, rec := range in {
+			if cur, ok := acc[rec.Key]; ok {
+				acc[rec.Key] = mergeValue(cur, rec.Value)
+				combines++
+			} else {
+				acc[rec.Key] = create(rec.Value)
+				order = append(order, rec.Key)
+			}
+		}
+		out := make([]Pair[K, C], len(order))
+		for i, k := range order {
+			out[i] = Pair[K, C]{Key: k, Value: acc[k]}
+		}
+		d.eng.metrics.ReduceOps.Add(combines)
+		d.eng.metrics.RecordsPreCombine.Add(int64(len(in)))
+		d.eng.metrics.RecordsPostCombine.Add(int64(len(out)))
+		d.eng.metrics.RecordsCombinedMapSide.Add(int64(len(in) - len(out)))
+		return out, nil
+	})
+}
+
+// combineByKey wires the map-side combine ahead of the shuffle and merges
+// the per-partition combiners per destination bucket.
+func combineByKey[K comparable, V, C any](bound context.Context, d *Dataset[Pair[K, V]], name string, create func(V) C, mergeValue func(C, V) C, mergeCombiners Reducer[C]) *Dataset[Pair[K, C]] {
+	combined := mapSideCombine(d, create, mergeValue)
+	sh := &shuffled[K, C]{}
+	numParts := d.numParts
+	return derived[Pair[K, C], Pair[K, C]](combined, name, numParts, func(ctx context.Context, p int) ([]Pair[K, C], error) {
+		sctx, stop := joinContexts(bound, ctx)
+		defer stop()
+		buckets, err := sh.get(sctx, combined, numParts)
+		if err != nil {
+			return nil, err
+		}
+		acc := make(map[K]C)
 		order := make([]K, 0)
 		for _, rec := range buckets[p] {
 			if cur, ok := acc[rec.Key]; ok {
-				acc[rec.Key] = f(cur, rec.Value)
+				acc[rec.Key] = mergeCombiners(cur, rec.Value)
 				d.eng.metrics.ReduceOps.Add(1)
 			} else {
 				acc[rec.Key] = rec.Value
 				order = append(order, rec.Key)
 			}
 		}
-		out := make([]Pair[K, V], len(order))
+		out := make([]Pair[K, C], len(order))
 		for i, k := range order {
-			out[i] = Pair[K, V]{Key: k, Value: acc[k]}
+			out[i] = Pair[K, C]{Key: k, Value: acc[k]}
 		}
 		return out, nil
 	})
 }
 
+// ReduceByKey combines all values of each key with the commutative,
+// associative reducer f. It is a wide transformation: one shuffle round,
+// with a map-side combine ahead of it — each source partition pre-reduces
+// its records per key, so only one record per (partition, key) is shuffled.
+// Output keys appear in deterministic first-seen order within each
+// partition, and because f is associative the combined values are exactly
+// the values a combine-less fold would have produced.
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], f Reducer[V]) *Dataset[Pair[K, V]] {
+	return combineByKey(nil, d, "reduceByKey", func(v V) V { return v }, f, f)
+}
+
+// ReduceByKeyCtx is ReduceByKey with a bound context: cancelling ctx aborts
+// the shuffle even when the dataset is later collected without one.
+func ReduceByKeyCtx[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], f Reducer[V]) *Dataset[Pair[K, V]] {
+	return combineByKey(ctx, d, "reduceByKey", func(v V) V { return v }, f, f)
+}
+
 // GroupByKey gathers all values of each key into a slice, in deterministic
-// order. One shuffle round.
+// order. One shuffle round. Unlike ReduceByKey there is no map-side combine:
+// grouping eliminates nothing, so every record ships to its bucket (the same
+// reason Spark's groupByKey never combines).
 func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
+	return groupByKey(nil, d)
+}
+
+// GroupByKeyCtx is GroupByKey with a bound context: cancelling ctx aborts
+// the shuffle even when the dataset is later collected without one.
+func GroupByKeyCtx[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
+	return groupByKey(ctx, d)
+}
+
+func groupByKey[K comparable, V any](bound context.Context, d *Dataset[Pair[K, V]]) *Dataset[Pair[K, []V]] {
 	sh := &shuffled[K, V]{}
 	numParts := d.numParts
-	return derived[Pair[K, V], Pair[K, []V]](d, "groupByKey", numParts, func(p int) ([]Pair[K, []V], error) {
-		buckets, err := sh.get(d, numParts)
+	return derived[Pair[K, V], Pair[K, []V]](d, "groupByKey", numParts, func(ctx context.Context, p int) ([]Pair[K, []V], error) {
+		sctx, stop := joinContexts(bound, ctx)
+		defer stop()
+		buckets, err := sh.get(sctx, d, numParts)
 		if err != nil {
 			return nil, err
 		}
@@ -111,19 +246,36 @@ type Joined[V, W any] struct {
 // with equal keys. Both sides shuffle (two shuffle rounds total — exactly
 // the cost vanilla Spark pays once per Join and UPA pays twice in joinDP).
 // The output order is deterministic.
+//
+// Repartition semantics: both sides are rebucketed into
+// max(a.NumPartitions(), b.NumPartitions()) buckets, so joining a wide
+// dataset against a narrow one never squeezes the wide side through the
+// narrow side's partition count. The output has that many partitions.
 func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[V, W]]], error) {
+	return joinCtx(nil, a, b)
+}
+
+// JoinCtx is Join with a bound context: cancelling ctx aborts the shuffles
+// even when the dataset is later collected without one.
+func JoinCtx[K comparable, V, W any](ctx context.Context, a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[V, W]]], error) {
+	return joinCtx(ctx, a, b)
+}
+
+func joinCtx[K comparable, V, W any](bound context.Context, a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[V, W]]], error) {
 	if a.eng != b.eng {
 		return nil, fmt.Errorf("mapreduce: join across engines")
 	}
 	shA := &shuffled[K, V]{}
 	shB := &shuffled[K, W]{}
-	numParts := a.numParts
-	child := derived[Pair[K, V], Pair[K, Joined[V, W]]](a, "join", numParts, func(p int) ([]Pair[K, Joined[V, W]], error) {
-		left, err := shA.get(a, numParts)
+	numParts := max(a.numParts, b.numParts)
+	child := derived[Pair[K, V], Pair[K, Joined[V, W]]](a, "join", numParts, func(ctx context.Context, p int) ([]Pair[K, Joined[V, W]], error) {
+		sctx, stop := joinContexts(bound, ctx)
+		defer stop()
+		left, err := shA.get(sctx, a, numParts)
 		if err != nil {
 			return nil, err
 		}
-		right, err := shB.get(b, numParts)
+		right, err := shB.get(sctx, b, numParts)
 		if err != nil {
 			return nil, err
 		}
@@ -149,20 +301,33 @@ func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]
 
 // CoGroup groups the values of both datasets by key: for every key present
 // on either side, the output holds all left values and all right values.
-// Two shuffle rounds.
+// Two shuffle rounds. Like Join, both sides are rebucketed into
+// max(a.NumPartitions(), b.NumPartitions()) buckets.
 func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[[]V, []W]]], error) {
+	return coGroupCtx(nil, a, b)
+}
+
+// CoGroupCtx is CoGroup with a bound context: cancelling ctx aborts the
+// shuffles even when the dataset is later collected without one.
+func CoGroupCtx[K comparable, V, W any](ctx context.Context, a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[[]V, []W]]], error) {
+	return coGroupCtx(ctx, a, b)
+}
+
+func coGroupCtx[K comparable, V, W any](bound context.Context, a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]]) (*Dataset[Pair[K, Joined[[]V, []W]]], error) {
 	if a.eng != b.eng {
 		return nil, fmt.Errorf("mapreduce: cogroup across engines")
 	}
 	shA := &shuffled[K, V]{}
 	shB := &shuffled[K, W]{}
-	numParts := a.numParts
-	child := derived[Pair[K, V], Pair[K, Joined[[]V, []W]]](a, "cogroup", numParts, func(p int) ([]Pair[K, Joined[[]V, []W]], error) {
-		left, err := shA.get(a, numParts)
+	numParts := max(a.numParts, b.numParts)
+	child := derived[Pair[K, V], Pair[K, Joined[[]V, []W]]](a, "cogroup", numParts, func(ctx context.Context, p int) ([]Pair[K, Joined[[]V, []W]], error) {
+		sctx, stop := joinContexts(bound, ctx)
+		defer stop()
+		left, err := shA.get(sctx, a, numParts)
 		if err != nil {
 			return nil, err
 		}
-		right, err := shB.get(b, numParts)
+		right, err := shB.get(sctx, b, numParts)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +363,9 @@ func CoGroup[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, 
 
 // Distinct removes duplicate records of a comparable element type,
 // preserving first-seen order. One shuffle round (records must be
-// co-located by value to deduplicate globally).
+// co-located by value to deduplicate globally), with ReduceByKey's map-side
+// combine ahead of it: each source partition deduplicates locally first, so
+// only one record per (partition, value) is shuffled.
 func Distinct[T comparable](d *Dataset[T]) *Dataset[T] {
 	pairs := Map(d, func(t T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: t} })
 	reduced := ReduceByKey(pairs, func(a, _ struct{}) struct{} { return a })

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // SortBy globally sorts the dataset by the given less function into
@@ -18,13 +17,26 @@ func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Datase
 	if numParts < 1 {
 		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
 	}
-	shared := &sortedOnce[T]{}
+	var shared memo[[]T]
 	return &Dataset[T]{
 		eng:      d.eng,
 		numParts: numParts,
 		name:     d.name + ".sortBy",
-		compute: func(p int) ([]T, error) {
-			sorted, err := shared.get(d, less)
+		compute: func(ctx context.Context, p int) ([]T, error) {
+			// The sorted parent is materialized once and shared by all output
+			// partitions; a failed materialization (e.g. a cancelled context)
+			// is retried on the next collection instead of being cached.
+			sorted, err := shared.get(func() ([]T, error) {
+				all, err := d.CollectCtx(ctx)
+				if err != nil {
+					return nil, err
+				}
+				owned := make([]T, len(all))
+				copy(owned, all)
+				sort.SliceStable(owned, func(i, j int) bool { return less(owned[i], owned[j]) })
+				d.eng.AccountShuffle(len(owned))
+				return owned, nil
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -32,35 +44,6 @@ func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Datase
 			return sorted[lo:hi], nil
 		},
 	}, nil
-}
-
-// sortedOnce materializes and sorts the parent once, shared by all output
-// partitions.
-type sortedOnce[T any] struct {
-	mu     sync.Mutex
-	done   bool
-	sorted []T
-	err    error
-}
-
-func (s *sortedOnce[T]) get(d *Dataset[T], less func(a, b T) bool) ([]T, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.done {
-		return s.sorted, s.err
-	}
-	s.done = true
-	all, err := d.Collect()
-	if err != nil {
-		s.err = err
-		return nil, err
-	}
-	owned := make([]T, len(all))
-	copy(owned, all)
-	sort.SliceStable(owned, func(i, j int) bool { return less(owned[i], owned[j]) })
-	d.eng.AccountShuffle(len(owned))
-	s.sorted = owned
-	return s.sorted, nil
 }
 
 // Top returns the k greatest records under less (the analogue of Spark's
@@ -75,7 +58,7 @@ func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
 	}
 	partTops := make([][]T, d.numParts)
 	err := d.eng.runTasks(context.Background(), d.numParts, func(p int) error {
-		part, err := d.partition(p)
+		part, err := d.partition(context.Background(), p)
 		if err != nil {
 			return err
 		}

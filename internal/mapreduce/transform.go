@@ -1,8 +1,8 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"upa/internal/stats"
 )
@@ -11,8 +11,8 @@ import (
 // of the child depends only on partition p of the parent, so it is both
 // embarrassingly parallel and recomputable from lineage.
 func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
-	return derived[T, U](d, "map", d.numParts, func(p int) ([]U, error) {
-		in, err := d.partition(p)
+	return derived[T, U](d, "map", d.numParts, func(ctx context.Context, p int) ([]U, error) {
+		in, err := d.partition(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -27,8 +27,8 @@ func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
 
 // FlatMap applies f to every record and concatenates the results.
 func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
-	return derived[T, U](d, "flatMap", d.numParts, func(p int) ([]U, error) {
-		in, err := d.partition(p)
+	return derived[T, U](d, "flatMap", d.numParts, func(ctx context.Context, p int) ([]U, error) {
+		in, err := d.partition(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -43,8 +43,8 @@ func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
 
 // Filter keeps the records for which keep returns true.
 func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
-	return derived[T, T](d, "filter", d.numParts, func(p int) ([]T, error) {
-		in, err := d.partition(p)
+	return derived[T, T](d, "filter", d.numParts, func(ctx context.Context, p int) ([]T, error) {
+		in, err := d.partition(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -61,8 +61,8 @@ func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
 // MapPartitions applies f to each whole partition. f must not retain or
 // mutate its input slice.
 func MapPartitions[T, U any](d *Dataset[T], f func(p int, in []T) ([]U, error)) *Dataset[U] {
-	return derived[T, U](d, "mapPartitions", d.numParts, func(p int) ([]U, error) {
-		in, err := d.partition(p)
+	return derived[T, U](d, "mapPartitions", d.numParts, func(ctx context.Context, p int) ([]U, error) {
+		in, err := d.partition(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -82,11 +82,11 @@ func Union[T any](a, b *Dataset[T]) (*Dataset[T], error) {
 		eng:      a.eng,
 		numParts: a.numParts + b.numParts,
 		name:     "union(" + a.name + "," + b.name + ")",
-		compute: func(p int) ([]T, error) {
+		compute: func(ctx context.Context, p int) ([]T, error) {
 			if p < a.numParts {
-				return a.partition(p)
+				return a.partition(ctx, p)
 			}
-			return b.partition(p - a.numParts)
+			return b.partition(ctx, p-a.numParts)
 		},
 	}, nil
 }
@@ -108,25 +108,19 @@ func Sample[T any](d *Dataset[T], rng *stats.RNG, k int) (records []T, indices [
 }
 
 // Repartition redistributes records into numParts contiguous partitions.
+// The parent is materialized once on first use; a failed materialization
+// (e.g. a cancelled context) is retried on the next collection.
 func Repartition[T any](d *Dataset[T], numParts int) (*Dataset[T], error) {
 	if numParts < 1 {
 		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
 	}
-	var (
-		once  sync.Once
-		all   []T
-		onceE error
-	)
-	load := func() ([]T, error) {
-		once.Do(func() { all, onceE = d.Collect() })
-		return all, onceE
-	}
+	var loaded memo[[]T]
 	return &Dataset[T]{
 		eng:      d.eng,
 		numParts: numParts,
 		name:     d.name + ".repartition",
-		compute: func(p int) ([]T, error) {
-			data, err := load()
+		compute: func(ctx context.Context, p int) ([]T, error) {
+			data, err := loaded.get(func() ([]T, error) { return d.CollectCtx(ctx) })
 			if err != nil {
 				return nil, err
 			}

@@ -237,13 +237,16 @@ func (s *Session) LoadHistory(r io.Reader) error {
 func (s *Session) Metrics() EngineMetrics {
 	m := s.eng.Metrics()
 	return EngineMetrics{
-		TasksRun:        m.TasksRun,
-		RecordsMapped:   m.RecordsMapped,
-		ReduceOps:       m.ReduceOps,
-		ShuffleRounds:   m.ShuffleRounds,
-		RecordsShuffled: m.RecordsShuffled,
-		CacheHits:       m.CacheHits,
-		CacheMisses:     m.CacheMisses,
+		TasksRun:               m.TasksRun,
+		RecordsMapped:          m.RecordsMapped,
+		ReduceOps:              m.ReduceOps,
+		ShuffleRounds:          m.ShuffleRounds,
+		RecordsShuffled:        m.RecordsShuffled,
+		RecordsPreCombine:      m.RecordsPreCombine,
+		RecordsPostCombine:     m.RecordsPostCombine,
+		RecordsCombinedMapSide: m.RecordsCombinedMapSide,
+		CacheHits:              m.CacheHits,
+		CacheMisses:            m.CacheMisses,
 	}
 }
 
@@ -254,8 +257,15 @@ type EngineMetrics struct {
 	ReduceOps       int64
 	ShuffleRounds   int64
 	RecordsShuffled int64
-	CacheHits       int64
-	CacheMisses     int64
+	// RecordsPreCombine and RecordsPostCombine bracket the engine's map-side
+	// combines (records entering the combiners vs combined records actually
+	// shuffled); RecordsCombinedMapSide is the difference — raw records the
+	// combiners kept off the wire.
+	RecordsPreCombine      int64
+	RecordsPostCombine     int64
+	RecordsCombinedMapSide int64
+	CacheHits              int64
+	CacheMisses            int64
 }
 
 // Result is one iDP release.
