@@ -8,10 +8,13 @@
 //
 //	GET  /queries   list the available queries
 //	POST /release   {"query": "TPCH6"} -> one iDP release
-//	GET  /metrics   engine activity counters
+//	GET  /metrics   engine activity counters, including fault-recovery
+//	                (retries, backoff, deadlines, lost slots)
 //	GET  /history   RANGE ENFORCER status
-//	GET  /jobs      recent releases' stage DAGs: per-stage spans plus
-//	                simulated cluster cost and critical path
+//	GET  /healthz   liveness: uptime, releases served, privacy budget spent
+//	GET  /jobs      recent releases' stage DAGs: per-stage spans (attempts,
+//	                retries, absorbed faults) plus simulated cluster cost
+//	                and critical path
 //
 // Usage:
 //
@@ -28,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"upa/internal/bench"
@@ -102,6 +106,9 @@ type server struct {
 	eng   *mapreduce.Engine
 	sys   *core.System
 	model cluster.Model
+	// started anchors /healthz uptime; releases counts successful releases.
+	started  time.Time
+	releases atomic.Uint64
 
 	// releaseMu serializes persistence of the enforcer state with the
 	// releases that mutate it.
@@ -129,7 +136,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys, model: cluster.PaperTestbed()}
+	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys, model: cluster.PaperTestbed(), started: time.Now()}
 	if cfg.StatePath != "" {
 		if err := srv.loadState(); err != nil {
 			return nil, err
@@ -175,6 +182,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /release", s.handleRelease)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /history", s.handleHistory)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	return mux
 }
@@ -187,6 +195,9 @@ type jobStage struct {
 	DurationUS      float64  `json:"durationUs"`
 	Attempts        int      `json:"attempts"`
 	Speculative     int      `json:"speculative"`
+	Retries         int64    `json:"retries"`
+	TaskFaults      int64    `json:"taskFaults"`
+	BackoffUS       float64  `json:"backoffUs"`
 	Records         int64    `json:"records"`
 	ShuffledRecords int64    `json:"shuffledRecords"`
 	ShuffleBytes    int64    `json:"shuffleBytes"`
@@ -243,6 +254,9 @@ func (s *server) recordJob(res *core.Result) {
 			DurationUS:      micros(span.Duration()),
 			Attempts:        span.Attempts,
 			Speculative:     span.Speculative,
+			Retries:         span.Retries,
+			TaskFaults:      span.TaskFaults,
+			BackoffUS:       micros(time.Duration(span.BackoffNanos)),
 			Records:         span.Records,
 			ShuffledRecords: span.ShuffledRecords,
 			ShuffleBytes:    span.ShuffleBytes,
@@ -317,6 +331,7 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		// return.
 		slog.Error("persist enforcer state", slog.Any("error", err))
 	}
+	s.releases.Add(1)
 	s.recordJob(res)
 	writeJSON(w, http.StatusOK, releaseResponse{
 		Query:           res.Query,
@@ -341,6 +356,30 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"recordsPostCombine":     m.RecordsPostCombine,
 		"recordsCombinedMapSide": m.RecordsCombinedMapSide,
 		"cacheHitRate":           m.CacheHitRate(),
+		"taskAttempts":           m.TaskAttempts,
+		"taskFaults":             m.TaskFaults,
+		"taskRetries":            m.TaskRetries,
+		"shuffleRetries":         m.ShuffleRetries,
+		"backoffUs":              micros(time.Duration(m.BackoffNanos)),
+		"deadlinesExceeded":      m.DeadlinesExceeded,
+		"stragglersInjected":     m.StragglersInjected,
+		"slotsLost":              m.SlotsLost,
+	})
+}
+
+// handleHealthz is the liveness probe: process status plus the counters an
+// operator checks first — uptime, releases served, privacy budget spent, and
+// whether fault recovery has been active.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	m := s.eng.Metrics()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.started).Seconds(),
+		"releases":      s.releases.Load(),
+		"epsilonSpent":  s.sys.EpsilonSpent(),
+		"workers":       s.eng.Workers(),
+		"taskRetries":   m.TaskRetries,
+		"taskFaults":    m.TaskFaults,
 	})
 }
 

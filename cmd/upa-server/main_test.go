@@ -102,6 +102,37 @@ func TestMetricsAndHistoryEndpoints(t *testing.T) {
 	}
 }
 
+func TestHealthzEndpoint(t *testing.T) {
+	srv := testServer(t, "")
+	h := srv.routes()
+	rec, health := doJSON(t, h, http.MethodGet, "/healthz", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("status = %v", health["status"])
+	}
+	if health["releases"].(float64) != 0 || health["epsilonSpent"].(float64) != 0 {
+		t.Errorf("fresh server reports activity: %v", health)
+	}
+	if health["uptimeSeconds"].(float64) < 0 {
+		t.Errorf("negative uptime: %v", health["uptimeSeconds"])
+	}
+	if health["workers"].(float64) < 1 {
+		t.Errorf("workers = %v", health["workers"])
+	}
+	if _, body := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH6"}`); body["query"] != "TPCH6" {
+		t.Fatal("release failed")
+	}
+	_, health = doJSON(t, h, http.MethodGet, "/healthz", "")
+	if health["releases"].(float64) != 1 {
+		t.Errorf("releases = %v after one release", health["releases"])
+	}
+	if health["epsilonSpent"].(float64) <= 0 {
+		t.Errorf("epsilonSpent = %v after a successful release", health["epsilonSpent"])
+	}
+}
+
 func TestConcurrentReleaseRequests(t *testing.T) {
 	// Concurrent analysts hit /release simultaneously; the server's
 	// release mutex serializes enforcer updates and every request gets a

@@ -88,13 +88,13 @@ func WriteFig4aCSV(w io.Writer, rows []ScaleRow) error {
 func WriteStagesCSV(w io.Writer, rows []StageRow) error {
 	header := []string{"query", "stage", "deps", "measured_us", "records", "shuffled_records",
 		"shuffle_bytes", "reduce_ops", "cache_hits", "records_combined", "attempts",
-		"speculative", "sim_us", "critical"}
+		"speculative", "task_faults", "retries", "sim_us", "critical"}
 	return writeCSV(w, header, len(rows), func(i int) []string {
 		r := rows[i]
 		return []string{r.Query, r.Stage, strings.Join(r.Deps, ";"), dtoa(r.Measured),
 			itoa64(r.Records), itoa64(r.ShuffledRecords), itoa64(r.ShuffleBytes),
 			itoa64(r.ReduceOps), itoa64(r.CacheHits), itoa64(r.RecordsCombined),
-			itoa(r.Attempts), itoa(r.Speculative),
+			itoa(r.Attempts), itoa(r.Speculative), itoa64(r.TaskFaults), itoa64(r.Retries),
 			dtoa(r.SimCost), strconv.FormatBool(r.Critical)}
 	})
 }
@@ -109,6 +109,21 @@ func WriteShuffleCSV(w io.Writer, rows []ShuffleRow) error {
 		return []string{ftoa(r.Skew), itoa(r.Records), itoa(r.Partitions), itoa(r.DistinctKeys),
 			itoa64(r.RawShuffled), itoa64(r.CombinedShuffled), itoa64(r.CombinedAway),
 			ftoa(r.Reduction), dtoa(r.CombinedSimCost), dtoa(r.RawSimCost)}
+	})
+}
+
+// WriteChaosCSV writes the chaos fault-rate × retry-policy sweep.
+func WriteChaosCSV(w io.Writer, rows []ChaosRow) error {
+	header := []string{"query", "fault_rate", "policy", "max_attempts", "completed",
+		"deterministic", "task_faults", "task_retries", "shuffle_retries", "slots_lost",
+		"backoff_us", "sim_us", "sim_retry_us", "overhead"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Query, ftoa(r.FaultRate), r.Policy, itoa(r.MaxAttempts),
+			strconv.FormatBool(r.Completed), strconv.FormatBool(r.Deterministic),
+			itoa64(r.TaskFaults), itoa64(r.TaskRetries), itoa64(r.ShuffleRetries),
+			itoa64(r.SlotsLost), dtoa(r.Backoff), dtoa(r.SimCost), dtoa(r.SimRetry),
+			ftoa(r.Overhead)}
 	})
 }
 

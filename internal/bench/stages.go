@@ -28,6 +28,9 @@ type StageRow struct {
 	// RecordsCombined counts records a map-side combine kept off the wire.
 	RecordsCombined       int64
 	Attempts, Speculative int
+	// TaskFaults and Retries are the stage's fault-recovery counters: injected
+	// faults absorbed and attempts re-run under the retry policy.
+	TaskFaults, Retries int64
 	// SimCost is the stage's modeled cluster time; Critical marks membership
 	// in the plan's critical path.
 	SimCost  time.Duration
@@ -91,6 +94,8 @@ func StageBreakdown(cfg Config, model cluster.Model) ([]StageRow, []PlanRow, err
 				RecordsCombined: s.RecordsCombined,
 				Attempts:        s.Attempts,
 				Speculative:     s.Speculative,
+				TaskFaults:      s.TaskFaults,
+				Retries:         s.Retries,
 				SimCost:         plan.Stages[i].Cost.Total(),
 				Critical:        critical[s.Stage],
 			})

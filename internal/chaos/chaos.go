@@ -1,0 +1,286 @@
+// Package chaos is the repository's deterministic fault-injection and
+// retry-policy layer. UPA's accuracy and privacy arguments assume the
+// substrate recovers from task failures without changing query output —
+// Spark gets this from lineage-based fault tolerance; our in-process engine
+// gets it from pure task closures plus the retry machinery this package
+// configures. Following DPBench's discipline of evaluating DP systems under
+// principled, repeatable conditions, every injection decision here is a pure
+// function of a seed and the decision's stable coordinates (site label, task
+// index, attempt number), never of goroutine scheduling order: the same seed
+// reproduces the same fault pattern on every run, which is what makes the
+// chaos soak tests meaningful rather than flaky.
+//
+// The package is a leaf: it imports only the standard library, so both the
+// mapreduce engine and the jobgraph scheduler (which must not know about
+// each other) can share one Injector and one RetryPolicy.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected marks an artificial failure produced by an Injector. The retry
+// layers treat it as transient: task attempts failing with it are retried
+// from lineage, shuffle fetches failing with it are re-fetched.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Policy configures what an Injector breaks and how often. All rates are
+// probabilities in [0, 1) evaluated independently per decision; a zero
+// Policy injects nothing.
+type Policy struct {
+	// Seed drives every injection decision. Two Injectors with the same
+	// Policy make identical decisions at identical (site, task, attempt)
+	// coordinates regardless of execution interleaving.
+	Seed uint64
+	// TaskFaultRate is the probability that one task attempt fails before
+	// running (the seeded generalization of the legacy counted
+	// InjectFaults hook).
+	TaskFaultRate float64
+	// StragglerRate is the probability that one task attempt is delayed by
+	// StragglerDelay before running — the straggler injection that
+	// exercises speculation and deadline handling.
+	StragglerRate  float64
+	StragglerDelay time.Duration
+	// ShuffleErrorRate is the probability that one shuffle materialization
+	// attempt fails transiently before any data moves, like a lost fetch
+	// from a remote shuffle service.
+	ShuffleErrorRate float64
+	// SlotLossRate is the probability that one worker slot of a task pool
+	// is lost for the duration of that pool's job (the worker exits early
+	// and its share of tasks redistributes to the survivors). Slot 0 is
+	// never lost, so every job keeps making progress.
+	SlotLossRate float64
+}
+
+// Validate checks the policy's rates.
+func (p Policy) Validate() error {
+	for _, r := range []struct {
+		name string
+		rate float64
+	}{
+		{"TaskFaultRate", p.TaskFaultRate},
+		{"StragglerRate", p.StragglerRate},
+		{"ShuffleErrorRate", p.ShuffleErrorRate},
+		{"SlotLossRate", p.SlotLossRate},
+	} {
+		if r.rate < 0 || r.rate >= 1 {
+			return fmt.Errorf("chaos: %s %v outside [0, 1)", r.name, r.rate)
+		}
+	}
+	if p.StragglerDelay < 0 {
+		return fmt.Errorf("chaos: negative StragglerDelay %v", p.StragglerDelay)
+	}
+	return nil
+}
+
+// Counters snapshots what an Injector has broken so far.
+type Counters struct {
+	Faults        int64
+	Stragglers    int64
+	ShuffleErrors int64
+	SlotsLost     int64
+	// CountedFaults is how many of Faults came from the legacy counted
+	// queue (AddCountedFaults) rather than the seeded rates.
+	CountedFaults int64
+}
+
+// Injector makes deterministic, seeded fault-injection decisions. All
+// methods are safe for concurrent use and safe on a nil receiver (a nil
+// Injector injects nothing), so call sites need no guards.
+type Injector struct {
+	policy Policy
+
+	// counted is the legacy InjectFaults(n) queue: the next counted task
+	// attempts fail regardless of the seeded rates. Counted faults are
+	// consumed in claim order, so they are deterministic only under a
+	// deterministic task schedule — exactly the contract the old engine
+	// hook had.
+	counted atomic.Int64
+
+	faults        atomic.Int64
+	stragglers    atomic.Int64
+	shuffleErrors atomic.Int64
+	slotsLost     atomic.Int64
+	countedTaken  atomic.Int64
+}
+
+// New builds an Injector. An invalid policy is clamped to inject nothing
+// rather than panicking mid-job; validate policies at the boundary with
+// Policy.Validate when the error matters.
+func New(policy Policy) *Injector {
+	if policy.Validate() != nil {
+		policy = Policy{}
+	}
+	return &Injector{policy: policy}
+}
+
+// Policy returns the injector's configuration.
+func (j *Injector) Policy() Policy {
+	if j == nil {
+		return Policy{}
+	}
+	return j.policy
+}
+
+// AddCountedFaults arranges for the next n task attempts to fail, ahead of
+// any seeded decisions — the compatibility path for the engine's legacy
+// InjectFaults hook.
+func (j *Injector) AddCountedFaults(n int) {
+	if j == nil || n <= 0 {
+		return
+	}
+	j.counted.Add(int64(n))
+}
+
+// takeCounted consumes one counted fault if any are pending.
+func (j *Injector) takeCounted() bool {
+	for {
+		c := j.counted.Load()
+		if c <= 0 {
+			return false
+		}
+		if j.counted.CompareAndSwap(c, c-1) {
+			return true
+		}
+	}
+}
+
+// Decision kinds keep the per-rate hash streams independent: the same
+// (site, task, attempt) must be allowed to straggle without also faulting.
+const (
+	kindTaskFault uint64 = 1 + iota
+	kindStraggler
+	kindShuffleError
+	kindSlotLoss
+	kindStageFault
+)
+
+// TaskFault reports whether the attempt-th try of task `task` at `site`
+// should fail before running. Counted faults (AddCountedFaults) are consumed
+// first; otherwise the decision is a seeded hash of the coordinates.
+func (j *Injector) TaskFault(site string, task, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.takeCounted() {
+		j.faults.Add(1)
+		j.countedTaken.Add(1)
+		return true
+	}
+	if j.decide(kindTaskFault, site, task, attempt, j.policy.TaskFaultRate) {
+		j.faults.Add(1)
+		return true
+	}
+	return false
+}
+
+// StageFault reports whether the attempt-th try of stage task `task` at
+// `site` should fail before running. Unlike TaskFault it never consumes the
+// legacy counted queue — AddCountedFaults targets engine task attempts, and
+// a stage scheduler sharing the injector must not starve the engine of them
+// — and it draws from its own hash stream, so stage- and engine-level
+// decisions at coincident coordinates stay independent.
+func (j *Injector) StageFault(site string, task, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decide(kindStageFault, site, task, attempt, j.policy.TaskFaultRate) {
+		j.faults.Add(1)
+		return true
+	}
+	return false
+}
+
+// TaskDelay returns the injected straggler delay for one task attempt, or
+// zero.
+func (j *Injector) TaskDelay(site string, task, attempt int) time.Duration {
+	if j == nil || j.policy.StragglerDelay <= 0 {
+		return 0
+	}
+	if j.decide(kindStraggler, site, task, attempt, j.policy.StragglerRate) {
+		j.stragglers.Add(1)
+		return j.policy.StragglerDelay
+	}
+	return 0
+}
+
+// ShuffleError reports whether the attempt-th materialization of the shuffle
+// at `site` should fail transiently before any data moves.
+func (j *Injector) ShuffleError(site string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decide(kindShuffleError, site, 0, attempt, j.policy.ShuffleErrorRate) {
+		j.shuffleErrors.Add(1)
+		return true
+	}
+	return false
+}
+
+// SlotLost reports whether worker slot `slot` of the pool running `site`
+// is lost. Slot 0 is never lost so the job keeps making progress.
+func (j *Injector) SlotLost(site string, slot int) bool {
+	if j == nil || slot == 0 {
+		return false
+	}
+	if j.decide(kindSlotLoss, site, slot, 0, j.policy.SlotLossRate) {
+		j.slotsLost.Add(1)
+		return true
+	}
+	return false
+}
+
+// Snapshot returns the injector's counters.
+func (j *Injector) Snapshot() Counters {
+	if j == nil {
+		return Counters{}
+	}
+	return Counters{
+		Faults:        j.faults.Load(),
+		Stragglers:    j.stragglers.Load(),
+		ShuffleErrors: j.shuffleErrors.Load(),
+		SlotsLost:     j.slotsLost.Load(),
+		CountedFaults: j.countedTaken.Load(),
+	}
+}
+
+// decide hashes the decision coordinates under the seed and compares the
+// resulting uniform variate against rate.
+func (j *Injector) decide(kind uint64, site string, a, b int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := j.policy.Seed ^ mix64(kind^0x9e3779b97f4a7c15)
+	h = mix64(h ^ hashString(site))
+	h = mix64(h ^ uint64(a))
+	h = mix64(h ^ uint64(b))
+	return uniform(h) < rate
+}
+
+// uniform maps 64 hash bits onto [0, 1) using the top 53 bits.
+func uniform(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// hashString is FNV-1a, inlined to keep the package dependency-free.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer — the same mixer the stats package uses,
+// duplicated here so chaos stays a leaf package.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

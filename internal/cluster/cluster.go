@@ -80,12 +80,18 @@ type Cost struct {
 	Barriers  time.Duration
 	Scheduler time.Duration
 	Startup   time.Duration
+	// Retry is the fault-recovery surcharge: each retried task or shuffle
+	// pays one extra driver rescheduling (TaskOverhead) on top of the
+	// backoff time the retry policy actually waited. The work a retried
+	// attempt redoes is already inside CPU/Scheduler via the attempt
+	// counters; Retry isolates what recovery itself costs.
+	Retry time.Duration
 }
 
 // Total is the simulated wall-clock time: CPU and network overlap with
 // neither barriers nor scheduling in this simple model, so components add.
 func (c Cost) Total() time.Duration {
-	return c.CPU + c.Network + c.Barriers + c.Scheduler + c.Startup
+	return c.CPU + c.Network + c.Barriers + c.Scheduler + c.Startup + c.Retry
 }
 
 // Estimate prices an engine metrics delta.
@@ -108,7 +114,10 @@ func (m Model) Estimate(delta mapreduce.MetricsSnapshot) (Cost, error) {
 	waves := (delta.TaskAttempts + int64(m.Nodes) - 1) / int64(m.Nodes)
 	scheduler := time.Duration(waves) * m.TaskOverhead
 
-	return Cost{CPU: cpu, Network: network, Barriers: barriers, Scheduler: scheduler, Startup: m.JobStartup}, nil
+	retry := time.Duration(delta.TaskRetries+delta.ShuffleRetries)*m.TaskOverhead +
+		time.Duration(delta.BackoffNanos)
+
+	return Cost{CPU: cpu, Network: network, Barriers: barriers, Scheduler: scheduler, Startup: m.JobStartup, Retry: retry}, nil
 }
 
 // Overhead prices two deltas (a baseline and a treatment) and returns the

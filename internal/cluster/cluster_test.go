@@ -65,6 +65,29 @@ func TestEstimateComponents(t *testing.T) {
 	}
 }
 
+func TestEstimateChargesRetries(t *testing.T) {
+	m := Model{
+		Nodes: 2, CoresPerNode: 5, RecordCPU: 100 * time.Nanosecond,
+		RecordBytes: 125, BisectionGbps: 1,
+		ShuffleLatency: time.Millisecond, TaskOverhead: time.Millisecond,
+	}
+	d := delta(0, 0, 0, 0, 0)
+	d.TaskRetries = 3
+	d.ShuffleRetries = 2
+	d.BackoffNanos = int64(4 * time.Millisecond)
+	c, err := m.Estimate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 retries × 1ms rescheduling + 4ms waited in backoff.
+	if c.Retry != 9*time.Millisecond {
+		t.Errorf("Retry = %v, want 9ms", c.Retry)
+	}
+	if c.Total() != c.Retry+c.Startup {
+		t.Error("Total does not include the retry surcharge")
+	}
+}
+
 func TestEstimateZeroDelta(t *testing.T) {
 	m := PaperTestbed()
 	c, err := m.Estimate(mapreduce.MetricsSnapshot{})

@@ -40,7 +40,9 @@ func (m Model) PriceSpan(s jobgraph.Span) (Cost, error) {
 	waves := (int64(s.Attempts) + int64(m.Nodes) - 1) / int64(m.Nodes)
 	scheduler := time.Duration(waves) * m.TaskOverhead
 
-	return Cost{CPU: cpu, Network: network, Barriers: barriers, Scheduler: scheduler}, nil
+	retry := time.Duration(s.Retries)*m.TaskOverhead + time.Duration(s.BackoffNanos)
+
+	return Cost{CPU: cpu, Network: network, Barriers: barriers, Scheduler: scheduler, Retry: retry}, nil
 }
 
 // StageCost is one stage of a priced plan.

@@ -49,6 +49,30 @@ func TestPriceSpanComponents(t *testing.T) {
 	}
 }
 
+func TestPriceSpanChargesRetries(t *testing.T) {
+	m := testModel()
+	c, err := m.PriceSpan(jobgraph.Span{
+		Stage:        "retried-stage",
+		Attempts:     4,
+		Retries:      3,
+		BackoffNanos: int64(2 * time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 retries × 1ms rescheduling + 2ms waited in backoff.
+	if c.Retry != 5*time.Millisecond {
+		t.Errorf("Retry = %v, want 5ms", c.Retry)
+	}
+	// ceil(4/2) = 2 scheduling waves still price the attempts themselves.
+	if c.Scheduler != 2*time.Millisecond {
+		t.Errorf("Scheduler = %v, want 2ms", c.Scheduler)
+	}
+	if c.Total() != c.Retry+c.Scheduler {
+		t.Error("Total does not include the retry surcharge")
+	}
+}
+
 func TestPriceSpanChargesCombineCPU(t *testing.T) {
 	m := testModel()
 	// A combining stage pays CPU for every pre-combine record it folded on

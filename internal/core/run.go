@@ -111,7 +111,11 @@ func RunCtx[T any](ctx context.Context, sys *System, q Query[T], data []T, domai
 
 	g := jobgraph.New("release:"+q.Name,
 		jobgraph.WithSlots(eng.Workers()),
-		jobgraph.WithSpeculation(speculationAfter))
+		jobgraph.WithSpeculation(speculationAfter),
+		// Stage-level retries share the engine's policy and seeded injector,
+		// so one chaos configuration governs both schedulers.
+		jobgraph.WithRetryPolicy(eng.RetryPolicy()),
+		jobgraph.WithChaos(eng.Chaos()))
 
 	// --- Phase 1: Partition and Sample (§III) -------------------------------
 	g.Stage(StagePartitionSample, func(_ context.Context, sc *jobgraph.StageContext) error {
@@ -409,6 +413,10 @@ func RunCtx[T any](ctx context.Context, sys *System, q Query[T], data []T, domai
 	if err != nil {
 		return nil, err
 	}
+	// Charge the budget ledger exactly once, only after the whole release
+	// succeeded: recomputation under faults must never double-spend ε, and a
+	// failed release spends nothing (no output was published).
+	sys.chargeEpsilon(res.EffectiveEpsilon * float64(q.OutputDim))
 	res.Phases = phasesFromSpans(spans)
 	res.EngineDelta = eng.Metrics().Sub(before)
 	if logger := sys.cfg.Logger; logger != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"log/slog"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -115,6 +116,29 @@ type System struct {
 	// sets).
 	releases atomic.Uint64
 	id       uint64
+	// epsilonSpentBits is the iDP budget ledger: the float64 bits of the
+	// total ε charged across successful releases (EffectiveEpsilon ×
+	// OutputDim each). A CAS accumulator rather than a mutex so concurrent
+	// releases stay lock-free; charged exactly once per successful release —
+	// the chaos soak test pins that fault recomputation never double-spends.
+	epsilonSpentBits atomic.Uint64
+}
+
+// chargeEpsilon adds eps to the system's spent-budget ledger.
+func (s *System) chargeEpsilon(eps float64) {
+	for {
+		old := s.epsilonSpentBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + eps)
+		if s.epsilonSpentBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// EpsilonSpent reports the total privacy budget charged by this system's
+// successful releases.
+func (s *System) EpsilonSpent() float64 {
+	return math.Float64frombits(s.epsilonSpentBits.Load())
 }
 
 // systemIDs hands every System a process-unique id. It affects only cache

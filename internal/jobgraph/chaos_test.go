@@ -1,0 +1,225 @@
+package jobgraph
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"upa/internal/chaos"
+)
+
+// TestLateSpeculativeCommitNotAppliedAfterFailure is the regression test for
+// the speculative double-commit audit: a speculative twin that wins the
+// claim while the stage is concurrently failing must either complete its
+// commit before Run returns or be suppressed entirely — it must never mutate
+// caller-visible state after Run has returned. Run under -race, the old
+// scheduler (commit outside any synchronization with stage completion) is
+// flagged here: the twin's slow commit raced with the test's post-Run read.
+func TestLateSpeculativeCommitNotAppliedAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	failNow := make(chan struct{})
+	var part0Calls atomic.Int64
+	commitRan := 0 // deliberately unsynchronized: the race detector is the assertion
+	g := New("g", WithSlots(8), WithSpeculation(time.Millisecond)).
+		Partitioned("work", 2, func(ctx context.Context, _ *StageContext, p int) (func(), error) {
+			if p == 1 {
+				// The failing partition waits until the twin has produced
+				// its commit closure, so the failure and the commit race.
+				select {
+				case <-failNow:
+				case <-ctx.Done():
+				}
+				return nil, boom
+			}
+			if part0Calls.Add(1) == 1 {
+				<-ctx.Done() // primary straggles; speculation spawns a twin
+				return nil, ctx.Err()
+			}
+			close(failNow)
+			return func() {
+				time.Sleep(5 * time.Millisecond) // slow commit
+				commitRan++
+			}, nil
+		})
+	_, err := g.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("Run() = %v, want boom", err)
+	}
+	// Whatever the commit's fate, it must be settled by now: observing a
+	// commit running after Run returned means the scheduler leaked it.
+	before := commitRan
+	time.Sleep(20 * time.Millisecond)
+	if commitRan != before {
+		t.Fatalf("commit mutated state after Run returned: %d -> %d", before, commitRan)
+	}
+}
+
+// findStageSeed probes the seeded stage-fault stream for a seed whose fault
+// pattern at site "g/work", task 0 matches want (want[i] = should attempt
+// i+1 fault). Deterministic at test time, robust to hash details.
+func findStageSeed(t *testing.T, rate float64, want []bool) chaos.Policy {
+	t.Helper()
+	for seed := uint64(1); seed < 5000; seed++ {
+		p := chaos.Policy{Seed: seed, TaskFaultRate: rate}
+		probe := chaos.New(p)
+		ok := true
+		for i, w := range want {
+			if probe.StageFault("g/work", 0, i+1) != w {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	t.Fatalf("no seed produces stage-fault pattern %v at rate %v", want, rate)
+	return chaos.Policy{}
+}
+
+// TestPlainStageRetriesInjectedFaults: a plain stage absorbing injected
+// faults retries under the policy and records the retries in its span.
+func TestPlainStageRetriesInjectedFaults(t *testing.T) {
+	// Attempts 1 and 2 fault, attempt 3 passes.
+	inj := chaos.New(findStageSeed(t, 0.5, []bool{true, true, false}))
+	ran := 0
+	g := New("g", WithRetryPolicy(chaos.RetryPolicy{MaxAttempts: 3}), WithChaos(inj)).
+		Stage("work", func(context.Context, *StageContext) error { ran++; return nil })
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run() = %v, want recovery within 3 attempts", err)
+	}
+	if ran != 1 {
+		t.Errorf("stage body ran %d times, want 1", ran)
+	}
+	s := spans[0]
+	if s.Attempts != 3 || s.Retries != 2 || s.TaskFaults != 2 {
+		t.Errorf("span = %d attempts / %d retries / %d faults, want 3/2/2", s.Attempts, s.Retries, s.TaskFaults)
+	}
+}
+
+// TestPlainStageExhaustionNamesSite: out of attempts, the error names the
+// graph/stage site and keeps the injected fault in the chain.
+func TestPlainStageExhaustionNamesSite(t *testing.T) {
+	inj := chaos.New(findStageSeed(t, 0.5, []bool{true, true}))
+	g := New("g", WithRetryPolicy(chaos.RetryPolicy{MaxAttempts: 2}), WithChaos(inj)).
+		Stage("work", func(context.Context, *StageContext) error { return nil })
+	_, err := g.Run(context.Background())
+	if err == nil {
+		t.Fatal("Run() = nil, want exhaustion error")
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Errorf("injected fault flattened out of the chain: %v", err)
+	}
+	if msg := err.Error(); !strings.Contains(msg, "g/work") || !strings.Contains(msg, "gave up after 2 attempts") {
+		t.Errorf("error %q does not name the site and attempt count", msg)
+	}
+}
+
+// TestGraphRetryBudgetFailsFast: the per-Run budget caps total retries even
+// when individual tasks have attempts left.
+func TestGraphRetryBudgetFailsFast(t *testing.T) {
+	inj := chaos.New(findStageSeed(t, 0.5, []bool{true, true}))
+	g := New("g", WithRetryPolicy(chaos.RetryPolicy{MaxAttempts: 10, RetryBudget: 1}), WithChaos(inj)).
+		Stage("work", func(context.Context, *StageContext) error { return nil })
+	_, err := g.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("Run() = %v, want retry-budget exhaustion", err)
+	}
+}
+
+// TestPartitionedStageRetriesSeededFaults: seeded chaos on a partitioned
+// stage — the stage absorbs the faults, commits every partition exactly
+// once, and the fault pattern is reproducible run to run.
+func TestPartitionedStageRetriesSeededFaults(t *testing.T) {
+	const parts = 8
+	policy := chaos.RetryPolicy{MaxAttempts: 6, BaseBackoff: 10 * time.Microsecond}
+	// Probe for a seed that faults at least one first attempt but lets every
+	// partition through within the attempt allowance — deterministic at test
+	// time, robust to hash details.
+	site := "g/work"
+	var seed uint64
+	for s := uint64(1); s < 200; s++ {
+		probe := chaos.New(chaos.Policy{Seed: s, TaskFaultRate: 0.4})
+		anyFault, allPass := false, true
+		for p := 0; p < parts; p++ {
+			if probe.StageFault(site, p, 1) {
+				anyFault = true
+			}
+			ok := false
+			for a := 1; a <= policy.MaxAttempts; a++ {
+				if !probe.StageFault(site, p, a) {
+					ok = true
+					break
+				}
+			}
+			allPass = allPass && ok
+		}
+		if anyFault && allPass {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no usable probe seed found")
+	}
+
+	run := func() (Span, []int64) {
+		commits := make([]int64, parts)
+		g := New("g", WithSlots(4),
+			WithRetryPolicy(policy),
+			WithChaos(chaos.New(chaos.Policy{Seed: seed, TaskFaultRate: 0.4}))).
+			Partitioned("work", parts, func(_ context.Context, _ *StageContext, p int) (func(), error) {
+				return func() { commits[p]++ }, nil
+			})
+		spans, err := g.Run(context.Background())
+		if err != nil {
+			t.Fatalf("Run() = %v, want recovery under seeded faults", err)
+		}
+		return spans[0], commits
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	for p := 0; p < parts; p++ {
+		if c1[p] != 1 || c2[p] != 1 {
+			t.Fatalf("partition %d committed %d/%d times, want exactly once", p, c1[p], c2[p])
+		}
+	}
+	if s1.TaskFaults == 0 || s1.Retries == 0 {
+		t.Errorf("span recorded %d faults / %d retries, want > 0", s1.TaskFaults, s1.Retries)
+	}
+	if s1.TaskFaults != s2.TaskFaults || s1.Retries != s2.Retries {
+		t.Errorf("same seed, different fault pattern: %d/%d vs %d/%d",
+			s1.TaskFaults, s1.Retries, s2.TaskFaults, s2.Retries)
+	}
+}
+
+// TestPartitionAttemptDeadlineRetries: a partition attempt exceeding the
+// policy's per-attempt deadline is cancelled and re-run while the job stays
+// live.
+func TestPartitionAttemptDeadlineRetries(t *testing.T) {
+	var calls atomic.Int64
+	committed := atomic.Bool{}
+	g := New("g", WithSlots(2),
+		WithRetryPolicy(chaos.RetryPolicy{MaxAttempts: 3, TaskDeadline: 5 * time.Millisecond})).
+		Partitioned("work", 1, func(ctx context.Context, _ *StageContext, _ int) (func(), error) {
+			if calls.Add(1) == 1 {
+				<-ctx.Done() // hang until the attempt deadline fires
+				return nil, ctx.Err()
+			}
+			return func() { committed.Store(true) }, nil
+		})
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run() = %v, want recovery on second attempt", err)
+	}
+	if !committed.Load() {
+		t.Error("winning attempt's commit not applied")
+	}
+	if spans[0].Retries != 1 {
+		t.Errorf("Retries = %d, want 1", spans[0].Retries)
+	}
+}

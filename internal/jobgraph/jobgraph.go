@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"upa/internal/chaos"
 )
 
 // ErrCycle is returned by Validate when the stage dependencies contain a
@@ -39,6 +41,14 @@ type Span struct {
 	// the duplicate attempts launched against straggler partitions.
 	Attempts    int `json:"attempts"`
 	Speculative int `json:"speculative"`
+	// Retries counts re-executions after retryable failures (injected faults,
+	// attempt deadlines), TaskFaults the chaos-injected failures absorbed by
+	// the stage, and BackoffNanos the time spent waiting between attempts —
+	// the jobgraph half of the engine's retry accounting, priced by the
+	// cluster cost model.
+	Retries      int64 `json:"retries"`
+	TaskFaults   int64 `json:"taskFaults"`
+	BackoffNanos int64 `json:"backoffNanos"`
 	// Records, ShuffledRecords, ShuffleBytes, ReduceOps and CacheHits are
 	// reported by the stage body through its StageContext; they feed the
 	// cluster cost model's per-stage pricing.
@@ -95,6 +105,8 @@ type Graph struct {
 	name      string
 	slots     int
 	specAfter time.Duration
+	policy    chaos.RetryPolicy
+	inj       *chaos.Injector
 	stages    []*stage
 	index     map[string]int
 	buildErr  error
@@ -123,10 +135,25 @@ func WithSpeculation(after time.Duration) Option {
 	return func(g *Graph) { g.specAfter = after }
 }
 
+// WithRetryPolicy sets the stage-level retry contract: attempts per stage
+// task, exponential backoff with seeded jitter, per-attempt deadline, and a
+// per-Run retry budget shared by retries and speculative launches. Callers
+// normally pass the engine's own policy so both schedulers behave alike.
+func WithRetryPolicy(p chaos.RetryPolicy) Option {
+	return func(g *Graph) { g.policy = p }
+}
+
+// WithChaos arms the graph with a seeded fault injector: stage tasks may
+// fail or straggle before running, exercising the retry and speculation
+// paths deterministically. Nil disarms.
+func WithChaos(inj *chaos.Injector) Option {
+	return func(g *Graph) { g.inj = inj }
+}
+
 // New builds an empty graph. The default slot count is 1; callers normally
 // pass WithSlots(engine.Workers()).
 func New(name string, opts ...Option) *Graph {
-	g := &Graph{name: name, slots: 1, index: make(map[string]int)}
+	g := &Graph{name: name, slots: 1, policy: chaos.DefaultRetryPolicy(), index: make(map[string]int)}
 	for _, opt := range opts {
 		opt(g)
 	}

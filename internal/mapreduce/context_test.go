@@ -14,7 +14,7 @@ func TestCancelledContextStopsScheduling(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	ran := 0
-	err := eng.runTasks(ctx, 50, func(i int) error {
+	err := eng.runTasks(ctx, "test:cancel", 50, func(_ context.Context, i int) error {
 		ran++
 		if i == 0 {
 			cancel()
@@ -37,7 +37,7 @@ func TestCancelledContextStopsRetries(t *testing.T) {
 	defer cancel()
 	eng.InjectFaults(100)
 	cancel()
-	err := eng.runTasks(ctx, 1, func(int) error { return nil })
+	err := eng.runTasks(ctx, "test:cancel-retries", 1, func(context.Context, int) error { return nil })
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("runTasks = %v, want context.Canceled", err)
 	}

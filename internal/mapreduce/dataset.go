@@ -156,8 +156,8 @@ func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
 // aborts mid-shuffle instead of running to completion.
 func (d *Dataset[T]) CollectPartitionsCtx(ctx context.Context) ([][]T, error) {
 	parts := make([][]T, d.numParts)
-	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(ctx, p)
+	err := d.eng.runTasks(ctx, d.name+":collect", d.numParts, func(tctx context.Context, p int) error {
+		part, err := d.partition(tctx, p)
 		if err != nil {
 			return err
 		}
@@ -201,8 +201,8 @@ func (d *Dataset[T]) Count() (int, error) {
 // CountCtx is Count under a context.
 func (d *Dataset[T]) CountCtx(ctx context.Context) (int, error) {
 	counts := make([]int, d.numParts)
-	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(ctx, p)
+	err := d.eng.runTasks(ctx, d.name+":count", d.numParts, func(tctx context.Context, p int) error {
+		part, err := d.partition(tctx, p)
 		if err != nil {
 			return err
 		}

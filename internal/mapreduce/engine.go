@@ -17,21 +17,23 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"upa/internal/chaos"
 )
 
 // Engine schedules partition-level tasks over a bounded worker pool and
 // accounts for shuffles, reduce operations, and cache traffic.
 type Engine struct {
-	workers     int
-	maxAttempts int
+	workers int
+	policy  chaos.RetryPolicy
 
 	metrics Metrics
 
-	// faultMu guards pendingFaults, the number of upcoming task attempts
-	// the engine will fail artificially (fault injection for testing
-	// lineage-based recovery).
-	faultMu       sync.Mutex
-	pendingFaults int
+	// inj is the seeded chaos injector deciding which task attempts fail,
+	// straggle, or lose their worker slot. Nil-safe: a nil injector injects
+	// nothing. Swappable at runtime so tests can arm chaos mid-stream.
+	inj atomic.Pointer[chaos.Injector]
 
 	cache *ReductionCache
 
@@ -55,22 +57,36 @@ func WithWorkers(n int) Option {
 }
 
 // WithMaxAttempts sets how many times a failing task is retried from lineage
-// before the job is abandoned. Values below one fall back to one.
+// before the job is abandoned. Values below one fall back to one. It is the
+// single-knob shorthand for WithRetryPolicy.
 func WithMaxAttempts(n int) Option {
 	return func(e *Engine) {
 		if n < 1 {
 			n = 1
 		}
-		e.maxAttempts = n
+		e.policy.MaxAttempts = n
 	}
 }
 
+// WithRetryPolicy sets the full retry contract: attempts per task,
+// exponential backoff with seeded jitter, per-attempt deadline, and the
+// per-job retry budget.
+func WithRetryPolicy(p chaos.RetryPolicy) Option {
+	return func(e *Engine) { e.policy = p }
+}
+
+// WithChaos arms the engine with a seeded fault injector. Nil disarms.
+func WithChaos(inj *chaos.Injector) Option {
+	return func(e *Engine) { e.inj.Store(inj) }
+}
+
 // NewEngine builds an engine. By default it uses GOMAXPROCS workers and
-// retries each task up to three times.
+// retries each task up to three times with no backoff, deadline, or budget
+// (chaos.DefaultRetryPolicy).
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
-		workers:     runtime.GOMAXPROCS(0),
-		maxAttempts: 3,
+		workers: runtime.GOMAXPROCS(0),
+		policy:  chaos.DefaultRetryPolicy(),
 	}
 	e.cache = newReductionCache(&e.metrics)
 	for _, opt := range opts {
@@ -78,6 +94,16 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	return e
 }
+
+// RetryPolicy returns the engine's retry contract, so sibling schedulers
+// (the jobgraph) can share it.
+func (e *Engine) RetryPolicy() chaos.RetryPolicy { return e.policy }
+
+// Chaos returns the engine's fault injector, or nil when disarmed.
+func (e *Engine) Chaos() *chaos.Injector { return e.inj.Load() }
+
+// SetChaos arms (or, with nil, disarms) the engine's fault injector.
+func (e *Engine) SetChaos(inj *chaos.Injector) { e.inj.Store(inj) }
 
 // Workers reports the configured worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
@@ -104,31 +130,26 @@ func (e *Engine) AccountReduceOps(n int64) {
 
 // InjectFaults arranges for the next n task attempts to fail artificially.
 // The scheduler retries them from lineage, exercising the fault-tolerance
-// path that commutativity/associativity enable.
+// path that commutativity/associativity enable. Legacy compatibility shim
+// over the chaos injector's counted-fault queue: if no injector is armed, a
+// zero-rate one is installed to carry the count.
 func (e *Engine) InjectFaults(n int) {
-	e.faultMu.Lock()
-	defer e.faultMu.Unlock()
-	if n > 0 {
-		e.pendingFaults += n
+	if n <= 0 {
+		return
 	}
+	inj := e.inj.Load()
+	if inj == nil {
+		inj = chaos.New(chaos.Policy{})
+		if !e.inj.CompareAndSwap(nil, inj) {
+			inj = e.inj.Load()
+		}
+	}
+	inj.AddCountedFaults(n)
 }
-
-// errInjectedFault marks an artificial failure from fault injection.
-var errInjectedFault = errors.New("mapreduce: injected task fault")
 
 // ErrTaskFailed is returned when a task keeps failing after all retry
 // attempts.
 var ErrTaskFailed = errors.New("mapreduce: task failed after retries")
-
-func (e *Engine) takeFault() bool {
-	e.faultMu.Lock()
-	defer e.faultMu.Unlock()
-	if e.pendingFaults > 0 {
-		e.pendingFaults--
-		return true
-	}
-	return false
-}
 
 // firstErrSlot retains the first error reported by any worker. A plain
 // mutex-guarded slot, deliberately not an atomic.Value: workers racing to
@@ -159,13 +180,18 @@ func (s *firstErrSlot) get() error {
 }
 
 // runTasks executes task(i) for i in [0, n) on the worker pool. Every task
-// attempt may be failed by fault injection; failed attempts are retried up
-// to the engine's attempt budget. The first non-retryable error aborts the
-// remaining tasks and is returned. Cancelling ctx stops workers from
-// claiming new tasks (and from retrying failed attempts) and returns the
-// context's error; a cancelled job therefore stops scheduling promptly
-// instead of running to completion.
-func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) error {
+// attempt may be failed, delayed, or slot-starved by the chaos injector;
+// retryable failures are retried from lineage under the engine's RetryPolicy
+// (attempts, backoff, per-attempt deadline, per-job retry budget). The first
+// terminal error aborts the remaining tasks and is returned. Cancelling ctx
+// stops workers from claiming new tasks (and from retrying failed attempts)
+// and returns the context's error; a cancelled job therefore stops
+// scheduling promptly instead of running to completion.
+//
+// site names the job for chaos decisions and error messages — dataset
+// lineage names like "source.map.reduceByKey:shuffle" — so injection is a
+// pure function of (seed, site, task, attempt), never of scheduling order.
+func (e *Engine) runTasks(ctx context.Context, site string, n int, task func(ctx context.Context, i int) error) error {
 	if n == 0 {
 		return nil
 	}
@@ -173,6 +199,8 @@ func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) er
 	if workers > n {
 		workers = n
 	}
+	inj := e.inj.Load()
+	budget := e.policy.NewBudget()
 
 	var (
 		next     atomic.Int64
@@ -180,6 +208,13 @@ func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) er
 		wg       sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
+		// Slot loss: the worker never joins the pool and its share of tasks
+		// redistributes to the survivors. Slot 0 is immune (chaos guarantees
+		// it), so the job always makes progress.
+		if inj.SlotLost(site, w) {
+			e.metrics.SlotsLost.Add(1)
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -192,7 +227,7 @@ func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) er
 				if i >= n || firstErr.get() != nil {
 					return
 				}
-				if err := e.runOneTask(ctx, i, task); err != nil {
+				if err := e.runOneTask(ctx, site, i, budget, inj, task); err != nil {
 					firstErr.set(err)
 					return
 				}
@@ -203,42 +238,116 @@ func (e *Engine) runTasks(ctx context.Context, n int, task func(i int) error) er
 	return firstErr.get()
 }
 
-func (e *Engine) runOneTask(ctx context.Context, i int, task func(i int) error) error {
+func (e *Engine) runOneTask(ctx context.Context, site string, i int, budget *chaos.Budget, inj *chaos.Injector, task func(ctx context.Context, i int) error) error {
+	maxAttempts := e.policy.Attempts()
 	var lastErr error
-	for attempt := 1; attempt <= e.maxAttempts; attempt++ {
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return err // cancelled between attempts: stop retrying
 		}
+		if attempt > 1 {
+			// Retries draw on the shared per-job budget: once a sick job has
+			// burned through it, fail fast instead of letting every task
+			// thrash through its full attempt allowance.
+			if !budget.Take() {
+				return fmt.Errorf("%w: %s: task %d: retry budget exhausted after %d attempts: %w",
+					ErrTaskFailed, site, i, attempt-1, lastErr)
+			}
+			e.metrics.TaskRetries.Add(1)
+			if d := e.policy.Backoff(site, i, attempt-1); d > 0 {
+				e.metrics.BackoffNanos.Add(int64(d))
+				if !sleepCtx(ctx, d) {
+					return ctx.Err()
+				}
+			}
+		}
 		e.metrics.TaskAttempts.Add(1)
-		if e.takeFault() {
+		if inj.TaskFault(site, i, attempt) {
 			e.metrics.TaskFaults.Add(1)
-			lastErr = errInjectedFault
+			lastErr = fmt.Errorf("%w: %s: task %d attempt %d", chaos.ErrInjected, site, i, attempt)
 			continue // retry: recompute from lineage
 		}
-		if err := task(i); err != nil {
-			if errors.Is(err, errInjectedFault) {
-				e.metrics.TaskFaults.Add(1)
-				lastErr = err
-				continue
+		if d := inj.TaskDelay(site, i, attempt); d > 0 {
+			e.metrics.StragglersInjected.Add(1)
+			if !sleepCtx(ctx, d) {
+				return ctx.Err()
 			}
-			return err // application error: not retryable
 		}
-		e.metrics.TasksRun.Add(1)
-		return nil
+		err := e.runAttempt(ctx, i, task)
+		if err == nil {
+			e.metrics.TasksRun.Add(1)
+			return nil
+		}
+		switch {
+		case errors.Is(err, ErrTaskFailed):
+			// A nested job (e.g. a shuffle this task depends on) already
+			// exhausted its own attempts; its error chain may carry
+			// chaos.ErrInjected, but re-running it would double-run its
+			// tasks — terminal, checked before the injected-fault case.
+			return err
+		case errors.Is(err, chaos.ErrInjected):
+			e.metrics.TaskFaults.Add(1)
+			lastErr = err
+			continue
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// The attempt's own deadline fired while the job is still live:
+			// treat the straggling attempt as crashed and recompute.
+			e.metrics.DeadlinesExceeded.Add(1)
+			lastErr = err
+			continue
+		default:
+			return err // application error or job cancellation: terminal
+		}
 	}
-	return fmt.Errorf("%w: task %d: %v", ErrTaskFailed, i, lastErr)
+	return fmt.Errorf("%w: %s: task %d gave up after %d attempts: %w",
+		ErrTaskFailed, site, i, maxAttempts, lastErr)
+}
+
+// runAttempt runs one task attempt under the policy's per-attempt deadline.
+func (e *Engine) runAttempt(ctx context.Context, i int, task func(ctx context.Context, i int) error) error {
+	if d := e.policy.TaskDeadline; d > 0 {
+		attemptCtx, cancel := context.WithTimeout(ctx, d)
+		defer cancel()
+		ctx = attemptCtx
+	}
+	return task(ctx, i)
+}
+
+// sleepCtx sleeps for d or until ctx is done, reporting whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Metrics exposes the engine's atomic counters. Snapshot with
 // MetricsSnapshot for a consistent read.
 type Metrics struct {
-	TaskAttempts    atomic.Int64
-	TasksRun        atomic.Int64
-	TaskFaults      atomic.Int64
-	RecordsMapped   atomic.Int64
-	ReduceOps       atomic.Int64
-	ShuffleRounds   atomic.Int64
-	RecordsShuffled atomic.Int64
+	TaskAttempts atomic.Int64
+	TasksRun     atomic.Int64
+	TaskFaults   atomic.Int64
+	// TaskRetries counts re-attempts after a retryable failure (injected
+	// fault or attempt deadline); ShuffleRetries counts re-fetches of a
+	// shuffle materialization. BackoffNanos accumulates the time spent
+	// waiting between attempts, DeadlinesExceeded the attempts cancelled by
+	// the policy's per-attempt deadline, StragglersInjected and SlotsLost
+	// the chaos injector's latency and worker-loss events.
+	TaskRetries        atomic.Int64
+	ShuffleRetries     atomic.Int64
+	BackoffNanos       atomic.Int64
+	DeadlinesExceeded  atomic.Int64
+	StragglersInjected atomic.Int64
+	SlotsLost          atomic.Int64
+	RecordsMapped      atomic.Int64
+	ReduceOps          atomic.Int64
+	ShuffleRounds      atomic.Int64
+	RecordsShuffled    atomic.Int64
 	// RecordsPreCombine counts records entering a map-side combiner — what a
 	// combine-less engine would have shuffled. RecordsPostCombine counts the
 	// combined records that actually reached the wire, and
@@ -258,6 +367,12 @@ type MetricsSnapshot struct {
 	TaskAttempts           int64
 	TasksRun               int64
 	TaskFaults             int64
+	TaskRetries            int64
+	ShuffleRetries         int64
+	BackoffNanos           int64
+	DeadlinesExceeded      int64
+	StragglersInjected     int64
+	SlotsLost              int64
 	RecordsMapped          int64
 	ReduceOps              int64
 	ShuffleRounds          int64
@@ -277,6 +392,12 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		TaskAttempts:           e.metrics.TaskAttempts.Load(),
 		TasksRun:               e.metrics.TasksRun.Load(),
 		TaskFaults:             e.metrics.TaskFaults.Load(),
+		TaskRetries:            e.metrics.TaskRetries.Load(),
+		ShuffleRetries:         e.metrics.ShuffleRetries.Load(),
+		BackoffNanos:           e.metrics.BackoffNanos.Load(),
+		DeadlinesExceeded:      e.metrics.DeadlinesExceeded.Load(),
+		StragglersInjected:     e.metrics.StragglersInjected.Load(),
+		SlotsLost:              e.metrics.SlotsLost.Load(),
 		RecordsMapped:          e.metrics.RecordsMapped.Load(),
 		ReduceOps:              e.metrics.ReduceOps.Load(),
 		ShuffleRounds:          e.metrics.ShuffleRounds.Load(),
@@ -306,6 +427,12 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		TaskAttempts:           s.TaskAttempts - prev.TaskAttempts,
 		TasksRun:               s.TasksRun - prev.TasksRun,
 		TaskFaults:             s.TaskFaults - prev.TaskFaults,
+		TaskRetries:            s.TaskRetries - prev.TaskRetries,
+		ShuffleRetries:         s.ShuffleRetries - prev.ShuffleRetries,
+		BackoffNanos:           s.BackoffNanos - prev.BackoffNanos,
+		DeadlinesExceeded:      s.DeadlinesExceeded - prev.DeadlinesExceeded,
+		StragglersInjected:     s.StragglersInjected - prev.StragglersInjected,
+		SlotsLost:              s.SlotsLost - prev.SlotsLost,
 		RecordsMapped:          s.RecordsMapped - prev.RecordsMapped,
 		ReduceOps:              s.ReduceOps - prev.ReduceOps,
 		ShuffleRounds:          s.ShuffleRounds - prev.ShuffleRounds,

@@ -11,12 +11,12 @@ func TestEngineOptions(t *testing.T) {
 	if e.Workers() != 1 {
 		t.Errorf("Workers = %d, want clamp to 1", e.Workers())
 	}
-	if e.maxAttempts != 1 {
-		t.Errorf("maxAttempts = %d, want clamp to 1", e.maxAttempts)
+	if got := e.RetryPolicy().Attempts(); got != 1 {
+		t.Errorf("Attempts = %d, want clamp to 1", got)
 	}
 	e = NewEngine(WithWorkers(4), WithMaxAttempts(5))
-	if e.Workers() != 4 || e.maxAttempts != 5 {
-		t.Errorf("options not applied: %d workers, %d attempts", e.Workers(), e.maxAttempts)
+	if e.Workers() != 4 || e.RetryPolicy().MaxAttempts != 5 {
+		t.Errorf("options not applied: %d workers, %d attempts", e.Workers(), e.RetryPolicy().MaxAttempts)
 	}
 }
 
@@ -209,7 +209,7 @@ func TestReductionCache(t *testing.T) {
 
 func TestRunTasksZero(t *testing.T) {
 	eng := NewEngine()
-	if err := eng.runTasks(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
+	if err := eng.runTasks(context.Background(), "test:zero", 0, func(context.Context, int) error { return errors.New("never") }); err != nil {
 		t.Fatalf("runTasks(0) = %v, want nil", err)
 	}
 }
@@ -218,7 +218,7 @@ func TestApplicationErrorNotRetried(t *testing.T) {
 	eng := NewEngine(WithMaxAttempts(5))
 	appErr := errors.New("app failure")
 	calls := 0
-	err := eng.runTasks(context.Background(), 1, func(int) error {
+	err := eng.runTasks(context.Background(), "test:app-error", 1, func(context.Context, int) error {
 		calls++
 		return appErr
 	})

@@ -21,7 +21,7 @@ func TestRunTasksMixedErrorTypes(t *testing.T) {
 	// *fmt.wrapError.
 	var arrived sync.WaitGroup
 	arrived.Add(2)
-	err := eng.runTasks(context.Background(), 2, func(i int) error {
+	err := eng.runTasks(context.Background(), "test:mixed-errors", 2, func(_ context.Context, i int) error {
 		arrived.Done()
 		arrived.Wait()
 		if i == 0 {
@@ -44,7 +44,7 @@ func TestRunTasksErrorTypeRaceWithCancel(t *testing.T) {
 	for round := 0; round < 20; round++ {
 		eng := NewEngine(WithWorkers(4))
 		ctx, cancel := context.WithCancel(context.Background())
-		err := eng.runTasks(ctx, 64, func(i int) error {
+		err := eng.runTasks(ctx, "test:cancel-race", 64, func(_ context.Context, i int) error {
 			cancel()
 			return fmt.Errorf("task %d: %w", i, errBoom)
 		})

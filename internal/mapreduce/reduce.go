@@ -61,8 +61,8 @@ func ReduceByPartition[T any](d *Dataset[T], f Reducer[T]) (partials []T, nonEmp
 func ReduceByPartitionCtx[T any](ctx context.Context, d *Dataset[T], f Reducer[T]) (partials []T, nonEmpty []bool, err error) {
 	partials = make([]T, d.numParts)
 	nonEmpty = make([]bool, d.numParts)
-	err = d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(ctx, p)
+	err = d.eng.runTasks(ctx, d.name+":reduce", d.numParts, func(tctx context.Context, p int) error {
+		part, err := d.partition(tctx, p)
 		if err != nil {
 			return err
 		}
@@ -95,8 +95,8 @@ func Aggregate[T, U any](d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(
 // AggregateCtx is Aggregate under a context.
 func AggregateCtx[T, U any](ctx context.Context, d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
 	partials := make([]U, d.numParts)
-	err := d.eng.runTasks(ctx, d.numParts, func(p int) error {
-		part, err := d.partition(ctx, p)
+	err := d.eng.runTasks(ctx, d.name+":aggregate", d.numParts, func(tctx context.Context, p int) error {
+		part, err := d.partition(tctx, p)
 		if err != nil {
 			return err
 		}

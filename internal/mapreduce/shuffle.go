@@ -2,7 +2,10 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
+
+	"upa/internal/chaos"
 )
 
 // shuffle materializes a pair dataset and redistributes its records into
@@ -24,7 +27,7 @@ func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], n
 	// destined for bucket b, in record order. Tasks are pure per index, so
 	// lineage retry under fault injection is safe.
 	local := make([][][]Pair[K, V], len(parts))
-	err = d.eng.runTasks(ctx, len(parts), func(p int) error {
+	err = d.eng.runTasks(ctx, d.name+":shuffle-bucket", len(parts), func(_ context.Context, p int) error {
 		buckets := make([][]Pair[K, V], numParts)
 		for _, rec := range parts[p] {
 			b := int(hashOf(rec.Key) % uint64(numParts))
@@ -39,7 +42,7 @@ func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], n
 	// Deterministic per-destination merge, also on the worker pool: bucket b
 	// is the concatenation of every partition's local[p][b] in source order.
 	buckets := make([][]Pair[K, V], numParts)
-	err = d.eng.runTasks(ctx, numParts, func(b int) error {
+	err = d.eng.runTasks(ctx, d.name+":shuffle-merge", numParts, func(_ context.Context, b int) error {
 		size := 0
 		for p := range local {
 			size += len(local[p][b])
@@ -71,7 +74,56 @@ type shuffled[K comparable, V any] struct {
 }
 
 func (s *shuffled[K, V]) get(ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
-	return s.memo.get(func() ([][]Pair[K, V], error) { return shuffle(ctx, d, numParts) })
+	return s.memo.get(func() ([][]Pair[K, V], error) { return shuffleWithRetry(ctx, d, numParts) })
+}
+
+// shuffleWithRetry materializes a shuffle under the engine's RetryPolicy.
+// The chaos injector may fail a materialization attempt transiently before
+// any data moves (a lost fetch from a remote shuffle service); such attempts
+// are retried with backoff, drawing on the per-materialization retry budget.
+// A shuffle whose own tasks exhausted their attempts (ErrTaskFailed) is
+// terminal — its tasks already ran, and re-running them would break the
+// engine's fault-invariant metrics accounting.
+func shuffleWithRetry[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+	eng := d.eng
+	inj := eng.inj.Load()
+	site := d.name + ":shuffle"
+	maxAttempts := eng.policy.Attempts()
+	budget := eng.policy.NewBudget()
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 1 {
+			if !budget.Take() {
+				return nil, fmt.Errorf("%w: %s: retry budget exhausted after %d attempts: %w",
+					ErrTaskFailed, site, attempt-1, lastErr)
+			}
+			eng.metrics.ShuffleRetries.Add(1)
+			if wait := eng.policy.Backoff(site, 0, attempt-1); wait > 0 {
+				eng.metrics.BackoffNanos.Add(int64(wait))
+				if !sleepCtx(ctx, wait) {
+					return nil, ctx.Err()
+				}
+			}
+		}
+		if inj.ShuffleError(site, attempt) {
+			lastErr = fmt.Errorf("%w: %s: shuffle attempt %d", chaos.ErrInjected, site, attempt)
+			continue
+		}
+		out, err := shuffle(ctx, d, numParts)
+		if err == nil {
+			return out, nil
+		}
+		if errors.Is(err, chaos.ErrInjected) && !errors.Is(err, ErrTaskFailed) {
+			lastErr = err
+			continue
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: %s: gave up after %d attempts: %w",
+		ErrTaskFailed, site, maxAttempts, lastErr)
 }
 
 // joinContexts combines a construction-time bound context with the

@@ -57,8 +57,8 @@ func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
 		return nil, nil
 	}
 	partTops := make([][]T, d.numParts)
-	err := d.eng.runTasks(context.Background(), d.numParts, func(p int) error {
-		part, err := d.partition(context.Background(), p)
+	err := d.eng.runTasks(context.Background(), d.name+":top", d.numParts, func(tctx context.Context, p int) error {
+		part, err := d.partition(tctx, p)
 		if err != nil {
 			return err
 		}
