@@ -1,0 +1,134 @@
+// Command upa-vet runs UPA's invariant analyzers (reducerpurity,
+// ctxpropagation, epsiloncharge, seededdeterminism) over the module.
+//
+// Standalone mode — the primary interface — checks the module rooted at the
+// given directory (default ".") and exits 1 if any diagnostic survives
+// //upa:allow suppression:
+//
+//	go build -o upa-vet ./cmd/upa-vet && ./upa-vet ./...
+//
+// The binary also speaks enough of the vet driver protocol (-V=full and
+// per-package *.cfg arguments) to be passed as go vet -vettool=$(pwd)/upa-vet;
+// in that mode each package unit named by the cfg is checked individually.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"upa/internal/analyzers/analysis"
+	"upa/internal/analyzers/upavet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Vet driver protocol probes, sent before any package unit:
+	// `-flags` wants a JSON description of tool flags, `-V=full` a stable
+	// version line the driver folds into its cache key.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return 0
+		case strings.HasPrefix(args[0], "-V"):
+			// The driver folds this whole line into its action cache key;
+			// "devel" has special parsing rules, so use a release shape.
+			fmt.Println("upa-vet version v0.1.0")
+			return 0
+		}
+	}
+	fs := flag.NewFlagSet("upa-vet", flag.ContinueOnError)
+	raw := fs.Bool("raw", false, "disable //upa:allow suppression (report every finding)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0])
+	}
+	return runStandalone(rest, *raw)
+}
+
+// runStandalone checks the whole module rooted at the argument directory.
+// "./..." and "." both mean the current module; any other argument is taken
+// as the module root.
+func runStandalone(args []string, raw bool) int {
+	root := "."
+	if len(args) > 0 && args[0] != "./..." && args[0] != "." {
+		root = strings.TrimSuffix(args[0], "/...")
+	}
+	check := upavet.CheckModule
+	if raw {
+		check = upavet.CheckModuleRaw
+	}
+	diags, src, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upa-vet:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	src.Print(os.Stderr, diags)
+	return 1
+}
+
+// vetConfig is the subset of the vet driver's per-package JSON config that
+// upa-vet consumes.
+type vetConfig struct {
+	ImportPath string
+	GoFiles    []string
+	VetxOutput string
+}
+
+// runVetUnit handles one `go vet -vettool=` invocation: load the package
+// unit named by the cfg, analyze it, write the (empty) facts file the driver
+// expects, and report findings on stderr.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upa-vet:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "upa-vet: parsing", cfgPath+":", err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "upa-vet:", err)
+			return 2
+		}
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	pkg, err := analysis.LoadDir(fset, filepath.Dir(cfg.GoFiles[0]), cfg.ImportPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upa-vet:", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, upavet.Analyzers(), true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "upa-vet:", err)
+		return 2
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot is cmd/upa-vet -> repo root.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestStandaloneCleanModule(t *testing.T) {
+	if code := run([]string{moduleRoot(t)}); code != 0 {
+		t.Fatalf("run(module root) = %d, want 0 (repo must be upa-vet clean)", code)
+	}
+}
+
+func TestStandaloneRawReportsAnnotatedSites(t *testing.T) {
+	if code := run([]string{"-raw", moduleRoot(t)}); code != 1 {
+		t.Fatalf("run(-raw, module root) = %d, want 1 (annotated sites must fire without suppression)", code)
+	}
+}
+
+func TestDriverProbes(t *testing.T) {
+	if code := run([]string{"-flags"}); code != 0 {
+		t.Fatalf("run(-flags) = %d, want 0", code)
+	}
+	if code := run([]string{"-V=full"}); code != 0 {
+		t.Fatalf("run(-V=full) = %d, want 0", code)
+	}
+}
+
+// TestVetUnit exercises the go vet driver path: a per-package cfg naming a
+// violating file must produce findings, exit 1, and write the facts file.
+func TestVetUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(src, []byte(`package sub
+
+import "context"
+
+func f() context.Context { return context.Background() }
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg, err := json.Marshal(map[string]any{
+		"ImportPath": "probe/internal/sub",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, cfg, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{cfgPath}); code != 1 {
+		t.Fatalf("run(cfg with violation) = %d, want 1", code)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+
+	// The same unit under a non-internal import path is clean.
+	cfg2, _ := json.Marshal(map[string]any{
+		"ImportPath": "probe/sub",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	})
+	cfgPath2 := filepath.Join(dir, "vet2.cfg")
+	if err := os.WriteFile(cfgPath2, cfg2, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{cfgPath2}); code != 0 {
+		t.Fatalf("run(cfg without violation) = %d, want 0", code)
+	}
+}

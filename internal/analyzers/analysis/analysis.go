@@ -1,0 +1,151 @@
+// Package analysis is a small, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check, a Pass
+// hands it one parsed and (tolerantly) type-checked package, and Report
+// collects position-tagged diagnostics.
+//
+// It exists because UPA's invariants — reducer purity, context propagation,
+// ε-ledger discipline, seeded determinism — need a mechanical vet gate, and
+// this repository builds offline with the standard library only. The API
+// deliberately mirrors go/analysis so the analyzers port to the real
+// framework by changing one import if x/tools ever becomes available.
+//
+// Type information is best-effort: packages are checked with stubbed-out
+// imports (see load.go), so objects from other packages are unresolved while
+// everything declared locally — scopes, local variables, the binding of an
+// identifier to an import — is exact. The four UPA analyzers only need the
+// latter.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named, documented check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //upa:allow(<name>) suppression comments.
+	Name string
+	// Doc is the one-paragraph description shown by upa-vet's usage text.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Pos locates the finding; resolve it with the pass's FileSet.
+	Pos token.Pos
+	// Message describes the violation and, where possible, the fix.
+	Message string
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test files, with comments.
+	Files []*ast.File
+	// PkgPath is the package's import path (e.g. "upa/internal/mapreduce").
+	PkgPath string
+	// TypesInfo holds the tolerant type-check results. Uses and Defs are
+	// exact for locally declared objects and for import bindings; objects
+	// imported from other packages are generally unresolved.
+	TypesInfo *types.Info
+	// Report records one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience wrapper for Report.
+func (p *Pass) Reportf(pos token.Pos, msg string) {
+	p.Report(Diagnostic{Analyzer: p.Analyzer.Name, Pos: pos, Message: msg})
+}
+
+// ImportPathOf resolves ident to the import path of the package it names,
+// or "" when the identifier is not a package qualifier (e.g. it is a local
+// variable shadowing the import). This is the shadow-proof way to decide
+// whether `rand.Intn` really means the global math/rand.
+func (p *Pass) ImportPathOf(ident *ast.Ident) string {
+	if obj, ok := p.TypesInfo.Uses[ident]; ok {
+		if pkg, ok := obj.(*types.PkgName); ok {
+			return pkg.Imported().Path()
+		}
+		return ""
+	}
+	return ""
+}
+
+// CalleePkgFunc resolves a call of the form pkg.Fn(...) to its package
+// import path and function name. It returns ok=false for method calls,
+// locally defined functions, and shadowed qualifiers.
+func (p *Pass) CalleePkgFunc(call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	path = p.ImportPathOf(ident)
+	if path == "" {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by position. When suppress is true,
+// //upa:allow(<analyzer>) comments filter matching diagnostics: an
+// annotation with a justification silences the finding on its own line or
+// the line directly below; an annotation without a justification is itself
+// reported. When suppress is false every raw finding is returned — the
+// repo-wide tests use this to prove the in-tree annotations are load-bearing.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, suppress bool) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runOnPackage(pkg, analyzers, suppress)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// runOnPackage applies the analyzers to one package, handling suppression.
+func runOnPackage(pkg *Package, analyzers []*Analyzer, suppress bool) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			PkgPath:   pkg.Path,
+			TypesInfo: pkg.Info,
+			Report:    func(d Diagnostic) { raw = append(raw, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	if !suppress {
+		sortDiagnostics(raw)
+		return raw, nil
+	}
+	return applySuppressions(pkg, raw), nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Pos != ds[j].Pos {
+			return ds[i].Pos < ds[j].Pos
+		}
+		return ds[i].Analyzer < ds[j].Analyzer
+	})
+}

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HasContextParam reports whether the function type declares a parameter of
+// type context.Context. The check resolves the `context` qualifier through
+// the type info, so a local variable shadowing the import does not count.
+func (p *Pass) HasContextParam(ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if p.ImportPathOf(ident) == "context" {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncTypeOf returns the signature of a function declaration or literal
+// node, or nil.
+func FuncTypeOf(n ast.Node) *ast.FuncType {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Type
+	case *ast.FuncLit:
+		return fn.Type
+	}
+	return nil
+}
+
+// RootIdent walks down an assignable expression (x, x.f, x[i], *x, and
+// combinations) to the identifier at its base, or nil when the base is not
+// an identifier (e.g. a function call result).
+func RootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// ObjectOf resolves an identifier to its object via Uses or Defs.
+func (p *Pass) ObjectOf(ident *ast.Ident) types.Object {
+	if obj, ok := p.TypesInfo.Uses[ident]; ok {
+		return obj
+	}
+	if obj, ok := p.TypesInfo.Defs[ident]; ok {
+		return obj
+	}
+	return nil
+}
+
+// DeclaredWithin reports whether the object ident refers to was declared
+// inside node's source range — e.g. whether a variable assigned in a
+// function literal is one of the literal's own locals or parameters rather
+// than a captured outer variable. Unresolved identifiers (stub imports)
+// report false.
+func (p *Pass) DeclaredWithin(ident *ast.Ident, node ast.Node) bool {
+	obj := p.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// IsMapType reports whether expr's type is (or is inferred to be) a map.
+// Types imported from stubbed packages are unresolved and report false.
+func (p *Pass) IsMapType(expr ast.Expr) bool {
+	tv, ok := p.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	type hasUnderlying interface{ Underlying() types.Type }
+	t := tv.Type
+	// Resolve through named types and type parameters' core types.
+	if tp, ok := t.(*types.TypeParam); ok {
+		if core := tp.Constraint(); core != nil {
+			return false // conservatively: a type parameter is never "a map"
+		}
+	}
+	if u, ok := t.(hasUnderlying); ok {
+		_, isMap := u.Underlying().(*types.Map)
+		return isMap
+	}
+	return false
+}

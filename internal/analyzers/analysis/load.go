@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, tolerantly type-checked package.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the files were read from.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Info holds the tolerant type-check results (see Pass.TypesInfo).
+	Info *types.Info
+}
+
+// stubImporter satisfies types.Importer without reading anything from disk:
+// every import resolves to an empty, complete package whose name is guessed
+// from the import path. Selector lookups into these stubs fail (the errors
+// are swallowed by the tolerant type-check), but the binding of a file's
+// import identifier to its path — all the UPA analyzers need — is exact.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (s *stubImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := s.pkgs[path]; ok {
+		return pkg, nil
+	}
+	pkg := types.NewPackage(path, guessPackageName(path))
+	pkg.MarkComplete()
+	s.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// guessPackageName derives a package name from an import path. The last
+// path element is right for every package this repository imports; version
+// suffixes and go- prefixes are normalized for robustness.
+func guessPackageName(path string) string {
+	name := path
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.LastIndex(name, "."); i >= 0 { // gopkg.in/yaml.v2 style
+		name = name[:i]
+	}
+	name = strings.TrimPrefix(name, "go-")
+	if name == "" {
+		return "pkg"
+	}
+	return name
+}
+
+// LoadDir parses and tolerantly type-checks the non-test Go files of a
+// single directory as the package importPath. Files that fail to parse are
+// an error; type-check errors are expected (imports are stubs) and ignored.
+func LoadDir(fset *token.FileSet, dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:  make(map[ast.Expr]types.TypeAndValue),
+		Defs:   make(map[*ast.Ident]types.Object),
+		Uses:   make(map[*ast.Ident]types.Object),
+		Scopes: make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:    &stubImporter{pkgs: make(map[string]*types.Package)},
+		Error:       func(error) {}, // tolerant: stub imports guarantee errors
+		FakeImportC: true,
+	}
+	// The returned error only repeats what Error already swallowed.
+	conf.Check(importPath, fset, files, info) //nolint:errcheck
+	return &Package{Path: importPath, Dir: dir, Fset: fset, Files: files, Info: info}, nil
+}
+
+// ModulePath reads the module path from root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+}
+
+// LoadModule loads every package under the module rooted at root, skipping
+// hidden directories and testdata trees (which hold intentionally violating
+// golden packages). The result is sorted by import path.
+func LoadModule(root string) ([]*Package, error) {
+	return LoadModuleDirs(root, root)
+}
+
+// LoadModuleDirs loads the packages under each of dirs (which must live
+// inside the module rooted at root). Import paths are derived from the
+// module path and the directory's location relative to root.
+func LoadModuleDirs(root string, dirs ...string) ([]*Package, error) {
+	modPath, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		absDir, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		err = filepath.WalkDir(absDir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != absDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if seen[path] {
+				return nil
+			}
+			seen[path] = true
+			rel, err := filepath.Rel(absRoot, path)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				return fmt.Errorf("analysis: %s is outside module root %s", path, absRoot)
+			}
+			importPath := modPath
+			if rel != "." {
+				importPath = modPath + "/" + filepath.ToSlash(rel)
+			}
+			pkg, err := LoadDir(fset, path, importPath)
+			if err != nil {
+				return err
+			}
+			if pkg != nil {
+				pkgs = append(pkgs, pkg)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// allowRE matches one //upa:allow(<analyzer>) annotation. The justification
+// is everything after the closing parenthesis up to the next comment marker
+// (so trailing test-harness markers such as "// want ..." never count as a
+// justification).
+var allowRE = regexp.MustCompile(`//upa:allow\(([a-zA-Z0-9_-]+)\)(.*)$`)
+
+// allowance is one parsed //upa:allow annotation.
+type allowance struct {
+	analyzer      string
+	justification string
+	pos           token.Pos
+	line          int
+}
+
+// parseAllowances extracts every //upa:allow annotation from the package's
+// comments, keyed by (file, line).
+func parseAllowances(pkg *Package) []allowance {
+	var out []allowance
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				just := m[2]
+				if i := strings.Index(just, "//"); i >= 0 {
+					just = just[:i]
+				}
+				out = append(out, allowance{
+					analyzer:      m[1],
+					justification: strings.TrimSpace(just),
+					pos:           c.Pos(),
+					line:          pkg.Fset.Position(c.Pos()).Line,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters diagnostics through the package's //upa:allow
+// annotations. An annotation for analyzer A suppresses A's diagnostics on
+// the annotation's own line and on the line directly below it (the
+// standalone-comment-above-the-statement form). Annotations without a
+// justification suppress nothing and are themselves reported: the whole
+// point of the escape hatch is that every exemption explains itself.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowances := parseAllowances(pkg)
+	justified := make(map[string]bool) // "analyzer:line" -> suppress
+	var out []Diagnostic
+	for _, a := range allowances {
+		if a.justification == "" {
+			out = append(out, Diagnostic{
+				Analyzer: a.analyzer,
+				Pos:      a.pos,
+				Message:  fmt.Sprintf("upa:allow(%s) requires a justification after the closing parenthesis", a.analyzer),
+			})
+			continue
+		}
+		justified[fmt.Sprintf("%s:%d", a.analyzer, a.line)] = true
+		justified[fmt.Sprintf("%s:%d", a.analyzer, a.line+1)] = true
+	}
+	for _, d := range diags {
+		line := pkg.Fset.Position(d.Pos).Line
+		if justified[fmt.Sprintf("%s:%d", d.Analyzer, line)] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// EnclosingFuncs returns the stack of function declarations and literals
+// enclosing pos in f, outermost first. Analyzers use it to answer "is there
+// a context.Context parameter in scope here?".
+func EnclosingFuncs(f *ast.File, pos token.Pos) []ast.Node {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			// Prune subtrees that cannot contain pos, but keep walking the
+			// file's other top-level declarations.
+			_, isFile := n.(*ast.File)
+			return isFile
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			stack = append(stack, n)
+		}
+		return true
+	})
+	return stack
+}

@@ -1,0 +1,165 @@
+// Package analyzertest is a stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer over a
+// golden package in a testdata tree and matches the diagnostics against
+// // want "regexp" comments placed on the offending lines.
+//
+// Matching semantics: every line carrying one or more `// want` patterns
+// must produce exactly that many diagnostics (in order, each matching its
+// pattern), and every diagnostic must land on a line that wants it.
+// //upa:allow suppressions are applied before matching, so golden packages
+// exercise the suppression machinery too.
+package analyzertest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"upa/internal/analyzers/analysis"
+)
+
+// wantRE captures the payload of a // want comment. Patterns are Go-quoted
+// or backquoted regular expressions, separated by spaces.
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads the golden package in dir as importPath, applies the analyzer
+// (with //upa:allow suppression active), and matches diagnostics against
+// the package's // want comments.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkg, err := analysis.LoadDir(fset, dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a}, true)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := parseWants(t, pkg)
+	got := make(map[string][]analysis.Diagnostic) // "file:line" -> diagnostics
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := locKey(pos.Filename, pos.Line)
+		got[key] = append(got[key], d)
+	}
+
+	for key, patterns := range wants {
+		ds := got[key]
+		if len(ds) != len(patterns) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %v", key, len(patterns), len(ds), messages(ds))
+			continue
+		}
+		for i, pat := range patterns {
+			if !pat.MatchString(ds[i].Message) {
+				t.Errorf("%s: diagnostic %q does not match want pattern %q", key, ds[i].Message, pat)
+			}
+		}
+	}
+	for key, ds := range got {
+		if _, ok := wants[key]; !ok {
+			t.Errorf("%s: unexpected diagnostic(s): %v", key, messages(ds))
+		}
+	}
+}
+
+func messages(ds []analysis.Diagnostic) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}
+
+func locKey(file string, line int) string {
+	return filepath.Base(file) + ":" + strconv.Itoa(line)
+}
+
+// parseWants extracts the expected-diagnostic patterns per line.
+func parseWants(t *testing.T, pkg *analysis.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	wants := make(map[string][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				key := locKey(pos.Filename, pos.Line)
+				wants[key] = append(wants[key], patterns...)
+			}
+		}
+	}
+	return wants
+}
+
+// parsePatterns splits `"re1" "re2"` (double- or backquoted) into compiled
+// regexps.
+func parsePatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var raw string
+		var err error
+		switch s[0] {
+		case '"':
+			end := matchingQuote(s)
+			if end < 0 {
+				return nil, errUnterminated(s)
+			}
+			raw, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, errUnterminated(s)
+			}
+			raw = s[1 : end+1]
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return nil, errUnterminated(s)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}
+
+// matchingQuote returns the index of the closing double quote of the
+// leading Go string literal, honouring backslash escapes.
+func matchingQuote(s string) int {
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+type errUnterminated string
+
+func (e errUnterminated) Error() string {
+	return "unterminated or malformed pattern near " + strconv.Quote(string(e))
+}

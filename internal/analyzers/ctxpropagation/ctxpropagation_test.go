@@ -1,0 +1,19 @@
+package ctxpropagation_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"upa/internal/analyzers/analyzertest"
+	"upa/internal/analyzers/ctxpropagation"
+)
+
+func TestCtxPropagationInternal(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "ctxpropagation")
+	analyzertest.Run(t, dir, "upa/internal/fake", ctxpropagation.Analyzer)
+}
+
+func TestCtxPropagationExternal(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "ctxpropagation_ext")
+	analyzertest.Run(t, dir, "example.com/ext", ctxpropagation.Analyzer)
+}

@@ -1,0 +1,134 @@
+// Package epsiloncharge polices the ε ledger. UPA's privacy accounting
+// (System.EpsilonSpent) is only meaningful if the ledger is charged exactly
+// once per successful release: charging twice over-reports spend, and a
+// release path that returns success without charging silently leaks budget —
+// the DP-deployment drift Garrido et al. document. The analyzer pins the
+// write surface down to one blessed site:
+//
+//   - the raw accumulator (epsilonSpentBits) may be touched only by the
+//     System.chargeEpsilon / System.EpsilonSpent accessors;
+//   - chargeEpsilon may be called only from the release entry point RunCtx;
+//   - inside the charging function, no success return (`return x, nil` with
+//     a non-nil result) may occur before the charge.
+package epsiloncharge
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"upa/internal/analyzers/analysis"
+)
+
+// Analyzer is the epsiloncharge analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "epsiloncharge",
+	Doc: "restricts ε-ledger writes (epsilonSpentBits / chargeEpsilon) to the " +
+		"blessed release site and flags release paths that can return success " +
+		"before charging",
+	Run: run,
+}
+
+const (
+	ledgerField  = "epsilonSpentBits"
+	chargeHelper = "chargeEpsilon"
+	readAccessor = "EpsilonSpent"
+	blessedSite  = "RunCtx"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLedgerAccess(pass, fn)
+			checkChargeCalls(pass, fn)
+		}
+	}
+	return nil
+}
+
+// checkLedgerAccess flags any mention of the raw accumulator outside the
+// two accessors (and the struct definition itself, which is not a FuncDecl).
+func checkLedgerAccess(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Name.Name == chargeHelper || fn.Name.Name == readAccessor {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == ledgerField {
+			pass.Reportf(sel.Pos(), fmt.Sprintf(
+				"direct access to the ε ledger (%s) outside %s/%s; all ledger traffic must flow through the accessors so charging stays exactly-once",
+				ledgerField, chargeHelper, readAccessor))
+		}
+		return true
+	})
+}
+
+// checkChargeCalls enforces that chargeEpsilon is called only from the
+// blessed release site, and that within the charging function no success
+// return precedes the charge.
+func checkChargeCalls(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var chargePos token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != chargeHelper {
+			return true
+		}
+		if fn.Name.Name == chargeHelper {
+			return true // the helper's own recursive structure, if any
+		}
+		if fn.Name.Name != blessedSite {
+			pass.Reportf(call.Pos(), fmt.Sprintf(
+				"%s called outside the blessed release site %s; a second charge site makes ε accounting path-dependent", chargeHelper, blessedSite))
+			return true
+		}
+		if chargePos == token.NoPos {
+			chargePos = call.Pos()
+		} else {
+			pass.Reportf(call.Pos(), fmt.Sprintf(
+				"%s charges the ledger more than once; releases must charge exactly once", blessedSite))
+		}
+		return true
+	})
+	if chargePos == token.NoPos {
+		return
+	}
+	// Success returns before the charge: `return x, nil` with non-nil x.
+	// Nested function literals (stage bodies, commit closures) return to
+	// their own callers, not out of the release path, so don't descend.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() >= chargePos {
+			return true
+		}
+		if isSuccessReturn(ret) {
+			pass.Reportf(ret.Pos(), fmt.Sprintf(
+				"release path returns success before %s charges the ledger; a successful release must always be charged", chargeHelper))
+		}
+		return true
+	})
+}
+
+// isSuccessReturn matches `return <non-nil>, nil` — the (result, error)
+// success shape. Single-value and bare returns are not release successes.
+func isSuccessReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) != 2 {
+		return false
+	}
+	first, last := ret.Results[0], ret.Results[1]
+	if ident, ok := first.(*ast.Ident); ok && ident.Name == "nil" {
+		return false
+	}
+	ident, ok := last.(*ast.Ident)
+	return ok && ident.Name == "nil"
+}

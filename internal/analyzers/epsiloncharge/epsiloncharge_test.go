@@ -1,0 +1,14 @@
+package epsiloncharge_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"upa/internal/analyzers/analyzertest"
+	"upa/internal/analyzers/epsiloncharge"
+)
+
+func TestEpsilonChargeGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "epsiloncharge")
+	analyzertest.Run(t, dir, "upa/internal/fake", epsiloncharge.Analyzer)
+}

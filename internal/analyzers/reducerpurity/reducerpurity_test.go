@@ -1,0 +1,14 @@
+package reducerpurity_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"upa/internal/analyzers/analyzertest"
+	"upa/internal/analyzers/reducerpurity"
+)
+
+func TestReducerPurityGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "reducerpurity")
+	analyzertest.Run(t, dir, "upa/internal/fake", reducerpurity.Analyzer)
+}

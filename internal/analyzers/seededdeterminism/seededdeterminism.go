@@ -1,0 +1,101 @@
+// Package seededdeterminism bans ambient nondeterminism — time.Now (and
+// Since/Until) and the global math/rand — from the packages whose outputs
+// must be byte-identical across runs and fault schedules: the engine, the
+// chaos injector, the jobgraph scheduler, the stats substrate, and the
+// benchmark/example drivers that assert reproducibility. The chaos soak
+// (PR 3) proves faulted re-execution changes nothing; that proof is void if
+// any hot path consults the wall clock or an unseeded RNG. Determinism-
+// critical code uses the seeded *stats.RNG (splittable, auditable) and the
+// jobgraph's injectable clock instead. Wall-clock measurements that are
+// genuinely about elapsed time (bench harnesses) carry a justified
+// //upa:allow(seededdeterminism) annotation.
+package seededdeterminism
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"upa/internal/analyzers/analysis"
+)
+
+// Analyzer is the seededdeterminism analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededdeterminism",
+	Doc: "bans time.Now/Since/Until and global math/rand in determinism-critical " +
+		"packages; use the seeded internal/stats RNG or an injected clock",
+	Run: run,
+}
+
+// CriticalPrefixes lists the determinism-critical package paths. A package
+// is covered when its import path equals a prefix or lives below it. The
+// list is exported so the repo-wide vet test and cmd/upa-vet share one
+// source of truth.
+var CriticalPrefixes = []string{
+	"upa/internal/mapreduce",
+	"upa/internal/chaos",
+	"upa/internal/jobgraph",
+	"upa/internal/stats",
+	"upa/internal/bench",
+	"upa/examples",
+}
+
+// timeBanned are the time package members whose results differ run to run.
+// Timers and durations are fine — scheduling may sleep, it may not decide.
+var timeBanned = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// rngConstructors are math/rand members that build a local, seedable
+// generator; only the package-level global source is banned.
+var rngConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
+
+// Covered reports whether pkgPath is determinism-critical.
+func Covered(pkgPath string) bool {
+	for _, prefix := range CriticalPrefixes {
+		if pkgPath == prefix || strings.HasPrefix(pkgPath, prefix+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !Covered(pass.PkgPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch path := pass.ImportPathOf(ident); path {
+			case "time":
+				if timeBanned[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), fmt.Sprintf(
+						"time.%s in determinism-critical package %s; inject a clock (jobgraph.WithClock) or derive timestamps from the seed", sel.Sel.Name, pass.PkgPath))
+				}
+			case "math/rand", "math/rand/v2":
+				if !rngConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(), fmt.Sprintf(
+						"global %s.%s in determinism-critical package %s; use the seeded *stats.RNG (internal/stats) so runs are reproducible", pkgBase(path), sel.Sel.Name, pass.PkgPath))
+				}
+			case "crypto/rand":
+				pass.Reportf(sel.Pos(), fmt.Sprintf(
+					"crypto/rand.%s in determinism-critical package %s; cryptographic randomness is never reproducible — use the seeded *stats.RNG", sel.Sel.Name, pass.PkgPath))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

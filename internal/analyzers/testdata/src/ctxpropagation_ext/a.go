@@ -1,0 +1,19 @@
+// Package ctxpropagation_ext is golden-test input loaded under an external
+// (non-internal) import path: context.Background() is allowed at the public
+// boundary, but ignoring an in-scope context is still a violation.
+package ctxpropagation_ext
+
+import "context"
+
+type Dataset struct{}
+
+func (d *Dataset) Collect() ([]int, error)                       { return nil, nil }
+func (d *Dataset) CollectCtx(ctx context.Context) ([]int, error) { return nil, nil }
+
+func boundary(d *Dataset) ([]int, error) {
+	return d.CollectCtx(context.Background()) // external package: fine
+}
+
+func stillWrong(ctx context.Context, d *Dataset) ([]int, error) {
+	return d.Collect() // want `call to Collect ignores the context.Context ctx`
+}

@@ -1,0 +1,85 @@
+// Package epsiloncharge is golden-test input for the ε-ledger analyzer. It
+// mirrors internal/core's shape: a System with a raw atomic ledger, two
+// blessed accessors, and a RunCtx release site.
+package epsiloncharge
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+)
+
+type Result struct{ Output []float64 }
+
+type System struct {
+	epsilonSpentBits atomic.Uint64
+}
+
+// The accessors are the only code allowed to touch the raw ledger.
+func (s *System) chargeEpsilon(eps float64) {
+	for {
+		old := s.epsilonSpentBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + eps)
+		if s.epsilonSpentBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (s *System) EpsilonSpent() float64 {
+	return math.Float64frombits(s.epsilonSpentBits.Load())
+}
+
+// resetLedger bypasses the accessors: forbidden even inside the package.
+func (s *System) resetLedger() {
+	s.epsilonSpentBits.Store(0) // want `direct access to the ε ledger \(epsilonSpentBits\) outside chargeEpsilon/EpsilonSpent`
+}
+
+// RunCtx is the blessed release site: error paths may return early, but the
+// success return must come after the charge.
+func RunCtx(ctx context.Context, s *System, eps float64) (*Result, error) {
+	if eps <= 0 {
+		return nil, errors.New("bad epsilon") // error return before charge: fine
+	}
+	res := &Result{Output: []float64{eps}}
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// A nested closure's (commit, nil) return is not a release-path success.
+	stage := func() (func(), error) {
+		return func() { res.Output = append(res.Output, eps) }, nil
+	}
+	if commit, err := stage(); err == nil {
+		commit()
+	}
+	s.chargeEpsilon(eps)
+	return res, nil
+}
+
+// runLeaky charges from a site that is not the release entry point.
+func runLeaky(s *System, eps float64) (*Result, error) {
+	res := &Result{}
+	s.chargeEpsilon(eps) // want `chargeEpsilon called outside the blessed release site RunCtx`
+	return res, nil
+}
+
+// Broken carries a RunCtx whose control flow violates exactly-once charging:
+// a success return is reachable before the charge, and the happy path
+// charges twice.
+type Broken struct{}
+
+func (b *Broken) RunCtx(s *System, eps float64) (*Result, error) {
+	res := &Result{}
+	if eps == 0 {
+		return res, nil // want `release path returns success before chargeEpsilon charges the ledger`
+	}
+	s.chargeEpsilon(eps)
+	s.chargeEpsilon(eps) // want `charges the ledger more than once`
+	return res, nil
+}
+
+// suppressed: an experiment harness may reset spend with justification.
+func (s *System) resetForExperiment() {
+	s.epsilonSpentBits.Store(0) //upa:allow(epsiloncharge) experiment-only ledger reset; never reached from release paths
+}

@@ -1,0 +1,57 @@
+// Package seededdeterminism is golden-test input for the seededdeterminism
+// analyzer, loaded under a determinism-critical import path
+// ("upa/internal/mapreduce/fake"). The same file is also loaded under a
+// non-critical path, where every diagnostic must vanish.
+package seededdeterminism
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+// wallClock consults ambient time: banned in critical packages.
+func wallClock() int64 {
+	t := time.Now() // want `time.Now in determinism-critical package`
+	return t.UnixNano()
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in determinism-critical package`
+}
+
+// durations and timers decide nothing: fine.
+func pause() {
+	timer := time.NewTimer(10 * time.Millisecond)
+	<-timer.C
+}
+
+// globalRand draws from the shared, unseeded source: banned.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `global rand.Intn in determinism-critical package`
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle`
+}
+
+// seededLocal builds a local generator from an explicit seed: fine.
+func seededLocal(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// cryptoRand is never reproducible, constructor or not.
+func cryptoRand(buf []byte) {
+	_, _ = crand.Read(buf) // want `crypto/rand.Read in determinism-critical package`
+}
+
+// annotated wall-clock measurement: a bench harness genuinely measuring
+// elapsed time suppresses with justification.
+func measured() time.Duration {
+	start := time.Now() //upa:allow(seededdeterminism) wall-clock measurement of real elapsed time, not a scheduling decision
+	work()
+	return time.Since(start) // want `time.Since in determinism-critical package`
+}
+
+func work() {}

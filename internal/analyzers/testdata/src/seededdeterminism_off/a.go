@@ -1,0 +1,17 @@
+// Package seededdeterminism_off is golden-test input loaded under a
+// non-critical import path: the same ambient-nondeterminism patterns that
+// fire under internal/mapreduce must produce zero diagnostics here.
+package seededdeterminism_off
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano()
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,82 @@
+// Package upavet bundles UPA's four invariant analyzers into one suite —
+// the programmatic core of cmd/upa-vet and of the repo-wide cleanliness
+// test. Each analyzer mechanically enforces an assumption the paper's
+// guarantee rests on but the compiler never checks:
+//
+//	reducerpurity      R(M(S')) reuse needs commutative/associative reducers
+//	ctxpropagation     cancellation must reach every stage (PR 2)
+//	epsiloncharge      ε is charged exactly once per successful release
+//	seededdeterminism  byte-identical replay under faults (PR 3 chaos soak)
+package upavet
+
+import (
+	"fmt"
+	"io"
+
+	"upa/internal/analyzers/analysis"
+	"upa/internal/analyzers/ctxpropagation"
+	"upa/internal/analyzers/epsiloncharge"
+	"upa/internal/analyzers/reducerpurity"
+	"upa/internal/analyzers/seededdeterminism"
+)
+
+// Analyzers is the full suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxpropagation.Analyzer,
+		epsiloncharge.Analyzer,
+		reducerpurity.Analyzer,
+		seededdeterminism.Analyzer,
+	}
+}
+
+// CheckModule loads every package of the module rooted at root and runs the
+// suite with //upa:allow suppression active.
+func CheckModule(root string) ([]analysis.Diagnostic, *FsetSource, error) {
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, Analyzers(), true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, fsetOf(pkgs), nil
+}
+
+// CheckModuleRaw is CheckModule without suppression: every finding the
+// analyzers can make, including the annotated ones. The repo-wide test uses
+// it to prove each in-tree //upa:allow is still load-bearing.
+func CheckModuleRaw(root string) ([]analysis.Diagnostic, *FsetSource, error) {
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, Analyzers(), false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return diags, fsetOf(pkgs), nil
+}
+
+// FsetSource resolves diagnostic positions; all packages of one load share
+// one file set.
+type FsetSource struct{ pkgs []*analysis.Package }
+
+func fsetOf(pkgs []*analysis.Package) *FsetSource { return &FsetSource{pkgs: pkgs} }
+
+// Format renders one diagnostic as "file:line:col: analyzer: message".
+func (fs *FsetSource) Format(d analysis.Diagnostic) string {
+	if len(fs.pkgs) == 0 {
+		return fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	}
+	pos := fs.pkgs[0].Fset.Position(d.Pos)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+}
+
+// Print writes every diagnostic to w, one per line.
+func (fs *FsetSource) Print(w io.Writer, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintln(w, fs.Format(d))
+	}
+}

@@ -77,12 +77,12 @@ func Ablations(cfg Config) (*AblationReport, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
+			start := time.Now() //upa:allow(seededdeterminism) wall-clock measurement of real elapsed time, not a scheduling decision
 			res, err := core.Run(sys, sumQuery, data, nil)
 			if err != nil {
 				return nil, err
 			}
-			elapsed := time.Since(start)
+			elapsed := time.Since(start) //upa:allow(seededdeterminism) wall-clock measurement of real elapsed time, not a scheduling decision
 			if scratch {
 				row.ScratchOps, row.ScratchTime = res.EngineDelta.ReduceOps, elapsed
 			} else {

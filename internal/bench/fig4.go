@@ -101,12 +101,12 @@ func Fig4b(cfg Config, sampleSizes []int) ([]SampleSizeRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			start := time.Now()
+			start := time.Now() //upa:allow(seededdeterminism) wall-clock measurement of real elapsed time, not a scheduling decision
 			res, err := r.RunUPA(sys)
 			if err != nil {
 				return nil, fmt.Errorf("bench: UPA(n=%d) on %s: %w", n, r.Name(), err)
 			}
-			elapsed := time.Since(start)
+			elapsed := time.Since(start) //upa:allow(seededdeterminism) wall-clock measurement of real elapsed time, not a scheduling decision
 			row.PerQuery = append(row.PerQuery, elapsed)
 			totalTime += elapsed
 			totalHitRate += res.EngineDelta.CacheHitRate()

@@ -55,6 +55,7 @@ const (
 // data must hold at least two records (UPA targets big-data inputs; the
 // RANGE ENFORCER needs two non-empty partitions).
 func Run[T any](sys *System, q Query[T], data []T, domain domainSampler[T]) (*Result, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return RunCtx(context.Background(), sys, q, data, domain)
 }
 

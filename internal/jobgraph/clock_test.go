@@ -1,0 +1,62 @@
+package jobgraph
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock hands out strictly increasing, fully deterministic instants.
+type fakeClock struct {
+	mu    sync.Mutex
+	ticks int64
+	base  time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ticks++
+	return c.base.Add(time.Duration(c.ticks) * time.Second)
+}
+
+func TestWithClockStampsSpans(t *testing.T) {
+	clock := &fakeClock{base: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+	g := New("clocked", WithClock(clock.Now)).
+		Stage("a", noop).
+		Stage("b", noop, "a")
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, s := range spans {
+		if !s.Start.After(clock.base) || !s.End.After(s.Start.Add(-time.Nanosecond)) {
+			t.Errorf("stage %q: span [%v, %v] not stamped by the injected clock", s.Stage, s.Start, s.End)
+		}
+		if s.Start.Nanosecond() != 0 || s.End.Nanosecond() != 0 {
+			t.Errorf("stage %q: span [%v, %v] carries wall-clock precision; expected whole fake ticks", s.Stage, s.Start, s.End)
+		}
+		if s.Duration()%time.Second != 0 {
+			t.Errorf("stage %q: duration %v is not a whole number of fake ticks", s.Stage, s.Duration())
+		}
+	}
+	// Dependent stage b starts only after a ends: its tick must be later.
+	if !spans[1].Start.After(spans[0].End.Add(-time.Nanosecond)) {
+		t.Errorf("stage b start %v precedes stage a end %v", spans[1].Start, spans[0].End)
+	}
+}
+
+func TestWithClockNilKeepsDefault(t *testing.T) {
+	g := New("defaulted", WithClock(nil)).Stage("a", noop)
+	if g.now == nil {
+		t.Fatal("WithClock(nil) cleared the default clock")
+	}
+	spans, err := g.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if spans[0].Start.IsZero() || spans[0].End.IsZero() {
+		t.Errorf("default clock left zero span times: %+v", spans[0])
+	}
+}

@@ -107,6 +107,7 @@ type Graph struct {
 	specAfter time.Duration
 	policy    chaos.RetryPolicy
 	inj       *chaos.Injector
+	now       func() time.Time
 	stages    []*stage
 	index     map[string]int
 	buildErr  error
@@ -150,10 +151,22 @@ func WithChaos(inj *chaos.Injector) Option {
 	return func(g *Graph) { g.inj = inj }
 }
 
+// WithClock injects the clock that stamps span Start/End times. Simulations
+// and tests pass a deterministic clock so span timelines are reproducible
+// byte for byte; nil keeps the default wall clock.
+func WithClock(now func() time.Time) Option {
+	return func(g *Graph) {
+		if now != nil {
+			g.now = now
+		}
+	}
+}
+
 // New builds an empty graph. The default slot count is 1; callers normally
 // pass WithSlots(engine.Workers()).
 func New(name string, opts ...Option) *Graph {
-	g := &Graph{name: name, slots: 1, policy: chaos.DefaultRetryPolicy(), index: make(map[string]int)}
+	//upa:allow(seededdeterminism) default span clock; deterministic runs override it via WithClock
+	g := &Graph{name: name, slots: 1, policy: chaos.DefaultRetryPolicy(), now: time.Now, index: make(map[string]int)}
 	for _, opt := range opts {
 		opt(g)
 	}

@@ -103,9 +103,9 @@ func (g *Graph) Run(ctx context.Context) ([]Span, error) {
 	start := func(i int) {
 		running++
 		go func() {
-			spans[i].Start = time.Now()
+			spans[i].Start = g.now()
 			err := g.runStage(runCtx, i, &spans[i], slots, budget)
-			spans[i].End = time.Now()
+			spans[i].End = g.now()
 			if err != nil {
 				spans[i].Err = err.Error()
 			}

@@ -147,6 +147,7 @@ func (d *Dataset[T]) materialize(ctx context.Context) error {
 // CollectPartitions materializes the dataset and returns its partitions. The
 // returned outer slice is fresh; inner slices must be treated as read-only.
 func (d *Dataset[T]) CollectPartitions() ([][]T, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return d.CollectPartitionsCtx(context.Background())
 }
 
@@ -173,6 +174,7 @@ func (d *Dataset[T]) CollectPartitionsCtx(ctx context.Context) ([][]T, error) {
 // Collect materializes the dataset and returns all records in partition
 // order.
 func (d *Dataset[T]) Collect() ([]T, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return d.CollectCtx(context.Background())
 }
 
@@ -195,6 +197,7 @@ func (d *Dataset[T]) CollectCtx(ctx context.Context) ([]T, error) {
 
 // Count returns the number of records.
 func (d *Dataset[T]) Count() (int, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return d.CountCtx(context.Background())
 }
 

@@ -19,6 +19,7 @@ type Reducer[T any] func(T, T) T
 // partition partials. Empty partitions are skipped; an entirely empty
 // dataset returns ErrEmptyDataset.
 func Reduce[T any](d *Dataset[T], f Reducer[T]) (T, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return ReduceCtx(context.Background(), d, f)
 }
 
@@ -54,6 +55,7 @@ func ReduceCtx[T any](ctx context.Context, d *Dataset[T], f Reducer[T]) (T, erro
 // ReduceByPar helper in Algorithms 1 and 2). It returns one partial per
 // partition plus a mask of which partitions were non-empty.
 func ReduceByPartition[T any](d *Dataset[T], f Reducer[T]) (partials []T, nonEmpty []bool, err error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return ReduceByPartitionCtx(context.Background(), d, f)
 }
 
@@ -89,6 +91,7 @@ func ReduceByPartitionCtx[T any](ctx context.Context, d *Dataset[T], f Reducer[T
 // the identity of combOp), and combOp merges the per-partition accumulators.
 // combOp must be commutative and associative.
 func Aggregate[T, U any](d *Dataset[T], zero U, seqOp func(U, T) U, combOp func(U, U) U) (U, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
 	return AggregateCtx(context.Background(), d, zero, seqOp, combOp)
 }
 

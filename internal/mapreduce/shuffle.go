@@ -131,6 +131,7 @@ func shuffleWithRetry[K comparable, V any](ctx context.Context, d *Dataset[Pair[
 // A nil or Background bound context adds nothing. The returned stop function
 // releases the watcher and must be called when the computation finishes.
 func joinContexts(bound, call context.Context) (context.Context, context.CancelFunc) {
+	//upa:allow(ctxpropagation) sentinel comparison against the Background singleton, not a new root context
 	if bound == nil || bound == context.Background() {
 		return call, func() {}
 	}

@@ -50,6 +50,13 @@ func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Datase
 // top action): a per-partition selection followed by a final merge, without
 // a full shuffle.
 func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
+	//upa:allow(ctxpropagation) public convenience wrapper: callers without a context land here
+	return TopCtx(context.Background(), d, k, less)
+}
+
+// TopCtx is Top under a caller-supplied context: cancellation aborts the
+// per-partition selection tasks.
+func TopCtx[T any](ctx context.Context, d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
 	if k < 0 {
 		return nil, fmt.Errorf("mapreduce: negative k %d", k)
 	}
@@ -57,7 +64,7 @@ func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
 		return nil, nil
 	}
 	partTops := make([][]T, d.numParts)
-	err := d.eng.runTasks(context.Background(), d.name+":top", d.numParts, func(tctx context.Context, p int) error {
+	err := d.eng.runTasks(ctx, d.name+":top", d.numParts, func(tctx context.Context, p int) error {
 		part, err := d.partition(tctx, p)
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -157,5 +159,29 @@ func TestTop(t *testing.T) {
 	}
 	if _, err := Top(d, -1, func(a, b int) bool { return a < b }); err == nil {
 		t.Fatal("negative k accepted")
+	}
+}
+
+// TestTopCtxCancellation is the regression test for Top severing the
+// cancellation chain: it used to mint context.Background() internally, so a
+// cancelled caller context could not abort the per-partition selection.
+func TestTopCtxCancellation(t *testing.T) {
+	eng := NewEngine()
+	d, err := FromSlice(eng, []int{4, 9, 1, 7, 3, 8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TopCtx(ctx, d, 3, func(a, b int) bool { return a < b }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopCtx with cancelled context = %v, want context.Canceled", err)
+	}
+	// A live context still produces the top-k.
+	got, err := TopCtx(context.Background(), d, 2, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 9 || got[1] != 8 {
+		t.Fatalf("TopCtx = %v, want [9 8]", got)
 	}
 }
