@@ -6,6 +6,7 @@
 //
 //	upa-query -query TPCH6
 //	upa-query -query KMeans -n 2000 -epsilon 0.5 -lineitems 50000
+//	upa-query -query TPCH4 -explain
 //	upa-query -list
 package main
 
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"upa/internal/bench"
@@ -22,6 +24,7 @@ import (
 	"upa/internal/lifesci"
 	"upa/internal/mapreduce"
 	"upa/internal/queries"
+	"upa/internal/sql"
 	"upa/internal/tpch"
 )
 
@@ -45,6 +48,7 @@ func run(args []string, out io.Writer) error {
 		epsilon    = fs.Float64("epsilon", 0.1, "privacy budget per release")
 		repeats    = fs.Int("repeat", 1, "release the query this many times through one session")
 		asJSON     = fs.Bool("json", false, "emit one machine-readable JSON object per release")
+		explain    = fs.Bool("explain", false, "print the query's raw and optimized relational plans and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,15 @@ func run(args []string, out io.Writer) error {
 	)
 	if err != nil {
 		return err
+	}
+	if *explain {
+		plan, err := queries.PlanByName(w.DB, strings.ToLower(*name))
+		if err != nil {
+			return fmt.Errorf("-explain: %w (only the relational-plan-backed TPC-H queries can be explained)", err)
+		}
+		fmt.Fprintf(out, "query: %s\n", *name)
+		fmt.Fprint(out, sql.Explain(plan))
+		return nil
 	}
 	r, err := w.ByName(*name)
 	if err != nil {

@@ -61,6 +61,7 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 		{filepath.Join("internal", "bench", "ablations.go"), "seededdeterminism"},
 		{filepath.Join("internal", "bench", "fig2b.go"), "seededdeterminism"},
 		{filepath.Join("internal", "bench", "fig4.go"), "seededdeterminism"},
+		{filepath.Join("internal", "bench", "optexp.go"), "seededdeterminism"},
 	}
 	for _, site := range wantSites {
 		found := false

@@ -112,6 +112,23 @@ func WriteShuffleCSV(w io.Writer, rows []ShuffleRow) error {
 	})
 }
 
+// WriteOptimizerCSV writes the plan-optimizer raw-vs-optimized rows.
+func WriteOptimizerCSV(w io.Writer, rows []OptimizerRow) error {
+	header := []string{"workload", "query", "lineitems", "raw_shuffled", "opt_shuffled",
+		"raw_mapped", "opt_mapped", "raw_cells", "opt_cells",
+		"shuffle_reduction", "map_reduction", "cell_reduction",
+		"raw_us", "opt_us", "rewrites"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{r.Workload, r.Query, itoa(r.Lineitems),
+			itoa64(r.RawShuffled), itoa64(r.OptShuffled),
+			itoa64(r.RawMapped), itoa64(r.OptMapped),
+			itoa64(r.RawCells), itoa64(r.OptCells),
+			ftoa(r.ShuffleReduction), ftoa(r.MapReduction), ftoa(r.CellReduction),
+			dtoa(r.RawTime), dtoa(r.OptTime), itoa(r.Rewrites)}
+	})
+}
+
 // WriteChaosCSV writes the chaos fault-rate × retry-policy sweep.
 func WriteChaosCSV(w io.Writer, rows []ChaosRow) error {
 	header := []string{"query", "fault_rate", "policy", "max_attempts", "completed",

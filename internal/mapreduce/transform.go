@@ -59,13 +59,17 @@ func Filter[T any](d *Dataset[T], keep func(T) bool) *Dataset[T] {
 }
 
 // MapPartitions applies f to each whole partition. f must not retain or
-// mutate its input slice.
+// mutate its input slice. Like Map, it charges its input records to the
+// engine's RecordsMapped counter — per-partition mapping is still mapping,
+// and the SQL layer compiles filters and projections onto it, so leaving it
+// unmetered would hide that work from the metrics.
 func MapPartitions[T, U any](d *Dataset[T], f func(p int, in []T) ([]U, error)) *Dataset[U] {
 	return derived[T, U](d, "mapPartitions", d.numParts, func(ctx context.Context, p int) ([]U, error) {
 		in, err := d.partition(ctx, p)
 		if err != nil {
 			return nil, err
 		}
+		d.eng.metrics.RecordsMapped.Add(int64(len(in)))
 		return f(p, in)
 	})
 }

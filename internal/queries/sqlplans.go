@@ -1,6 +1,8 @@
 package queries
 
 import (
+	"fmt"
+
 	"upa/internal/sql"
 	"upa/internal/tpch"
 )
@@ -11,6 +13,27 @@ import (
 // DP path executes (see TestSQLPlansMatchMappers), and they feed FLEX's
 // static analysis through sql.FLEXPlan, which extracts join-column
 // statistics from the plan tree exactly as FLEX's SQL analyzer would.
+
+// PlanByName returns the canned relational plan for a TPC-H query name
+// (tpch1, tpch1full, tpch4, tpch6, tpch13), for callers — like upa-query's
+// -explain flag — that address plans the way they address Runners. Any plan
+// it returns executes through sql.Optimize when run with sql.Execute.
+func PlanByName(db *tpch.DB, name string) (sql.Plan, error) {
+	switch name {
+	case "tpch1":
+		return TPCH1Plan(db), nil
+	case "tpch1full":
+		return TPCH1FullPlan(db), nil
+	case "tpch4":
+		return TPCH4Plan(db), nil
+	case "tpch6":
+		return TPCH6Plan(db), nil
+	case "tpch13":
+		return TPCH13Plan(db), nil
+	default:
+		return nil, fmt.Errorf("queries: no relational plan for %q", name)
+	}
+}
 
 // LineitemRelation converts the lineitem table to a relational scan.
 func LineitemRelation(db *tpch.DB) *sql.ScanPlan {

@@ -31,7 +31,28 @@ type IndexedRow struct {
 // sampled neighbouring datasets, like every broadcast in §V-B; addition
 // neighbours need a domain-aware rebinding and are not sampled here (pass a
 // nil domain to core.Run).
+//
+// The influence execution routes through the optimizer (via Execute), which
+// is safe for the DP semantics by construction: the hidden index column is
+// tagged onto the protected scan *before* optimization and is a group-by
+// key of the influence plan, so projection pruning keeps it live down to
+// the scan, and no rule drops or duplicates it; and because every rewrite
+// preserves the plan's output row multiset, each protected row's per-index
+// output count — hence the influence map, the sampled neighbour set, and
+// the ε charge — is identical to the raw plan's. CompileDPCountRaw is the
+// unoptimized baseline the equivalence tests compare against.
 func CompileDPCount(eng *mapreduce.Engine, plan Plan, protectedTable string) (core.Query[IndexedRow], []IndexedRow, error) {
+	return compileDPCount(eng, plan, protectedTable, Execute)
+}
+
+// CompileDPCountRaw is CompileDPCount with the influence plan executed as
+// written (no optimizer rewrites) — the measurement baseline for the DP
+// equivalence regression tests and the bench "optimizer" experiment.
+func CompileDPCountRaw(eng *mapreduce.Engine, plan Plan, protectedTable string) (core.Query[IndexedRow], []IndexedRow, error) {
+	return compileDPCount(eng, plan, protectedTable, ExecuteRaw)
+}
+
+func compileDPCount(eng *mapreduce.Engine, plan Plan, protectedTable string, exec func(*mapreduce.Engine, Plan) ([]Row, Schema, error)) (core.Query[IndexedRow], []IndexedRow, error) {
 	var zero core.Query[IndexedRow]
 	if !isGlobalCount(plan) {
 		return zero, nil, fmt.Errorf("sql: plan is not a global single-count aggregate")
@@ -58,7 +79,7 @@ func CompileDPCount(eng *mapreduce.Engine, plan Plan, protectedTable string) (co
 		return zero, nil, err
 	}
 	perRow := GroupBy(tagged, []string{idxCol}, AggSpec{Name: "influence", Func: AggCount})
-	rows, _, err := Execute(eng, perRow)
+	rows, _, err := exec(eng, perRow)
 	if err != nil {
 		return zero, nil, err
 	}

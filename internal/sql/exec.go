@@ -11,12 +11,32 @@ import (
 // partitioned datasets, filters/projections narrow transformations, joins
 // engine hash joins (with their shuffle accounting), and aggregations
 // ReduceByKey jobs. It returns the result rows and their schema.
+//
+// Every plan is first rewritten by Optimize, so no caller pays for work a
+// rule can eliminate (pushdown, pruning, join sizing — see optimize.go).
+// The optimizer preserves the output row multiset and schema exactly; use
+// ExecuteRaw to run the tree as written.
 func Execute(eng *mapreduce.Engine, plan Plan) ([]Row, Schema, error) {
-	schema, err := plan.Schema()
+	optimized, _ := Optimize(plan)
+	return executePlan(eng, plan, optimized)
+}
+
+// ExecuteRaw compiles the plan tree exactly as the caller built it, with no
+// optimizer rewrites. It exists as the measurement baseline: equivalence
+// tests and the bench "optimizer" experiment compare Execute against
+// ExecuteRaw on the same plan.
+func ExecuteRaw(eng *mapreduce.Engine, plan Plan) ([]Row, Schema, error) {
+	return executePlan(eng, plan, plan)
+}
+
+// executePlan runs compiled, reporting schema and errors against declared
+// (the tree the caller built).
+func executePlan(eng *mapreduce.Engine, declared, compiled Plan) ([]Row, Schema, error) {
+	schema, err := declared.Schema()
 	if err != nil {
 		return nil, nil, err
 	}
-	ds, err := compile(eng, plan)
+	ds, err := compile(eng, compiled)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -181,20 +201,24 @@ func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) 
 		if p.N < 0 {
 			return nil, fmt.Errorf("sql: negative limit %d", p.N)
 		}
-		// Limit needs the global prefix, so it repartitions to one.
-		single, err := mapreduce.Repartition(ds, 1)
-		if err != nil {
-			return nil, err
-		}
 		n := p.N
-		return mapreduce.MapPartitions(single, func(_ int, rows []Row) ([]Row, error) {
+		head := func(_ int, rows []Row) ([]Row, error) {
 			if len(rows) > n {
 				rows = rows[:n]
 			}
 			out := make([]Row, len(rows))
 			copy(out, rows)
 			return out, nil
-		}), nil
+		}
+		// The global prefix of N rows draws at most N from each partition,
+		// so take a per-partition head first and repartition only the
+		// survivors: the single-partition shuffle moves at most N × parts
+		// rows instead of the whole dataset.
+		single, err := mapreduce.Repartition(mapreduce.MapPartitions(ds, head), 1)
+		if err != nil {
+			return nil, err
+		}
+		return mapreduce.MapPartitions(single, head), nil
 
 	default:
 		return nil, fmt.Errorf("sql: unknown plan node %T", plan)

@@ -1,0 +1,89 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain runs the optimizer on a plan and renders the raw tree, the
+// optimized tree, and the applied rewrites — the review surface for what
+// Optimize did to a query. The output is deterministic for a given plan,
+// so tests can pin it as a golden.
+func Explain(plan Plan) string {
+	optimized, rewrites := Optimize(plan)
+	var b strings.Builder
+	b.WriteString("raw plan:\n")
+	renderPlan(&b, plan, 1)
+	b.WriteString("optimized plan:\n")
+	renderPlan(&b, optimized, 1)
+	b.WriteString("rewrites:\n")
+	if len(rewrites) == 0 {
+		b.WriteString("  (none)\n")
+		return b.String()
+	}
+	for i, rw := range rewrites {
+		fmt.Fprintf(&b, "  %d. %s: %s\n", i+1, rw.Rule, rw.Detail)
+	}
+	return b.String()
+}
+
+// renderPlan writes one node per line, children indented below parents.
+func renderPlan(b *strings.Builder, p Plan, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n := p.(type) {
+	case *ScanPlan:
+		names := make([]string, len(n.Cols))
+		for i, c := range n.Cols {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(b, "%sscan %s [%s] (%d rows)\n", indent, n.Name, strings.Join(names, ", "), len(n.Rows))
+	case *FilterPlan:
+		fmt.Fprintf(b, "%sfilter %s\n", indent, n.Pred.describe())
+		renderPlan(b, n.Input, depth+1)
+	case *ProjectPlan:
+		parts := make([]string, len(n.Exprs))
+		for i, ne := range n.Exprs {
+			if c, ok := ne.Expr.(colExpr); ok && c.name == ne.Name {
+				parts[i] = ne.Name
+			} else {
+				parts[i] = ne.Name + "=" + ne.Expr.describe()
+			}
+		}
+		fmt.Fprintf(b, "%sproject [%s]\n", indent, strings.Join(parts, ", "))
+		renderPlan(b, n.Input, depth+1)
+	case *JoinPlan:
+		fmt.Fprintf(b, "%sjoin %s=%s (right side is the hash build side)\n", indent, n.LeftKey, n.RightKey)
+		renderPlan(b, n.Left, depth+1)
+		renderPlan(b, n.Right, depth+1)
+	case *AggregatePlan:
+		aggs := make([]string, len(n.Aggs))
+		for i, a := range n.Aggs {
+			arg := ""
+			if a.Arg != nil {
+				arg = a.Arg.describe()
+			}
+			aggs[i] = fmt.Sprintf("%s=%s(%s)", a.Name, a.Func, arg)
+		}
+		fmt.Fprintf(b, "%saggregate group=[%s] aggs=[%s]\n", indent,
+			strings.Join(n.GroupBy, ", "), strings.Join(aggs, ", "))
+		renderPlan(b, n.Input, depth+1)
+	case *OrderByPlan:
+		keys := make([]string, len(n.Keys))
+		for i, k := range n.Keys {
+			keys[i] = k.Column
+			if k.Desc {
+				keys[i] += " desc"
+			}
+		}
+		fmt.Fprintf(b, "%sorder by [%s]\n", indent, strings.Join(keys, ", "))
+		renderPlan(b, n.Input, depth+1)
+	case *DistinctPlan:
+		fmt.Fprintf(b, "%sdistinct\n", indent)
+		renderPlan(b, n.Input, depth+1)
+	case *LimitPlan:
+		fmt.Fprintf(b, "%slimit %d\n", indent, n.N)
+		renderPlan(b, n.Input, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%s\n", indent, p.describe())
+	}
+}

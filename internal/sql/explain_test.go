@@ -1,0 +1,90 @@
+package sql
+
+import "testing"
+
+// The golden tests pin Explain's exact output on three representative
+// plans, so any change to rewrite behaviour shows up as a reviewable diff.
+
+func filterOverJoinPlan() Plan {
+	joined := JoinOn(ordersScan(), "custkey", customersScan(), "custkey")
+	return GroupBy(
+		Where(joined, And(
+			Gt(Col("price"), Lit(Float(60))),
+			Eq(Col("nation"), Lit(Str("DE"))),
+		)),
+		nil,
+		AggSpec{Name: "n", Func: AggCount},
+	)
+}
+
+func projectionHeavyPlan() Plan {
+	return GroupBy(ordersScan(), []string{"status"},
+		AggSpec{Name: "n", Func: AggCount},
+		AggSpec{Name: "total", Func: AggSum, Arg: Col("price")},
+	)
+}
+
+func limitPlanUnderTest() Plan {
+	return Limit(Project(
+		Where(ordersScan(), Gt(Col("price"), Lit(Float(0)))),
+		NamedExpr{Name: "okey", Expr: Col("orderkey")},
+	), 2)
+}
+
+func TestExplainGoldenFilterOverJoin(t *testing.T) {
+	assertExplain(t, filterOverJoinPlan(), `raw plan:
+  aggregate group=[] aggs=[n=count()]
+    filter ((price > 60) AND (nation = "DE"))
+      join custkey=custkey (right side is the hash build side)
+        scan orders [orderkey, custkey, price, status] (5 rows)
+        scan customers [custkey, nation] (4 rows)
+optimized plan:
+  aggregate group=[] aggs=[n=count()]
+    join custkey=custkey (right side is the hash build side)
+      filter (price > 60)
+        scan orders [custkey, price] (5 rows)
+      filter (nation = "DE")
+        scan customers [custkey, nation] (4 rows)
+rewrites:
+  1. predicate-pushdown-join-left: moved (price > 60) below join to the custkey side
+  2. predicate-pushdown-join-right: moved (nation = "DE") below join to the custkey side
+  3. projection-pruning: narrowed scan orders from 4 to 2 columns [custkey, price]
+`)
+}
+
+func TestExplainGoldenProjectionHeavy(t *testing.T) {
+	assertExplain(t, projectionHeavyPlan(), `raw plan:
+  aggregate group=[status] aggs=[n=count(), total=sum(price)]
+    scan orders [orderkey, custkey, price, status] (5 rows)
+optimized plan:
+  aggregate group=[status] aggs=[n=count(), total=sum(price)]
+    scan orders [price, status] (5 rows)
+rewrites:
+  1. projection-pruning: narrowed scan orders from 4 to 2 columns [price, status]
+`)
+}
+
+func TestExplainGoldenLimit(t *testing.T) {
+	assertExplain(t, limitPlanUnderTest(), `raw plan:
+  limit 2
+    project [okey=orderkey]
+      filter (price > 0)
+        scan orders [orderkey, custkey, price, status] (5 rows)
+optimized plan:
+  project [okey=orderkey]
+    limit 2
+      filter (price > 0)
+        scan orders [orderkey, price] (5 rows)
+rewrites:
+  1. limit-pushdown-project: took the first 2 rows below the project
+  2. projection-pruning: narrowed scan orders from 4 to 2 columns [orderkey, price]
+`)
+}
+
+func assertExplain(t *testing.T, plan Plan, want string) {
+	t.Helper()
+	got := Explain(plan)
+	if got != want {
+		t.Fatalf("Explain output changed.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -15,6 +15,13 @@ import (
 // every Filter stripped from the plan — FLEX "does not consider the effect
 // of join condition (i.e., Filter)" — and the actual join keys are never
 // intersected.
+//
+// The static walk deliberately stays on the RAW plan: FLEX models the query
+// as the analyst wrote it, so an optimizer rewrite must not change which
+// joins it sees or in what shape. Only the *execution* that computes each
+// key column's statistics (keyStats, via Execute) routes through the
+// optimizer — it affects how fast the statistics are computed, never their
+// values, because Optimize preserves the output row multiset.
 func FLEXPlan(eng *mapreduce.Engine, name string, plan Plan) (flex.Plan, error) {
 	out := flex.Plan{Name: name, CountQuery: isGlobalCount(plan)}
 	if !out.CountQuery {

@@ -1,0 +1,270 @@
+package sql
+
+import (
+	"fmt"
+	"testing"
+
+	"upa/internal/stats"
+)
+
+// TestOptimizerPreservesMultisets is the optimizer's property test: over
+// seeded random plans on seeded random tables, Execute (optimized) and
+// ExecuteRaw (as written) must return identical row multisets under the
+// same schema. The generator stays inside the total fragment — no division
+// and no mixed-kind comparisons — because predicate pushdown may evaluate a
+// sub-predicate on rows the raw plan never showed it, which is only
+// observable through runtime errors (see the contract note in optimize.go).
+// All numeric values are small integers, so float Sum/Avg accumulation is
+// exact and order-independent.
+func TestOptimizerPreservesMultisets(t *testing.T) {
+	const plans = 80
+	for i := 0; i < plans; i++ {
+		i := i
+		t.Run(fmt.Sprintf("plan%02d", i), func(t *testing.T) {
+			g := &planGen{rng: stats.NewRNG(0x9E3779B97F4A7C15).Split(uint64(i))}
+			plan := g.plan()
+			t.Logf("plan: %s", Describe(plan))
+			rewrites := assertSameMultiset(t, plan)
+			t.Logf("rewrites: %d", len(rewrites))
+		})
+	}
+}
+
+// planGen builds random plans over small random tables.
+type planGen struct {
+	rng *stats.RNG
+	// schema of the plan built so far
+	cols Schema
+}
+
+// plan generates one random plan: a base (scan or join of two scans, each
+// side optionally filtered) under a random chain of unary operators.
+func (g *planGen) plan() Plan {
+	p := g.base()
+	ops := g.rng.Intn(4)
+	for i := 0; i < ops; i++ {
+		p = g.unary(p)
+	}
+	return p
+}
+
+// base returns either a single scan or a two-scan join, with column names
+// globally unique so every optimizer rule is eligible to fire.
+func (g *planGen) base() Plan {
+	left := g.table("l", 5+g.rng.Intn(16))
+	if g.rng.Intn(3) == 0 {
+		g.cols = left.Cols
+		return g.maybeFilter(left)
+	}
+	right := g.table("r", 2+g.rng.Intn(10))
+	lp := g.withSchema(left.Cols, func() Plan { return g.maybeFilter(left) })
+	rp := g.withSchema(right.Cols, func() Plan { return g.maybeFilter(right) })
+	g.cols = append(append(Schema{}, left.Cols...), right.Cols...)
+	return JoinOn(lp, "l_key", rp, "r_key")
+}
+
+// table builds a random relation: an int join key with a small domain (so
+// joins fan out), an int, a float holding small integer values, a string
+// from a small alphabet, and a bool.
+func (g *planGen) table(prefix string, n int) *ScanPlan {
+	cols := Schema{
+		{Name: prefix + "_key", Kind: KindInt},
+		{Name: prefix + "_i", Kind: KindInt},
+		{Name: prefix + "_f", Kind: KindFloat},
+		{Name: prefix + "_s", Kind: KindString},
+		{Name: prefix + "_b", Kind: KindBool},
+	}
+	letters := []string{"a", "b", "c"}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Int(int64(g.rng.Intn(5))),
+			Int(int64(g.rng.Intn(20))),
+			Float(float64(g.rng.Intn(10))),
+			Str(letters[g.rng.Intn(len(letters))]),
+			Bool(g.rng.Intn(2) == 0),
+		}
+	}
+	return Scan(prefix+"tab", cols, rows)
+}
+
+// withSchema runs build with g.cols temporarily set to schema.
+func (g *planGen) withSchema(schema Schema, build func() Plan) Plan {
+	saved := g.cols
+	g.cols = schema
+	p := build()
+	g.cols = saved
+	return p
+}
+
+func (g *planGen) maybeFilter(p Plan) Plan {
+	if g.rng.Intn(2) == 0 {
+		return Where(p, g.pred(2))
+	}
+	return p
+}
+
+// unary wraps p in a random unary operator, updating g.cols to the new
+// output schema.
+func (g *planGen) unary(p Plan) Plan {
+	switch g.rng.Intn(6) {
+	case 0:
+		return Where(p, g.pred(2))
+	case 1:
+		return g.project(p)
+	case 2:
+		return g.aggregate(p)
+	case 3:
+		return OrderBy(p, SortKey{Column: g.col().Name, Desc: g.rng.Intn(2) == 0})
+	case 4:
+		return Distinct(p)
+	default:
+		return Limit(p, g.rng.Intn(12))
+	}
+}
+
+// project keeps a random non-empty subset of columns and may add one
+// arithmetic column over the numeric ones.
+func (g *planGen) project(p Plan) Plan {
+	keep := g.rng.Intn(len(g.cols)) + 1
+	perm := g.rng.Perm(len(g.cols))[:keep]
+	// Keep schema order deterministic: sort the kept indices.
+	for i := 0; i < len(perm); i++ {
+		for j := i + 1; j < len(perm); j++ {
+			if perm[j] < perm[i] {
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+		}
+	}
+	exprs := make([]NamedExpr, 0, keep+1)
+	out := make(Schema, 0, keep+1)
+	for _, idx := range perm {
+		c := g.cols[idx]
+		exprs = append(exprs, NamedExpr{Name: c.Name, Expr: Col(c.Name)})
+		out = append(out, c)
+	}
+	if a, ok := g.arith(); ok && g.rng.Intn(2) == 0 {
+		exprs = append(exprs, NamedExpr{Name: "derived", Expr: a})
+		out = append(out, Column{Name: "derived", Kind: KindFloat})
+	}
+	g.cols = out
+	return Project(p, exprs...)
+}
+
+func (g *planGen) aggregate(p Plan) Plan {
+	groupCol := g.col()
+	specs := []AggSpec{{Name: "cnt", Func: AggCount}}
+	out := Schema{groupCol, {Name: "cnt", Kind: KindInt}}
+	if num, ok := g.numericCol(); ok {
+		funcs := []AggFunc{AggSum, AggAvg, AggMin, AggMax}
+		f := funcs[g.rng.Intn(len(funcs))]
+		specs = append(specs, AggSpec{Name: "agg", Func: f, Arg: Col(num.Name)})
+		out = append(out, Column{Name: "agg", Kind: KindFloat})
+	}
+	g.cols = out
+	return GroupBy(p, []string{groupCol.Name}, specs...)
+}
+
+// pred builds a random boolean expression of the given depth over g.cols.
+func (g *planGen) pred(depth int) Expr {
+	if depth > 0 && g.rng.Intn(2) == 0 {
+		a, b := g.pred(depth-1), g.pred(depth-1)
+		switch g.rng.Intn(3) {
+		case 0:
+			return And(a, b)
+		case 1:
+			return Or(a, b)
+		default:
+			return Not(a)
+		}
+	}
+	return g.comparison()
+}
+
+// comparison builds a leaf predicate: a same-kind column/literal or
+// column/column comparison, a bool column, or (rarely) a constant bool.
+func (g *planGen) comparison() Expr {
+	if g.rng.Intn(10) == 0 {
+		return Lit(Bool(g.rng.Intn(2) == 0))
+	}
+	c := g.col()
+	cmp := func(a, b Expr) Expr {
+		switch g.rng.Intn(6) {
+		case 0:
+			return Eq(a, b)
+		case 1:
+			return Ne(a, b)
+		case 2:
+			return Lt(a, b)
+		case 3:
+			return Le(a, b)
+		case 4:
+			return Gt(a, b)
+		default:
+			return Ge(a, b)
+		}
+	}
+	switch c.Kind {
+	case KindBool:
+		return Col(c.Name)
+	case KindString:
+		letters := []string{"a", "b", "c"}
+		return cmp(Col(c.Name), Lit(Str(letters[g.rng.Intn(len(letters))])))
+	case KindFloat:
+		return cmp(Col(c.Name), Lit(Float(float64(g.rng.Intn(10)))))
+	default:
+		if other, ok := g.otherNumericCol(c.Name); ok && g.rng.Intn(3) == 0 {
+			return cmp(Col(c.Name), Col(other.Name))
+		}
+		return cmp(Col(c.Name), Lit(Int(int64(g.rng.Intn(20)))))
+	}
+}
+
+// arith builds a random error-free arithmetic expression over the numeric
+// columns (no division).
+func (g *planGen) arith() (Expr, bool) {
+	num, ok := g.numericCol()
+	if !ok {
+		return nil, false
+	}
+	e := Expr(Col(num.Name))
+	switch g.rng.Intn(3) {
+	case 0:
+		e = Add(e, Lit(Float(float64(g.rng.Intn(5)))))
+	case 1:
+		e = Mul(e, Lit(Float(float64(g.rng.Intn(4)))))
+	default:
+		e = Sub(e, Lit(Float(float64(g.rng.Intn(5)))))
+	}
+	return e, true
+}
+
+func (g *planGen) col() Column {
+	return g.cols[g.rng.Intn(len(g.cols))]
+}
+
+func (g *planGen) numericCol() (Column, bool) {
+	var numeric []Column
+	for _, c := range g.cols {
+		if c.Kind == KindInt || c.Kind == KindFloat {
+			numeric = append(numeric, c)
+		}
+	}
+	if len(numeric) == 0 {
+		return Column{}, false
+	}
+	return numeric[g.rng.Intn(len(numeric))], true
+}
+
+func (g *planGen) otherNumericCol(not string) (Column, bool) {
+	var numeric []Column
+	for _, c := range g.cols {
+		if (c.Kind == KindInt || c.Kind == KindFloat) && c.Name != not {
+			numeric = append(numeric, c)
+		}
+	}
+	if len(numeric) == 0 {
+		return Column{}, false
+	}
+	return numeric[g.rng.Intn(len(numeric))], true
+}
