@@ -80,6 +80,12 @@ func TestMetricsShapeGolden(t *testing.T) {
 	if rec, _ := doJSON(t, h, http.MethodPost, "/release", `{"query":"TPCH6"}`); rec.Code != http.StatusOK {
 		t.Fatal("release failed")
 	}
+	// A served query populates the per-tenant metrics, so the golden pins
+	// their schema too (testServer registers the default "public" tenant).
+	if rec, body := doJSON(t, h, http.MethodPost, "/query",
+		`{"tenant":"public","user":"alice","plan":"tpch1","epsilon":0.25,"seed":11}`); rec.Code != http.StatusOK {
+		t.Fatalf("query failed: %d %v", rec.Code, body)
+	}
 	rec, _ := doJSON(t, h, http.MethodGet, "/metrics", "")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)

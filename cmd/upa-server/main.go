@@ -8,20 +8,31 @@
 //
 //	GET  /queries   list the available queries
 //	POST /release   {"query": "TPCH6"} -> one iDP release
+//	POST /query     multi-tenant DP query service: SQL plans (named or
+//	                ad-hoc JSON ASTs) under per-tenant/per-user ε ledgers,
+//	                admission control and a release cache
+//	GET  /budget    every tenant's ε budget, spend and remaining headroom
 //	GET  /metrics   engine activity counters, including fault-recovery
-//	                (retries, backoff, deadlines, lost slots)
+//	                (retries, backoff, deadlines, lost slots) and per-tenant
+//	                serving counters
 //	GET  /history   RANGE ENFORCER status
 //	GET  /healthz   liveness: uptime, releases served, privacy budget spent
 //	GET  /jobs      recent releases' stage DAGs: per-stage spans (attempts,
 //	                retries, absorbed faults) plus simulated cluster cost
 //	                and critical path
 //
+// The process drains gracefully on SIGINT/SIGTERM: in-flight queries get a
+// deadline to finish, then the serving ledger journal is compacted into its
+// snapshot and the enforcer state is persisted.
+//
 // Usage:
 //
-//	upa-server -addr :8080 -lineitems 20000 -state enforcer.json
+//	upa-server -addr :8080 -lineitems 20000 -state enforcer.json \
+//	  -tenants acme:5:1,beta:2:0.5 -servestate ledger.json
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -30,8 +41,12 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"upa/internal/bench"
@@ -40,6 +55,8 @@ import (
 	"upa/internal/lifesci"
 	"upa/internal/mapreduce"
 	"upa/internal/queries"
+	"upa/internal/serve"
+	"upa/internal/sql"
 	"upa/internal/tpch"
 )
 
@@ -61,18 +78,26 @@ func run(args []string) error {
 		sampleSize = fs.Int("n", 1000, "UPA differing-record sample size")
 		epsilon    = fs.Float64("epsilon", 0.1, "privacy budget per release")
 		statePath  = fs.String("state", "", "path persisting the RANGE ENFORCER history (empty: in-memory only)")
+		tenantSpec = fs.String("tenants", "", "tenant registry as name:budget:userBudget,... (0 = unlimited; empty: one unlimited \"public\" tenant)")
+		serveState = fs.String("servestate", "", "path persisting the serving ε ledger and release cache (empty: in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	tenants, err := parseTenants(*tenantSpec)
+	if err != nil {
+		return err
+	}
 	srv, err := newServer(serverConfig{
-		Lineitems:  *lineitems,
-		LSRecords:  *lsRecords,
-		Skew:       *skew,
-		Seed:       *seed,
-		SampleSize: *sampleSize,
-		Epsilon:    *epsilon,
-		StatePath:  *statePath,
+		Lineitems:      *lineitems,
+		LSRecords:      *lsRecords,
+		Skew:           *skew,
+		Seed:           *seed,
+		SampleSize:     *sampleSize,
+		Epsilon:        *epsilon,
+		StatePath:      *statePath,
+		Tenants:        tenants,
+		ServeStatePath: *serveState,
 	})
 	if err != nil {
 		return err
@@ -83,7 +108,56 @@ func run(args []string) error {
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return httpServer.ListenAndServe()
+
+	// Serve until SIGINT/SIGTERM, then drain: stop accepting, give in-flight
+	// queries a deadline, and flush the serving ledger and enforcer state so
+	// a bounce neither forgets ε spend nor re-randomizes cached releases.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpServer.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		srv.close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	slog.Info("upa-server draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err = httpServer.Shutdown(shutdownCtx)
+	if cerr := srv.close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// parseTenants parses the -tenants flag: comma-separated name:budget:userBudget
+// triples, budget fields optional (missing or zero = unlimited).
+func parseTenants(spec string) ([]serve.TenantSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []serve.TenantSpec
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if fields[0] == "" || len(fields) > 3 {
+			return nil, fmt.Errorf("bad tenant spec %q (want name:budget:userBudget)", part)
+		}
+		t := serve.TenantSpec{Name: fields[0]}
+		for i, dst := range []*float64{&t.Budget, &t.UserBudget} {
+			if len(fields) > i+1 && fields[i+1] != "" {
+				v, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad tenant spec %q: %v", part, err)
+				}
+				*dst = v
+			}
+		}
+		out = append(out, t)
+	}
+	return out, nil
 }
 
 type serverConfig struct {
@@ -93,6 +167,14 @@ type serverConfig struct {
 	SampleSize           int
 	Epsilon              float64
 	StatePath            string
+	// Tenants registers the serving layer's tenants (empty: one unlimited
+	// "public" tenant); ServeStatePath roots its ledger/cache persistence.
+	Tenants        []serve.TenantSpec
+	ServeStatePath string
+	// MaxConcurrent / PerTenantDepth override the admission controller's
+	// defaults (zero keeps them).
+	MaxConcurrent  int
+	PerTenantDepth int
 }
 
 // jobLogCap bounds the job log: GET /jobs reports the most recent releases
@@ -105,6 +187,7 @@ type server struct {
 	w     *queries.Workload
 	eng   *mapreduce.Engine
 	sys   *core.System
+	svc   *serve.Service
 	model cluster.Model
 	// started anchors /healthz uptime; releases counts successful releases.
 	started  time.Time
@@ -136,13 +219,66 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys, model: cluster.PaperTestbed(), started: time.Now()}
+	// The serving layer exposes the TPC-H relations to ad-hoc plans and the
+	// canned counting plans by name. Scans are materialized once and shared:
+	// plans built over them fingerprint identically across requests.
+	tables := map[string]*sql.ScanPlan{
+		"lineitem": queries.LineitemRelation(w.DB),
+		"orders":   queries.OrdersRelation(w.DB),
+		"customer": queries.CustomerRelation(w.DB),
+	}
+	named := make(map[string]sql.Plan)
+	for _, name := range []string{"tpch1", "tpch1full", "tpch4", "tpch6", "tpch13"} {
+		plan, err := queries.PlanByName(w.DB, name)
+		if err != nil {
+			return nil, err
+		}
+		named[name] = plan
+	}
+	tenants := cfg.Tenants
+	if len(tenants) == 0 {
+		tenants = []serve.TenantSpec{{Name: "public"}}
+	}
+	svc, err := serve.NewService(serve.Config{
+		Engine: eng,
+		Tables: tables,
+		NamedPlan: func(name string) (sql.Plan, error) {
+			plan, ok := named[strings.ToLower(name)]
+			if !ok {
+				return nil, fmt.Errorf("no canned plan (have tpch1, tpch1full, tpch4, tpch6, tpch13)")
+			}
+			return plan, nil
+		},
+		SampleSize:     cfg.SampleSize,
+		DefaultEpsilon: cfg.Epsilon,
+		MaxConcurrent:  cfg.MaxConcurrent,
+		PerTenantDepth: cfg.PerTenantDepth,
+		StatePath:      cfg.ServeStatePath,
+	}, tenants)
+	if err != nil {
+		return nil, err
+	}
+	srv := &server{cfg: cfg, w: w, eng: eng, sys: sys, svc: svc, model: cluster.PaperTestbed(), started: time.Now()}
 	if cfg.StatePath != "" {
 		if err := srv.loadState(); err != nil {
+			svc.Close()
 			return nil, err
 		}
 	}
 	return srv, nil
+}
+
+// close flushes everything a restart must not forget: the serving layer's ε
+// ledger and release cache (journal compacted into its snapshot), then the
+// RANGE ENFORCER history.
+func (s *server) close() error {
+	s.releaseMu.Lock()
+	defer s.releaseMu.Unlock()
+	err := s.svc.Close()
+	if serr := s.saveState(); serr != nil && err == nil {
+		err = serr
+	}
+	return err
 }
 
 func (s *server) loadState() error {
@@ -180,6 +316,8 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /queries", s.handleQueries)
 	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /budget", s.handleBudget)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /history", s.handleHistory)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -344,9 +482,43 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleQuery is the multi-tenant DP query endpoint: the serving layer
+// decides admission (budget, load) and caching before anything computes.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req serve.Request
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "malformed request body"})
+		return
+	}
+	rel, serr := s.svc.Query(r.Context(), req)
+	if serr != nil {
+		if serr.RetryAfterSeconds > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(serr.RetryAfterSeconds))
+		}
+		writeJSON(w, serr.Status, map[string]any{"error": serr.Message})
+		return
+	}
+	writeJSON(w, http.StatusOK, rel)
+}
+
+// handleBudget reports every tenant's ε ledger state.
+func (s *server) handleBudget(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants":   s.svc.Report(),
+		"persisted": s.cfg.ServeStatePath != "",
+	})
+}
+
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m := s.eng.Metrics()
+	cacheLen, cacheHits, cacheMisses := s.svc.CacheStats()
 	writeJSON(w, http.StatusOK, map[string]any{
+		"tenants": s.svc.Metrics(),
+		"releaseCache": map[string]any{
+			"entries": cacheLen,
+			"hits":    cacheHits,
+			"misses":  cacheMisses,
+		},
 		"tasksRun":               m.TasksRun,
 		"recordsMapped":          m.RecordsMapped,
 		"reduceOps":              m.ReduceOps,

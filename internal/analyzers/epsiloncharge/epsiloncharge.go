@@ -10,6 +10,17 @@
 //   - chargeEpsilon may be called only from the release entry point RunCtx;
 //   - inside the charging function, no success return (`return x, nil` with
 //     a non-nil result) may occur before the charge.
+//
+// The serving layer (internal/serve) repeats the pattern one level up, on
+// the hierarchical tenant→user ledger, and gets the same treatment:
+//
+//   - the raw spend counters (spentEps) move only through applyDelta and
+//     are read only through spentLocked;
+//   - applyDelta may be called only from the admission helpers
+//     ChargeAdmission / RefundAdmission and the restart path replayEntry;
+//   - ChargeAdmission / RefundAdmission may be called only from the blessed
+//     admission site execute, which must charge exactly once and must not
+//     return success before the charge.
 package epsiloncharge
 
 import (
@@ -36,6 +47,18 @@ const (
 	blessedSite  = "RunCtx"
 )
 
+// The serving layer's names (internal/serve). Matching is by name, like the
+// core rules: the field and helpers are unique to the serving ledger.
+const (
+	serveLedgerField = "spentEps"
+	serveDeltaHelper = "applyDelta"
+	serveReadHelper  = "spentLocked"
+	serveChargeFn    = "ChargeAdmission"
+	serveRefundFn    = "RefundAdmission"
+	serveReplayFn    = "replayEntry"
+	serveBlessed     = "execute"
+)
+
 func run(pass *analysis.Pass) error {
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
@@ -45,9 +68,24 @@ func run(pass *analysis.Pass) error {
 			}
 			checkLedgerAccess(pass, fn)
 			checkChargeCalls(pass, fn)
+			checkServeLedgerAccess(pass, fn)
+			checkServeDeltaCalls(pass, fn)
+			checkServeAdmissionCalls(pass, fn)
 		}
 	}
 	return nil
+}
+
+// calleeFuncName names the called function for both plain (applyDelta(...))
+// and method/package-qualified (l.ChargeAdmission(...)) call shapes.
+func calleeFuncName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
 }
 
 // checkLedgerAccess flags any mention of the raw accumulator outside the
@@ -114,6 +152,96 @@ func checkChargeCalls(pass *analysis.Pass, fn *ast.FuncDecl) {
 		if isSuccessReturn(ret) {
 			pass.Reportf(ret.Pos(), fmt.Sprintf(
 				"release path returns success before %s charges the ledger; a successful release must always be charged", chargeHelper))
+		}
+		return true
+	})
+}
+
+// checkServeLedgerAccess flags any mention of the serving ledger's raw
+// spend counters outside the delta/read helpers.
+func checkServeLedgerAccess(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Name.Name == serveDeltaHelper || fn.Name.Name == serveReadHelper {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == serveLedgerField {
+			pass.Reportf(sel.Pos(), fmt.Sprintf(
+				"direct access to the serving ε ledger (%s) outside %s/%s; tenant and user spend must move through the delta helpers so admission charging stays exactly-once",
+				serveLedgerField, serveDeltaHelper, serveReadHelper))
+		}
+		return true
+	})
+}
+
+// checkServeDeltaCalls restricts applyDelta to the admission helpers and the
+// restart replay path: anywhere else, a delta bypasses both the budget
+// checks and the journal.
+func checkServeDeltaCalls(pass *analysis.Pass, fn *ast.FuncDecl) {
+	switch fn.Name.Name {
+	case serveChargeFn, serveRefundFn, serveReplayFn, serveDeltaHelper:
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || calleeFuncName(call) != serveDeltaHelper {
+			return true
+		}
+		pass.Reportf(call.Pos(), fmt.Sprintf(
+			"%s called outside %s/%s/%s; ledger deltas elsewhere bypass budget checks and the journal",
+			serveDeltaHelper, serveChargeFn, serveRefundFn, serveReplayFn))
+		return true
+	})
+}
+
+// checkServeAdmissionCalls enforces that ChargeAdmission/RefundAdmission are
+// called only from the blessed admission site, and that the site charges
+// exactly once with no success return reachable before the charge.
+func checkServeAdmissionCalls(pass *analysis.Pass, fn *ast.FuncDecl) {
+	switch fn.Name.Name {
+	case serveChargeFn, serveRefundFn:
+		return
+	}
+	var chargePos token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeFuncName(call)
+		if name != serveChargeFn && name != serveRefundFn {
+			return true
+		}
+		if fn.Name.Name != serveBlessed {
+			pass.Reportf(call.Pos(), fmt.Sprintf(
+				"%s called outside the blessed admission site %s; a second admission site makes tenant ε accounting path-dependent", name, serveBlessed))
+			return true
+		}
+		if name != serveChargeFn {
+			return true
+		}
+		if chargePos == token.NoPos {
+			chargePos = call.Pos()
+		} else {
+			pass.Reportf(call.Pos(), fmt.Sprintf(
+				"%s charges admission more than once; a query must charge exactly once", serveBlessed))
+		}
+		return true
+	})
+	if chargePos == token.NoPos {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() >= chargePos {
+			return true
+		}
+		if isSuccessReturn(ret) {
+			pass.Reportf(ret.Pos(), fmt.Sprintf(
+				"admission path returns success before %s charges the ledger; an admitted query must always be charged", serveChargeFn))
 		}
 		return true
 	})

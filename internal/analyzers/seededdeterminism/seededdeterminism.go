@@ -37,6 +37,7 @@ var CriticalPrefixes = []string{
 	"upa/internal/jobgraph",
 	"upa/internal/stats",
 	"upa/internal/bench",
+	"upa/internal/serve",
 	"upa/examples",
 }
 

@@ -1,0 +1,125 @@
+// Serving-layer half of the golden input: mirrors internal/serve's shape —
+// a hierarchical tenant→user ledger whose raw counters move only through
+// applyDelta/spentLocked, admission helpers that journal every movement,
+// and a blessed execute site that charges before any success return.
+package epsiloncharge
+
+import "errors"
+
+type tenantLedger struct {
+	budget   float64
+	spentEps float64
+	users    map[string]*userLedger
+}
+
+type userLedger struct {
+	spentEps float64
+}
+
+// applyDelta and spentLocked are the only code allowed to touch spentEps.
+func applyDelta(t *tenantLedger, u *userLedger, eps float64) {
+	t.spentEps += eps
+	u.spentEps += eps
+}
+
+func spentLocked(t *tenantLedger, u *userLedger) (float64, float64) {
+	return t.spentEps, u.spentEps
+}
+
+// auditSpend peeks at the raw counter: forbidden even read-only.
+func auditSpend(t *tenantLedger) float64 {
+	return t.spentEps // want `direct access to the serving ε ledger \(spentEps\) outside applyDelta/spentLocked`
+}
+
+// forceSpend moves the ledger outside the admission helpers: no budget
+// check, no journal entry.
+func forceSpend(t *tenantLedger, u *userLedger, eps float64) {
+	applyDelta(t, u, eps) // want `applyDelta called outside ChargeAdmission/RefundAdmission/replayEntry`
+}
+
+type Ledger struct {
+	tenants map[string]*tenantLedger
+}
+
+func (l *Ledger) ChargeAdmission(tenant, user string, eps float64) error {
+	t := l.tenants[tenant]
+	u := t.users[user]
+	spent, _ := spentLocked(t, u)
+	if t.budget > 0 && spent+eps > t.budget {
+		return errors.New("budget exhausted")
+	}
+	applyDelta(t, u, eps)
+	return nil
+}
+
+func (l *Ledger) RefundAdmission(tenant, user string, eps float64) error {
+	t := l.tenants[tenant]
+	applyDelta(t, t.users[user], -eps)
+	return nil
+}
+
+type replayRecord struct {
+	tenant, user string
+	eps          float64
+}
+
+func (l *Ledger) replayEntry(e replayRecord) {
+	t := l.tenants[e.tenant]
+	applyDelta(t, t.users[e.user], e.eps)
+}
+
+type ServeRelease struct{ Output []float64 }
+
+type Service struct {
+	ledger *Ledger
+}
+
+// execute is the blessed admission site: error returns may precede the
+// charge, the success return must not.
+func (s *Service) execute(tenant, user string, eps float64) (*ServeRelease, error) {
+	if eps <= 0 {
+		return nil, errors.New("bad epsilon") // error return before charge: fine
+	}
+	if err := s.ledger.ChargeAdmission(tenant, user, eps); err != nil {
+		return nil, err
+	}
+	rel := &ServeRelease{Output: []float64{eps}}
+	if len(rel.Output) == 0 {
+		if rerr := s.ledger.RefundAdmission(tenant, user, eps); rerr != nil {
+			return nil, rerr
+		}
+		return nil, errors.New("empty release")
+	}
+	return rel, nil
+}
+
+// quickCharge admits from a site that is not the blessed one.
+func (s *Service) quickCharge(tenant, user string, eps float64) error {
+	return s.ledger.ChargeAdmission(tenant, user, eps) // want `ChargeAdmission called outside the blessed admission site execute`
+}
+
+// quickRefund likewise for the refund half.
+func (s *Service) quickRefund(tenant, user string, eps float64) error {
+	return s.ledger.RefundAdmission(tenant, user, eps) // want `RefundAdmission called outside the blessed admission site execute`
+}
+
+// BrokenService carries an execute whose control flow violates the
+// discipline: a success return is reachable before the charge, and the
+// happy path charges twice.
+type BrokenService struct {
+	ledger *Ledger
+}
+
+func (s *BrokenService) execute(tenant, user string, eps float64) (*ServeRelease, error) {
+	rel := &ServeRelease{}
+	if eps == 0 {
+		return rel, nil // want `admission path returns success before ChargeAdmission charges the ledger`
+	}
+	if err := s.ledger.ChargeAdmission(tenant, user, eps); err != nil {
+		return nil, err
+	}
+	if err := s.ledger.ChargeAdmission(tenant, user, eps); err != nil { // want `execute charges admission more than once`
+		return nil, err
+	}
+	return rel, nil
+}

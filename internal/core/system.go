@@ -35,6 +35,14 @@ type Config struct {
 	// keeps releases silent.
 	Logger *slog.Logger
 
+	// OnCharge, when non-nil, observes every ε-ledger charge the instant it
+	// lands (the argument is the charged ε). Serving layers use it to
+	// reconcile their own admission-time accounting against the system's
+	// actual spend — any divergence means an admission path mispriced a
+	// release. The hook runs on the charging goroutine and must not block;
+	// it observes, it cannot veto.
+	OnCharge func(eps float64)
+
 	// GroupSize extends the guarantee from individuals to groups of up to
 	// GroupSize records (the §VI-E future-work extension): besides the
 	// single-record neighbours, UPA evaluates block removals and block
@@ -124,14 +132,18 @@ type System struct {
 	epsilonSpentBits atomic.Uint64
 }
 
-// chargeEpsilon adds eps to the system's spent-budget ledger.
+// chargeEpsilon adds eps to the system's spent-budget ledger and notifies
+// the OnCharge observer, if any.
 func (s *System) chargeEpsilon(eps float64) {
 	for {
 		old := s.epsilonSpentBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + eps)
 		if s.epsilonSpentBits.CompareAndSwap(old, next) {
-			return
+			break
 		}
+	}
+	if s.cfg.OnCharge != nil {
+		s.cfg.OnCharge(eps)
 	}
 }
 

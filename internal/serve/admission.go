@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// admission is the query admission controller: a global slot pool bounds
+// how many queries compute concurrently, and a per-tenant occupancy cap
+// (queued + running) bounds how deep any one tenant's backlog may grow.
+// A query past the cap is load-shed immediately — a 429 with Retry-After —
+// rather than parked on an unbounded queue; a query within the cap but
+// waiting for a slot experiences backpressure (it blocks, honouring its
+// context) instead of failing.
+type admission struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	perCap   int
+	occupied map[string]int // per-tenant queued + running
+}
+
+// newAdmission builds the controller: maxConcurrent global compute slots,
+// perTenant occupancy cap (both floored at one).
+func newAdmission(maxConcurrent, perTenant int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if perTenant < 1 {
+		perTenant = 1
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		perCap:   perTenant,
+		occupied: make(map[string]int),
+	}
+}
+
+// acquire admits one query for tenant: it either returns a release closure
+// (call exactly once, after the query finishes) or an admission *Error.
+// Over-cap tenants shed with 429; a context cancelled while queued returns
+// the context's error as a 503 (the client went away or the server is
+// draining — retrying is reasonable).
+func (a *admission) acquire(ctx context.Context, tenant string, retryAfter int) (func(), *Error) {
+	a.mu.Lock()
+	if a.occupied[tenant] >= a.perCap {
+		a.mu.Unlock()
+		return nil, &Error{
+			Status:            http.StatusTooManyRequests,
+			Message:           fmt.Sprintf("tenant %q has %d queries queued or running (cap %d); shed", tenant, a.perCap, a.perCap),
+			RetryAfterSeconds: retryAfter,
+		}
+	}
+	a.occupied[tenant]++
+	a.mu.Unlock()
+
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.occupied[tenant]--
+		a.mu.Unlock()
+		return nil, &Error{
+			Status:            http.StatusServiceUnavailable,
+			Message:           "query abandoned while queued: " + ctx.Err().Error(),
+			RetryAfterSeconds: retryAfter,
+		}
+	}
+
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			<-a.slots
+			a.mu.Lock()
+			a.occupied[tenant]--
+			a.mu.Unlock()
+		})
+	}
+	return release, nil
+}
+
+// depth reports the tenant's current queued + running occupancy.
+func (a *admission) depth(tenant string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.occupied[tenant]
+}

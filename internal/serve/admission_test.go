@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestAdmissionShedsPastPerTenantCap(t *testing.T) {
+	ctx := context.Background()
+	a := newAdmission(4, 1)
+	release, aerr := a.acquire(ctx, "acme", 2)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	if _, aerr := a.acquire(ctx, "acme", 2); aerr == nil {
+		t.Fatal("over-cap acquire admitted")
+	} else if aerr.Status != http.StatusTooManyRequests || aerr.RetryAfterSeconds != 2 {
+		t.Fatalf("shed error = %+v, want 429 with Retry-After 2", aerr)
+	}
+	// Another tenant is unaffected by acme's occupancy.
+	release2, aerr := a.acquire(ctx, "beta", 2)
+	if aerr != nil {
+		t.Fatalf("independent tenant shed: %+v", aerr)
+	}
+	release2()
+	release()
+	if r, aerr := a.acquire(ctx, "acme", 2); aerr != nil {
+		t.Fatalf("post-release acquire failed: %+v", aerr)
+	} else {
+		r()
+	}
+}
+
+func TestAdmissionBackpressureBlocksThenAdmits(t *testing.T) {
+	ctx := context.Background()
+	a := newAdmission(1, 2)
+	release, aerr := a.acquire(ctx, "acme", 1)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		r, aerr := a.acquire(ctx, "acme", 1)
+		if aerr != nil {
+			t.Error(aerr)
+			admitted <- nil
+			return
+		}
+		admitted <- r
+	}()
+	select {
+	case <-admitted:
+		t.Fatal("second acquire did not block while the slot was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if got := a.depth("acme"); got != 2 {
+		t.Fatalf("depth = %d, want 2 (one running, one queued)", got)
+	}
+	release()
+	select {
+	case r := <-admitted:
+		if r != nil {
+			r()
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued acquire never admitted after release")
+	}
+}
+
+func TestAdmissionHonoursContextWhileQueued(t *testing.T) {
+	a := newAdmission(1, 2)
+	release, aerr := a.acquire(context.Background(), "acme", 1)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *Error, 1)
+	go func() {
+		_, aerr := a.acquire(ctx, "acme", 1)
+		done <- aerr
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case aerr := <-done:
+		if aerr == nil || aerr.Status != http.StatusServiceUnavailable {
+			t.Fatalf("cancelled acquire returned %+v, want 503", aerr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled acquire never returned")
+	}
+	if got := a.depth("acme"); got != 1 {
+		t.Fatalf("depth after cancellation = %d, want 1", got)
+	}
+}
+
+func TestAdmissionReleaseIsIdempotent(t *testing.T) {
+	a := newAdmission(1, 1)
+	release, aerr := a.acquire(context.Background(), "acme", 1)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	release()
+	release() // double release must not free a second slot or go negative
+	if got := a.depth("acme"); got != 0 {
+		t.Fatalf("depth = %d, want 0", got)
+	}
+	r, aerr := a.acquire(context.Background(), "acme", 1)
+	if aerr != nil {
+		t.Fatal(aerr)
+	}
+	r()
+}

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// CachedRelease is the tenant-independent part of a published release — the
+// payload the cache stores and the journal persists. Everything here is
+// already DP-protected output or public metadata, so serving it again (to
+// any tenant) discloses nothing new and spends no ε: the noise was drawn
+// once, for this exact (fingerprint, ε, seed), and re-randomizing it would
+// only hand an attacker fresh observations of the same sensitive value.
+type CachedRelease struct {
+	// Query names the released plan (the request's plan name, or a
+	// fingerprint-derived handle for ad-hoc plans).
+	Query string `json:"query"`
+	// Fingerprint is the canonical plan identity (sql.Fingerprint).
+	Fingerprint string `json:"fingerprint"`
+	// Epsilon and Seed complete the cache key.
+	Epsilon float64 `json:"epsilon"`
+	Seed    uint64  `json:"seed"`
+	// Output is the noisy released vector; SampleSize the effective n.
+	Output     []float64 `json:"output"`
+	SampleSize int       `json:"sampleSize"`
+	// Charged is the ε the original admission spent — what every cache hit
+	// avoids re-spending.
+	Charged float64 `json:"charged"`
+}
+
+// CacheKey derives the release-cache key from the canonical plan
+// fingerprint, the exact ε bits (no formatting round-trip), and the seed.
+func CacheKey(fingerprint string, epsilon float64, seed uint64) string {
+	return fmt.Sprintf("%s|%016x|%d", fingerprint, math.Float64bits(epsilon), seed)
+}
+
+// Cache is the bounded release cache. Eviction is FIFO over insertion
+// order — dashboards re-request recent releases, and FIFO keeps replay
+// deterministic (replaying the same journal reproduces the same resident
+// set, in order, regardless of hit patterns).
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]CachedRelease
+	order   []string
+	hits    uint64
+	misses  uint64
+}
+
+// NewCache returns a cache bounded to capacity entries (values below one
+// fall back to one).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, entries: make(map[string]CachedRelease)}
+}
+
+// lookup returns the cached release for key, if resident.
+func (c *Cache) lookup(key string) (CachedRelease, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rel, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rel, ok
+}
+
+// store inserts the release under key, evicting the oldest entry past
+// capacity. Re-storing a resident key refreshes the payload in place.
+func (c *Cache) store(key string, rel CachedRelease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, rel)
+}
+
+func (c *Cache) storeLocked(key string, rel CachedRelease) {
+	if _, ok := c.entries[key]; !ok {
+		c.order = append(c.order, key)
+		for len(c.order) > c.cap {
+			evict := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, evict)
+		}
+	}
+	c.entries[key] = rel
+}
+
+// replay inserts a journal-replayed release without touching hit/miss
+// accounting.
+func (c *Cache) replay(key string, rel CachedRelease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storeLocked(key, rel)
+}
+
+// Len reports the resident entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports cumulative lookup hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// compact renders the resident entries as replayable journal entries in
+// insertion order.
+func (c *Cache) compact() []entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]entry, 0, len(c.order))
+	for _, key := range c.order {
+		rel := c.entries[key]
+		out = append(out, entry{Kind: entryRelease, Key: key, Release: &rel})
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCacheKeyDistinguishesComponents(t *testing.T) {
+	base := CacheKey("fp", 0.1, 1)
+	for name, other := range map[string]string{
+		"fingerprint": CacheKey("fq", 0.1, 1),
+		"epsilon":     CacheKey("fp", 0.2, 1),
+		"seed":        CacheKey("fp", 0.1, 2),
+	} {
+		if other == base {
+			t.Errorf("cache key ignores %s", name)
+		}
+	}
+	// ε is keyed by exact bits, not formatting: nearby floats differ.
+	if CacheKey("fp", 0.1, 1) == CacheKey("fp", 0.1+1e-17, 1) {
+		// 0.1+1e-17 rounds to the same float64; pick a genuinely different one
+		t.Skip("identical float64s")
+	}
+	if CacheKey("fp", 0.30000000000000004, 1) == CacheKey("fp", 0.3, 1) {
+		t.Error("cache key collapses distinct ε bit patterns")
+	}
+}
+
+func TestCacheFIFOEviction(t *testing.T) {
+	c := NewCache(2)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.store(key, CachedRelease{Query: key})
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.lookup("k0"); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	for _, key := range []string{"k1", "k2"} {
+		if _, ok := c.lookup(key); !ok {
+			t.Fatalf("%s evicted out of FIFO order", key)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (2, 1)", hits, misses)
+	}
+}
+
+func TestCacheRestoreRefreshesInPlace(t *testing.T) {
+	c := NewCache(2)
+	c.store("k", CachedRelease{Query: "a"})
+	c.store("k", CachedRelease{Query: "b"})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	rel, _ := c.lookup("k")
+	if rel.Query != "b" {
+		t.Fatalf("re-store did not refresh: %q", rel.Query)
+	}
+}
+
+func TestCacheReplayBypassesStats(t *testing.T) {
+	c := NewCache(2)
+	c.replay("k", CachedRelease{Query: "a"})
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("replay moved stats: (%d, %d)", hits, misses)
+	}
+	if _, ok := c.lookup("k"); !ok {
+		t.Fatal("replayed entry not resident")
+	}
+}
+
+func TestCacheCompactPreservesInsertionOrder(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 3; i++ {
+		c.store(fmt.Sprintf("k%d", i), CachedRelease{Query: fmt.Sprintf("q%d", i)})
+	}
+	entries := c.compact()
+	if len(entries) != 3 {
+		t.Fatalf("compact entries = %d", len(entries))
+	}
+	for i, e := range entries {
+		if e.Kind != entryRelease || e.Key != fmt.Sprintf("k%d", i) {
+			t.Fatalf("entry %d out of order: %+v", i, e)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Entry kinds of the persistence log. One entry type serves both the
+// append-only journal and the snapshot (a snapshot is just a compacted
+// entry sequence), so restart replay is a single code path.
+const (
+	entryTenant  = "tenant"  // register/re-budget a tenant
+	entryCharge  = "charge"  // admission charged (tenant, user) eps
+	entryRefund  = "refund"  // a failed release returned its charge
+	entryRelease = "release" // a release was published under Key
+)
+
+// entry is one persisted ledger/cache movement.
+type entry struct {
+	// Seq orders entries across the snapshot/journal boundary; assigned by
+	// the Store on append.
+	Seq  uint64 `json:"seq"`
+	Kind string `json:"kind"`
+	// Tenant/User/Eps describe ledger movements; Budget/UserBudget ride on
+	// registrations.
+	Tenant     string  `json:"tenant,omitempty"`
+	User       string  `json:"user,omitempty"`
+	Eps        float64 `json:"eps,omitempty"`
+	Budget     float64 `json:"budget,omitempty"`
+	UserBudget float64 `json:"userBudget,omitempty"`
+	// Key and Release carry a published release into the cache.
+	Key     string         `json:"key,omitempty"`
+	Release *CachedRelease `json:"release,omitempty"`
+}
+
+// snapshotFile is the JSON shape of the snapshot: the sequence number the
+// compaction happened at plus the compacted entry list.
+type snapshotFile struct {
+	Seq     uint64  `json:"seq"`
+	Entries []entry `json:"entries"`
+}
+
+// Store persists the serving state as a JSON snapshot plus an append-only
+// JSONL journal of everything since: every ledger charge/refund/registration
+// and every published release is appended as it happens, and a restart
+// replays snapshot entries then journal entries in order. Flush compacts
+// the current state into a fresh snapshot and truncates the journal — the
+// graceful-shutdown path — but an unflushed crash loses nothing: the
+// journal already holds every movement.
+type Store struct {
+	mu          sync.Mutex
+	snapPath    string
+	journalPath string
+	journal     *os.File
+	seq         uint64
+}
+
+// OpenStore opens (or creates) the persistence pair rooted at path: the
+// snapshot lives at path, the journal at path+".journal". It returns the
+// store and the full replay sequence — snapshot entries first, then
+// journal entries — which the caller feeds through Ledger.replayEntry and
+// Cache.replay before serving.
+func OpenStore(path string) (*Store, []entry, error) {
+	if path == "" {
+		return nil, nil, fmt.Errorf("serve: empty store path")
+	}
+	st := &Store{snapPath: path, journalPath: path + ".journal"}
+
+	var replay []entry
+	snap, err := readSnapshot(st.snapPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap != nil {
+		replay = append(replay, snap.Entries...)
+		st.seq = snap.Seq
+	}
+	journalEntries, err := readJournal(st.journalPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, e := range journalEntries {
+		replay = append(replay, e)
+		if e.Seq > st.seq {
+			st.seq = e.Seq
+		}
+	}
+
+	f, err := os.OpenFile(st.journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.journal = f
+	return st, replay, nil
+}
+
+// readSnapshot loads the snapshot file, nil when absent.
+func readSnapshot(path string) (*snapshotFile, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", path, err)
+	}
+	return &snap, nil
+}
+
+// readJournal loads every complete journal line. A torn final line (the
+// process died mid-append) is tolerated and dropped: its movement never
+// returned success to a client.
+func readJournal(path string) ([]entry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// Torn tail: stop replay here rather than failing the boot.
+			break
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Append assigns the next sequence number and writes the entry as one
+// journal line.
+func (st *Store) Append(e entry) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return fmt.Errorf("serve: store is closed")
+	}
+	st.seq++
+	e.Seq = st.seq
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := st.journal.Write(line); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Flush writes the compacted state as a fresh snapshot (atomically, via
+// rename) and truncates the journal. Call it on graceful shutdown or
+// periodically; the journal alone is always sufficient for replay.
+func (st *Store) Flush(compacted []entry) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := snapshotFile{Seq: st.seq, Entries: compacted}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := st.snapPath + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, st.snapPath); err != nil {
+		return err
+	}
+	if st.journal != nil {
+		if err := st.journal.Truncate(0); err != nil {
+			return err
+		}
+		if _, err := st.journal.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close closes the journal file. It does not flush: callers decide whether
+// shutdown compacts (Service.Close does).
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal == nil {
+		return nil
+	}
+	err := st.journal.Close()
+	st.journal = nil
+	return err
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildPersisted creates a store-backed ledger, runs movements through it,
+// and returns the ledger (for expected state) with the store left open.
+func buildPersisted(t *testing.T, path string) (*Ledger, *Store) {
+	t.Helper()
+	st, replay, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != 0 {
+		t.Fatalf("fresh store replayed %d entries", len(replay))
+	}
+	l := NewLedger(st.Append)
+	if err := l.Register("acme", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ChargeAdmission("acme", "u1", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ChargeAdmission("acme", "u2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RefundAdmission("acme", "u2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	return l, st
+}
+
+func reopenAndReplay(t *testing.T, path string) (*Ledger, *Cache, *Store) {
+	t.Helper()
+	st, replay, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLedger(nil)
+	c := NewCache(16)
+	for _, e := range replay {
+		if e.Kind == entryRelease {
+			if e.Release != nil {
+				c.replay(e.Key, *e.Release)
+			}
+			continue
+		}
+		l.replayEntry(e)
+	}
+	return l, c, st
+}
+
+func TestStoreJournalReplayReconstructsLedger(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l, st := buildPersisted(t, path)
+	want := l.Report()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, _, st2 := reopenAndReplay(t, path)
+	defer st2.Close()
+	if got := replayed.Report(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("journal replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestStoreFlushCompactsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l, st := buildPersisted(t, path)
+	want := l.Report()
+
+	rel := CachedRelease{Query: "q", Fingerprint: "f", Epsilon: 0.25, Seed: 7, Output: []float64{3.5}, SampleSize: 4, Charged: 0.25}
+	if err := st.Append(entry{Kind: entryRelease, Key: CacheKey("f", 0.25, 7), Release: &rel}); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(16)
+	cache.replay(CacheKey("f", 0.25, 7), rel)
+
+	if err := st.Flush(append(l.compact(), cache.compact()...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The journal is truncated: everything lives in the snapshot now.
+	if data, err := os.ReadFile(path + ".journal"); err != nil || len(data) != 0 {
+		t.Fatalf("journal after flush: %d bytes, err %v", len(data), err)
+	}
+
+	replayed, rcache, st2 := reopenAndReplay(t, path)
+	defer st2.Close()
+	if got := replayed.Report(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+	got, ok := rcache.lookup(CacheKey("f", 0.25, 7))
+	if !ok || !reflect.DeepEqual(got, rel) {
+		t.Fatalf("snapshot did not restore the cached release: %+v ok=%v", got, ok)
+	}
+}
+
+func TestStoreToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l, st := buildPersisted(t, path)
+	want := l.Report()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, non-JSON final line.
+	f, err := os.OpenFile(path+".journal", os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":99,"kind":"char`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, _, st2 := reopenAndReplay(t, path)
+	defer st2.Close()
+	if got := replayed.Report(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn-tail replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestStoreSequenceSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	_, st := buildPersisted(t, path)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, replay, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	maxSeq := uint64(0)
+	for _, e := range replay {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+	}
+	if err := st2.Append(entry{Kind: entryCharge, Tenant: "acme", User: "u3", Eps: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readJournal(path + ".journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := entries[len(entries)-1]
+	if last.Seq != maxSeq+1 {
+		t.Fatalf("appended seq = %d, want %d", last.Seq, maxSeq+1)
+	}
+}

@@ -1,0 +1,333 @@
+// Package serve is UPA's multi-tenant DP query service: the serving layer
+// between untrusted analysts and the release machinery. It owns the three
+// decisions a production deployment must make before any computation runs —
+//
+//	may this tenant/user still spend ε?   (hierarchical budget ledger)
+//	may this query run right now?         (admission control, backpressure)
+//	has this exact release been computed? (release cache, zero re-spend)
+//
+// — and makes each one explicit and observable: budget exhaustion and
+// queue overflow are 429 decisions with Retry-After hints, never silent
+// failures (the deployment drift Munilla Garrido et al. document), and
+// every ledger movement lands in an append-only journal that replays on
+// restart, so a service bounce can neither erase spend nor change what a
+// cached release returns.
+//
+// Budgets follow the person-level discipline of Knop & Steinke: each user's
+// contribution is bounded *before* the query runs — admission charges the
+// user's ledger up front and refunds only when the release provably never
+// happened — rather than accounted per-record after the fact.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Budget-admission sentinels. Callers branch on these with errors.Is; the
+// wrapped messages carry the tenant/user and the shortfall.
+var (
+	// ErrUnknownTenant rejects queries from tenants never registered.
+	ErrUnknownTenant = errors.New("serve: unknown tenant")
+	// ErrTenantBudget rejects a charge the tenant's total budget cannot cover.
+	ErrTenantBudget = errors.New("serve: tenant privacy budget exhausted")
+	// ErrUserBudget rejects a charge the per-user budget cannot cover.
+	ErrUserBudget = errors.New("serve: user privacy budget exhausted")
+)
+
+// budgetSlack absorbs float accumulation error in budget comparisons, the
+// same tolerance the session-level ledger uses.
+const budgetSlack = 1e-12
+
+// Ledger is the hierarchical ε ledger: tenant → user. Every successful
+// release charges exactly one (tenant, user) pair; the tenant's spend is by
+// construction the sum of its users' spends. A Ledger is safe for
+// concurrent use.
+//
+// Mutation discipline (enforced by the epsiloncharge analyzer): the raw
+// spentEps fields move only through applyDelta and are read only through
+// spentLocked; applyDelta is reachable only from ChargeAdmission,
+// RefundAdmission and replayEntry; and ChargeAdmission/RefundAdmission may
+// be called only from the Service's blessed admission site.
+type Ledger struct {
+	mu      sync.Mutex
+	tenants map[string]*tenantLedger
+	// persist, when non-nil, appends one journal entry per ledger movement
+	// (registration, charge, refund). Replayed movements bypass it.
+	persist func(entry) error
+}
+
+// tenantLedger is one tenant's budget state.
+type tenantLedger struct {
+	budget     float64 // total ε across all the tenant's users; 0 = unlimited
+	userBudget float64 // ε cap per user; 0 = unlimited
+	spentEps   float64
+	users      map[string]*userLedger
+}
+
+// userLedger is one user's spend under a tenant.
+type userLedger struct {
+	spentEps float64
+}
+
+// NewLedger returns an empty ledger. persist, when non-nil, receives one
+// journal entry per ledger movement.
+func NewLedger(persist func(entry) error) *Ledger {
+	return &Ledger{tenants: make(map[string]*tenantLedger), persist: persist}
+}
+
+// applyDelta is the single mutation point of the raw spend counters: eps
+// (positive for charges, negative for refunds) lands on the tenant and, in
+// lockstep, on the user. Callers hold l.mu.
+func applyDelta(t *tenantLedger, u *userLedger, eps float64) {
+	t.spentEps += eps
+	u.spentEps += eps
+}
+
+// spentLocked is the single read point of the raw spend counters. Callers
+// hold l.mu.
+func spentLocked(t *tenantLedger, u *userLedger) (tenantSpent, userSpent float64) {
+	if u == nil {
+		return t.spentEps, 0
+	}
+	return t.spentEps, u.spentEps
+}
+
+// Register creates (or re-budgets) a tenant. budget is the tenant's total ε
+// across all users, userBudget the ε cap per user; zero means unlimited at
+// that level. Registration is idempotent — re-registering with the same
+// budgets is a no-op — and journaled, so a replayed journal reconstructs
+// the registry.
+func (l *Ledger) Register(tenant string, budget, userBudget float64) error {
+	if tenant == "" {
+		return fmt.Errorf("serve: empty tenant name")
+	}
+	if budget < 0 || userBudget < 0 {
+		return fmt.Errorf("serve: tenant %q budgets must be non-negative (got %v, %v)", tenant, budget, userBudget)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t, ok := l.tenants[tenant]; ok && t.budget == budget && t.userBudget == userBudget {
+		return nil
+	}
+	l.registerLocked(tenant, budget, userBudget)
+	if l.persist != nil {
+		return l.persist(entry{Kind: entryTenant, Tenant: tenant, Budget: budget, UserBudget: userBudget})
+	}
+	return nil
+}
+
+// registerLocked creates or re-budgets the tenant. Callers hold l.mu.
+func (l *Ledger) registerLocked(tenant string, budget, userBudget float64) {
+	t, ok := l.tenants[tenant]
+	if !ok {
+		t = &tenantLedger{users: make(map[string]*userLedger)}
+		l.tenants[tenant] = t
+	}
+	t.budget, t.userBudget = budget, userBudget
+}
+
+// Has reports whether the tenant is registered.
+func (l *Ledger) Has(tenant string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.tenants[tenant]
+	return ok
+}
+
+// ChargeAdmission spends eps from tenant's and user's budgets, atomically
+// and exactly once, before the release computes: it fails — leaving both
+// ledgers untouched — when either level cannot cover the charge, so a
+// rejected query provably spends nothing. The charge is journaled before
+// the call returns; if journaling fails the charge is rolled back and the
+// query must not run (fail closed: an unrecorded charge would be forgotten
+// by a restart).
+func (l *Ledger) ChargeAdmission(tenant, user string, eps float64) error {
+	if eps <= 0 {
+		return fmt.Errorf("serve: charge must be positive, got %v", eps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	u, ok := t.users[user]
+	if !ok {
+		u = &userLedger{}
+		t.users[user] = u
+	}
+	tenantSpent, userSpent := spentLocked(t, u)
+	if t.budget > 0 && tenantSpent+eps > t.budget+budgetSlack {
+		return fmt.Errorf("%w: tenant %q spent %.6g of %.6g, charge %.6g does not fit",
+			ErrTenantBudget, tenant, tenantSpent, t.budget, eps)
+	}
+	if t.userBudget > 0 && userSpent+eps > t.userBudget+budgetSlack {
+		return fmt.Errorf("%w: user %q under tenant %q spent %.6g of %.6g, charge %.6g does not fit",
+			ErrUserBudget, user, tenant, userSpent, t.userBudget, eps)
+	}
+	applyDelta(t, u, eps)
+	if l.persist != nil {
+		if err := l.persist(entry{Kind: entryCharge, Tenant: tenant, User: user, Eps: eps}); err != nil {
+			applyDelta(t, u, -eps)
+			return fmt.Errorf("serve: journal charge: %w", err)
+		}
+	}
+	return nil
+}
+
+// RefundAdmission returns a previously admitted charge after the release
+// failed before publishing anything. Like the charge it reverses, the
+// refund is journaled; a journaling failure leaves the charge standing
+// (over-counting spend is safe, under-counting is not).
+func (l *Ledger) RefundAdmission(tenant, user string, eps float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.tenants[tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	u, ok := t.users[user]
+	if !ok {
+		return fmt.Errorf("serve: refund for unknown user %q under tenant %q", user, tenant)
+	}
+	applyDelta(t, u, -eps)
+	if l.persist != nil {
+		if err := l.persist(entry{Kind: entryRefund, Tenant: tenant, User: user, Eps: eps}); err != nil {
+			return fmt.Errorf("serve: journal refund: %w", err)
+		}
+	}
+	return nil
+}
+
+// replayEntry applies one journal entry to the in-memory state without
+// re-journaling it — the restart path. Unknown-tenant charges register the
+// tenant with unlimited budgets first; the registration entry that follows
+// in any complete journal re-budgets it.
+func (l *Ledger) replayEntry(e entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch e.Kind {
+	case entryTenant:
+		l.registerLocked(e.Tenant, e.Budget, e.UserBudget)
+	case entryCharge, entryRefund:
+		t, ok := l.tenants[e.Tenant]
+		if !ok {
+			l.registerLocked(e.Tenant, 0, 0)
+			t = l.tenants[e.Tenant]
+		}
+		u, ok := t.users[e.User]
+		if !ok {
+			u = &userLedger{}
+			t.users[e.User] = u
+		}
+		eps := e.Eps
+		if e.Kind == entryRefund {
+			eps = -eps
+		}
+		applyDelta(t, u, eps)
+	}
+}
+
+// UserBudgetReport is one user's row of a budget report.
+type UserBudgetReport struct {
+	User      string  `json:"user"`
+	Spent     float64 `json:"spent"`
+	Remaining float64 `json:"remaining"` // +Inf serialized as null by reports; see Remaining
+}
+
+// TenantBudgetReport is one tenant's budget state as served by GET /budget.
+type TenantBudgetReport struct {
+	Tenant     string             `json:"tenant"`
+	Budget     float64            `json:"budget"`     // 0 = unlimited
+	UserBudget float64            `json:"userBudget"` // 0 = unlimited
+	Spent      float64            `json:"spent"`
+	Remaining  float64            `json:"remaining"` // budget - spent; -1 when unlimited
+	Users      []UserBudgetReport `json:"users"`
+}
+
+// remainingOf converts (budget, spent) into the report convention: -1 means
+// unlimited (JSON has no +Inf), otherwise the non-negative headroom.
+func remainingOf(budget, spent float64) float64 {
+	if budget <= 0 {
+		return -1
+	}
+	return math.Max(0, budget-spent)
+}
+
+// Report snapshots every tenant's budget state, tenants and users sorted by
+// name so the output is deterministic.
+func (l *Ledger) Report() []TenantBudgetReport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]TenantBudgetReport, 0, len(l.tenants))
+	for name, t := range l.tenants {
+		tenantSpent, _ := spentLocked(t, nil)
+		rep := TenantBudgetReport{
+			Tenant:     name,
+			Budget:     t.budget,
+			UserBudget: t.userBudget,
+			Spent:      tenantSpent,
+			Remaining:  remainingOf(t.budget, tenantSpent),
+			Users:      make([]UserBudgetReport, 0, len(t.users)),
+		}
+		for uname, u := range t.users {
+			_, userSpent := spentLocked(t, u)
+			rep.Users = append(rep.Users, UserBudgetReport{
+				User:      uname,
+				Spent:     userSpent,
+				Remaining: remainingOf(t.userBudget, userSpent),
+			})
+		}
+		sort.Slice(rep.Users, func(i, j int) bool { return rep.Users[i].User < rep.Users[j].User })
+		out = append(out, rep)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Remaining reports the headroom left for (tenant, user): -1 at a level
+// means unlimited. Unknown tenants and users report zero spend.
+func (l *Ledger) Remaining(tenant, user string) (tenantRemaining, userRemaining float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.tenants[tenant]
+	if !ok {
+		return 0, 0
+	}
+	tenantSpent, userSpent := spentLocked(t, t.users[user])
+	return remainingOf(t.budget, tenantSpent), remainingOf(t.userBudget, userSpent)
+}
+
+// compact renders the ledger as a minimal entry sequence that replays to
+// the same state: one registration per tenant, one cumulative charge per
+// (tenant, user). Snapshots persist this instead of the raw journal.
+func (l *Ledger) compact() []entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tenants := make([]string, 0, len(l.tenants))
+	for name := range l.tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	var out []entry
+	for _, name := range tenants {
+		t := l.tenants[name]
+		out = append(out, entry{Kind: entryTenant, Tenant: name, Budget: t.budget, UserBudget: t.userBudget})
+		users := make([]string, 0, len(t.users))
+		for uname := range t.users {
+			users = append(users, uname)
+		}
+		sort.Strings(users)
+		for _, uname := range users {
+			// Zero-spend users (fully refunded) still replay: /budget keeps
+			// listing them across a restart.
+			_, spent := spentLocked(t, t.users[uname])
+			out = append(out, entry{Kind: entryCharge, Tenant: name, User: uname, Eps: spent})
+		}
+	}
+	return out
+}

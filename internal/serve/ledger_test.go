@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestLedgerChargeRefundConservation(t *testing.T) {
+	l := NewLedger(nil)
+	if err := l.Register("acme", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ChargeAdmission("acme", "u1", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ChargeAdmission("acme", "u2", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	rep := l.Report()
+	if len(rep) != 1 || rep[0].Spent != 0.5 {
+		t.Fatalf("tenant spent = %+v, want 0.5", rep)
+	}
+	if err := l.RefundAdmission("acme", "u2", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	rep = l.Report()
+	if rep[0].Spent != 0.25 {
+		t.Fatalf("tenant spent after refund = %v, want 0.25", rep[0].Spent)
+	}
+	// Tenant spend is the sum of user spends by construction.
+	var users float64
+	for _, u := range rep[0].Users {
+		users += u.Spent
+	}
+	if users != rep[0].Spent {
+		t.Fatalf("user spends sum to %v, tenant says %v", users, rep[0].Spent)
+	}
+}
+
+func TestLedgerBudgetRejectionLeavesStateUntouched(t *testing.T) {
+	l := NewLedger(nil)
+	if err := l.Register("acme", 0.5, 0.25); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-user cap: second charge for the same user does not fit.
+	if err := l.ChargeAdmission("acme", "u1", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	err := l.ChargeAdmission("acme", "u1", 0.25)
+	if !errors.Is(err, ErrUserBudget) {
+		t.Fatalf("err = %v, want ErrUserBudget", err)
+	}
+	if got := l.Report()[0].Spent; got != 0.25 {
+		t.Fatalf("rejected charge moved the ledger: spent = %v", got)
+	}
+
+	// Tenant cap: a second user exhausts the tenant's total.
+	if err := l.ChargeAdmission("acme", "u2", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	err = l.ChargeAdmission("acme", "u3", 0.25)
+	if !errors.Is(err, ErrTenantBudget) {
+		t.Fatalf("err = %v, want ErrTenantBudget", err)
+	}
+	if err := l.ChargeAdmission("nope", "u", 0.1); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("err = %v, want ErrUnknownTenant", err)
+	}
+}
+
+func TestLedgerRegisterValidation(t *testing.T) {
+	l := NewLedger(nil)
+	if err := l.Register("", 1, 1); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	if err := l.Register("x", -1, 0); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if err := l.ChargeAdmission("x", "u", 0); err == nil {
+		t.Fatal("zero charge accepted")
+	}
+}
+
+func TestLedgerCompactReplayRoundTrip(t *testing.T) {
+	l := NewLedger(nil)
+	if err := l.Register("acme", 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("beta", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		tenant, user string
+		eps          float64
+	}{{"acme", "u1", 0.25}, {"acme", "u2", 0.5}, {"beta", "v", 0.125}} {
+		if err := l.ChargeAdmission(c.tenant, c.user, c.eps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.RefundAdmission("acme", "u2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed := NewLedger(nil)
+	for _, e := range l.compact() {
+		replayed.replayEntry(e)
+	}
+	if got, want := replayed.Report(), l.Report(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("compact+replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestLedgerRemaining(t *testing.T) {
+	l := NewLedger(nil)
+	if err := l.Register("acme", 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Register("open", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.ChargeAdmission("acme", "u", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	tr, ur := l.Remaining("acme", "u")
+	if tr != 0.75 || ur != 0.25 {
+		t.Fatalf("remaining = (%v, %v), want (0.75, 0.25)", tr, ur)
+	}
+	tr, ur = l.Remaining("open", "anyone")
+	if tr != -1 || ur != -1 {
+		t.Fatalf("unlimited remaining = (%v, %v), want (-1, -1)", tr, ur)
+	}
+}

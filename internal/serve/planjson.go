@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"upa/internal/sql"
+)
+
+// This file decodes the wire form of a relational plan — the body of
+// POST /query — into an internal/sql Plan over a registry of named base
+// relations. The wire AST mirrors the sql constructors one-to-one:
+//
+//	{"op":"aggregate","aggs":[{"name":"n","func":"count"}],
+//	 "input":{"op":"filter",
+//	          "pred":{"op":"lt","left":{"col":"l_commitdate"},
+//	                           "right":{"col":"l_receiptdate"}},
+//	          "input":{"op":"scan","table":"lineitem"}}}
+//
+// Scans reference tables by name only — analysts never ship rows — and
+// resolve against the service's table registry, so a plan can only read
+// relations the operator chose to expose.
+
+// planNode is the wire form of one plan operator.
+type planNode struct {
+	Op string `json:"op"`
+	// scan
+	Table string `json:"table,omitempty"`
+	// unary operators
+	Input *planNode `json:"input,omitempty"`
+	// filter
+	Pred *exprNode `json:"pred,omitempty"`
+	// project
+	Exprs []namedExprNode `json:"exprs,omitempty"`
+	// join
+	Left     *planNode `json:"left,omitempty"`
+	Right    *planNode `json:"right,omitempty"`
+	LeftKey  string    `json:"leftKey,omitempty"`
+	RightKey string    `json:"rightKey,omitempty"`
+	// aggregate
+	GroupBy []string  `json:"groupBy,omitempty"`
+	Aggs    []aggNode `json:"aggs,omitempty"`
+	// limit
+	N int `json:"n,omitempty"`
+	// orderby
+	Keys []sortKeyNode `json:"keys,omitempty"`
+}
+
+// namedExprNode is one projected expression.
+type namedExprNode struct {
+	Name string    `json:"name"`
+	Expr *exprNode `json:"expr"`
+}
+
+// aggNode is one aggregate spec.
+type aggNode struct {
+	Name string    `json:"name"`
+	Func string    `json:"func"`
+	Arg  *exprNode `json:"arg,omitempty"`
+}
+
+// sortKeyNode is one ORDER BY key.
+type sortKeyNode struct {
+	Column string `json:"column"`
+	Desc   bool   `json:"desc,omitempty"`
+}
+
+// exprNode is the wire form of one scalar expression. Exactly one of the
+// shorthand fields (col / one literal) or op must be set.
+type exprNode struct {
+	// Shorthand: {"col":"l_quantity"} references a column.
+	Col string `json:"col,omitempty"`
+	// Shorthand literals: {"int":3}, {"float":0.5}, {"str":"x"}, {"bool":true}.
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Str   *string  `json:"str,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+	// Operators: and/or/not, eq/ne/lt/le/gt/ge, add/sub/mul/div.
+	Op    string    `json:"op,omitempty"`
+	Left  *exprNode `json:"left,omitempty"`
+	Right *exprNode `json:"right,omitempty"`
+	// not
+	Input *exprNode `json:"input,omitempty"`
+}
+
+// DecodePlan parses the wire form of a plan and resolves its scans against
+// tables. Errors are analyst errors (malformed AST, unknown table/operator)
+// and map to 400s.
+func DecodePlan(raw []byte, tables map[string]*sql.ScanPlan) (sql.Plan, error) {
+	var node planNode
+	if err := json.Unmarshal(raw, &node); err != nil {
+		return nil, fmt.Errorf("serve: malformed plan JSON: %w", err)
+	}
+	return buildPlan(&node, tables)
+}
+
+func buildPlan(n *planNode, tables map[string]*sql.ScanPlan) (sql.Plan, error) {
+	if n == nil {
+		return nil, fmt.Errorf("serve: missing plan node")
+	}
+	unary := func() (sql.Plan, error) { return buildPlan(n.Input, tables) }
+	switch n.Op {
+	case "scan":
+		scan, ok := tables[n.Table]
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown table %q", n.Table)
+		}
+		return scan, nil
+	case "filter":
+		in, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		pred, err := buildExpr(n.Pred)
+		if err != nil {
+			return nil, err
+		}
+		return sql.Where(in, pred), nil
+	case "project":
+		in, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		exprs := make([]sql.NamedExpr, len(n.Exprs))
+		for i, ne := range n.Exprs {
+			e, err := buildExpr(ne.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if ne.Name == "" {
+				return nil, fmt.Errorf("serve: projection %d has no name", i)
+			}
+			exprs[i] = sql.NamedExpr{Name: ne.Name, Expr: e}
+		}
+		return sql.Project(in, exprs...), nil
+	case "join":
+		left, err := buildPlan(n.Left, tables)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildPlan(n.Right, tables)
+		if err != nil {
+			return nil, err
+		}
+		if n.LeftKey == "" || n.RightKey == "" {
+			return nil, fmt.Errorf("serve: join needs leftKey and rightKey")
+		}
+		return sql.JoinOn(left, n.LeftKey, right, n.RightKey), nil
+	case "aggregate":
+		in, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		aggs := make([]sql.AggSpec, len(n.Aggs))
+		for i, a := range n.Aggs {
+			fn, err := aggFuncOf(a.Func)
+			if err != nil {
+				return nil, err
+			}
+			spec := sql.AggSpec{Name: a.Name, Func: fn}
+			if a.Arg != nil {
+				arg, err := buildExpr(a.Arg)
+				if err != nil {
+					return nil, err
+				}
+				spec.Arg = arg
+			}
+			aggs[i] = spec
+		}
+		return sql.GroupBy(in, n.GroupBy, aggs...), nil
+	case "distinct":
+		in, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		return sql.Distinct(in), nil
+	case "limit":
+		in, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		return sql.Limit(in, n.N), nil
+	case "orderby":
+		in, err := unary()
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]sql.SortKey, len(n.Keys))
+		for i, k := range n.Keys {
+			keys[i] = sql.SortKey{Column: k.Column, Desc: k.Desc}
+		}
+		return sql.OrderBy(in, keys...), nil
+	case "":
+		return nil, fmt.Errorf("serve: plan node missing \"op\"")
+	default:
+		return nil, fmt.Errorf("serve: unknown plan operator %q", n.Op)
+	}
+}
+
+func aggFuncOf(name string) (sql.AggFunc, error) {
+	switch name {
+	case "count":
+		return sql.AggCount, nil
+	case "sum":
+		return sql.AggSum, nil
+	case "avg":
+		return sql.AggAvg, nil
+	case "min":
+		return sql.AggMin, nil
+	case "max":
+		return sql.AggMax, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown aggregate function %q", name)
+	}
+}
+
+func buildExpr(n *exprNode) (sql.Expr, error) {
+	if n == nil {
+		return nil, fmt.Errorf("serve: missing expression")
+	}
+	// Shorthands first: a node with col or a literal field set is a leaf.
+	if n.Col != "" {
+		return sql.Col(n.Col), nil
+	}
+	switch {
+	case n.Int != nil:
+		return sql.Lit(sql.Int(*n.Int)), nil
+	case n.Float != nil:
+		return sql.Lit(sql.Float(*n.Float)), nil
+	case n.Str != nil:
+		return sql.Lit(sql.Str(*n.Str)), nil
+	case n.Bool != nil:
+		return sql.Lit(sql.Bool(*n.Bool)), nil
+	}
+	if n.Op == "not" {
+		in, err := buildExpr(n.Input)
+		if err != nil {
+			return nil, err
+		}
+		return sql.Not(in), nil
+	}
+	binary := map[string]func(a, b sql.Expr) sql.Expr{
+		"add": sql.Add, "sub": sql.Sub, "mul": sql.Mul, "div": sql.Div,
+		"eq": sql.Eq, "ne": sql.Ne, "lt": sql.Lt, "le": sql.Le, "gt": sql.Gt, "ge": sql.Ge,
+		"and": sql.And, "or": sql.Or,
+	}
+	build, ok := binary[n.Op]
+	if !ok {
+		if n.Op == "" {
+			return nil, fmt.Errorf("serve: expression node is neither a column, a literal, nor an operator")
+		}
+		return nil, fmt.Errorf("serve: unknown expression operator %q", n.Op)
+	}
+	left, err := buildExpr(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := buildExpr(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	return build(left, right), nil
+}

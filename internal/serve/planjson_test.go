@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"upa/internal/mapreduce"
+	"upa/internal/sql"
+)
+
+func testTables() map[string]*sql.ScanPlan {
+	people := sql.Scan("people",
+		sql.Schema{{Name: "age", Kind: sql.KindInt}, {Name: "city", Kind: sql.KindString}},
+		[]sql.Row{
+			{sql.Int(31), sql.Str("ny")},
+			{sql.Int(22), sql.Str("sf")},
+			{sql.Int(45), sql.Str("ny")},
+			{sql.Int(28), sql.Str("la")},
+		})
+	return map[string]*sql.ScanPlan{"people": people}
+}
+
+const countOver30JSON = `{
+  "op": "aggregate",
+  "aggs": [{"name": "n", "func": "count"}],
+  "input": {
+    "op": "filter",
+    "pred": {"op": "gt", "left": {"col": "age"}, "right": {"int": 30}},
+    "input": {"op": "scan", "table": "people"}
+  }
+}`
+
+func TestDecodePlanMatchesConstructedPlan(t *testing.T) {
+	tables := testTables()
+	decoded, err := DecodePlan([]byte(countOver30JSON), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built := sql.GroupBy(
+		sql.Where(tables["people"], sql.Gt(sql.Col("age"), sql.Lit(sql.Int(30)))),
+		nil,
+		sql.AggSpec{Name: "n", Func: sql.AggCount},
+	)
+	if got, want := sql.Fingerprint(decoded), sql.Fingerprint(built); got != want {
+		t.Fatalf("decoded plan fingerprint %s != constructed %s", got, want)
+	}
+}
+
+func TestDecodePlanOperatorsRoundTrip(t *testing.T) {
+	tables := testTables()
+	wire := `{
+	  "op": "limit", "n": 2,
+	  "input": {
+	    "op": "orderby", "keys": [{"column": "age", "desc": true}],
+	    "input": {
+	      "op": "distinct",
+	      "input": {
+	        "op": "project",
+	        "exprs": [{"name": "age", "expr": {"col": "age"}}],
+	        "input": {"op": "scan", "table": "people"}
+	      }
+	    }
+	  }
+	}`
+	plan, err := DecodePlan([]byte(wire), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _, err := sql.Execute(mapreduce.NewEngine(), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+}
+
+func TestDecodePlanErrors(t *testing.T) {
+	tables := testTables()
+	cases := map[string]struct {
+		wire string
+		want string
+	}{
+		"unknown table":    {`{"op":"scan","table":"nope"}`, "unknown table"},
+		"unknown operator": {`{"op":"pivot"}`, "unknown plan operator"},
+		"missing op":       {`{"table":"people"}`, "missing \"op\""},
+		"unknown agg":      {`{"op":"aggregate","aggs":[{"name":"n","func":"median"}],"input":{"op":"scan","table":"people"}}`, "unknown aggregate"},
+		"unknown expr op":  {`{"op":"filter","pred":{"op":"xor"},"input":{"op":"scan","table":"people"}}`, "unknown expression operator"},
+		"empty expr":       {`{"op":"filter","pred":{},"input":{"op":"scan","table":"people"}}`, "neither a column"},
+		"malformed JSON":   {`{"op":`, "malformed plan JSON"},
+		"join sans keys":   {`{"op":"join","left":{"op":"scan","table":"people"},"right":{"op":"scan","table":"people"}}`, "leftKey"},
+	}
+	for name, tc := range cases {
+		if _, err := DecodePlan([]byte(tc.wire), tables); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"upa/internal/mapreduce"
+	"upa/internal/sql"
+)
+
+// newTestService builds a service over the small people table. eps charges
+// are powers of two throughout these tests so float accumulation is exact
+// and ledger-conservation checks can use ==.
+func newTestService(t *testing.T, mutate func(*Config), tenants ...TenantSpec) *Service {
+	t.Helper()
+	cfg := Config{
+		Engine:         mapreduce.NewEngine(),
+		Tables:         testTables(),
+		SampleSize:     4,
+		DefaultEpsilon: 0.25,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	if len(tenants) == 0 {
+		tenants = []TenantSpec{{Name: "acme"}}
+	}
+	svc, err := NewService(cfg, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return svc
+}
+
+func countRequest(tenant, user string, eps float64, seed uint64) Request {
+	return Request{
+		Tenant:  tenant,
+		User:    user,
+		Plan:    []byte(countOver30JSON),
+		Epsilon: eps,
+		Seed:    seed,
+	}
+}
+
+func mustQuery(t *testing.T, svc *Service, req Request) *Release {
+	t.Helper()
+	rel, serr := svc.Query(context.Background(), req)
+	if serr != nil {
+		t.Fatalf("query failed: %+v", serr)
+	}
+	return rel
+}
+
+func TestQueryEndToEndAndCacheHit(t *testing.T) {
+	svc := newTestService(t, nil)
+
+	first := mustQuery(t, svc, countRequest("acme", "u1", 0.25, 7))
+	if first.Cached || first.Charged != 0.25 || len(first.Output) != 1 {
+		t.Fatalf("first release = %+v, want uncached, charged 0.25, dim 1", first)
+	}
+	if math.IsNaN(first.Output[0]) {
+		t.Fatal("release output is NaN")
+	}
+	if rep := svc.Report(); rep[0].Spent != 0.25 {
+		t.Fatalf("spend after first release = %v, want 0.25", rep[0].Spent)
+	}
+
+	// Identical request, even from a different user: cache hit, zero ε.
+	second := mustQuery(t, svc, countRequest("acme", "u2", 0.25, 7))
+	if !second.Cached || second.Charged != 0 {
+		t.Fatalf("second release = %+v, want cached with zero charge", second)
+	}
+	if !reflect.DeepEqual(second.Output, first.Output) {
+		t.Fatalf("cache hit output %v != original %v", second.Output, first.Output)
+	}
+	if rep := svc.Report(); rep[0].Spent != 0.25 {
+		t.Fatalf("cache hit moved the ledger: spent = %v", rep[0].Spent)
+	}
+
+	// A different seed is a fresh release and a fresh charge.
+	third := mustQuery(t, svc, countRequest("acme", "u1", 0.25, 8))
+	if third.Cached || third.Charged != 0.25 {
+		t.Fatalf("fresh-seed release = %+v, want uncached charge", third)
+	}
+	if rep := svc.Report(); rep[0].Spent != 0.5 {
+		t.Fatalf("spend after two releases = %v, want 0.5", rep[0].Spent)
+	}
+
+	m := svc.Metrics()
+	if len(m) != 1 || m[0].Admitted != 2 || m[0].CacheHits != 1 || m[0].EpsilonSpent != 0.5 {
+		t.Fatalf("metrics = %+v, want 2 admitted, 1 cache hit, 0.5 spent", m)
+	}
+}
+
+func TestQueryBudgetExhaustedRejectsBeforeComputing(t *testing.T) {
+	svc := newTestService(t, nil, TenantSpec{Name: "acme", Budget: 0.375})
+	mustQuery(t, svc, countRequest("acme", "u1", 0.25, 1))
+
+	before := svc.cfg.Engine.Metrics()
+	rel, serr := svc.Query(context.Background(), countRequest("acme", "u1", 0.25, 2))
+	if serr == nil {
+		t.Fatalf("over-budget query admitted: %+v", rel)
+	}
+	if serr.Status != http.StatusTooManyRequests || serr.RetryAfterSeconds < 1 {
+		t.Fatalf("rejection = %+v, want 429 with Retry-After", serr)
+	}
+	after := svc.cfg.Engine.Metrics()
+	if after.TasksRun != before.TasksRun || after.RecordsMapped != before.RecordsMapped {
+		t.Fatalf("rejected query ran engine work: tasks %d→%d, mapped %d→%d",
+			before.TasksRun, after.TasksRun, before.RecordsMapped, after.RecordsMapped)
+	}
+	if rep := svc.Report(); rep[0].Spent != 0.25 {
+		t.Fatalf("rejected query moved the ledger: spent = %v", rep[0].Spent)
+	}
+	if m := svc.Metrics(); m[0].RejectedBudget != 1 {
+		t.Fatalf("metrics = %+v, want 1 budget rejection", m)
+	}
+	// The cached first release still serves: hits spend nothing, so they
+	// work even with the budget exhausted.
+	hit := mustQuery(t, svc, countRequest("acme", "u1", 0.25, 1))
+	if !hit.Cached {
+		t.Fatal("cache miss for the already-released query")
+	}
+}
+
+func TestQueryPerUserBudgetIsolation(t *testing.T) {
+	svc := newTestService(t, nil, TenantSpec{Name: "acme", UserBudget: 0.25})
+	mustQuery(t, svc, countRequest("acme", "u1", 0.25, 1))
+	if _, serr := svc.Query(context.Background(), countRequest("acme", "u1", 0.25, 2)); serr == nil || serr.Status != http.StatusTooManyRequests {
+		t.Fatalf("user over cap admitted: %+v", serr)
+	}
+	// A sibling user under the same tenant still has headroom.
+	mustQuery(t, svc, countRequest("acme", "u2", 0.25, 3))
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	svc := newTestService(t, nil)
+	ctx := context.Background()
+	cases := map[string]struct {
+		req  Request
+		want int
+	}{
+		"unknown tenant": {countRequest("ghost", "u", 0.25, 1), http.StatusNotFound},
+		"missing user":   {Request{Tenant: "acme", Plan: []byte(countOver30JSON)}, http.StatusBadRequest},
+		"negative eps":   {Request{Tenant: "acme", User: "u", Plan: []byte(countOver30JSON), Epsilon: -1}, http.StatusBadRequest},
+		"no plan":        {Request{Tenant: "acme", User: "u"}, http.StatusBadRequest},
+		"both plans":     {Request{Tenant: "acme", User: "u", PlanName: "x", Plan: []byte(countOver30JSON)}, http.StatusBadRequest},
+		"malformed plan": {Request{Tenant: "acme", User: "u", Plan: []byte(`{"op":"pivot"}`)}, http.StatusBadRequest},
+		"non-count plan": {Request{Tenant: "acme", User: "u", Plan: []byte(`{"op":"scan","table":"people"}`)}, http.StatusBadRequest},
+	}
+	for name, tc := range cases {
+		_, serr := svc.Query(ctx, tc.req)
+		if serr == nil || serr.Status != tc.want {
+			t.Errorf("%s: error = %+v, want status %d", name, serr, tc.want)
+		}
+	}
+	// None of the rejections touched any ledger.
+	for _, rep := range svc.Report() {
+		if rep.Spent != 0 {
+			t.Fatalf("validation rejections spent ε: %+v", rep)
+		}
+	}
+}
+
+// TestQueryRestartReplaysLedgerAndCache is the acceptance scenario: same
+// (plan fingerprint, ε, seed) across a server restart returns the
+// byte-identical release as a cache hit, and the replayed ledger still
+// carries the spend.
+func TestQueryRestartReplaysLedgerAndCache(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.json")
+	tenant := TenantSpec{Name: "acme", Budget: 1}
+	req := countRequest("acme", "u1", 0.25, 42)
+
+	svc1 := newTestService(t, func(c *Config) { c.StatePath = path }, tenant)
+	first := mustQuery(t, svc1, req)
+	if err := svc1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := newTestService(t, func(c *Config) { c.StatePath = path }, tenant)
+	second := mustQuery(t, svc2, req)
+	if !second.Cached {
+		t.Fatal("restart lost the release cache")
+	}
+	if !reflect.DeepEqual(second.Output, first.Output) {
+		t.Fatalf("release changed across restart: %v != %v", second.Output, first.Output)
+	}
+	if rep := svc2.Report(); rep[0].Spent != 0.25 {
+		t.Fatalf("restart lost ledger spend: %v", rep[0].Spent)
+	}
+	// The restart must also replay *unflushed* journal tails: svc2's charge
+	// below is journaled but svc2 is not closed before svc3 opens.
+	mustQuery(t, svc2, countRequest("acme", "u1", 0.25, 43))
+
+	svc3 := newTestService(t, func(c *Config) { c.StatePath = path }, tenant)
+	if rep := svc3.Report(); rep[0].Spent != 0.5 {
+		t.Fatalf("journal-tail replay lost spend: %v, want 0.5", rep[0].Spent)
+	}
+}
+
+// TestQueryRecomputeIsDeterministic checks the stronger property behind the
+// cache: the release is a pure function of (fingerprint, ε, seed), so even a
+// cold server with no persisted state recomputes the identical bytes.
+func TestQueryRecomputeIsDeterministic(t *testing.T) {
+	req := countRequest("acme", "u1", 0.25, 99)
+	a := mustQuery(t, newTestService(t, nil), req)
+	b := mustQuery(t, newTestService(t, nil), req)
+	if !reflect.DeepEqual(a.Output, b.Output) {
+		t.Fatalf("cold recompute diverged: %v != %v", a.Output, b.Output)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints diverged: %s != %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestConcurrentTenantsLedgerConservation hammers the service from N tenants
+// × M users under -race and asserts exact conservation: every tenant's
+// ledger equals 0.25 × (its uncached responses), cache hits spend zero, and
+// outputs agree per cache key.
+func TestConcurrentTenantsLedgerConservation(t *testing.T) {
+	const (
+		tenantsN = 3
+		usersM   = 4
+		perUser  = 4
+		eps      = 0.25
+	)
+	var tenants []TenantSpec
+	for i := 0; i < tenantsN; i++ {
+		tenants = append(tenants, TenantSpec{Name: fmt.Sprintf("t%d", i)})
+	}
+	svc := newTestService(t, func(c *Config) {
+		c.MaxConcurrent = 4
+		c.PerTenantDepth = usersM * perUser // no shedding in this test
+	}, tenants...)
+
+	type outcome struct {
+		tenant  string
+		charged float64
+		seed    uint64
+		output  []float64
+	}
+	results := make(chan outcome, tenantsN*usersM*perUser)
+	var wg sync.WaitGroup
+	for ti := 0; ti < tenantsN; ti++ {
+		for ui := 0; ui < usersM; ui++ {
+			wg.Add(1)
+			go func(ti, ui int) {
+				defer wg.Done()
+				tenant := fmt.Sprintf("t%d", ti)
+				for k := 0; k < perUser; k++ {
+					// Seeds overlap across users of one tenant (k) so cache
+					// hits happen, and differ across tenants (ti) so each
+					// tenant computes its own set.
+					seed := uint64(ti*100 + k)
+					rel, serr := svc.Query(context.Background(), countRequest(tenant, fmt.Sprintf("u%d", ui), eps, seed))
+					if serr != nil {
+						t.Errorf("query %s/%d/%d: %+v", tenant, ui, k, serr)
+						return
+					}
+					results <- outcome{tenant: tenant, charged: rel.Charged, seed: seed, output: rel.Output}
+				}
+			}(ti, ui)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	charged := make(map[string]float64)
+	bySeed := make(map[uint64][]float64)
+	for out := range results {
+		charged[out.tenant] += out.charged
+		if prev, ok := bySeed[out.seed]; ok {
+			if !reflect.DeepEqual(prev, out.output) {
+				t.Fatalf("seed %d released two different outputs: %v vs %v", out.seed, prev, out.output)
+			}
+		} else {
+			bySeed[out.seed] = out.output
+		}
+	}
+	for _, rep := range svc.Report() {
+		if rep.Spent != charged[rep.Tenant] {
+			t.Errorf("tenant %s ledger %v != sum of admitted charges %v", rep.Tenant, rep.Spent, charged[rep.Tenant])
+		}
+		var users float64
+		for _, u := range rep.Users {
+			users += u.Spent
+		}
+		if users != rep.Spent {
+			t.Errorf("tenant %s user spends %v != tenant spend %v", rep.Tenant, users, rep.Spent)
+		}
+	}
+}
+
+// TestAdmissionSoak is the CI soak: sustained load with a tight per-tenant
+// depth so requests genuinely shed, then an exact ledger-conservation check.
+// Gated on UPA_SERVE_SOAK_DIR, where it leaves its journal as an artifact.
+func TestAdmissionSoak(t *testing.T) {
+	dir := os.Getenv("UPA_SERVE_SOAK_DIR")
+	if dir == "" {
+		t.Skip("set UPA_SERVE_SOAK_DIR to run the admission soak")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	const eps = 0.25
+	svc := newTestService(t, func(c *Config) {
+		c.StatePath = filepath.Join(dir, "soak.json")
+		c.MaxConcurrent = 2
+		c.PerTenantDepth = 2
+	}, TenantSpec{Name: "t0"}, TenantSpec{Name: "t1"})
+
+	var (
+		mu         sync.Mutex
+		chargedSum float64
+		shed, hits int
+		admitted   int
+		wg         sync.WaitGroup
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 25; k++ {
+				tenant := fmt.Sprintf("t%d", w%2)
+				rel, serr := svc.Query(context.Background(), countRequest(tenant, fmt.Sprintf("u%d", w), eps, uint64(k%5)))
+				mu.Lock()
+				switch {
+				case serr != nil && serr.Status == http.StatusTooManyRequests:
+					shed++
+				case serr != nil:
+					t.Errorf("soak query failed: %+v", serr)
+				case rel.Cached:
+					hits++
+				default:
+					admitted++
+					chargedSum += rel.Charged
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var ledgerTotal float64
+	for _, rep := range svc.Report() {
+		ledgerTotal += rep.Spent
+	}
+	if ledgerTotal != chargedSum {
+		t.Fatalf("ledger total %v != sum of admitted charges %v (admitted %d, hits %d, shed %d)",
+			ledgerTotal, chargedSum, admitted, hits, shed)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d admitted, %d cache hits, %d shed, ledger %v", admitted, hits, shed, ledgerTotal)
+}
+
+func TestNamedPlanPath(t *testing.T) {
+	tables := testTables()
+	svc := newTestService(t, func(c *Config) {
+		c.NamedPlan = func(name string) (sql.Plan, error) {
+			if name != "over30" {
+				return nil, fmt.Errorf("no plan %q", name)
+			}
+			return sql.GroupBy(
+				sql.Where(tables["people"], sql.Gt(sql.Col("age"), sql.Lit(sql.Int(30)))),
+				nil,
+				sql.AggSpec{Name: "n", Func: sql.AggCount},
+			), nil
+		}
+	})
+	named := mustQuery(t, svc, Request{Tenant: "acme", User: "u", PlanName: "over30", Epsilon: 0.25, Seed: 7})
+	adhoc := mustQuery(t, svc, countRequest("acme", "u", 0.25, 7))
+	// The named and ad-hoc forms are the same plan, so the second is a
+	// cache hit with identical bytes.
+	if !adhoc.Cached || !reflect.DeepEqual(named.Output, adhoc.Output) {
+		t.Fatalf("named/ad-hoc divergence: %+v vs %+v", named, adhoc)
+	}
+	if _, serr := svc.Query(context.Background(), Request{Tenant: "acme", User: "u", PlanName: "ghost"}); serr == nil || serr.Status != http.StatusBadRequest {
+		t.Fatalf("unknown named plan: %+v", serr)
+	}
+}

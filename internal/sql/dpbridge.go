@@ -52,33 +52,29 @@ func CompileDPCountRaw(eng *mapreduce.Engine, plan Plan, protectedTable string) 
 	return compileDPCount(eng, plan, protectedTable, ExecuteRaw)
 }
 
+// dpIdxCol is the hidden row-index column threaded through the protected
+// scan during influence compilation.
+const dpIdxCol = "__protected_idx"
+
 func compileDPCount(eng *mapreduce.Engine, plan Plan, protectedTable string, exec func(*mapreduce.Engine, Plan) ([]Row, Schema, error)) (core.Query[IndexedRow], []IndexedRow, error) {
 	var zero core.Query[IndexedRow]
-	if !isGlobalCount(plan) {
-		return zero, nil, fmt.Errorf("sql: plan is not a global single-count aggregate")
+	// The same structural validation admission control runs pre-charge;
+	// passing it here guarantees the unexported helpers below cannot fail on
+	// shape (the remaining error paths are execution errors).
+	if err := SupportsDPCount(plan, protectedTable); err != nil {
+		return zero, nil, err
 	}
 	agg, err := countRootOf(plan)
 	if err != nil {
 		return zero, nil, err
 	}
-	scans := findScans(agg.Input, protectedTable)
-	if len(scans) == 0 {
-		return zero, nil, fmt.Errorf("sql: protected table %q not found in plan", protectedTable)
-	}
-	if len(scans) > 1 {
-		return zero, nil, fmt.Errorf("sql: protected table %q appears %d times; self-joins on the protected table are not supported", protectedTable, len(scans))
-	}
-	protected := scans[0]
+	protected := findScans(agg.Input, protectedTable)[0]
 
-	const idxCol = "__protected_idx"
-	if _, err := protected.Cols.IndexOf(idxCol); err == nil {
-		return zero, nil, fmt.Errorf("sql: protected table already has a %s column", idxCol)
-	}
-	tagged, err := tagProtectedScan(agg.Input, protected, idxCol)
+	tagged, err := tagProtectedScan(agg.Input, protected, dpIdxCol)
 	if err != nil {
 		return zero, nil, err
 	}
-	perRow := GroupBy(tagged, []string{idxCol}, AggSpec{Name: "influence", Func: AggCount})
+	perRow := GroupBy(tagged, []string{dpIdxCol}, AggSpec{Name: "influence", Func: AggCount})
 	rows, _, err := exec(eng, perRow)
 	if err != nil {
 		return zero, nil, err

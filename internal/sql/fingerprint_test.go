@@ -1,0 +1,124 @@
+package sql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"upa/internal/mapreduce"
+)
+
+func countPlan(pred Expr) Plan {
+	return GroupBy(Where(ordersScan(), pred), nil, AggSpec{Name: "n", Func: AggCount})
+}
+
+func TestFingerprintIsStableAndStructural(t *testing.T) {
+	a := countPlan(Gt(Col("price"), Lit(Float(60))))
+	b := countPlan(Gt(Col("price"), Lit(Float(60))))
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical plans fingerprint differently")
+	}
+	if len(Fingerprint(a)) != 64 {
+		t.Fatalf("fingerprint %q is not a hex SHA-256", Fingerprint(a))
+	}
+	// Every structural change moves the fingerprint.
+	variants := map[string]Plan{
+		"different constant": countPlan(Gt(Col("price"), Lit(Float(61)))),
+		"different column":   countPlan(Gt(Col("custkey"), Lit(Float(60)))),
+		"different operator": countPlan(Ge(Col("price"), Lit(Float(60)))),
+		"no filter":          GroupBy(ordersScan(), nil, AggSpec{Name: "n", Func: AggCount}),
+		"different agg name": GroupBy(Where(ordersScan(), Gt(Col("price"), Lit(Float(60)))), nil, AggSpec{Name: "m", Func: AggCount}),
+		"join interposed":    q4ish(ordersScan(), lineitemsScan()),
+	}
+	base := Fingerprint(a)
+	for name, p := range variants {
+		if Fingerprint(p) == base {
+			t.Errorf("%s: fingerprint did not change", name)
+		}
+	}
+}
+
+func TestFingerprintTracksRelationContents(t *testing.T) {
+	// Two scans with the same name and schema but different cardinality are
+	// different relations — they must not share cached releases.
+	a := Scan("orders", Schema{{Name: "k", Kind: KindInt}}, []Row{{Int(1)}, {Int(2)}})
+	b := Scan("orders", Schema{{Name: "k", Kind: KindInt}}, []Row{{Int(1)}})
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("fingerprint ignores relation cardinality")
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	got := TableNames(q4ish(ordersScan(), lineitemsScan()))
+	if !reflect.DeepEqual(got, []string{"lineitem", "orders"}) {
+		t.Fatalf("TableNames = %v", got)
+	}
+	if got := TableNames(countPlan(Gt(Col("price"), Lit(Float(60))))); !reflect.DeepEqual(got, []string{"orders"}) {
+		t.Fatalf("TableNames = %v", got)
+	}
+}
+
+func TestSupportsDPCount(t *testing.T) {
+	good := q4ish(ordersScan(), lineitemsScan())
+	if err := SupportsDPCount(good, "orders"); err != nil {
+		t.Fatalf("supported plan rejected: %v", err)
+	}
+	cases := map[string]struct {
+		plan      Plan
+		protected string
+		want      string
+	}{
+		"not a count": {
+			GroupBy(ordersScan(), nil, AggSpec{Name: "s", Func: AggSum, Arg: Col("price")}),
+			"orders", "single-count",
+		},
+		"grouped": {
+			GroupBy(ordersScan(), []string{"custkey"}, AggSpec{Name: "n", Func: AggCount}),
+			"orders", "single-count",
+		},
+		"unknown protected table": {good, "nope", "not found"},
+		"self-join of protected": {
+			GroupBy(JoinOn(ordersScan(), "custkey", ordersScan(), "custkey"), nil, AggSpec{Name: "n", Func: AggCount}),
+			"orders", "self-joins",
+		},
+		"projection in interior": {
+			GroupBy(Project(ordersScan(), NamedExpr{Name: "custkey", Expr: Col("custkey")}), nil, AggSpec{Name: "n", Func: AggCount}),
+			"orders", "",
+		},
+	}
+	for name, tc := range cases {
+		err := SupportsDPCount(tc.plan, tc.protected)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestSupportsDPCountAgreesWithCompile pins the validator to the compiler:
+// whatever SupportsDPCount admits, CompileDPCount must compile, and
+// vice versa — the serving layer relies on this to reject before executing.
+func TestSupportsDPCountAgreesWithCompile(t *testing.T) {
+	plans := []struct {
+		name      string
+		plan      Plan
+		protected string
+	}{
+		{"join count", q4ish(ordersScan(), lineitemsScan()), "orders"},
+		{"plain count", countPlan(Gt(Col("price"), Lit(Float(60)))), "orders"},
+		{"sum agg", GroupBy(ordersScan(), nil, AggSpec{Name: "s", Func: AggSum, Arg: Col("price")}), "orders"},
+		{"grouped count", GroupBy(ordersScan(), []string{"custkey"}, AggSpec{Name: "n", Func: AggCount}), "orders"},
+		{"missing table", countPlan(Gt(Col("price"), Lit(Float(60)))), "nope"},
+	}
+	eng := mapreduce.NewEngine()
+	for _, tc := range plans {
+		vErr := SupportsDPCount(tc.plan, tc.protected)
+		_, _, cErr := CompileDPCount(eng, tc.plan, tc.protected)
+		if (vErr == nil) != (cErr == nil) {
+			t.Errorf("%s: validator says %v, compiler says %v", tc.name, vErr, cErr)
+		}
+	}
+}

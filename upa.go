@@ -126,6 +126,16 @@ func WithSplitVectorBudget() Option {
 	return func(c *sessionConfig) { c.core.SplitVectorBudget = true }
 }
 
+// WithChargeObserver registers fn to observe every ε-ledger charge the
+// instant a release commits it (the argument is the charged ε, after any
+// SplitVectorBudget division and output-dimension multiplication). Serving
+// layers that keep their own per-tenant admission ledgers use the observer
+// to reconcile admission-time pricing against the system's actual spend.
+// fn runs on the releasing goroutine and must not block.
+func WithChargeObserver(fn func(eps float64)) Option {
+	return func(c *sessionConfig) { c.core.OnCharge = fn }
+}
+
 // WithGroupSize extends the guarantee from individuals to groups of up to k
 // records (the paper's §VI-E extension): UPA additionally samples whole-
 // group neighbouring datasets — reusing the same intermediate reductions —
