@@ -45,11 +45,11 @@ func newAdmission(maxConcurrent, perTenant int) *admission {
 // draining — retrying is reasonable).
 func (a *admission) acquire(ctx context.Context, tenant string, retryAfter int) (func(), *Error) {
 	a.mu.Lock()
-	if a.occupied[tenant] >= a.perCap {
+	if occ := a.occupied[tenant]; occ >= a.perCap {
 		a.mu.Unlock()
 		return nil, &Error{
 			Status:            http.StatusTooManyRequests,
-			Message:           fmt.Sprintf("tenant %q has %d queries queued or running (cap %d); shed", tenant, a.perCap, a.perCap),
+			Message:           fmt.Sprintf("tenant %q has %d queries queued or running (cap %d); shed", tenant, occ, a.perCap),
 			RetryAfterSeconds: retryAfter,
 		}
 	}

@@ -10,7 +10,8 @@ import (
 // payload the cache stores and the journal persists. Everything here is
 // already DP-protected output or public metadata, so serving it again (to
 // any tenant) discloses nothing new and spends no ε: the noise was drawn
-// once, for this exact (fingerprint, ε, seed), and re-randomizing it would
+// once, for this exact (fingerprint, protected, ε, seed), and re-randomizing
+// it would
 // only hand an attacker fresh observations of the same sensitive value.
 type CachedRelease struct {
 	// Query names the released plan (the request's plan name, or a
@@ -30,9 +31,13 @@ type CachedRelease struct {
 }
 
 // CacheKey derives the release-cache key from the canonical plan
-// fingerprint, the exact ε bits (no formatting round-trip), and the seed.
-func CacheKey(fingerprint string, epsilon float64, seed uint64) string {
-	return fmt.Sprintf("%s|%016x|%d", fingerprint, math.Float64bits(epsilon), seed)
+// fingerprint, the protected relation, the exact ε bits (no formatting
+// round-trip), and the seed. The protected table is part of the identity,
+// not a detail: for multi-table plans it selects whose records the release
+// protects, which changes the influence set and sensitivity — the same
+// (plan, ε, seed) protecting a different relation is a different release.
+func CacheKey(fingerprint, protected string, epsilon float64, seed uint64) string {
+	return fmt.Sprintf("%s|%s|%016x|%d", fingerprint, protected, math.Float64bits(epsilon), seed)
 }
 
 // Cache is the bounded release cache. Eviction is FIFO over insertion

@@ -6,22 +6,23 @@ import (
 )
 
 func TestCacheKeyDistinguishesComponents(t *testing.T) {
-	base := CacheKey("fp", 0.1, 1)
+	base := CacheKey("fp", "orders", 0.1, 1)
 	for name, other := range map[string]string{
-		"fingerprint": CacheKey("fq", 0.1, 1),
-		"epsilon":     CacheKey("fp", 0.2, 1),
-		"seed":        CacheKey("fp", 0.1, 2),
+		"fingerprint": CacheKey("fq", "orders", 0.1, 1),
+		"protected":   CacheKey("fp", "lineitem", 0.1, 1),
+		"epsilon":     CacheKey("fp", "orders", 0.2, 1),
+		"seed":        CacheKey("fp", "orders", 0.1, 2),
 	} {
 		if other == base {
 			t.Errorf("cache key ignores %s", name)
 		}
 	}
 	// ε is keyed by exact bits, not formatting: nearby floats differ.
-	if CacheKey("fp", 0.1, 1) == CacheKey("fp", 0.1+1e-17, 1) {
+	if CacheKey("fp", "orders", 0.1, 1) == CacheKey("fp", "orders", 0.1+1e-17, 1) {
 		// 0.1+1e-17 rounds to the same float64; pick a genuinely different one
 		t.Skip("identical float64s")
 	}
-	if CacheKey("fp", 0.30000000000000004, 1) == CacheKey("fp", 0.3, 1) {
+	if CacheKey("fp", "orders", 0.30000000000000004, 1) == CacheKey("fp", "orders", 0.3, 1) {
 		t.Error("cache key collapses distinct ε bit patterns")
 	}
 }

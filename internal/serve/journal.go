@@ -47,11 +47,13 @@ type snapshotFile struct {
 
 // Store persists the serving state as a JSON snapshot plus an append-only
 // JSONL journal of everything since: every ledger charge/refund/registration
-// and every published release is appended as it happens, and a restart
-// replays snapshot entries then journal entries in order. Flush compacts
-// the current state into a fresh snapshot and truncates the journal — the
-// graceful-shutdown path — but an unflushed crash loses nothing: the
-// journal already holds every movement.
+// and every published release is appended — and fsynced — as it happens, and
+// a restart replays snapshot entries then the journal entries newer than the
+// snapshot (Seq orders across that boundary, so a crash between writing the
+// snapshot and truncating the journal never double-counts a movement). Flush
+// compacts the current state into a fresh snapshot and truncates the journal
+// — the graceful-shutdown path — but an unflushed crash loses nothing: the
+// journal already holds every acknowledged movement, durably.
 type Store struct {
 	mu          sync.Mutex
 	snapPath    string
@@ -85,6 +87,12 @@ func OpenStore(path string) (*Store, []entry, error) {
 		return nil, nil, err
 	}
 	for _, e := range journalEntries {
+		// A crash between Flush's snapshot rename and its journal truncation
+		// leaves a journal whose prefix is already folded into the snapshot;
+		// replaying those entries again would double-count every ε movement.
+		if snap != nil && e.Seq <= snap.Seq {
+			continue
+		}
 		replay = append(replay, e)
 		if e.Seq > st.seq {
 			st.seq = e.Seq
@@ -115,9 +123,11 @@ func readSnapshot(path string) (*snapshotFile, error) {
 	return &snap, nil
 }
 
-// readJournal loads every complete journal line. A torn final line (the
-// process died mid-append) is tolerated and dropped: its movement never
-// returned success to a client.
+// readJournal loads every complete journal line. Exactly one kind of damage
+// is tolerated: an unparsable FINAL line (the process died mid-append), whose
+// movement never returned success to a client. An unparsable line with data
+// after it is not a torn tail — it is corruption, and silently dropping the
+// entries behind it would under-count ε spend, so the boot fails instead.
 func readJournal(path string) ([]entry, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -128,17 +138,25 @@ func readJournal(path string) ([]entry, error) {
 	}
 	defer f.Close()
 	var out []entry
+	badLine := 0 // 1-based line number of the first unparsable line
+	lineNo := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
 	for sc.Scan() {
+		lineNo++
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
+		if badLine != 0 {
+			return nil, fmt.Errorf(
+				"serve: corrupt journal %s: unparsable line %d is followed by more entries (only a torn final line is tolerated)",
+				path, badLine)
+		}
 		var e entry
 		if err := json.Unmarshal(line, &e); err != nil {
-			// Torn tail: stop replay here rather than failing the boot.
-			break
+			badLine = lineNo // torn tail if nothing follows, corruption otherwise
+			continue
 		}
 		out = append(out, e)
 	}
@@ -148,8 +166,10 @@ func readJournal(path string) ([]entry, error) {
 	return out, nil
 }
 
-// Append assigns the next sequence number and writes the entry as one
-// journal line.
+// Append assigns the next sequence number, writes the entry as one journal
+// line, and fsyncs it. The sync is what makes a journaled ε charge durable
+// against power loss, not just process death — losing an acknowledged charge
+// under-counts spend, the one direction the ledger must never err in.
 func (st *Store) Append(e entry) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -166,7 +186,7 @@ func (st *Store) Append(e entry) error {
 	if _, err := st.journal.Write(line); err != nil {
 		return err
 	}
-	return nil
+	return st.journal.Sync()
 }
 
 // Flush writes the compacted state as a fresh snapshot (atomically, via

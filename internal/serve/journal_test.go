@@ -75,11 +75,11 @@ func TestStoreFlushCompactsJournal(t *testing.T) {
 	want := l.Report()
 
 	rel := CachedRelease{Query: "q", Fingerprint: "f", Epsilon: 0.25, Seed: 7, Output: []float64{3.5}, SampleSize: 4, Charged: 0.25}
-	if err := st.Append(entry{Kind: entryRelease, Key: CacheKey("f", 0.25, 7), Release: &rel}); err != nil {
+	if err := st.Append(entry{Kind: entryRelease, Key: CacheKey("f", "people", 0.25, 7), Release: &rel}); err != nil {
 		t.Fatal(err)
 	}
 	cache := NewCache(16)
-	cache.replay(CacheKey("f", 0.25, 7), rel)
+	cache.replay(CacheKey("f", "people", 0.25, 7), rel)
 
 	if err := st.Flush(append(l.compact(), cache.compact()...)); err != nil {
 		t.Fatal(err)
@@ -97,7 +97,7 @@ func TestStoreFlushCompactsJournal(t *testing.T) {
 	if got := replayed.Report(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("snapshot replay diverged:\n got %+v\nwant %+v", got, want)
 	}
-	got, ok := rcache.lookup(CacheKey("f", 0.25, 7))
+	got, ok := rcache.lookup(CacheKey("f", "people", 0.25, 7))
 	if !ok || !reflect.DeepEqual(got, rel) {
 		t.Fatalf("snapshot did not restore the cached release: %+v ok=%v", got, ok)
 	}
@@ -126,6 +126,62 @@ func TestStoreToleratesTornTail(t *testing.T) {
 	defer st2.Close()
 	if got := replayed.Report(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("torn-tail replay diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStoreReplaySkipsJournalEntriesCoveredBySnapshot simulates the crash
+// window inside Flush — snapshot renamed into place, journal not yet
+// truncated — and asserts the next boot does not double-count the movements
+// that are in both.
+func TestStoreReplaySkipsJournalEntriesCoveredBySnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l, st := buildPersisted(t, path)
+	want := l.Report()
+
+	// Save the journal as written, flush (snapshot + truncate), then restore
+	// the pre-flush journal: exactly the on-disk state a crash between
+	// Flush's rename and truncate leaves behind.
+	journal, err := os.ReadFile(path + ".journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(l.compact()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+".journal", journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, _, st2 := reopenAndReplay(t, path)
+	defer st2.Close()
+	if got := replayed.Report(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot+stale-journal replay double-counted:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStoreRejectsMidFileCorruption: a corrupt line with valid entries after
+// it is not a torn tail — replaying past it would silently drop ε charges,
+// so opening the store must fail instead.
+func TestStoreRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	_, st := buildPersisted(t, path)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	journal := path + ".journal"
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte("not json\n"), data...)
+	if err := os.WriteFile(journal, corrupted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(path); err == nil {
+		t.Fatal("mid-file journal corruption did not fail the boot")
 	}
 }
 

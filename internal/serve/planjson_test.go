@@ -17,8 +17,31 @@ func testTables() map[string]*sql.ScanPlan {
 			{sql.Int(45), sql.Str("ny")},
 			{sql.Int(28), sql.Str("la")},
 		})
-	return map[string]*sql.ScanPlan{"people": people}
+	visits := sql.Scan("visits",
+		sql.Schema{{Name: "town", Kind: sql.KindString}, {Name: "week", Kind: sql.KindInt}},
+		[]sql.Row{
+			{sql.Str("ny"), sql.Int(1)},
+			{sql.Str("ny"), sql.Int(2)},
+			{sql.Str("sf"), sql.Int(1)},
+			{sql.Str("la"), sql.Int(2)},
+			{sql.Str("la"), sql.Int(3)},
+		})
+	return map[string]*sql.ScanPlan{"people": people, "visits": visits}
 }
+
+// joinCountJSON counts (person, visit) pairs matched on city — a two-table
+// plan, so requests must name the protected relation explicitly.
+const joinCountJSON = `{
+  "op": "aggregate",
+  "aggs": [{"name": "n", "func": "count"}],
+  "input": {
+    "op": "join",
+    "left": {"op": "scan", "table": "people"},
+    "leftKey": "city",
+    "right": {"op": "scan", "table": "visits"},
+    "rightKey": "town"
+  }
+}`
 
 const countOver30JSON = `{
   "op": "aggregate",

@@ -188,9 +188,9 @@ type Request struct {
 	// defaults to the plan's only scanned table.
 	Protected string `json:"protected,omitempty"`
 	// Epsilon is the ε this release charges (0 = server default). Seed
-	// completes the cache key: same (plan, ε, seed) is byte-identical,
-	// cached, and charged once; a fresh seed is a fresh release and a fresh
-	// charge.
+	// completes the cache key: same (plan, protected, ε, seed) is
+	// byte-identical, cached, and charged once; a fresh seed is a fresh
+	// release and a fresh charge.
 	Epsilon float64 `json:"epsilon,omitempty"`
 	Seed    uint64  `json:"seed,omitempty"`
 }
@@ -252,7 +252,7 @@ func (s *Service) Query(ctx context.Context, req Request) (*Release, *Error) {
 	}
 
 	fp := sql.Fingerprint(plan)
-	key := CacheKey(fp, eps, req.Seed)
+	key := CacheKey(fp, protected, eps, req.Seed)
 
 	if rel, ok := s.cache.lookup(key); ok {
 		s.bump(req.Tenant, func(m *tenantMetrics) { m.cacheHits++ })
@@ -369,9 +369,9 @@ func (s *Service) computeRelease(ctx context.Context, plan sql.Plan, protected, 
 	ccfg.SampleSize = s.cfg.SampleSize
 	ccfg.Epsilon = eps
 	// The release seed derives from the cache key alone, so the noise
-	// stream is a pure function of (fingerprint, ε, seed): the same request
-	// is byte-identical across restarts and across servers, independent of
-	// what ran before it.
+	// stream is a pure function of (fingerprint, protected, ε, seed): the
+	// same request is byte-identical across restarts and across servers,
+	// independent of what ran before it.
 	ccfg.Seed = seedOf(key)
 	sys, err := core.NewSystem(eng, ccfg)
 	if err != nil {

@@ -170,6 +170,39 @@ func TestQueryValidationErrors(t *testing.T) {
 	}
 }
 
+// TestQueryProtectedTableKeysDistinctReleases pins the protected relation
+// into the cache key: a multi-table plan protecting different relations has
+// different influence sets and sensitivities, so the two requests are
+// different DP releases and must not collide on one cache entry (nor on one
+// derived noise seed).
+func TestQueryProtectedTableKeysDistinctReleases(t *testing.T) {
+	svc := newTestService(t, nil)
+	base := Request{Tenant: "acme", User: "u1", Plan: []byte(joinCountJSON), Epsilon: 0.25, Seed: 7}
+
+	people := base
+	people.Protected = "people"
+	first := mustQuery(t, svc, people)
+	if first.Cached || first.Charged != 0.25 {
+		t.Fatalf("first release = %+v, want uncached charge of 0.25", first)
+	}
+
+	visits := base
+	visits.Protected = "visits"
+	second := mustQuery(t, svc, visits)
+	if second.Cached || second.Charged != 0.25 {
+		t.Fatalf("same plan under a different protected table served from cache: %+v", second)
+	}
+
+	// Repeating a protected choice hits that choice's own entry.
+	again := mustQuery(t, svc, people)
+	if !again.Cached || !reflect.DeepEqual(again.Output, first.Output) {
+		t.Fatalf("repeat protected=people = %+v, want cached copy of %v", again, first.Output)
+	}
+	if rep := svc.Report(); rep[0].Spent != 0.5 {
+		t.Fatalf("spend = %v, want 0.5 (two distinct releases, one hit)", rep[0].Spent)
+	}
+}
+
 // TestQueryRestartReplaysLedgerAndCache is the acceptance scenario: same
 // (plan fingerprint, ε, seed) across a server restart returns the
 // byte-identical release as a cache hit, and the replayed ledger still

@@ -19,10 +19,14 @@ import (
 //
 // The fingerprint is computed over the plan *as written*, before any
 // optimizer rewrite: Optimize is deterministic, so equal raw plans yield
-// equal optimized plans, equal execution, and — given equal (ε, seed) —
-// byte-identical releases. That makes (Fingerprint(plan), ε, seed) a sound
-// release-cache key: serving a cached release for a matching key discloses
-// nothing the original release did not.
+// equal optimized plans, equal execution, and — given equal (protected
+// table, ε, seed) — byte-identical releases. That makes (Fingerprint(plan),
+// protected, ε, seed) a sound release-cache key: serving a cached release
+// for a matching key discloses nothing the original release did not. The
+// protected relation must ride alongside the fingerprint, not inside it —
+// it is a property of the request (whose records the release protects), not
+// of the plan, and for multi-table plans it changes the influence set and
+// sensitivity of an otherwise identical query.
 //
 // Scan row *contents* are deliberately excluded — hashing every tuple per
 // request would cost more than the query. A fingerprint therefore names a
