@@ -31,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("upa-bench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "table2 | fig2a | fig2b | fig2bsim | stages | shuffle | optimizer | chaos | fig3 | fig4a | fig4b | ablations | all")
+		experiment = fs.String("experiment", "all", "table2 | fig2a | fig2b | fig2bsim | stages | shuffle | optimizer | spill | chaos | fig3 | fig4a | fig4b | ablations | all")
 		lineitems  = fs.Int("lineitems", 0, "TPC-H lineitem rows (default from bench config)")
 		lsRecords  = fs.Int("lsrecords", 0, "life-science records (default from bench config)")
 		skew       = fs.Float64("skew", -1, "TPC-H join-key skew in [0,1)")
@@ -171,6 +171,16 @@ func run(args []string, out io.Writer) error {
 			}
 			return bench.RenderOptimizer(rows), nil
 		},
+		"spill": func() (string, error) {
+			rows, err := bench.SpillBench(cfg, nil, *reps)
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV("spill", func(w io.Writer) error { return bench.WriteSpillCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			return bench.RenderSpill(rows), nil
+		},
 		"chaos": func() (string, error) {
 			rows, err := bench.ChaosSweep(cfg, cluster.PaperTestbed(), nil, nil)
 			if err != nil {
@@ -213,7 +223,7 @@ func run(args []string, out io.Writer) error {
 		},
 	}
 
-	order := []string{"table2", "fig2a", "fig2b", "fig2bsim", "stages", "shuffle", "optimizer", "chaos", "fig3", "fig4a", "fig4b", "ablations"}
+	order := []string{"table2", "fig2a", "fig2b", "fig2bsim", "stages", "shuffle", "optimizer", "spill", "chaos", "fig3", "fig4a", "fig4b", "ablations"}
 	selected := order
 	if *experiment != "all" {
 		if _, ok := experiments[*experiment]; !ok {

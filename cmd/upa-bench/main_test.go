@@ -97,6 +97,24 @@ func TestRunShuffle(t *testing.T) {
 	}
 }
 
+func TestRunSpill(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(smallArgs("-experiment", "spill", "-csvdir", dir), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Out-of-core execution") {
+		t.Error("output missing spill sweep header")
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "spill.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "budget,records,partitions") {
+		t.Errorf("csv header wrong: %q", string(data[:min(60, len(data))]))
+	}
+}
+
 func TestCSVExport(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder

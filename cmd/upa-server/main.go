@@ -70,16 +70,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("upa-server", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", ":8080", "listen address")
-		lineitems  = fs.Int("lineitems", 20000, "TPC-H lineitem rows")
-		lsRecords  = fs.Int("lsrecords", 20000, "life-science records")
-		skew       = fs.Float64("skew", 0.2, "TPC-H join-key skew")
-		seed       = fs.Uint64("seed", 1, "generator and system seed")
-		sampleSize = fs.Int("n", 1000, "UPA differing-record sample size")
-		epsilon    = fs.Float64("epsilon", 0.1, "privacy budget per release")
-		statePath  = fs.String("state", "", "path persisting the RANGE ENFORCER history (empty: in-memory only)")
-		tenantSpec = fs.String("tenants", "", "tenant registry as name:budget:userBudget,... (0 = unlimited; empty: one unlimited \"public\" tenant)")
-		serveState = fs.String("servestate", "", "path persisting the serving ε ledger and release cache (empty: in-memory only)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		lineitems   = fs.Int("lineitems", 20000, "TPC-H lineitem rows")
+		lsRecords   = fs.Int("lsrecords", 20000, "life-science records")
+		skew        = fs.Float64("skew", 0.2, "TPC-H join-key skew")
+		seed        = fs.Uint64("seed", 1, "generator and system seed")
+		sampleSize  = fs.Int("n", 1000, "UPA differing-record sample size")
+		epsilon     = fs.Float64("epsilon", 0.1, "privacy budget per release")
+		statePath   = fs.String("state", "", "path persisting the RANGE ENFORCER history (empty: in-memory only)")
+		spillBudget = fs.Int64("spillbudget", -1, "engine in-memory materialization budget in bytes; past it partitions spill to temp files (negative: unlimited, 0: spill everything)")
+		tenantSpec  = fs.String("tenants", "", "tenant registry as name:budget:userBudget,... (0 = unlimited; empty: one unlimited \"public\" tenant)")
+		serveState  = fs.String("servestate", "", "path persisting the serving ε ledger and release cache (empty: in-memory only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +97,7 @@ func run(args []string) error {
 		SampleSize:     *sampleSize,
 		Epsilon:        *epsilon,
 		StatePath:      *statePath,
+		SpillBudget:    *spillBudget,
 		Tenants:        tenants,
 		ServeStatePath: *serveState,
 	})
@@ -167,6 +169,10 @@ type serverConfig struct {
 	SampleSize           int
 	Epsilon              float64
 	StatePath            string
+	// SpillBudget caps the engine's in-memory materialized partitions in
+	// bytes; past it partitions spill to temp files (negative: unlimited,
+	// zero: spill everything).
+	SpillBudget int64
 	// Tenants registers the serving layer's tenants (empty: one unlimited
 	// "public" tenant); ServeStatePath roots its ledger/cache persistence.
 	Tenants        []serve.TenantSpec
@@ -210,7 +216,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng := mapreduce.NewEngine()
+	eng := mapreduce.NewEngine(mapreduce.WithMemoryBudget(cfg.SpillBudget))
 	sysCfg := core.DefaultConfig()
 	sysCfg.SampleSize = cfg.SampleSize
 	sysCfg.Epsilon = cfg.Epsilon
@@ -270,13 +276,17 @@ func newServer(cfg serverConfig) (*server, error) {
 
 // close flushes everything a restart must not forget: the serving layer's ε
 // ledger and release cache (journal compacted into its snapshot), then the
-// RANGE ENFORCER history.
+// RANGE ENFORCER history — and removes the engine's spill directory, which
+// holds only recomputable intermediate state.
 func (s *server) close() error {
 	s.releaseMu.Lock()
 	defer s.releaseMu.Unlock()
 	err := s.svc.Close()
 	if serr := s.saveState(); serr != nil && err == nil {
 		err = serr
+	}
+	if eerr := s.eng.Close(); eerr != nil && err == nil {
+		err = eerr
 	}
 	return err
 }
@@ -342,6 +352,8 @@ type jobStage struct {
 	ReduceOps       int64    `json:"reduceOps"`
 	CacheHits       int64    `json:"cacheHits"`
 	RecordsCombined int64    `json:"recordsCombined"`
+	SpilledBytes    int64    `json:"spilledBytes"`
+	SpillReads      int64    `json:"spillReads"`
 	SimUS           float64  `json:"simUs"`
 	Critical        bool     `json:"critical"`
 }
@@ -401,6 +413,8 @@ func (s *server) recordJob(res *core.Result) {
 			ReduceOps:       span.ReduceOps,
 			CacheHits:       span.CacheHits,
 			RecordsCombined: span.RecordsCombined,
+			SpilledBytes:    span.SpilledBytes,
+			SpillReads:      span.SpillReads,
 			SimUS:           micros(plan.Stages[i].Cost.Total()),
 			Critical:        critical[span.Stage],
 		})
@@ -536,6 +550,10 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"deadlinesExceeded":      m.DeadlinesExceeded,
 		"stragglersInjected":     m.StragglersInjected,
 		"slotsLost":              m.SlotsLost,
+		"memoryBudget":           s.eng.MemoryBudget(),
+		"spilledBytes":           m.SpilledBytes,
+		"spillFiles":             m.SpillFiles,
+		"spillReads":             m.SpillReads,
 	})
 }
 

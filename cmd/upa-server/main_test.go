@@ -12,13 +12,14 @@ import (
 func testServer(t *testing.T, statePath string) *server {
 	t.Helper()
 	srv, err := newServer(serverConfig{
-		Lineitems:  2000,
-		LSRecords:  1500,
-		Skew:       0.2,
-		Seed:       5,
-		SampleSize: 150,
-		Epsilon:    0.1,
-		StatePath:  statePath,
+		Lineitems:   2000,
+		LSRecords:   1500,
+		Skew:        0.2,
+		Seed:        5,
+		SampleSize:  150,
+		Epsilon:     0.1,
+		StatePath:   statePath,
+		SpillBudget: -1, // in-memory: spill behaviour has its own tests below
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +162,51 @@ func TestConcurrentReleaseRequests(t *testing.T) {
 		if r.code != http.StatusOK || !r.ok {
 			t.Fatalf("concurrent release %d failed: %+v", i, r)
 		}
+	}
+}
+
+// TestServerSpillBudget runs a whole server with -spillbudget 0: every
+// engine materialization spills to temp files, the noisy release must still
+// be byte-identical to the in-memory server (same seed, same noise stream),
+// /metrics surfaces the spill counters, and close() removes the temp
+// directory.
+func TestServerSpillBudget(t *testing.T) {
+	spilled, err := newServer(serverConfig{
+		Lineitems:   2000,
+		LSRecords:   1500,
+		Skew:        0.2,
+		Seed:        5,
+		SampleSize:  150,
+		Epsilon:     0.1,
+		SpillBudget: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inMem := testServer(t, "")
+
+	recS, bodyS := doJSON(t, spilled.routes(), http.MethodPost, "/release", `{"query":"TPCH6"}`)
+	recM, bodyM := doJSON(t, inMem.routes(), http.MethodPost, "/release", `{"query":"TPCH6"}`)
+	if recS.Code != http.StatusOK || recM.Code != http.StatusOK {
+		t.Fatalf("release status spilled=%d inmem=%d (%v / %v)", recS.Code, recM.Code, bodyS, bodyM)
+	}
+	sOut, _ := json.Marshal(bodyS["output"])
+	mOut, _ := json.Marshal(bodyM["output"])
+	if string(sOut) != string(mOut) {
+		t.Errorf("spilled release output %s differs from in-memory %s", sOut, mOut)
+	}
+
+	_, metrics := doJSON(t, spilled.routes(), http.MethodGet, "/metrics", "")
+	if metrics["spilledBytes"].(float64) <= 0 || metrics["spillFiles"].(float64) <= 0 {
+		t.Errorf("spill counters empty under budget 0: spilledBytes=%v spillFiles=%v",
+			metrics["spilledBytes"], metrics["spillFiles"])
+	}
+	if metrics["memoryBudget"].(float64) != 0 {
+		t.Errorf("memoryBudget = %v, want 0", metrics["memoryBudget"])
+	}
+
+	if err := spilled.close(); err != nil {
+		t.Fatalf("close spilled server: %v", err)
 	}
 }
 

@@ -24,14 +24,22 @@ const adHocCountJSON = `{
 // finite ε budget, so budget exhaustion is reachable in a handful of requests.
 func testServeServer(t *testing.T, budget float64) *server {
 	t.Helper()
+	return testServeServerSpill(t, budget, -1)
+}
+
+// testServeServerSpill is testServeServer with an explicit engine memory
+// budget (negative: in-memory, zero: spill every materialization).
+func testServeServerSpill(t *testing.T, budget float64, spillBudget int64) *server {
+	t.Helper()
 	srv, err := newServer(serverConfig{
-		Lineitems:  2000,
-		LSRecords:  1500,
-		Skew:       0.2,
-		Seed:       5,
-		SampleSize: 150,
-		Epsilon:    0.1,
-		Tenants:    []serve.TenantSpec{{Name: "acme", Budget: budget}},
+		Lineitems:   2000,
+		LSRecords:   1500,
+		Skew:        0.2,
+		Seed:        5,
+		SampleSize:  150,
+		Epsilon:     0.1,
+		SpillBudget: spillBudget,
+		Tenants:     []serve.TenantSpec{{Name: "acme", Budget: budget}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -150,6 +158,31 @@ func TestBudgetShapeGolden(t *testing.T) {
 	acme := tenants[0].(map[string]any)
 	if acme["tenant"] != "acme" || acme["spent"].(float64) != 0.25 {
 		t.Errorf("budget report = %v", acme)
+	}
+}
+
+// TestQuerySpillBudget runs the multi-tenant SQL path with every engine
+// materialization forced to disk: relational rows (sql.Value cells) must
+// survive the spill codec round-trip, and the noisy release must be
+// byte-identical to the in-memory server under the same seed — the serving
+// regression for the out-of-core path.
+func TestQuerySpillBudget(t *testing.T) {
+	spilled := testServeServerSpill(t, 1, 0)
+	defer spilled.close()
+	inMem := testServeServer(t, 1)
+
+	recS, bodyS := doJSON(t, spilled.routes(), http.MethodPost, "/query", queryBody(0.25, 11))
+	recM, bodyM := doJSON(t, inMem.routes(), http.MethodPost, "/query", queryBody(0.25, 11))
+	if recS.Code != http.StatusOK || recM.Code != http.StatusOK {
+		t.Fatalf("query status spilled=%d inmem=%d (%v / %v)", recS.Code, recM.Code, bodyS, bodyM)
+	}
+	sOut, _ := json.Marshal(bodyS["output"])
+	mOut, _ := json.Marshal(bodyM["output"])
+	if string(sOut) != string(mOut) {
+		t.Errorf("spilled SQL release %s differs from in-memory %s", sOut, mOut)
+	}
+	if m := spilled.eng.Metrics(); m.SpilledBytes == 0 {
+		t.Error("budget 0 serve engine did not spill")
 	}
 }
 

@@ -32,6 +32,10 @@ var Analyzer = &analysis.Analyzer{
 // list is exported so the repo-wide vet test and cmd/upa-vet share one
 // source of truth.
 var CriticalPrefixes = []string{
+	// Covers the engine including its spill codec and store (spill.go,
+	// spillstore.go): spill file names and frame contents must be pure
+	// functions of the data, never of wall clock or a global RNG, or
+	// retried tasks would rewrite different bytes.
 	"upa/internal/mapreduce",
 	"upa/internal/chaos",
 	"upa/internal/jobgraph",

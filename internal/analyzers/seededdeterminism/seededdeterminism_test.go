@@ -26,6 +26,9 @@ func TestCovered(t *testing.T) {
 	for path, want := range map[string]bool{
 		"upa/internal/mapreduce":         true,
 		"upa/internal/mapreduce/shuffle": true,
+		// The spill codec/store files live in the engine package itself;
+		// a future split-out subpackage stays covered by the prefix rule.
+		"upa/internal/mapreduce/spill": true,
 		"upa/internal/jobgraph":          true,
 		"upa/examples/wordcount":         true,
 		"upa/internal/core":              false,

@@ -62,6 +62,7 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 		{filepath.Join("internal", "bench", "fig2b.go"), "seededdeterminism"},
 		{filepath.Join("internal", "bench", "fig4.go"), "seededdeterminism"},
 		{filepath.Join("internal", "bench", "optexp.go"), "seededdeterminism"},
+		{filepath.Join("internal", "bench", "spillexp.go"), "seededdeterminism"},
 	}
 	for _, site := range wantSites {
 		found := false

@@ -129,6 +129,18 @@ func WriteOptimizerCSV(w io.Writer, rows []OptimizerRow) error {
 	})
 }
 
+// WriteSpillCSV writes the out-of-core memory-budget sweep.
+func WriteSpillCSV(w io.Writer, rows []SpillRow) error {
+	header := []string{"budget", "records", "partitions", "distinct_keys",
+		"spilled_bytes", "spill_files", "spill_reads", "wall_us", "slowdown"}
+	return writeCSV(w, header, len(rows), func(i int) []string {
+		r := rows[i]
+		return []string{itoa64(r.Budget), itoa(r.Records), itoa(r.Partitions), itoa(r.DistinctKeys),
+			itoa64(r.SpilledBytes), itoa64(r.SpillFiles), itoa64(r.SpillReads),
+			dtoa(r.WallTime), ftoa(r.Slowdown)}
+	})
+}
+
 // WriteChaosCSV writes the chaos fault-rate × retry-policy sweep.
 func WriteChaosCSV(w io.Writer, rows []ChaosRow) error {
 	header := []string{"query", "fault_rate", "policy", "max_attempts", "completed",

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpillBenchBudgetForcesSpill(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lineitems = 3000
+	rows, err := SpillBench(cfg, []int64{-1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	inMem, spilled := rows[0], rows[1]
+	if inMem.SpilledBytes != 0 || inMem.SpillFiles != 0 || inMem.SpillReads != 0 {
+		t.Errorf("unlimited budget spilled: %+v", inMem)
+	}
+	if spilled.SpilledBytes <= 0 || spilled.SpillFiles <= 0 || spilled.SpillReads <= 0 {
+		t.Errorf("budget 0 did not spill: %+v", spilled)
+	}
+	if inMem.Slowdown != 1 {
+		t.Errorf("reference slowdown = %v, want 1", inMem.Slowdown)
+	}
+	// SpillBench itself fails if the spilled output diverges from the
+	// in-memory one, so reaching here also certifies output invariance.
+}
+
+func TestSpillBenchMidBudgetBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lineitems = 3000
+	rows, err := SpillBench(cfg, []int64{-1, 64 << 10, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, all := rows[1], rows[2]
+	if mid.SpilledBytes <= 0 {
+		t.Fatalf("mid budget did not spill: %+v", mid)
+	}
+	// A finite budget retains some partitions in memory, so it can never
+	// spill more than the spill-everything run.
+	if mid.SpilledBytes > all.SpilledBytes {
+		t.Errorf("mid budget spilled %d bytes, more than budget 0's %d",
+			mid.SpilledBytes, all.SpilledBytes)
+	}
+}
+
+func TestWriteSpillCSV(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Lineitems = 1000
+	rows, err := SpillBench(cfg, []int64{-1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteSpillCSV(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d csv lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "budget,records,partitions,distinct_keys,spilled_bytes") {
+		t.Errorf("header = %q", lines[0])
+	}
+}

@@ -55,8 +55,10 @@ func soakRetryPolicy() chaos.RetryPolicy {
 // soakRun performs two releases (count warms the reduction cache and the
 // enforcer history, sum runs against it) on a fresh system whose engine and
 // jobgraph share the given injector, returning the releases' deterministic
-// outputs, the iDP budget ledger, and the engine's total metrics.
-func soakRun(t *testing.T, inj *chaos.Injector) ([]releaseOutputs, float64, mapreduce.MetricsSnapshot) {
+// outputs, the iDP budget ledger, and the engine's total metrics. budget is
+// the engine's in-memory materialization budget: negative runs fully in
+// memory, zero forces every materialization through the spill path.
+func soakRun(t *testing.T, inj *chaos.Injector, budget int64) ([]releaseOutputs, float64, mapreduce.MetricsSnapshot) {
 	t.Helper()
 	data := seqData(400)
 	domain := uniformDomain(0, 400)
@@ -64,7 +66,9 @@ func soakRun(t *testing.T, inj *chaos.Injector) ([]releaseOutputs, float64, mapr
 	cfg.SampleSize = 40
 	eng := mapreduce.NewEngine(
 		mapreduce.WithRetryPolicy(soakRetryPolicy()),
-		mapreduce.WithChaos(inj))
+		mapreduce.WithChaos(inj),
+		mapreduce.WithMemoryBudget(budget))
+	defer eng.Close()
 	sys, err := NewSystem(eng, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -80,6 +84,21 @@ func soakRun(t *testing.T, inj *chaos.Injector) ([]releaseOutputs, float64, mapr
 	return outs, sys.EpsilonSpent(), eng.Metrics()
 }
 
+// soakSpillBudget returns the memory budget the spill soak forces: default 0
+// (spill every materialization); UPA_SPILL_BUDGET overrides with a byte
+// count so CI can sweep other pressure points.
+func soakSpillBudget(t *testing.T) int64 {
+	env := os.Getenv("UPA_SPILL_BUDGET")
+	if env == "" {
+		return 0
+	}
+	b, err := strconv.ParseInt(strings.TrimSpace(env), 10, 64)
+	if err != nil {
+		t.Fatalf("UPA_SPILL_BUDGET %q: %v", env, err)
+	}
+	return b
+}
+
 // TestChaosSoakReleaseInvariant is the headline robustness invariant: across
 // the seed sweep, with task faults, stragglers, shuffle errors, and slot
 // loss enabled at both the engine and jobgraph level, every release's output
@@ -87,7 +106,7 @@ func soakRun(t *testing.T, inj *chaos.Injector) ([]releaseOutputs, float64, mapr
 // unchanged (recomputation never double-spends ε), and the fault-adjusted
 // task accounting matches the clean run exactly.
 func TestChaosSoakReleaseInvariant(t *testing.T) {
-	cleanOuts, cleanEps, cleanM := soakRun(t, nil)
+	cleanOuts, cleanEps, cleanM := soakRun(t, nil, -1)
 	cleanJSON, err := json.Marshal(cleanOuts)
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +123,7 @@ func TestChaosSoakReleaseInvariant(t *testing.T) {
 			ShuffleErrorRate: 0.1,
 			SlotLossRate:     0.2,
 		})
-		outs, eps, m := soakRun(t, inj)
+		outs, eps, m := soakRun(t, inj, -1)
 		faultyJSON, err := json.Marshal(outs)
 		if err != nil {
 			t.Fatal(err)
@@ -124,6 +143,69 @@ func TestChaosSoakReleaseInvariant(t *testing.T) {
 		if m.TaskAttempts-m.TaskFaults != cleanM.TaskAttempts {
 			t.Errorf("seed %d: fault-adjusted attempts %d-%d != clean %d",
 				seed, m.TaskAttempts, m.TaskFaults, cleanM.TaskAttempts)
+		}
+	}
+}
+
+// TestChaosSoakSpillInvariant is the out-of-core correctness gate: the same
+// seed sweep as TestChaosSoakReleaseInvariant, but with the engine's memory
+// budget forced low (default 0 — every materialization spilled; overridable
+// via UPA_SPILL_BUDGET) so chaos recovery and disk-backed partitions compose.
+// Every release must stay byte-identical to the clean in-memory run, the
+// ε ledger unchanged, the task accounting identical, and the runs must have
+// actually spilled — a soak that never touched the spill path proves nothing.
+func TestChaosSoakSpillInvariant(t *testing.T) {
+	budget := soakSpillBudget(t)
+	cleanOuts, cleanEps, cleanM := soakRun(t, nil, -1)
+	cleanJSON, err := json.Marshal(cleanOuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spilled but fault-free first: isolates out-of-core from chaos.
+	spillOuts, spillEps, spillM := soakRun(t, nil, budget)
+	spillJSON, err := json.Marshal(spillOuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(spillJSON) != string(cleanJSON) {
+		t.Fatalf("spilled fault-free run diverged from in-memory run\n clean: %s\nspill: %s", cleanJSON, spillJSON)
+	}
+	if spillEps != cleanEps {
+		t.Fatalf("spilled run ε ledger %v, in-memory %v", spillEps, cleanEps)
+	}
+	if spillM.SpilledBytes == 0 || spillM.SpillReads == 0 {
+		t.Fatalf("budget %d run did not exercise the spill path: %d bytes spilled, %d reads",
+			budget, spillM.SpilledBytes, spillM.SpillReads)
+	}
+
+	for _, seed := range soakSeeds(t) {
+		inj := chaos.New(chaos.Policy{
+			Seed:             seed,
+			TaskFaultRate:    0.1,
+			StragglerRate:    0.05,
+			StragglerDelay:   200 * time.Microsecond,
+			ShuffleErrorRate: 0.1,
+			SlotLossRate:     0.2,
+		})
+		outs, eps, m := soakRun(t, inj, budget)
+		faultyJSON, err := json.Marshal(outs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(faultyJSON) != string(cleanJSON) {
+			t.Errorf("seed %d: spilled release outputs diverged under chaos\n clean: %s\nfaulty: %s",
+				seed, cleanJSON, faultyJSON)
+			continue
+		}
+		if eps != cleanEps {
+			t.Errorf("seed %d: spilled ε ledger %v under chaos, %v clean", seed, eps, cleanEps)
+		}
+		if m.TasksRun != cleanM.TasksRun {
+			t.Errorf("seed %d: spilled TasksRun = %d under chaos, %d clean", seed, m.TasksRun, cleanM.TasksRun)
+		}
+		if m.SpilledBytes == 0 {
+			t.Errorf("seed %d: chaos run did not spill under budget %d", seed, budget)
 		}
 	}
 }

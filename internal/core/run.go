@@ -120,6 +120,15 @@ func RunCtx[T any](ctx context.Context, sys *System, q Query[T], data []T, domai
 
 	// --- Phase 1: Partition and Sample (§III) -------------------------------
 	g.Stage(StagePartitionSample, func(_ context.Context, sc *jobgraph.StageContext) error {
+		// partition-sample is the graph's only root, so it runs alone and the
+		// engine's spill counters can be delta-attributed to its span without
+		// racing a sibling stage. Later stages overlap; their spill traffic is
+		// visible in the release-level EngineDelta instead.
+		spillBefore := eng.Metrics()
+		defer func() {
+			d := eng.Metrics().Sub(spillBefore)
+			sc.AddSpill(d.SpilledBytes, d.SpillReads)
+		}()
 		// The RANGE ENFORCER requires the dataset split into two fixed
 		// partitions; on a cluster this repartitioning exchanges records
 		// between computers, which is the extra shuffle the paper attributes

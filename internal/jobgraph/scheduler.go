@@ -21,6 +21,8 @@ type StageContext struct {
 	cacheHits          atomic.Int64
 	recordsPreCombine  atomic.Int64
 	recordsPostCombine atomic.Int64
+	spilledBytes       atomic.Int64
+	spillReads         atomic.Int64
 }
 
 // AddRecords reports n input records processed by the stage.
@@ -37,6 +39,13 @@ func (sc *StageContext) AddReduceOps(n int64) { sc.reduceOps.Add(n) }
 
 // AddCacheHits reports n reduction-cache hits taken by the stage.
 func (sc *StageContext) AddCacheHits(n int64) { sc.cacheHits.Add(n) }
+
+// AddSpill reports out-of-core traffic attributed to the stage: bytes
+// written to spill files and spill-file reads streaming them back.
+func (sc *StageContext) AddSpill(bytes, reads int64) {
+	sc.spilledBytes.Add(bytes)
+	sc.spillReads.Add(reads)
+}
 
 // AddCombine reports one map-side combine pass: pre records entered the
 // combiners and post combined records went on to the shuffle. The eliminated
@@ -58,6 +67,8 @@ func (sc *StageContext) snapshot(span *Span) {
 	span.RecordsPreCombine = sc.recordsPreCombine.Load()
 	span.RecordsPostCombine = sc.recordsPostCombine.Load()
 	span.RecordsCombined = span.RecordsPreCombine - span.RecordsPostCombine
+	span.SpilledBytes = sc.spilledBytes.Load()
+	span.SpillReads = sc.spillReads.Load()
 }
 
 // Run validates the graph and executes it: every stage starts as soon as all

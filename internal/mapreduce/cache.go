@@ -53,8 +53,18 @@ func (c *ReductionCache) put(key string, v any) {
 	c.entries[key] = v
 }
 
+func (c *ReductionCache) delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}
+
 // CacheGet fetches the value stored under key if it exists and has type T.
-// A missing key or a stale entry of the wrong type both count as a miss.
+// A missing key or a stale entry of the wrong type both count as a miss. A
+// wrong-type entry is also deleted: callers follow a get-then-put-if-missing
+// protocol, so leaving the stale value in place would let one mistyped put
+// poison the key — every future typed get missing, every put skipped —
+// until Clear. Dropping it lets the next CachePut repopulate the slot.
 func CacheGet[T any](c *ReductionCache, key string) (T, bool) {
 	var zero T
 	v, ok := c.get(key)
@@ -63,6 +73,7 @@ func CacheGet[T any](c *ReductionCache, key string) (T, bool) {
 			c.metrics.CacheHits.Add(1)
 			return typed, true
 		}
+		c.delete(key)
 	}
 	c.metrics.CacheMisses.Add(1)
 	return zero, false

@@ -26,32 +26,33 @@ type Dataset[T any] struct {
 
 	// persistence
 	persistMu sync.Mutex
-	persisted [][]T // nil until Persist()+materialization
+	persisted *partStore[T] // nil until Persist()+materialization
 	persist   bool
 }
 
 // FromSlice creates a dataset from data split into numParts contiguous
 // partitions. It returns an error if numParts < 1. The input slice is copied
-// so later caller mutations cannot corrupt lineage recomputation.
+// so later caller mutations cannot corrupt lineage recomputation. Source
+// partitions count against the engine's memory budget: past it they spill
+// to temp files at construction and every partition read streams its file
+// back instead of holding the whole dataset in RAM.
 func FromSlice[T any](eng *Engine, data []T, numParts int) (*Dataset[T], error) {
 	if numParts < 1 {
 		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
 	}
 	owned := make([]T, len(data))
 	copy(owned, data)
-	return &Dataset[T]{
-		eng:      eng,
-		numParts: numParts,
-		name:     "source",
-		compute: func(_ context.Context, p int) ([]T, error) {
-			lo, hi := sliceBounds(len(owned), numParts, p)
-			return owned[lo:hi], nil
-		},
-	}, nil
+	parts := make([][]T, numParts)
+	for p := 0; p < numParts; p++ {
+		lo, hi := sliceBounds(len(owned), numParts, p)
+		parts[p] = owned[lo:hi]
+	}
+	return fromStore(eng, parts)
 }
 
 // FromPartitions creates a dataset whose partitions are exactly parts. The
-// outer and inner slices are copied.
+// outer and inner slices are copied. Like FromSlice, partitions past the
+// engine's memory budget spill to temp files.
 func FromPartitions[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
 	if len(parts) < 1 {
 		return nil, fmt.Errorf("mapreduce: need at least one partition")
@@ -61,11 +62,20 @@ func FromPartitions[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
 		owned[i] = make([]T, len(p))
 		copy(owned[i], p)
 	}
+	return fromStore(eng, owned)
+}
+
+// fromStore builds a source dataset over a budget-admitted partition store.
+func fromStore[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
+	store, err := storeParts(eng, "source", parts)
+	if err != nil {
+		return nil, err
+	}
 	return &Dataset[T]{
 		eng:      eng,
-		numParts: len(owned),
+		numParts: len(parts),
 		name:     "source",
-		compute:  func(_ context.Context, p int) ([]T, error) { return owned[p], nil },
+		compute:  func(_ context.Context, p int) ([]T, error) { return store.get(p) },
 	}, nil
 }
 
@@ -102,12 +112,14 @@ func (d *Dataset[T]) Persist() *Dataset[T] {
 }
 
 // partition returns partition p, using persisted data when available.
+// Persisted partitions past the memory budget live in spill files, so a
+// read here may stream from disk rather than return a retained slice.
 func (d *Dataset[T]) partition(ctx context.Context, p int) ([]T, error) {
 	d.persistMu.Lock()
 	if d.persisted != nil {
-		part := d.persisted[p]
+		store := d.persisted
 		d.persistMu.Unlock()
-		return part, nil
+		return store.get(p)
 	}
 	wantPersist := d.persist
 	d.persistMu.Unlock()
@@ -140,7 +152,11 @@ func (d *Dataset[T]) materialize(ctx context.Context) error {
 		}
 		parts[p] = part
 	}
-	d.persisted = parts
+	store, err := storeParts(d.eng, d.name+":persist", parts)
+	if err != nil {
+		return err
+	}
+	d.persisted = store
 	return nil
 }
 

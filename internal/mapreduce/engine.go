@@ -37,6 +37,11 @@ type Engine struct {
 
 	cache *ReductionCache
 
+	// spill is the memory-budget accountant and temp-file allocator behind
+	// out-of-core execution: materializations past the budget live in
+	// deterministic spill files instead of RAM (see spillstore.go).
+	spill *spillStore
+
 	// accMu guards accumulators, the named Accumulator registry.
 	accMu        sync.Mutex
 	accumulators map[string]*Accumulator
@@ -80,6 +85,17 @@ func WithChaos(inj *chaos.Injector) Option {
 	return func(e *Engine) { e.inj.Store(inj) }
 }
 
+// WithMemoryBudget caps the estimated bytes of materialized partitions,
+// shuffle buckets, and sorted runs the engine retains in memory. Past the
+// budget, materializations spill to deterministic length-prefixed temp
+// files and are streamed back on read — capacity grows to disk size while
+// every released value stays byte-identical to the in-memory run. Zero
+// spills every materialization; negative (the default) disables spilling.
+// Engines that may spill should be Closed to remove their temp files.
+func WithMemoryBudget(bytes int64) Option {
+	return func(e *Engine) { e.spill.budget = bytes }
+}
+
 // NewEngine builds an engine. By default it uses GOMAXPROCS workers and
 // retries each task up to three times with no backoff, deadline, or budget
 // (chaos.DefaultRetryPolicy).
@@ -89,11 +105,21 @@ func NewEngine(opts ...Option) *Engine {
 		policy:  chaos.DefaultRetryPolicy(),
 	}
 	e.cache = newReductionCache(&e.metrics)
+	e.spill = &spillStore{metrics: &e.metrics, budget: -1}
 	for _, opt := range opts {
 		opt(e)
 	}
 	return e
 }
+
+// MemoryBudget reports the configured in-memory materialization budget in
+// bytes (negative: unlimited, spilling disabled).
+func (e *Engine) MemoryBudget() int64 { return e.spill.budget }
+
+// Close releases the engine's spill directory and every temp file in it.
+// Idempotent; engines that never spilled touch no disk and Close is a no-op
+// for them. After Close the engine must not run further jobs that spill.
+func (e *Engine) Close() error { return e.spill.close() }
 
 // RetryPolicy returns the engine's retry contract, so sibling schedulers
 // (the jobgraph) can share it.
@@ -360,6 +386,13 @@ type Metrics struct {
 	CacheMisses            atomic.Int64
 	BroadcastsSent         atomic.Int64
 	BroadcastRecords       atomic.Int64
+	// SpilledBytes counts bytes written to spill files when a
+	// materialization exceeded the memory budget, SpillFiles the files
+	// written, and SpillReads the file reads that streamed spilled
+	// partitions back. All zero on an engine without a budget.
+	SpilledBytes atomic.Int64
+	SpillFiles   atomic.Int64
+	SpillReads   atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
@@ -384,6 +417,9 @@ type MetricsSnapshot struct {
 	CacheMisses            int64
 	BroadcastsSent         int64
 	BroadcastRecords       int64
+	SpilledBytes           int64
+	SpillFiles             int64
+	SpillReads             int64
 }
 
 // Metrics returns a snapshot of the engine counters.
@@ -409,6 +445,9 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		CacheMisses:            e.metrics.CacheMisses.Load(),
 		BroadcastsSent:         e.metrics.BroadcastsSent.Load(),
 		BroadcastRecords:       e.metrics.BroadcastRecords.Load(),
+		SpilledBytes:           e.metrics.SpilledBytes.Load(),
+		SpillFiles:             e.metrics.SpillFiles.Load(),
+		SpillReads:             e.metrics.SpillReads.Load(),
 	}
 }
 
@@ -444,5 +483,8 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		CacheMisses:            s.CacheMisses - prev.CacheMisses,
 		BroadcastsSent:         s.BroadcastsSent - prev.BroadcastsSent,
 		BroadcastRecords:       s.BroadcastRecords - prev.BroadcastRecords,
+		SpilledBytes:           s.SpilledBytes - prev.SpilledBytes,
+		SpillFiles:             s.SpillFiles - prev.SpillFiles,
+		SpillReads:             s.SpillReads - prev.SpillReads,
 	}
 }

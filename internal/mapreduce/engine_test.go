@@ -190,20 +190,27 @@ func TestReductionCache(t *testing.T) {
 	if !ok || len(got) != 2 {
 		t.Fatalf("CacheGet = %v, %v", got, ok)
 	}
-	// Wrong-type access is a miss, not a panic.
+	// Wrong-type access is a miss, not a panic — and it evicts the stale
+	// entry so the key is not poisoned for every future typed get (a
+	// get-then-put-if-missing caller would otherwise never repopulate it).
 	if _, ok := CacheGet[string](c, "k"); ok {
 		t.Fatal("wrong-type cache access succeeded")
 	}
-	if c.Len() != 1 {
-		t.Errorf("Len = %d, want 1", c.Len())
+	if c.Len() != 0 {
+		t.Errorf("Len after wrong-type get = %d, want 0 (stale entry must be evicted)", c.Len())
+	}
+	// The next put under the same key repopulates, and the typed get hits.
+	CachePut(c, "k", "replacement")
+	if got, ok := CacheGet[string](c, "k"); !ok || got != "replacement" {
+		t.Fatalf("CacheGet after replacement = %q, %v", got, ok)
 	}
 	c.Clear()
 	if c.Len() != 0 {
 		t.Errorf("Len after Clear = %d, want 0", c.Len())
 	}
 	m := eng.Metrics()
-	if m.CacheHits != 1 || m.CacheMisses != 2 {
-		t.Errorf("cache counters = %d hits / %d misses, want 1/2", m.CacheHits, m.CacheMisses)
+	if m.CacheHits != 2 || m.CacheMisses != 2 {
+		t.Errorf("cache counters = %d hits / %d misses, want 2/2", m.CacheHits, m.CacheMisses)
 	}
 }
 

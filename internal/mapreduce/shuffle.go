@@ -18,7 +18,20 @@ import (
 // len(records) shuffled records — the unit the paper's overhead analysis is
 // phrased in (joinDP "triggers shuffling twice", §V-C). Cancelling ctx
 // aborts both the parent collection and the bucketing tasks.
-func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+//
+// The merged buckets land in a partStore: in memory while the engine's
+// budget allows, otherwise one spill file per destination bucket, each
+// written in source-partition order so its decoded contents are
+// byte-identical to the in-memory bucket. Consumers read buckets through
+// the store, oblivious to where they live.
+func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], numParts int) (*partStore[Pair[K, V]], error) {
+	// Guard the shuffle boundary itself: Repartition and SortBy validate
+	// their own numParts, but shuffle's bucket index is a modulo — a zero or
+	// negative count must surface as an error here, never as a runtime
+	// panic in a worker.
+	if numParts < 1 {
+		return nil, fmt.Errorf("mapreduce: %s: shuffle into %d partitions, need >= 1", d.name, numParts)
+	}
 	parts, err := d.CollectPartitionsCtx(ctx)
 	if err != nil {
 		return nil, err
@@ -63,18 +76,28 @@ func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], n
 	}
 	d.eng.metrics.ShuffleRounds.Add(1)
 	d.eng.metrics.RecordsShuffled.Add(int64(total))
-	return buckets, nil
+	return storeParts(d.eng, d.name+":shuffle", buckets)
 }
 
 // shuffled lazily wraps a shuffle of d so several child partitions share it.
 // The first successful shuffle is memoized; failures (e.g. a cancelled
 // context) are retried on the next collection instead of being cached.
 type shuffled[K comparable, V any] struct {
-	memo memo[[][]Pair[K, V]]
+	memo memo[*partStore[Pair[K, V]]]
 }
 
-func (s *shuffled[K, V]) get(ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
-	return s.memo.get(func() ([][]Pair[K, V], error) { return shuffleWithRetry(ctx, d, numParts) })
+// get returns the memoized bucket store, materializing it on first use, and
+// bucket reads destination bucket b out of it.
+func (s *shuffled[K, V]) get(ctx context.Context, d *Dataset[Pair[K, V]], numParts int) (*partStore[Pair[K, V]], error) {
+	return s.memo.get(func() (*partStore[Pair[K, V]], error) { return shuffleWithRetry(ctx, d, numParts) })
+}
+
+func (s *shuffled[K, V]) bucket(ctx context.Context, d *Dataset[Pair[K, V]], numParts, b int) ([]Pair[K, V], error) {
+	store, err := s.get(ctx, d, numParts)
+	if err != nil {
+		return nil, err
+	}
+	return store.get(b)
 }
 
 // shuffleWithRetry materializes a shuffle under the engine's RetryPolicy.
@@ -84,7 +107,7 @@ func (s *shuffled[K, V]) get(ctx context.Context, d *Dataset[Pair[K, V]], numPar
 // A shuffle whose own tasks exhausted their attempts (ErrTaskFailed) is
 // terminal — its tasks already ran, and re-running them would break the
 // engine's fault-invariant metrics accounting.
-func shuffleWithRetry[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], numParts int) ([][]Pair[K, V], error) {
+func shuffleWithRetry[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], numParts int) (*partStore[Pair[K, V]], error) {
 	eng := d.eng
 	inj := eng.inj.Load()
 	site := d.name + ":shuffle"
@@ -208,13 +231,13 @@ func combineByKey[K comparable, V, C any](bound context.Context, d *Dataset[Pair
 	return derived[Pair[K, C], Pair[K, C]](combined, name, numParts, func(ctx context.Context, p int) ([]Pair[K, C], error) {
 		sctx, stop := joinContexts(bound, ctx)
 		defer stop()
-		buckets, err := sh.get(sctx, combined, numParts)
+		bucket, err := sh.bucket(sctx, combined, numParts, p)
 		if err != nil {
 			return nil, err
 		}
 		acc := make(map[K]C)
 		order := make([]K, 0)
-		for _, rec := range buckets[p] {
+		for _, rec := range bucket {
 			if cur, ok := acc[rec.Key]; ok {
 				acc[rec.Key] = mergeCombiners(cur, rec.Value)
 				d.eng.metrics.ReduceOps.Add(1)
@@ -268,13 +291,13 @@ func groupByKey[K comparable, V any](bound context.Context, d *Dataset[Pair[K, V
 	return derived[Pair[K, V], Pair[K, []V]](d, "groupByKey", numParts, func(ctx context.Context, p int) ([]Pair[K, []V], error) {
 		sctx, stop := joinContexts(bound, ctx)
 		defer stop()
-		buckets, err := sh.get(sctx, d, numParts)
+		bucket, err := sh.bucket(sctx, d, numParts, p)
 		if err != nil {
 			return nil, err
 		}
 		groups := make(map[K][]V)
 		order := make([]K, 0)
-		for _, rec := range buckets[p] {
+		for _, rec := range bucket {
 			if _, ok := groups[rec.Key]; !ok {
 				order = append(order, rec.Key)
 			}
@@ -324,22 +347,22 @@ func joinCtx[K comparable, V, W any](bound context.Context, a *Dataset[Pair[K, V
 	child := derived[Pair[K, V], Pair[K, Joined[V, W]]](a, "join", numParts, func(ctx context.Context, p int) ([]Pair[K, Joined[V, W]], error) {
 		sctx, stop := joinContexts(bound, ctx)
 		defer stop()
-		left, err := shA.get(sctx, a, numParts)
+		left, err := shA.bucket(sctx, a, numParts, p)
 		if err != nil {
 			return nil, err
 		}
-		right, err := shB.get(sctx, b, numParts)
+		right, err := shB.bucket(sctx, b, numParts, p)
 		if err != nil {
 			return nil, err
 		}
 		// Build side: hash the right bucket; probe side: stream the left
 		// bucket in order for deterministic output.
 		build := make(map[K][]W)
-		for _, rec := range right[p] {
+		for _, rec := range right {
 			build[rec.Key] = append(build[rec.Key], rec.Value)
 		}
 		var out []Pair[K, Joined[V, W]]
-		for _, rec := range left[p] {
+		for _, rec := range left {
 			for _, w := range build[rec.Key] {
 				out = append(out, Pair[K, Joined[V, W]]{
 					Key:   rec.Key,
@@ -376,11 +399,11 @@ func coGroupCtx[K comparable, V, W any](bound context.Context, a *Dataset[Pair[K
 	child := derived[Pair[K, V], Pair[K, Joined[[]V, []W]]](a, "cogroup", numParts, func(ctx context.Context, p int) ([]Pair[K, Joined[[]V, []W]], error) {
 		sctx, stop := joinContexts(bound, ctx)
 		defer stop()
-		left, err := shA.get(sctx, a, numParts)
+		left, err := shA.bucket(sctx, a, numParts, p)
 		if err != nil {
 			return nil, err
 		}
-		right, err := shB.get(sctx, b, numParts)
+		right, err := shB.bucket(sctx, b, numParts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -388,14 +411,14 @@ func coGroupCtx[K comparable, V, W any](bound context.Context, a *Dataset[Pair[K
 		rights := make(map[K][]W)
 		order := make([]K, 0)
 		seen := make(map[K]bool)
-		for _, rec := range left[p] {
+		for _, rec := range left {
 			if !seen[rec.Key] {
 				seen[rec.Key] = true
 				order = append(order, rec.Key)
 			}
 			lefts[rec.Key] = append(lefts[rec.Key], rec.Value)
 		}
-		for _, rec := range right[p] {
+		for _, rec := range right {
 			if !seen[rec.Key] {
 				seen[rec.Key] = true
 				order = append(order, rec.Key)

@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 )
 
@@ -13,11 +14,22 @@ import (
 //
 // The sort is stable, so records comparing equal keep their source order —
 // which keeps every downstream result deterministic.
+//
+// Within the engine's memory budget the sort is one in-memory pass. Past it,
+// SortBy switches to an external merge sort: each source partition is
+// stable-sorted and spilled as a sorted run, and every output partition is
+// produced by a streaming k-way merge over the runs (ties broken by source
+// run order), which yields exactly the record sequence a stable sort of the
+// concatenated partitions would — byte-identical output either way.
+//
+// Every returned partition is an owned slice: downstream stages that mutate
+// or append to their input can never corrupt the shared sorted
+// materialization or their sibling partitions.
 func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Dataset[T], error) {
 	if numParts < 1 {
 		return nil, fmt.Errorf("mapreduce: numParts must be >= 1, got %d", numParts)
 	}
-	var shared memo[[]T]
+	var shared memo[*sortedRep[T]]
 	return &Dataset[T]{
 		eng:      d.eng,
 		numParts: numParts,
@@ -26,24 +38,136 @@ func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Datase
 			// The sorted parent is materialized once and shared by all output
 			// partitions; a failed materialization (e.g. a cancelled context)
 			// is retried on the next collection instead of being cached.
-			sorted, err := shared.get(func() ([]T, error) {
-				all, err := d.CollectCtx(ctx)
-				if err != nil {
-					return nil, err
-				}
-				owned := make([]T, len(all))
-				copy(owned, all)
-				sort.SliceStable(owned, func(i, j int) bool { return less(owned[i], owned[j]) })
-				d.eng.AccountShuffle(len(owned))
-				return owned, nil
+			rep, err := shared.get(func() (*sortedRep[T], error) {
+				return materializeSorted(ctx, d, less)
 			})
 			if err != nil {
 				return nil, err
 			}
-			lo, hi := sliceBounds(len(sorted), numParts, p)
-			return sorted[lo:hi], nil
+			return rep.partition(numParts, p)
 		},
 	}, nil
+}
+
+// sortedRep is the shared materialization behind SortBy's output
+// partitions: either the fully sorted records in memory, or one spilled
+// sorted run per source partition for the external merge.
+type sortedRep[T any] struct {
+	eng   *Engine
+	less  func(a, b T) bool
+	total int
+	mem   []T         // in-memory path
+	runs  []spillRun  // external path: sorted run per source partition
+}
+
+// spillRun is one sorted run on disk.
+type spillRun struct {
+	path  string
+	count int
+}
+
+// materializeSorted collects the parent and builds whichever representation
+// the memory budget allows. Both paths account one shuffle round of every
+// record — the data motion is the same, only its destination differs.
+func materializeSorted[T any](ctx context.Context, d *Dataset[T], less func(a, b T) bool) (*sortedRep[T], error) {
+	parts, err := d.CollectPartitionsCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	rep := &sortedRep[T]{eng: d.eng, less: less, total: total}
+	if d.eng.spill.admit(estimatePartsBytes(parts)) {
+		owned := make([]T, 0, total)
+		for _, p := range parts {
+			owned = append(owned, p...)
+		}
+		sort.SliceStable(owned, func(i, j int) bool { return less(owned[i], owned[j]) })
+		rep.mem = owned
+		d.eng.AccountShuffle(total)
+		return rep, nil
+	}
+	// External path: stable-sort each source partition into a run and spill
+	// it. Run files are written in source-partition order so a retried
+	// materialization rewrites identical bytes.
+	prefix := fmt.Sprintf("%06d-%s", d.eng.spill.seq.Add(1), sanitizeSite(d.name+".sortBy"))
+	rep.runs = make([]spillRun, len(parts))
+	for i, p := range parts {
+		run := make([]T, len(p))
+		copy(run, p)
+		sort.SliceStable(run, func(a, b int) bool { return less(run[a], run[b]) })
+		path, err := spillWrite(d.eng.spill, fmt.Sprintf("%s-%04d.spill", prefix, i), run)
+		if err != nil {
+			for _, written := range rep.runs[:i] {
+				os.Remove(written.path)
+			}
+			return nil, err
+		}
+		rep.runs[i] = spillRun{path: path, count: len(run)}
+	}
+	d.eng.AccountShuffle(total)
+	return rep, nil
+}
+
+// partition returns output partition p — records [lo, hi) of the global
+// sorted order — as an owned slice.
+func (rep *sortedRep[T]) partition(numParts, p int) ([]T, error) {
+	lo, hi := sliceBounds(rep.total, numParts, p)
+	if rep.mem != nil {
+		out := make([]T, hi-lo)
+		copy(out, rep.mem[lo:hi])
+		return out, nil
+	}
+	return rep.merge(lo, hi)
+}
+
+// merge streams a k-way merge of the sorted runs and returns records
+// [lo, hi) of the merged order. Ties pick the lowest run index, and records
+// within a run keep their order, so the merged sequence equals a stable
+// sort of the concatenated source partitions. Memory stays bounded by one
+// decode batch per run regardless of dataset size.
+func (rep *sortedRep[T]) merge(lo, hi int) ([]T, error) {
+	readers := make([]*spillReader[T], len(rep.runs))
+	heads := make([]T, len(rep.runs))
+	live := make([]bool, len(rep.runs))
+	for i, run := range rep.runs {
+		r, closeFn, err := spillOpen[T](rep.eng.spill, run.path)
+		if err != nil {
+			return nil, err
+		}
+		defer closeFn()
+		readers[i] = r
+		heads[i], live[i], err = r.next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]T, 0, hi-lo)
+	for emitted := 0; emitted < hi; emitted++ {
+		best := -1
+		for i := range heads {
+			if !live[i] {
+				continue
+			}
+			if best < 0 || rep.less(heads[i], heads[best]) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("mapreduce: external sort runs exhausted at record %d of %d", emitted, rep.total)
+		}
+		if emitted >= lo {
+			out = append(out, heads[best])
+		}
+		var err error
+		heads[best], live[best], err = readers[best].next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Top returns the k greatest records under less (the analogue of Spark's

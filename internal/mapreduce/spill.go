@@ -1,0 +1,138 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Spill file format: a sequence of independent length-prefixed frames, each
+// holding one gob-encoded batch of records.
+//
+//	frame := uvarint(len(payload)) payload
+//	payload := gob([]T)            // fresh encoder per frame
+//
+// Every frame is self-contained (its own gob type descriptors), so a reader
+// can stream record-by-record holding at most one decoded batch in memory —
+// which is what the external merge sort's k-way merge needs — and a partial
+// trailing frame (a crashed writer) is detected as a framing error rather
+// than silently decoded.
+//
+// The codec must be deterministic: a retried task that rewrites its spill
+// file must produce the same bytes, or lineage recomputation under chaos
+// would diverge. gob encodes slices, strings, numbers, and structs of those
+// deterministically; the one caveat is Go maps (iteration order leaks into
+// the encoding), so record types routed through the spill path must not
+// contain map fields. Nothing in the engine's own record flow (Pair, State
+// vectors, relation rows) does. Note also that gob cannot distinguish a nil
+// slice from an empty one: both decode as nil, which is invisible to every
+// value-semantics consumer but would matter to code comparing against nil.
+//
+// spillBatch is the records-per-frame granularity: large enough to amortize
+// the per-frame gob descriptors, small enough that a streaming reader's
+// resident batch stays far below any sensible memory budget.
+const spillBatch = 512
+
+// writeSpill encodes recs as length-prefixed gob frames onto w and returns
+// the encoded byte count.
+func writeSpill[T any](w io.Writer, recs []T) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var payload bytes.Buffer
+	var hdr [binary.MaxVarintLen64]byte
+	var written int64
+	for lo := 0; lo < len(recs); lo += spillBatch {
+		hi := lo + spillBatch
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		payload.Reset()
+		if err := gob.NewEncoder(&payload).Encode(recs[lo:hi]); err != nil {
+			return written, fmt.Errorf("mapreduce: spill encode: %w", err)
+		}
+		n := binary.PutUvarint(hdr[:], uint64(payload.Len()))
+		if _, err := bw.Write(hdr[:n]); err != nil {
+			return written, err
+		}
+		if _, err := bw.Write(payload.Bytes()); err != nil {
+			return written, err
+		}
+		written += int64(n + payload.Len())
+	}
+	return written, bw.Flush()
+}
+
+// spillReader streams records back out of a spill file, decoding one frame
+// at a time.
+type spillReader[T any] struct {
+	br    *bufio.Reader
+	batch []T
+	pos   int
+}
+
+func newSpillReader[T any](r io.Reader) *spillReader[T] {
+	return &spillReader[T]{br: bufio.NewReader(r)}
+}
+
+// next returns the next record, or ok=false at a clean end of stream. A
+// truncated or corrupt frame is an error, never a silent short read.
+func (r *spillReader[T]) next() (rec T, ok bool, err error) {
+	for r.pos >= len(r.batch) {
+		if err := r.readFrame(); err != nil {
+			if err == io.EOF {
+				var zero T
+				return zero, false, nil
+			}
+			var zero T
+			return zero, false, err
+		}
+	}
+	rec = r.batch[r.pos]
+	r.pos++
+	return rec, true, nil
+}
+
+// readFrame decodes the next frame into r.batch. io.EOF means a clean end.
+func (r *spillReader[T]) readFrame() error {
+	size, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("mapreduce: spill frame header: %w", err)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return fmt.Errorf("mapreduce: spill frame truncated: %w", err)
+	}
+	// Decode into a fresh slice every frame: gob reuses existing backing
+	// arrays — including the inner slices of elements decoded earlier — so
+	// recycling the batch would let frame n+1 scribble over records already
+	// handed out of frame n (their struct copies share those inner arrays).
+	r.batch = nil
+	r.pos = 0
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r.batch); err != nil {
+		return fmt.Errorf("mapreduce: spill decode: %w", err)
+	}
+	return nil
+}
+
+// readSpill decodes a whole spill stream into an owned slice. count sizes
+// the allocation (the store records it at write time); a wrong count only
+// costs a reallocation.
+func readSpill[T any](r io.Reader, count int) ([]T, error) {
+	out := make([]T, 0, count)
+	sr := newSpillReader[T](r)
+	for {
+		rec, ok, err := sr.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,332 @@
+package mapreduce
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// spillStore is the engine's memory-budget accountant and temp-file
+// allocator. Every materialization that would retain records in memory
+// (source partitions, persisted datasets, shuffle buckets, sorted runs)
+// first asks admit; past the budget the materialization is written to
+// deterministic length-prefixed temp files instead and read back on demand.
+//
+// The temp directory is created lazily on the first spill, so engines that
+// never exceed their budget (including every engine with the default
+// unlimited budget) touch no disk at all. Close removes the directory.
+type spillStore struct {
+	metrics *Metrics
+
+	// budget is the in-memory byte ceiling: negative means unlimited, zero
+	// spills every materialization. retained is the running total of bytes
+	// admitted in memory; it is never decremented — an engine is scoped to
+	// a job or serving session, and once its working set has filled the
+	// budget, later materializations belong on disk.
+	budget   int64
+	retained atomic.Int64
+
+	// seq disambiguates stores whose datasets share a lineage name (two
+	// independent "source" datasets must not overwrite each other's files).
+	seq atomic.Uint64
+
+	mu     sync.Mutex
+	dir    string
+	closed bool
+}
+
+// admit reports whether a materialization of estimated size n may stay in
+// memory, reserving the bytes if so.
+func (st *spillStore) admit(n int64) bool {
+	if st.budget < 0 {
+		return true
+	}
+	for {
+		cur := st.retained.Load()
+		if cur+n > st.budget {
+			return false
+		}
+		if st.retained.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// ensureDir lazily creates the spill directory.
+func (st *spillStore) ensureDir() (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return "", fmt.Errorf("mapreduce: spill store closed")
+	}
+	if st.dir == "" {
+		dir, err := os.MkdirTemp("", "upa-spill-*")
+		if err != nil {
+			return "", fmt.Errorf("mapreduce: create spill dir: %w", err)
+		}
+		st.dir = dir
+	}
+	return st.dir, nil
+}
+
+// close removes the spill directory and everything in it. Idempotent.
+func (st *spillStore) close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.closed = true
+	if st.dir == "" {
+		return nil
+	}
+	dir := st.dir
+	st.dir = ""
+	return os.RemoveAll(dir)
+}
+
+// write spills recs under a deterministic file name: write to a .tmp
+// sibling, then rename, so a file either exists complete or not at all and
+// a retried task rewriting its spill lands the identical bytes atomically.
+func spillWrite[T any](st *spillStore, name string, recs []T) (string, error) {
+	dir, err := st.ensureDir()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", err
+	}
+	n, err := writeSpill(f, recs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	st.metrics.SpillFiles.Add(1)
+	st.metrics.SpilledBytes.Add(n)
+	return path, nil
+}
+
+// spillRead reads a whole spill file back as an owned slice.
+func spillRead[T any](st *spillStore, path string, count int) ([]T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: open spill: %w", err)
+	}
+	defer f.Close()
+	st.metrics.SpillReads.Add(1)
+	return readSpill[T](f, count)
+}
+
+// spillOpen opens a streaming reader over a spill file. The caller owns the
+// returned close function.
+func spillOpen[T any](st *spillStore, path string) (*spillReader[T], func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mapreduce: open spill: %w", err)
+	}
+	st.metrics.SpillReads.Add(1)
+	return newSpillReader[T](f), f.Close, nil
+}
+
+// sanitizeSite turns a lineage site name into a file-name-safe fragment.
+func sanitizeSite(site string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, site)
+}
+
+// partStore holds one stage's materialized partitions (or shuffle buckets):
+// either shared in-memory slices, or one spill file per index. It is
+// immutable after construction, so concurrent partition reads need no lock.
+type partStore[T any] struct {
+	eng    *Engine
+	mem    [][]T    // in-memory representation (nil when spilled)
+	files  []string // files[i] is index i's spill file (nil when in memory)
+	counts []int
+}
+
+// storeParts admits parts against the engine's memory budget, keeping them
+// in memory when they fit and spilling one deterministic file per index —
+// named <seq>-<site>-<index>.spill — when they do not. On a partial write
+// failure every file already written is removed, so a failed (and later
+// retried) materialization leaks nothing.
+func storeParts[T any](eng *Engine, site string, parts [][]T) (*partStore[T], error) {
+	counts := make([]int, len(parts))
+	for i, p := range parts {
+		counts[i] = len(p)
+	}
+	if eng.spill.admit(estimatePartsBytes(parts)) {
+		return &partStore[T]{eng: eng, mem: parts, counts: counts}, nil
+	}
+	prefix := fmt.Sprintf("%06d-%s", eng.spill.seq.Add(1), sanitizeSite(site))
+	files := make([]string, len(parts))
+	for i, p := range parts {
+		path, err := spillWrite(eng.spill, fmt.Sprintf("%s-%04d.spill", prefix, i), p)
+		if err != nil {
+			for _, written := range files[:i] {
+				os.Remove(written)
+			}
+			return nil, err
+		}
+		files[i] = path
+	}
+	return &partStore[T]{eng: eng, files: files, counts: counts}, nil
+}
+
+// get returns partition i: the shared in-memory slice (callers must treat
+// it as read-only, as with every engine-materialized partition) or an owned
+// slice decoded from the spill file.
+func (s *partStore[T]) get(i int) ([]T, error) {
+	if s.mem != nil {
+		return s.mem[i], nil
+	}
+	return spillRead[T](s.eng.spill, s.files[i], s.counts[i])
+}
+
+// count reports partition i's record count without reading it.
+func (s *partStore[T]) count(i int) int { return s.counts[i] }
+
+// spilled reports whether the store's partitions live on disk.
+func (s *partStore[T]) spilled() bool { return s.mem == nil }
+
+// Size estimation. The budget gates which representation a materialization
+// gets, not any release value, so an approximation is fine — but it must be
+// a pure function of the data (never of timing or scheduling) or the spill
+// decision itself would be nondeterministic for a fixed budget and input.
+// estimateRecords samples up to sizeSampleRecords records, walks each with
+// reflectSize, and extrapolates the mean; estimatePartsBytes sums that over
+// the partitions.
+const (
+	sizeSampleRecords = 8
+	sizeSampleElems   = 32
+	sizeMaxDepth      = 4
+)
+
+func estimatePartsBytes[T any](parts [][]T) int64 {
+	var total int64
+	for _, p := range parts {
+		total += estimateRecords(p)
+	}
+	return total
+}
+
+func estimateRecords[T any](recs []T) int64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	stride := len(recs) / sizeSampleRecords
+	if stride == 0 {
+		stride = 1
+	}
+	var sampled, n int64
+	for i := 0; i < len(recs); i += stride {
+		sampled += reflectSize(reflect.ValueOf(recs[i]), sizeMaxDepth)
+		n++
+	}
+	return sampled / n * int64(len(recs))
+}
+
+// reflectSize approximates the in-memory footprint of one value: the static
+// type size plus the referenced bytes behind strings, slices, maps,
+// pointers, and interfaces, sampling long containers and extrapolating.
+func reflectSize(v reflect.Value, depth int) int64 {
+	if !v.IsValid() {
+		return 0
+	}
+	t := v.Type()
+	size := int64(t.Size())
+	if depth <= 0 {
+		return size
+	}
+	switch v.Kind() {
+	case reflect.String:
+		size += int64(v.Len())
+	case reflect.Slice:
+		size += containerSize(v, depth)
+	case reflect.Array:
+		if elemHasPointers(t.Elem()) {
+			size += containerSize(v, depth) - int64(t.Size())
+		}
+	case reflect.Map:
+		n := v.Len()
+		if n == 0 {
+			break
+		}
+		sample := n
+		if sample > sizeSampleElems {
+			sample = sizeSampleElems
+		}
+		var per int64
+		iter := v.MapRange()
+		for i := 0; i < sample && iter.Next(); i++ {
+			per += reflectSize(iter.Key(), depth-1) + reflectSize(iter.Value(), depth-1)
+		}
+		size += per / int64(sample) * int64(n)
+	case reflect.Pointer, reflect.Interface:
+		if !v.IsNil() {
+			size += reflectSize(v.Elem(), depth-1)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			f := v.Field(i)
+			switch f.Kind() {
+			case reflect.String, reflect.Slice, reflect.Map, reflect.Pointer, reflect.Interface, reflect.Struct, reflect.Array:
+				// Static field size is already inside t.Size(); add only the
+				// referenced bytes behind it.
+				size += reflectSize(f, depth-1) - int64(f.Type().Size())
+			}
+		}
+	}
+	return size
+}
+
+// containerSize sums the dynamic footprint of a slice or array's elements,
+// sampling long ones.
+func containerSize(v reflect.Value, depth int) int64 {
+	n := v.Len()
+	if n == 0 {
+		return 0
+	}
+	elem := v.Type().Elem()
+	if !elemHasPointers(elem) {
+		return int64(elem.Size()) * int64(n)
+	}
+	sample := n
+	if sample > sizeSampleElems {
+		sample = sizeSampleElems
+	}
+	var per int64
+	for i := 0; i < sample; i++ {
+		per += reflectSize(v.Index(i), depth-1)
+	}
+	return per / int64(sample) * int64(n)
+}
+
+// elemHasPointers reports whether a container element type drags referenced
+// memory behind it (and so needs per-element walking).
+func elemHasPointers(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return false
+	default:
+		return true
+	}
+}

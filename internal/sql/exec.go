@@ -226,11 +226,13 @@ func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) 
 }
 
 // aggState is the mergeable accumulator of one group: one slot per AggSpec.
+// Fields are exported so the accumulator survives the engine's gob-framed
+// spill files when a shuffle exceeds the memory budget.
 type aggState struct {
-	count int64
-	sums  []float64
-	mins  []float64
-	maxs  []float64
+	Count int64
+	Sums  []float64
+	Mins  []float64
+	Maxs  []float64
 }
 
 func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Dataset[Row], error) {
@@ -275,10 +277,10 @@ func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Datas
 	nAggs := len(p.Aggs)
 	toState := func(r Row) (mapreduce.Pair[string, aggState], error) {
 		st := aggState{
-			count: 1,
-			sums:  make([]float64, nAggs),
-			mins:  make([]float64, nAggs),
-			maxs:  make([]float64, nAggs),
+			Count: 1,
+			Sums:  make([]float64, nAggs),
+			Mins:  make([]float64, nAggs),
+			Maxs:  make([]float64, nAggs),
 		}
 		for i, b := range args {
 			if b == nil {
@@ -289,9 +291,9 @@ func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Datas
 				return mapreduce.Pair[string, aggState]{}, err
 			}
 			f, _ := v.AsFloat()
-			st.sums[i] = f
-			st.mins[i] = f
-			st.maxs[i] = f
+			st.Sums[i] = f
+			st.Mins[i] = f
+			st.Maxs[i] = f
 		}
 		key := ""
 		for _, gi := range groupIdx {
@@ -337,19 +339,19 @@ func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Datas
 		for i, a := range specs {
 			switch a.Func {
 			case AggCount:
-				row = append(row, Int(st.count))
+				row = append(row, Int(st.Count))
 			case AggSum:
-				row = append(row, Float(st.sums[i]))
+				row = append(row, Float(st.Sums[i]))
 			case AggAvg:
-				if st.count == 0 {
+				if st.Count == 0 {
 					row = append(row, Float(math.NaN()))
 				} else {
-					row = append(row, Float(st.sums[i]/float64(st.count)))
+					row = append(row, Float(st.Sums[i]/float64(st.Count)))
 				}
 			case AggMin:
-				row = append(row, Float(st.mins[i]))
+				row = append(row, Float(st.Mins[i]))
 			case AggMax:
-				row = append(row, Float(st.maxs[i]))
+				row = append(row, Float(st.Maxs[i]))
 			}
 		}
 		return row
@@ -370,20 +372,20 @@ type groupAcc struct {
 // mergeGroups is the commutative, associative reducer over group
 // accumulators.
 func mergeGroups(a, b groupAcc) groupAcc {
-	n := len(a.State.sums)
+	n := len(a.State.Sums)
 	out := groupAcc{
 		Keys: a.Keys,
 		State: aggState{
-			count: a.State.count + b.State.count,
-			sums:  make([]float64, n),
-			mins:  make([]float64, n),
-			maxs:  make([]float64, n),
+			Count: a.State.Count + b.State.Count,
+			Sums:  make([]float64, n),
+			Mins:  make([]float64, n),
+			Maxs:  make([]float64, n),
 		},
 	}
 	for i := 0; i < n; i++ {
-		out.State.sums[i] = a.State.sums[i] + b.State.sums[i]
-		out.State.mins[i] = math.Min(a.State.mins[i], b.State.mins[i])
-		out.State.maxs[i] = math.Max(a.State.maxs[i], b.State.maxs[i])
+		out.State.Sums[i] = a.State.Sums[i] + b.State.Sums[i]
+		out.State.Mins[i] = math.Min(a.State.Mins[i], b.State.Mins[i])
+		out.State.Maxs[i] = math.Max(a.State.Maxs[i], b.State.Maxs[i])
 	}
 	return out
 }

@@ -9,6 +9,7 @@ package sql
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 )
 
@@ -99,6 +100,86 @@ func (v Value) String() string {
 	default:
 		return "<nil>"
 	}
+}
+
+// GobEncode serializes the tagged union so rows survive the engine's
+// spill-to-disk path (gob refuses structs with only unexported fields). The
+// encoding is deterministic — kind byte, then the active payload only — so
+// a retried task rewriting a spill file reproduces identical bytes.
+func (v Value) GobEncode() ([]byte, error) {
+	switch v.kind {
+	case KindInt:
+		var buf [1 + 8]byte
+		buf[0] = byte(KindInt)
+		putUint64(buf[1:], uint64(v.i))
+		return buf[:], nil
+	case KindFloat:
+		var buf [1 + 8]byte
+		buf[0] = byte(KindFloat)
+		putUint64(buf[1:], math.Float64bits(v.f))
+		return buf[:], nil
+	case KindString:
+		buf := make([]byte, 1+len(v.s))
+		buf[0] = byte(KindString)
+		copy(buf[1:], v.s)
+		return buf, nil
+	case KindBool:
+		b := byte(0)
+		if v.b {
+			b = 1
+		}
+		return []byte{byte(KindBool), b}, nil
+	default:
+		return []byte{0}, nil // zero Value
+	}
+}
+
+// GobDecode is the inverse of GobEncode.
+func (v *Value) GobDecode(data []byte) error {
+	if len(data) == 0 {
+		return fmt.Errorf("sql: empty Value encoding")
+	}
+	*v = Value{kind: Kind(data[0])}
+	payload := data[1:]
+	switch v.kind {
+	case 0:
+		v.kind = 0 // zero Value
+		return nil
+	case KindInt:
+		if len(payload) != 8 {
+			return fmt.Errorf("sql: int Value encoding has %d payload bytes", len(payload))
+		}
+		v.i = int64(getUint64(payload))
+	case KindFloat:
+		if len(payload) != 8 {
+			return fmt.Errorf("sql: float Value encoding has %d payload bytes", len(payload))
+		}
+		v.f = math.Float64frombits(getUint64(payload))
+	case KindString:
+		v.s = string(payload)
+	case KindBool:
+		if len(payload) != 1 {
+			return fmt.Errorf("sql: bool Value encoding has %d payload bytes", len(payload))
+		}
+		v.b = payload[0] == 1
+	default:
+		return fmt.Errorf("sql: unknown Value kind %d in encoding", data[0])
+	}
+	return nil
+}
+
+func putUint64(b []byte, x uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(x >> (8 * i))
+	}
+}
+
+func getUint64(b []byte) uint64 {
+	var x uint64
+	for i := 0; i < 8; i++ {
+		x |= uint64(b[i]) << (8 * i)
+	}
+	return x
 }
 
 // Compare orders two values of the same kind: -1, 0, +1. Numeric kinds
