@@ -338,24 +338,26 @@ func (s *server) routes() http.Handler {
 // jobStage is one stage of a job record: the span the stage reported plus
 // the cluster model's price for it.
 type jobStage struct {
-	Stage           string   `json:"stage"`
-	Deps            []string `json:"deps"`
-	DurationUS      float64  `json:"durationUs"`
-	Attempts        int      `json:"attempts"`
-	Speculative     int      `json:"speculative"`
-	Retries         int64    `json:"retries"`
-	TaskFaults      int64    `json:"taskFaults"`
-	BackoffUS       float64  `json:"backoffUs"`
-	Records         int64    `json:"records"`
-	ShuffledRecords int64    `json:"shuffledRecords"`
-	ShuffleBytes    int64    `json:"shuffleBytes"`
-	ReduceOps       int64    `json:"reduceOps"`
-	CacheHits       int64    `json:"cacheHits"`
-	RecordsCombined int64    `json:"recordsCombined"`
-	SpilledBytes    int64    `json:"spilledBytes"`
-	SpillReads      int64    `json:"spillReads"`
-	SimUS           float64  `json:"simUs"`
-	Critical        bool     `json:"critical"`
+	Stage            string   `json:"stage"`
+	Deps             []string `json:"deps"`
+	DurationUS       float64  `json:"durationUs"`
+	Attempts         int      `json:"attempts"`
+	Speculative      int      `json:"speculative"`
+	Retries          int64    `json:"retries"`
+	TaskFaults       int64    `json:"taskFaults"`
+	BackoffUS        float64  `json:"backoffUs"`
+	Records          int64    `json:"records"`
+	ShuffledRecords  int64    `json:"shuffledRecords"`
+	ShuffleBytes     int64    `json:"shuffleBytes"`
+	ReduceOps        int64    `json:"reduceOps"`
+	CacheHits        int64    `json:"cacheHits"`
+	RecordsCombined  int64    `json:"recordsCombined"`
+	SpilledBytes     int64    `json:"spilledBytes"`
+	SpillReads       int64    `json:"spillReads"`
+	SpillCorruptions int64    `json:"spillCorruptions"`
+	SpillRecomputes  int64    `json:"spillRecomputes"`
+	SimUS            float64  `json:"simUs"`
+	Critical         bool     `json:"critical"`
 }
 
 // jobRecord is one release's stage DAG as reported by GET /jobs.
@@ -399,24 +401,26 @@ func (s *server) recordJob(res *core.Result) {
 			deps = []string{} // keep "deps" an array, never null, in JSON
 		}
 		rec.Stages = append(rec.Stages, jobStage{
-			Stage:           span.Stage,
-			Deps:            deps,
-			DurationUS:      micros(span.Duration()),
-			Attempts:        span.Attempts,
-			Speculative:     span.Speculative,
-			Retries:         span.Retries,
-			TaskFaults:      span.TaskFaults,
-			BackoffUS:       micros(time.Duration(span.BackoffNanos)),
-			Records:         span.Records,
-			ShuffledRecords: span.ShuffledRecords,
-			ShuffleBytes:    span.ShuffleBytes,
-			ReduceOps:       span.ReduceOps,
-			CacheHits:       span.CacheHits,
-			RecordsCombined: span.RecordsCombined,
-			SpilledBytes:    span.SpilledBytes,
-			SpillReads:      span.SpillReads,
-			SimUS:           micros(plan.Stages[i].Cost.Total()),
-			Critical:        critical[span.Stage],
+			Stage:            span.Stage,
+			Deps:             deps,
+			DurationUS:       micros(span.Duration()),
+			Attempts:         span.Attempts,
+			Speculative:      span.Speculative,
+			Retries:          span.Retries,
+			TaskFaults:       span.TaskFaults,
+			BackoffUS:        micros(time.Duration(span.BackoffNanos)),
+			Records:          span.Records,
+			ShuffledRecords:  span.ShuffledRecords,
+			ShuffleBytes:     span.ShuffleBytes,
+			ReduceOps:        span.ReduceOps,
+			CacheHits:        span.CacheHits,
+			RecordsCombined:  span.RecordsCombined,
+			SpilledBytes:     span.SpilledBytes,
+			SpillReads:       span.SpillReads,
+			SpillCorruptions: span.SpillCorruptions,
+			SpillRecomputes:  span.SpillRecomputes,
+			SimUS:            micros(plan.Stages[i].Cost.Total()),
+			Critical:         critical[span.Stage],
 		})
 	}
 	s.jobsMu.Lock()
@@ -533,27 +537,31 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			"hits":    cacheHits,
 			"misses":  cacheMisses,
 		},
-		"tasksRun":               m.TasksRun,
-		"recordsMapped":          m.RecordsMapped,
-		"reduceOps":              m.ReduceOps,
-		"shuffleRounds":          m.ShuffleRounds,
-		"recordsShuffled":        m.RecordsShuffled,
-		"recordsPreCombine":      m.RecordsPreCombine,
-		"recordsPostCombine":     m.RecordsPostCombine,
-		"recordsCombinedMapSide": m.RecordsCombinedMapSide,
-		"cacheHitRate":           m.CacheHitRate(),
-		"taskAttempts":           m.TaskAttempts,
-		"taskFaults":             m.TaskFaults,
-		"taskRetries":            m.TaskRetries,
-		"shuffleRetries":         m.ShuffleRetries,
-		"backoffUs":              micros(time.Duration(m.BackoffNanos)),
-		"deadlinesExceeded":      m.DeadlinesExceeded,
-		"stragglersInjected":     m.StragglersInjected,
-		"slotsLost":              m.SlotsLost,
-		"memoryBudget":           s.eng.MemoryBudget(),
-		"spilledBytes":           m.SpilledBytes,
-		"spillFiles":             m.SpillFiles,
-		"spillReads":             m.SpillReads,
+		"tasksRun":                 m.TasksRun,
+		"recordsMapped":            m.RecordsMapped,
+		"reduceOps":                m.ReduceOps,
+		"shuffleRounds":            m.ShuffleRounds,
+		"recordsShuffled":          m.RecordsShuffled,
+		"recordsPreCombine":        m.RecordsPreCombine,
+		"recordsPostCombine":       m.RecordsPostCombine,
+		"recordsCombinedMapSide":   m.RecordsCombinedMapSide,
+		"cacheHitRate":             m.CacheHitRate(),
+		"taskAttempts":             m.TaskAttempts,
+		"taskFaults":               m.TaskFaults,
+		"taskRetries":              m.TaskRetries,
+		"shuffleRetries":           m.ShuffleRetries,
+		"backoffUs":                micros(time.Duration(m.BackoffNanos)),
+		"deadlinesExceeded":        m.DeadlinesExceeded,
+		"stragglersInjected":       m.StragglersInjected,
+		"slotsLost":                m.SlotsLost,
+		"memoryBudget":             s.eng.MemoryBudget(),
+		"spilledBytes":             m.SpilledBytes,
+		"spillFiles":               m.SpillFiles,
+		"spillReads":               m.SpillReads,
+		"spillCorruptionsDetected": m.SpillCorruptionsDetected,
+		"spillRecomputes":          m.SpillRecomputes,
+		"spillWriteRetries":        m.SpillWriteRetries,
+		"spillFallbacksInMemory":   m.SpillFallbacksInMemory,
 	})
 }
 

@@ -32,11 +32,14 @@ var Analyzer = &analysis.Analyzer{
 // list is exported so the repo-wide vet test and cmd/upa-vet share one
 // source of truth.
 var CriticalPrefixes = []string{
-	// Covers the engine including its spill codec and store (spill.go,
-	// spillstore.go): spill file names and frame contents must be pure
-	// functions of the data, never of wall clock or a global RNG, or
-	// retried tasks would rewrite different bytes.
+	// Covers the engine including its spill codec, store, and fault-injected
+	// filesystem (spill.go, spillstore.go, spillfs.go): spill file names,
+	// frame contents, and recovery decisions must be pure functions of the
+	// data and seed, never of wall clock or a global RNG, or retried tasks
+	// would rewrite different bytes and fault runs would not replay.
 	"upa/internal/mapreduce",
+	// Includes the seeded disk-fault model (disk.go): every injected storage
+	// failure is a pure hash of (seed, site, file, attempt).
 	"upa/internal/chaos",
 	"upa/internal/jobgraph",
 	"upa/internal/stats",

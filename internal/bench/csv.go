@@ -132,12 +132,16 @@ func WriteOptimizerCSV(w io.Writer, rows []OptimizerRow) error {
 // WriteSpillCSV writes the out-of-core memory-budget sweep.
 func WriteSpillCSV(w io.Writer, rows []SpillRow) error {
 	header := []string{"budget", "records", "partitions", "distinct_keys",
-		"spilled_bytes", "spill_files", "spill_reads", "wall_us", "slowdown"}
+		"spilled_bytes", "spill_files", "spill_reads", "wall_us", "slowdown",
+		"fault_corruptions_detected", "fault_recomputes", "fault_write_retries",
+		"fault_fallbacks_in_memory", "fault_wall_us"}
 	return writeCSV(w, header, len(rows), func(i int) []string {
 		r := rows[i]
 		return []string{itoa64(r.Budget), itoa(r.Records), itoa(r.Partitions), itoa(r.DistinctKeys),
 			itoa64(r.SpilledBytes), itoa64(r.SpillFiles), itoa64(r.SpillReads),
-			dtoa(r.WallTime), ftoa(r.Slowdown)}
+			dtoa(r.WallTime), ftoa(r.Slowdown),
+			itoa64(r.FaultCorruptions), itoa64(r.FaultRecomputes), itoa64(r.FaultWriteRetries),
+			itoa64(r.FaultFallbacks), dtoa(r.FaultWallTime)}
 	})
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"upa/internal/chaos"
 	"upa/internal/mapreduce"
 	"upa/internal/stats"
 )
@@ -32,6 +33,16 @@ type SpillRow struct {
 	// Slowdown is WallTime over the unlimited-budget row's WallTime.
 	WallTime time.Duration
 	Slowdown float64
+	// Fault* columns come from a second, chaos-armed run of the same budget
+	// level under seeded disk faults (read/write errors, ENOSPC, torn
+	// writes, in-flight corruption, rename failures): what the storage-fault
+	// recovery machinery did while still producing — checked before the row
+	// is accepted — the identical output.
+	FaultCorruptions  int64
+	FaultRecomputes   int64
+	FaultWriteRetries int64
+	FaultFallbacks    int64
+	FaultWallTime     time.Duration
 }
 
 // SpillBench measures what out-of-core execution costs as the memory budget
@@ -68,7 +79,7 @@ func SpillBench(cfg Config, budgets []int64, reps int) ([]SpillRow, error) {
 		refTime time.Duration
 	)
 	for i, budget := range budgets {
-		delta, out, elapsed, err := runSpillPipeline(pairs, numParts, budget, reps)
+		delta, out, elapsed, err := runSpillPipeline(pairs, numParts, budget, reps, nil)
 		if err != nil {
 			return nil, fmt.Errorf("bench: spill budget %d: %w", budget, err)
 		}
@@ -90,22 +101,56 @@ func SpillBench(cfg Config, budgets []int64, reps int) ([]SpillRow, error) {
 		if refTime > 0 {
 			row.Slowdown = float64(elapsed) / float64(refTime)
 		}
+		// Chaos-armed rerun: the same pipeline under seeded disk faults. The
+		// output must survive the recovery machinery unchanged; the counters
+		// record what that recovery cost.
+		inj := chaos.New(chaos.Policy{
+			Seed:                cfg.Seed,
+			DiskReadErrorRate:   0.05,
+			DiskWriteErrorRate:  0.05,
+			DiskENOSPCRate:      0.03,
+			DiskTornWriteRate:   0.05,
+			DiskCorruptionRate:  0.05,
+			DiskRenameErrorRate: 0.05,
+		})
+		fdelta, fout, felapsed, err := runSpillPipeline(pairs, numParts, budget, 1, inj)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spill budget %d under disk faults: %w", budget, err)
+		}
+		if fout != refOut {
+			return nil, fmt.Errorf("bench: spill budget %d changed the pipeline output under disk faults", budget)
+		}
+		row.FaultCorruptions = fdelta.SpillCorruptionsDetected
+		row.FaultRecomputes = fdelta.SpillRecomputes
+		row.FaultWriteRetries = fdelta.SpillWriteRetries
+		row.FaultFallbacks = fdelta.SpillFallbacksInMemory
+		row.FaultWallTime = felapsed
 		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
 // runSpillPipeline runs the shuffle-heavy pipeline reps times, each on a
-// fresh engine under the given budget, and returns the first run's spill
-// delta and rendered output with the fastest wall time observed.
-func runSpillPipeline(pairs []mapreduce.Pair[int, int], numParts int, budget int64, reps int) (mapreduce.MetricsSnapshot, string, time.Duration, error) {
+// fresh engine under the given budget (and, when inj is non-nil, under its
+// seeded disk faults with enough retry attempts to ride them out), and
+// returns the first run's spill delta and rendered output with the fastest
+// wall time observed.
+func runSpillPipeline(pairs []mapreduce.Pair[int, int], numParts int, budget int64, reps int, inj *chaos.Injector) (mapreduce.MetricsSnapshot, string, time.Duration, error) {
 	var (
 		delta mapreduce.MetricsSnapshot
 		out   string
 		best  time.Duration
 	)
 	for i := 0; i < reps; i++ {
-		eng := mapreduce.NewEngine(mapreduce.WithMemoryBudget(budget))
+		opts := []mapreduce.Option{mapreduce.WithMemoryBudget(budget)}
+		if inj != nil {
+			opts = append(opts,
+				mapreduce.WithChaos(inj),
+				// Zero backoff keeps the fault run's wall time a measure of
+				// recovery work, not of sleeping.
+				mapreduce.WithRetryPolicy(chaos.RetryPolicy{MaxAttempts: 8}))
+		}
+		eng := mapreduce.NewEngine(opts...)
 		before := eng.Metrics()
 		start := time.Now() //upa:allow(seededdeterminism) wall-clock measurement of real elapsed time, not a scheduling decision
 		rendered, err := spillPipelineOnce(eng, pairs, numParts)
@@ -166,17 +211,21 @@ func spillPipelineOnce(eng *mapreduce.Engine, pairs []mapreduce.Pair[int, int], 
 func RenderSpill(rows []SpillRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Out-of-core execution: spill traffic and wall time vs memory budget\n")
-	fmt.Fprintf(&b, "%-12s %9s %6s %6s %13s %8s %8s %10s %9s\n",
-		"budget", "records", "parts", "keys", "spilled_bytes", "files", "reads", "wall", "slowdown")
+	fmt.Fprintf(&b, "(fault_* columns: the same budget rerun under seeded disk faults, output verified identical)\n")
+	fmt.Fprintf(&b, "%-12s %9s %6s %6s %13s %8s %8s %10s %9s %8s %8s %8s %8s %12s\n",
+		"budget", "records", "parts", "keys", "spilled_bytes", "files", "reads", "wall", "slowdown",
+		"f_corr", "f_recomp", "f_retry", "f_fallbk", "fault_wall")
 	for _, r := range rows {
 		budget := "unlimited"
 		if r.Budget >= 0 {
 			budget = fmt.Sprintf("%d", r.Budget)
 		}
-		fmt.Fprintf(&b, "%-12s %9d %6d %6d %13d %8d %8d %10v %8.2fx\n",
+		fmt.Fprintf(&b, "%-12s %9d %6d %6d %13d %8d %8d %10v %8.2fx %8d %8d %8d %8d %12v\n",
 			budget, r.Records, r.Partitions, r.DistinctKeys,
 			r.SpilledBytes, r.SpillFiles, r.SpillReads,
-			r.WallTime.Round(time.Microsecond), r.Slowdown)
+			r.WallTime.Round(time.Microsecond), r.Slowdown,
+			r.FaultCorruptions, r.FaultRecomputes, r.FaultWriteRetries, r.FaultFallbacks,
+			r.FaultWallTime.Round(time.Microsecond))
 	}
 	return b.String()
 }

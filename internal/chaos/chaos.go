@@ -53,6 +53,27 @@ type Policy struct {
 	// and its share of tasks redistributes to the survivors). Slot 0 is
 	// never lost, so every job keeps making progress.
 	SlotLossRate float64
+
+	// Disk-fault rates drive the seeded storage-fault model injected under
+	// the spill store's filesystem indirection (internal/mapreduce). Each
+	// decision is a pure hash of (seed, fault kind, site, file, attempt),
+	// so a given fault fires at the same file open/create on every run.
+	//
+	// DiskWriteErrorRate fails a file creation outright (EIO on open for
+	// write). DiskENOSPCRate lets a write start, then fails it partway with
+	// ErrNoSpace, leaving a partial temp file behind. DiskTornWriteRate is
+	// the nasty one: the write silently drops its tail bytes yet reports
+	// success, so only end-to-end checksums/record counts catch it at read
+	// time. DiskRenameErrorRate fails the atomic publish rename.
+	// DiskReadErrorRate fails opening a file for read (EIO).
+	// DiskCorruptionRate flips one byte of the stream read back — the
+	// on-disk file stays intact, modeling a transient controller/DMA error.
+	DiskWriteErrorRate  float64
+	DiskENOSPCRate      float64
+	DiskTornWriteRate   float64
+	DiskRenameErrorRate float64
+	DiskReadErrorRate   float64
+	DiskCorruptionRate  float64
 }
 
 // Validate checks the policy's rates.
@@ -65,6 +86,12 @@ func (p Policy) Validate() error {
 		{"StragglerRate", p.StragglerRate},
 		{"ShuffleErrorRate", p.ShuffleErrorRate},
 		{"SlotLossRate", p.SlotLossRate},
+		{"DiskWriteErrorRate", p.DiskWriteErrorRate},
+		{"DiskENOSPCRate", p.DiskENOSPCRate},
+		{"DiskTornWriteRate", p.DiskTornWriteRate},
+		{"DiskRenameErrorRate", p.DiskRenameErrorRate},
+		{"DiskReadErrorRate", p.DiskReadErrorRate},
+		{"DiskCorruptionRate", p.DiskCorruptionRate},
 	} {
 		if r.rate < 0 || r.rate >= 1 {
 			return fmt.Errorf("chaos: %s %v outside [0, 1)", r.name, r.rate)
@@ -85,6 +112,13 @@ type Counters struct {
 	// CountedFaults is how many of Faults came from the legacy counted
 	// queue (AddCountedFaults) rather than the seeded rates.
 	CountedFaults int64
+	// Disk-fault counters, one per injected storage failure mode.
+	DiskWriteErrors  int64
+	DiskENOSPCs      int64
+	DiskTornWrites   int64
+	DiskRenameErrors int64
+	DiskReadErrors   int64
+	DiskCorruptions  int64
 }
 
 // Injector makes deterministic, seeded fault-injection decisions. All
@@ -105,6 +139,13 @@ type Injector struct {
 	shuffleErrors atomic.Int64
 	slotsLost     atomic.Int64
 	countedTaken  atomic.Int64
+
+	diskWriteErrors  atomic.Int64
+	diskENOSPCs      atomic.Int64
+	diskTornWrites   atomic.Int64
+	diskRenameErrors atomic.Int64
+	diskReadErrors   atomic.Int64
+	diskCorruptions  atomic.Int64
 }
 
 // New builds an Injector. An invalid policy is clamped to inject nothing
@@ -156,6 +197,13 @@ const (
 	kindShuffleError
 	kindSlotLoss
 	kindStageFault
+	kindDiskWriteError
+	kindDiskENOSPC
+	kindDiskTornWrite
+	kindDiskRenameError
+	kindDiskReadError
+	kindDiskCorruption
+	kindDiskVariate
 )
 
 // TaskFault reports whether the attempt-th try of task `task` at `site`
@@ -239,11 +287,17 @@ func (j *Injector) Snapshot() Counters {
 		return Counters{}
 	}
 	return Counters{
-		Faults:        j.faults.Load(),
-		Stragglers:    j.stragglers.Load(),
-		ShuffleErrors: j.shuffleErrors.Load(),
-		SlotsLost:     j.slotsLost.Load(),
-		CountedFaults: j.countedTaken.Load(),
+		Faults:           j.faults.Load(),
+		Stragglers:       j.stragglers.Load(),
+		ShuffleErrors:    j.shuffleErrors.Load(),
+		SlotsLost:        j.slotsLost.Load(),
+		CountedFaults:    j.countedTaken.Load(),
+		DiskWriteErrors:  j.diskWriteErrors.Load(),
+		DiskENOSPCs:      j.diskENOSPCs.Load(),
+		DiskTornWrites:   j.diskTornWrites.Load(),
+		DiskRenameErrors: j.diskRenameErrors.Load(),
+		DiskReadErrors:   j.diskReadErrors.Load(),
+		DiskCorruptions:  j.diskCorruptions.Load(),
 	}
 }
 

@@ -1,0 +1,124 @@
+package chaos
+
+import "fmt"
+
+// ErrNoSpace marks an injected out-of-space failure. It wraps ErrInjected,
+// so every retry layer already treats it as transient; callers that want to
+// degrade differently on ENOSPC (the spill store falls back to in-memory
+// retention) can still distinguish it with errors.Is.
+var ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrInjected)
+
+// The disk-fault decisions below mirror the task-fault model: each is a pure
+// function of (seed, fault kind, site, file, attempt), where site names the
+// storage layer consulting the injector and file is the stable file name
+// (spill files are deterministically named, so the same logical write or
+// read draws the same fate on every run). attempt counts opens/creates of
+// that file at that site, so a retry re-rolls rather than hitting an
+// identical verdict forever — exactly how a transient EIO behaves.
+
+// DiskWriteError reports whether creating `file` for write at `site` should
+// fail outright on the attempt-th try.
+func (j *Injector) DiskWriteError(site, file string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decideFile(kindDiskWriteError, site, file, attempt, j.policy.DiskWriteErrorRate) {
+		j.diskWriteErrors.Add(1)
+		return true
+	}
+	return false
+}
+
+// DiskENOSPC reports whether the attempt-th write of `file` at `site` should
+// run out of space partway through.
+func (j *Injector) DiskENOSPC(site, file string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decideFile(kindDiskENOSPC, site, file, attempt, j.policy.DiskENOSPCRate) {
+		j.diskENOSPCs.Add(1)
+		return true
+	}
+	return false
+}
+
+// DiskTornWrite reports whether the attempt-th write of `file` at `site`
+// should silently lose its tail bytes while still reporting success — the
+// torn-write failure mode that only end-to-end checksums catch.
+func (j *Injector) DiskTornWrite(site, file string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decideFile(kindDiskTornWrite, site, file, attempt, j.policy.DiskTornWriteRate) {
+		j.diskTornWrites.Add(1)
+		return true
+	}
+	return false
+}
+
+// DiskRenameError reports whether the attempt-th rename publishing `file` at
+// `site` should fail.
+func (j *Injector) DiskRenameError(site, file string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decideFile(kindDiskRenameError, site, file, attempt, j.policy.DiskRenameErrorRate) {
+		j.diskRenameErrors.Add(1)
+		return true
+	}
+	return false
+}
+
+// DiskReadError reports whether opening `file` for read at `site` should
+// fail on the attempt-th try.
+func (j *Injector) DiskReadError(site, file string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decideFile(kindDiskReadError, site, file, attempt, j.policy.DiskReadErrorRate) {
+		j.diskReadErrors.Add(1)
+		return true
+	}
+	return false
+}
+
+// DiskCorruption reports whether the attempt-th read of `file` at `site`
+// should see one byte of the stream flipped. The corruption is injected in
+// flight, not on disk, so a later attempt reads the file clean.
+func (j *Injector) DiskCorruption(site, file string, attempt int) bool {
+	if j == nil {
+		return false
+	}
+	if j.decideFile(kindDiskCorruption, site, file, attempt, j.policy.DiskCorruptionRate) {
+		j.diskCorruptions.Add(1)
+		return true
+	}
+	return false
+}
+
+// DiskVariate returns a deterministic uniform 64-bit value at the given
+// coordinates, independent of every fault decision's hash stream. The fault
+// injectors use it to derive positions — which byte to flip, how many bytes
+// an ENOSPC admits — so fault *placement* is as reproducible as fault
+// *occurrence*.
+func (j *Injector) DiskVariate(site, file string, attempt int) uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.fileHash(kindDiskVariate, site, file, attempt)
+}
+
+// decideFile is decide with a file-name coordinate mixed in.
+func (j *Injector) decideFile(kind uint64, site, file string, attempt int, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return uniform(j.fileHash(kind, site, file, attempt)) < rate
+}
+
+func (j *Injector) fileHash(kind uint64, site, file string, attempt int) uint64 {
+	h := j.policy.Seed ^ mix64(kind^0x9e3779b97f4a7c15)
+	h = mix64(h ^ hashString(site))
+	h = mix64(h ^ hashString(file))
+	return mix64(h ^ uint64(attempt))
+}

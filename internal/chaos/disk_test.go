@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestDiskFaultsDeterministic pins the core contract: two injectors with the
+// same policy make identical disk-fault decisions at identical
+// (site, file, attempt) coordinates, and a different seed produces a
+// different pattern.
+func TestDiskFaultsDeterministic(t *testing.T) {
+	pol := Policy{
+		Seed:                42,
+		DiskWriteErrorRate:  0.3,
+		DiskENOSPCRate:      0.3,
+		DiskTornWriteRate:   0.3,
+		DiskRenameErrorRate: 0.3,
+		DiskReadErrorRate:   0.3,
+		DiskCorruptionRate:  0.3,
+	}
+	a, b := New(pol), New(pol)
+	other := New(Policy{Seed: 43, DiskReadErrorRate: 0.3})
+
+	type decision func(j *Injector, site, file string, attempt int) bool
+	decisions := map[string]decision{
+		"write":   (*Injector).DiskWriteError,
+		"enospc":  (*Injector).DiskENOSPC,
+		"torn":    (*Injector).DiskTornWrite,
+		"rename":  (*Injector).DiskRenameError,
+		"read":    (*Injector).DiskReadError,
+		"corrupt": (*Injector).DiskCorruption,
+	}
+	files := []string{"000001-source-0000.spill", "000002-q:shuffle-0001.spill"}
+	for name, dec := range decisions {
+		for _, file := range files {
+			for attempt := 1; attempt <= 8; attempt++ {
+				if dec(a, "spill", file, attempt) != dec(b, "spill", file, attempt) {
+					t.Fatalf("%s decision diverged at (%s, %d) under equal seeds", name, file, attempt)
+				}
+			}
+		}
+	}
+	// Different seeds must disagree somewhere across this coordinate sweep.
+	same := true
+	for _, file := range files {
+		for attempt := 1; attempt <= 32; attempt++ {
+			if a.DiskReadError("spill", file, attempt) != other.DiskReadError("spill", file, attempt) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical read-error patterns over 64 decisions")
+	}
+}
+
+// TestDiskFaultKindsIndependent checks the hash streams are separated by
+// kind: at a fixed coordinate where one fault fires, the others must be free
+// to not fire (rate 0 never fires regardless of shared coordinates).
+func TestDiskFaultKindsIndependent(t *testing.T) {
+	j := New(Policy{Seed: 7, DiskTornWriteRate: 0.999999})
+	if !j.DiskTornWrite("spill", "f.spill", 1) {
+		t.Fatal("torn write at rate ~1 did not fire")
+	}
+	if j.DiskWriteError("spill", "f.spill", 1) || j.DiskENOSPC("spill", "f.spill", 1) ||
+		j.DiskRenameError("spill", "f.spill", 1) || j.DiskReadError("spill", "f.spill", 1) ||
+		j.DiskCorruption("spill", "f.spill", 1) {
+		t.Fatal("zero-rate disk fault fired at coordinates where torn write fires")
+	}
+}
+
+func TestDiskFaultAttemptRerolls(t *testing.T) {
+	j := New(Policy{Seed: 1, DiskReadErrorRate: 0.5})
+	saw := map[bool]bool{}
+	for attempt := 1; attempt <= 64; attempt++ {
+		saw[j.DiskReadError("spill", "f.spill", attempt)] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Fatalf("64 attempts at rate 0.5 never re-rolled: saw %v", saw)
+	}
+}
+
+func TestDiskCountersAndNilSafety(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.DiskWriteError("s", "f", 1) || nilInj.DiskCorruption("s", "f", 1) || nilInj.DiskVariate("s", "f", 1) != 0 {
+		t.Fatal("nil injector must inject nothing")
+	}
+	j := New(Policy{Seed: 3, DiskReadErrorRate: 0.999999, DiskCorruptionRate: 0.999999})
+	for attempt := 1; attempt <= 5; attempt++ {
+		j.DiskReadError("spill", "f.spill", attempt)
+		j.DiskCorruption("spill", "f.spill", attempt)
+	}
+	c := j.Snapshot()
+	if c.DiskReadErrors == 0 || c.DiskCorruptions == 0 {
+		t.Fatalf("counters not incremented: %+v", c)
+	}
+}
+
+func TestDiskVariateStableAndKindSeparated(t *testing.T) {
+	j := New(Policy{Seed: 11, DiskCorruptionRate: 0.5})
+	v1 := j.DiskVariate("spill", "f.spill", 2)
+	v2 := j.DiskVariate("spill", "f.spill", 2)
+	if v1 != v2 {
+		t.Fatal("DiskVariate not stable at fixed coordinates")
+	}
+	if j.DiskVariate("spill", "f.spill", 3) == v1 && j.DiskVariate("spill", "g.spill", 2) == v1 {
+		t.Fatal("DiskVariate insensitive to coordinates")
+	}
+}
+
+func TestErrNoSpaceIsInjected(t *testing.T) {
+	if !errors.Is(ErrNoSpace, ErrInjected) {
+		t.Fatal("ErrNoSpace must wrap ErrInjected so retry layers treat it as transient")
+	}
+}
+
+func TestPolicyValidateDiskRates(t *testing.T) {
+	if err := (Policy{DiskENOSPCRate: 1.0}).Validate(); err == nil {
+		t.Fatal("DiskENOSPCRate 1.0 must be rejected")
+	}
+	if err := (Policy{DiskCorruptionRate: -0.1}).Validate(); err == nil {
+		t.Fatal("negative DiskCorruptionRate must be rejected")
+	}
+	if err := (Policy{DiskTornWriteRate: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid disk policy rejected: %v", err)
+	}
+}

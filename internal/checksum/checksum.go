@@ -1,0 +1,25 @@
+// Package checksum is the repository's one integrity-check primitive:
+// CRC-32C (Castagnoli) over a byte slice. Both the spill codec
+// (internal/mapreduce) and the serve-layer ledger journal/snapshot
+// (internal/serve) frame their on-disk bytes with it, so a flipped bit
+// anywhere in persisted state is detected at read time instead of being
+// decoded into silently wrong data. CRC-32C is the right tool here: the
+// threat model is storage bit rot and torn writes, not an adversary, and
+// the Castagnoli polynomial has hardware support (SSE4.2 / ARMv8 CRC
+// instructions) through hash/crc32, so checking costs far less than the
+// gob or JSON decode it guards.
+package checksum
+
+import "hash/crc32"
+
+// table is the Castagnoli polynomial table; MakeTable memoizes internally
+// and selects the hardware-accelerated implementation when available.
+var table = crc32.MakeTable(crc32.Castagnoli)
+
+// Sum returns the CRC-32C checksum of b.
+func Sum(b []byte) uint32 { return crc32.Checksum(b, table) }
+
+// Update extends an existing checksum with more bytes, for callers that
+// stream data through in chunks: Update(Update(0, a), b) == Sum(a||b)
+// when starting from Sum(nil) == 0.
+func Update(crc uint32, b []byte) uint32 { return crc32.Update(crc, table, b) }

@@ -1,0 +1,38 @@
+package checksum
+
+import "testing"
+
+// TestSumIsCastagnoli pins the polynomial with a known vector: the CRC-32C
+// of "123456789" is 0xE3069283 (RFC 3720 appendix B.4). If someone swaps
+// the table for IEEE the spill files and ledger journals on disk would all
+// read back as corrupt; this catches that at unit-test speed.
+func TestSumIsCastagnoli(t *testing.T) {
+	if got := Sum([]byte("123456789")); got != 0xE3069283 {
+		t.Fatalf("Sum(123456789) = %#x, want 0xE3069283 (CRC-32C)", got)
+	}
+}
+
+func TestUpdateMatchesSum(t *testing.T) {
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	want := Sum(data)
+	for split := 0; split <= len(data); split++ {
+		got := Update(Sum(data[:split]), data[split:])
+		if got != want {
+			t.Fatalf("Update split at %d = %#x, want %#x", split, got, want)
+		}
+	}
+}
+
+func TestSumDetectsSingleBitFlips(t *testing.T) {
+	data := []byte("spill frame payload")
+	want := Sum(data)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			data[i] ^= 1 << bit
+			if Sum(data) == want {
+				t.Fatalf("flip of byte %d bit %d not detected", i, bit)
+			}
+			data[i] ^= 1 << bit
+		}
+	}
+}

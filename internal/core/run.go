@@ -128,6 +128,7 @@ func RunCtx[T any](ctx context.Context, sys *System, q Query[T], data []T, domai
 		defer func() {
 			d := eng.Metrics().Sub(spillBefore)
 			sc.AddSpill(d.SpilledBytes, d.SpillReads)
+			sc.AddSpillRecovery(d.SpillCorruptionsDetected, d.SpillRecomputes)
 		}()
 		// The RANGE ENFORCER requires the dataset split into two fixed
 		// partitions; on a cluster this repartitioning exchanges records

@@ -72,6 +72,11 @@ type Span struct {
 	// Zero on engines without a budget.
 	SpilledBytes int64 `json:"spilledBytes"`
 	SpillReads   int64 `json:"spillReads"`
+	// SpillCorruptions counts spill reads the stage caught failing their
+	// integrity checks (typed ErrSpillCorrupt); SpillRecomputes counts
+	// partitions the stage re-materialized from lineage to recover them.
+	SpillCorruptions int64 `json:"spillCorruptions"`
+	SpillRecomputes  int64 `json:"spillRecomputes"`
 	// Err holds the stage's failure, if any.
 	Err string `json:"error,omitempty"`
 }

@@ -23,6 +23,8 @@ type StageContext struct {
 	recordsPostCombine atomic.Int64
 	spilledBytes       atomic.Int64
 	spillReads         atomic.Int64
+	spillCorruptions   atomic.Int64
+	spillRecomputes    atomic.Int64
 }
 
 // AddRecords reports n input records processed by the stage.
@@ -47,6 +49,14 @@ func (sc *StageContext) AddSpill(bytes, reads int64) {
 	sc.spillReads.Add(reads)
 }
 
+// AddSpillRecovery reports storage-fault handling attributed to the stage:
+// spill reads that failed their integrity checks and partitions
+// re-materialized from lineage to heal them.
+func (sc *StageContext) AddSpillRecovery(corruptions, recomputes int64) {
+	sc.spillCorruptions.Add(corruptions)
+	sc.spillRecomputes.Add(recomputes)
+}
+
 // AddCombine reports one map-side combine pass: pre records entered the
 // combiners and post combined records went on to the shuffle. The eliminated
 // difference lands in the span's RecordsCombined.
@@ -69,6 +79,8 @@ func (sc *StageContext) snapshot(span *Span) {
 	span.RecordsCombined = span.RecordsPreCombine - span.RecordsPostCombine
 	span.SpilledBytes = sc.spilledBytes.Load()
 	span.SpillReads = sc.spillReads.Load()
+	span.SpillCorruptions = sc.spillCorruptions.Load()
+	span.SpillRecomputes = sc.spillRecomputes.Load()
 }
 
 // Run validates the graph and executes it: every stage starts as soon as all

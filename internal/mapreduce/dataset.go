@@ -66,8 +66,11 @@ func FromPartitions[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
 }
 
 // fromStore builds a source dataset over a budget-admitted partition store.
+// Source partitions are the root of lineage — there is nothing upstream to
+// recompute them from — so the store gets no recompute hook; a corrupt
+// source spill is handled by the store's read retries alone.
 func fromStore[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
-	store, err := storeParts(eng, "source", parts)
+	store, err := storeParts(eng, "source", parts, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +78,7 @@ func fromStore[T any](eng *Engine, parts [][]T) (*Dataset[T], error) {
 		eng:      eng,
 		numParts: len(parts),
 		name:     "source",
-		compute:  func(_ context.Context, p int) ([]T, error) { return store.get(p) },
+		compute:  func(ctx context.Context, p int) ([]T, error) { return store.get(ctx, p) },
 	}, nil
 }
 
@@ -119,7 +122,7 @@ func (d *Dataset[T]) partition(ctx context.Context, p int) ([]T, error) {
 	if d.persisted != nil {
 		store := d.persisted
 		d.persistMu.Unlock()
-		return store.get(p)
+		return store.get(ctx, p)
 	}
 	wantPersist := d.persist
 	d.persistMu.Unlock()
@@ -152,7 +155,10 @@ func (d *Dataset[T]) materialize(ctx context.Context) error {
 		}
 		parts[p] = part
 	}
-	store, err := storeParts(d.eng, d.name+":persist", parts)
+	// The store's recovery hook is the dataset's own compute closure: a
+	// persisted partition whose spill file goes bad is re-derived from
+	// lineage, exactly as if it had never been persisted.
+	store, err := storeParts(d.eng, d.name+":persist", parts, d.compute)
 	if err != nil {
 		return err
 	}

@@ -105,7 +105,12 @@ func NewEngine(opts ...Option) *Engine {
 		policy:  chaos.DefaultRetryPolicy(),
 	}
 	e.cache = newReductionCache(&e.metrics)
+	// The spill store's filesystem is always the chaos wrapper: it reads
+	// the injector through e.Chaos at each operation, so SetChaos arms and
+	// disarms disk faults at runtime, and with no injector it is pure
+	// passthrough to the OS.
 	e.spill = &spillStore{metrics: &e.metrics, budget: -1}
+	e.spill.fs = newChaosFS(osFS{}, e.Chaos)
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -116,10 +121,20 @@ func NewEngine(opts ...Option) *Engine {
 // bytes (negative: unlimited, spilling disabled).
 func (e *Engine) MemoryBudget() int64 { return e.spill.budget }
 
-// Close releases the engine's spill directory and every temp file in it.
-// Idempotent; engines that never spilled touch no disk and Close is a no-op
-// for them. After Close the engine must not run further jobs that spill.
+// Close releases the engine's spill directory and every temp file in it,
+// waiting for in-flight spill I/O to finish first. Idempotent; engines that
+// never spilled touch no disk and Close is a no-op for them. After Close
+// the engine must not run further jobs that spill.
 func (e *Engine) Close() error { return e.spill.close() }
+
+// SpillDir reports the engine's spill directory: empty until the first
+// spill and after Close. Tests and operators use it to audit temp-file
+// hygiene (no orphaned .tmp files while running, nothing left after Close).
+func (e *Engine) SpillDir() string {
+	e.spill.mu.Lock()
+	defer e.spill.mu.Unlock()
+	return e.spill.dir
+}
 
 // RetryPolicy returns the engine's retry contract, so sibling schedulers
 // (the jobgraph) can share it.
@@ -315,6 +330,13 @@ func (e *Engine) runOneTask(ctx context.Context, site string, i int, budget *cha
 			e.metrics.TaskFaults.Add(1)
 			lastErr = err
 			continue
+		case errors.Is(err, ErrSpillCorrupt):
+			// A spill file failed its checksums and the store's own
+			// recovery (retry + lineage recompute) could not clear it
+			// within its attempts; a fresh task attempt re-runs the read
+			// and recovery from the top.
+			lastErr = err
+			continue
 		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
 			// The attempt's own deadline fired while the job is still live:
 			// treat the straggling attempt as crashed and recompute.
@@ -393,61 +415,81 @@ type Metrics struct {
 	SpilledBytes atomic.Int64
 	SpillFiles   atomic.Int64
 	SpillReads   atomic.Int64
+	// Storage-fault robustness counters. SpillCorruptionsDetected counts
+	// spill reads (and post-write verifications) that failed the format's
+	// checksums or record counts — every one is corruption caught instead
+	// of decoded into silently wrong records. SpillRecomputes counts
+	// partitions re-materialized from lineage after such a detection,
+	// SpillWriteRetries the spill write attempts retried after a failure,
+	// and SpillFallbacksInMemory the partitions retained in memory because
+	// the disk refused them past the retry policy.
+	SpillCorruptionsDetected atomic.Int64
+	SpillRecomputes          atomic.Int64
+	SpillWriteRetries        atomic.Int64
+	SpillFallbacksInMemory   atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of Metrics.
 type MetricsSnapshot struct {
-	TaskAttempts           int64
-	TasksRun               int64
-	TaskFaults             int64
-	TaskRetries            int64
-	ShuffleRetries         int64
-	BackoffNanos           int64
-	DeadlinesExceeded      int64
-	StragglersInjected     int64
-	SlotsLost              int64
-	RecordsMapped          int64
-	ReduceOps              int64
-	ShuffleRounds          int64
-	RecordsShuffled        int64
-	RecordsPreCombine      int64
-	RecordsPostCombine     int64
-	RecordsCombinedMapSide int64
-	CacheHits              int64
-	CacheMisses            int64
-	BroadcastsSent         int64
-	BroadcastRecords       int64
-	SpilledBytes           int64
-	SpillFiles             int64
-	SpillReads             int64
+	TaskAttempts             int64
+	TasksRun                 int64
+	TaskFaults               int64
+	TaskRetries              int64
+	ShuffleRetries           int64
+	BackoffNanos             int64
+	DeadlinesExceeded        int64
+	StragglersInjected       int64
+	SlotsLost                int64
+	RecordsMapped            int64
+	ReduceOps                int64
+	ShuffleRounds            int64
+	RecordsShuffled          int64
+	RecordsPreCombine        int64
+	RecordsPostCombine       int64
+	RecordsCombinedMapSide   int64
+	CacheHits                int64
+	CacheMisses              int64
+	BroadcastsSent           int64
+	BroadcastRecords         int64
+	SpilledBytes             int64
+	SpillFiles               int64
+	SpillReads               int64
+	SpillCorruptionsDetected int64
+	SpillRecomputes          int64
+	SpillWriteRetries        int64
+	SpillFallbacksInMemory   int64
 }
 
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		TaskAttempts:           e.metrics.TaskAttempts.Load(),
-		TasksRun:               e.metrics.TasksRun.Load(),
-		TaskFaults:             e.metrics.TaskFaults.Load(),
-		TaskRetries:            e.metrics.TaskRetries.Load(),
-		ShuffleRetries:         e.metrics.ShuffleRetries.Load(),
-		BackoffNanos:           e.metrics.BackoffNanos.Load(),
-		DeadlinesExceeded:      e.metrics.DeadlinesExceeded.Load(),
-		StragglersInjected:     e.metrics.StragglersInjected.Load(),
-		SlotsLost:              e.metrics.SlotsLost.Load(),
-		RecordsMapped:          e.metrics.RecordsMapped.Load(),
-		ReduceOps:              e.metrics.ReduceOps.Load(),
-		ShuffleRounds:          e.metrics.ShuffleRounds.Load(),
-		RecordsShuffled:        e.metrics.RecordsShuffled.Load(),
-		RecordsPreCombine:      e.metrics.RecordsPreCombine.Load(),
-		RecordsPostCombine:     e.metrics.RecordsPostCombine.Load(),
-		RecordsCombinedMapSide: e.metrics.RecordsCombinedMapSide.Load(),
-		CacheHits:              e.metrics.CacheHits.Load(),
-		CacheMisses:            e.metrics.CacheMisses.Load(),
-		BroadcastsSent:         e.metrics.BroadcastsSent.Load(),
-		BroadcastRecords:       e.metrics.BroadcastRecords.Load(),
-		SpilledBytes:           e.metrics.SpilledBytes.Load(),
-		SpillFiles:             e.metrics.SpillFiles.Load(),
-		SpillReads:             e.metrics.SpillReads.Load(),
+		TaskAttempts:             e.metrics.TaskAttempts.Load(),
+		TasksRun:                 e.metrics.TasksRun.Load(),
+		TaskFaults:               e.metrics.TaskFaults.Load(),
+		TaskRetries:              e.metrics.TaskRetries.Load(),
+		ShuffleRetries:           e.metrics.ShuffleRetries.Load(),
+		BackoffNanos:             e.metrics.BackoffNanos.Load(),
+		DeadlinesExceeded:        e.metrics.DeadlinesExceeded.Load(),
+		StragglersInjected:       e.metrics.StragglersInjected.Load(),
+		SlotsLost:                e.metrics.SlotsLost.Load(),
+		RecordsMapped:            e.metrics.RecordsMapped.Load(),
+		ReduceOps:                e.metrics.ReduceOps.Load(),
+		ShuffleRounds:            e.metrics.ShuffleRounds.Load(),
+		RecordsShuffled:          e.metrics.RecordsShuffled.Load(),
+		RecordsPreCombine:        e.metrics.RecordsPreCombine.Load(),
+		RecordsPostCombine:       e.metrics.RecordsPostCombine.Load(),
+		RecordsCombinedMapSide:   e.metrics.RecordsCombinedMapSide.Load(),
+		CacheHits:                e.metrics.CacheHits.Load(),
+		CacheMisses:              e.metrics.CacheMisses.Load(),
+		BroadcastsSent:           e.metrics.BroadcastsSent.Load(),
+		BroadcastRecords:         e.metrics.BroadcastRecords.Load(),
+		SpilledBytes:             e.metrics.SpilledBytes.Load(),
+		SpillFiles:               e.metrics.SpillFiles.Load(),
+		SpillReads:               e.metrics.SpillReads.Load(),
+		SpillCorruptionsDetected: e.metrics.SpillCorruptionsDetected.Load(),
+		SpillRecomputes:          e.metrics.SpillRecomputes.Load(),
+		SpillWriteRetries:        e.metrics.SpillWriteRetries.Load(),
+		SpillFallbacksInMemory:   e.metrics.SpillFallbacksInMemory.Load(),
 	}
 }
 
@@ -463,28 +505,32 @@ func (s MetricsSnapshot) CacheHitRate() float64 {
 // Sub returns the per-field difference s - prev, for metering one phase.
 func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 	return MetricsSnapshot{
-		TaskAttempts:           s.TaskAttempts - prev.TaskAttempts,
-		TasksRun:               s.TasksRun - prev.TasksRun,
-		TaskFaults:             s.TaskFaults - prev.TaskFaults,
-		TaskRetries:            s.TaskRetries - prev.TaskRetries,
-		ShuffleRetries:         s.ShuffleRetries - prev.ShuffleRetries,
-		BackoffNanos:           s.BackoffNanos - prev.BackoffNanos,
-		DeadlinesExceeded:      s.DeadlinesExceeded - prev.DeadlinesExceeded,
-		StragglersInjected:     s.StragglersInjected - prev.StragglersInjected,
-		SlotsLost:              s.SlotsLost - prev.SlotsLost,
-		RecordsMapped:          s.RecordsMapped - prev.RecordsMapped,
-		ReduceOps:              s.ReduceOps - prev.ReduceOps,
-		ShuffleRounds:          s.ShuffleRounds - prev.ShuffleRounds,
-		RecordsShuffled:        s.RecordsShuffled - prev.RecordsShuffled,
-		RecordsPreCombine:      s.RecordsPreCombine - prev.RecordsPreCombine,
-		RecordsPostCombine:     s.RecordsPostCombine - prev.RecordsPostCombine,
-		RecordsCombinedMapSide: s.RecordsCombinedMapSide - prev.RecordsCombinedMapSide,
-		CacheHits:              s.CacheHits - prev.CacheHits,
-		CacheMisses:            s.CacheMisses - prev.CacheMisses,
-		BroadcastsSent:         s.BroadcastsSent - prev.BroadcastsSent,
-		BroadcastRecords:       s.BroadcastRecords - prev.BroadcastRecords,
-		SpilledBytes:           s.SpilledBytes - prev.SpilledBytes,
-		SpillFiles:             s.SpillFiles - prev.SpillFiles,
-		SpillReads:             s.SpillReads - prev.SpillReads,
+		TaskAttempts:             s.TaskAttempts - prev.TaskAttempts,
+		TasksRun:                 s.TasksRun - prev.TasksRun,
+		TaskFaults:               s.TaskFaults - prev.TaskFaults,
+		TaskRetries:              s.TaskRetries - prev.TaskRetries,
+		ShuffleRetries:           s.ShuffleRetries - prev.ShuffleRetries,
+		BackoffNanos:             s.BackoffNanos - prev.BackoffNanos,
+		DeadlinesExceeded:        s.DeadlinesExceeded - prev.DeadlinesExceeded,
+		StragglersInjected:       s.StragglersInjected - prev.StragglersInjected,
+		SlotsLost:                s.SlotsLost - prev.SlotsLost,
+		RecordsMapped:            s.RecordsMapped - prev.RecordsMapped,
+		ReduceOps:                s.ReduceOps - prev.ReduceOps,
+		ShuffleRounds:            s.ShuffleRounds - prev.ShuffleRounds,
+		RecordsShuffled:          s.RecordsShuffled - prev.RecordsShuffled,
+		RecordsPreCombine:        s.RecordsPreCombine - prev.RecordsPreCombine,
+		RecordsPostCombine:       s.RecordsPostCombine - prev.RecordsPostCombine,
+		RecordsCombinedMapSide:   s.RecordsCombinedMapSide - prev.RecordsCombinedMapSide,
+		CacheHits:                s.CacheHits - prev.CacheHits,
+		CacheMisses:              s.CacheMisses - prev.CacheMisses,
+		BroadcastsSent:           s.BroadcastsSent - prev.BroadcastsSent,
+		BroadcastRecords:         s.BroadcastRecords - prev.BroadcastRecords,
+		SpilledBytes:             s.SpilledBytes - prev.SpilledBytes,
+		SpillFiles:               s.SpillFiles - prev.SpillFiles,
+		SpillReads:               s.SpillReads - prev.SpillReads,
+		SpillCorruptionsDetected: s.SpillCorruptionsDetected - prev.SpillCorruptionsDetected,
+		SpillRecomputes:          s.SpillRecomputes - prev.SpillRecomputes,
+		SpillWriteRetries:        s.SpillWriteRetries - prev.SpillWriteRetries,
+		SpillFallbacksInMemory:   s.SpillFallbacksInMemory - prev.SpillFallbacksInMemory,
 	}
 }

@@ -76,7 +76,28 @@ func shuffle[K comparable, V any](ctx context.Context, d *Dataset[Pair[K, V]], n
 	}
 	d.eng.metrics.ShuffleRounds.Add(1)
 	d.eng.metrics.RecordsShuffled.Add(int64(total))
-	return storeParts(d.eng, d.name+":shuffle", buckets)
+	// The store's recovery hook rebuilds one destination bucket from
+	// lineage: iterate the parent's partitions in source order and keep the
+	// records hashing to that bucket — the same order the merge above
+	// produced. It runs inline rather than on the worker pool, so a
+	// recovery changes no task accounting and the engine's fault-invariant
+	// metrics (TasksRun) hold even while spill files are being healed.
+	recompute := func(rctx context.Context, b int) ([]Pair[K, V], error) {
+		var merged []Pair[K, V]
+		for p := 0; p < d.numParts; p++ {
+			part, err := d.partition(rctx, p)
+			if err != nil {
+				return nil, err
+			}
+			for _, rec := range part {
+				if int(hashOf(rec.Key)%uint64(numParts)) == b {
+					merged = append(merged, rec)
+				}
+			}
+		}
+		return merged, nil
+	}
+	return storeParts(d.eng, d.name+":shuffle", buckets, recompute)
 }
 
 // shuffled lazily wraps a shuffle of d so several child partitions share it.
@@ -97,7 +118,7 @@ func (s *shuffled[K, V]) bucket(ctx context.Context, d *Dataset[Pair[K, V]], num
 	if err != nil {
 		return nil, err
 	}
-	return store.get(b)
+	return store.get(ctx, b)
 }
 
 // shuffleWithRetry materializes a shuffle under the engine's RetryPolicy.

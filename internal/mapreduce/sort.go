@@ -2,8 +2,8 @@ package mapreduce
 
 import (
 	"context"
+	"errors"
 	"fmt"
-	"os"
 	"sort"
 )
 
@@ -44,26 +44,29 @@ func SortBy[T any](d *Dataset[T], numParts int, less func(a, b T) bool) (*Datase
 			if err != nil {
 				return nil, err
 			}
-			return rep.partition(numParts, p)
+			return rep.partition(ctx, numParts, p)
 		},
 	}, nil
 }
 
 // sortedRep is the shared materialization behind SortBy's output
-// partitions: either the fully sorted records in memory, or one spilled
-// sorted run per source partition for the external merge.
+// partitions: either the fully sorted records in memory, or one sorted run
+// per source partition for the external merge.
 type sortedRep[T any] struct {
 	eng   *Engine
 	less  func(a, b T) bool
 	total int
-	mem   []T         // in-memory path
-	runs  []spillRun  // external path: sorted run per source partition
+	mem   []T           // in-memory path
+	runs  []spillRun[T] // external path: sorted run per source partition
 }
 
-// spillRun is one sorted run on disk.
-type spillRun struct {
-	path  string
+// spillRun is one sorted run: on disk, or retained in memory when its spill
+// write failed past the retry policy (graceful degradation — a full disk
+// shrinks the external sort's capacity, it does not fail the job).
+type spillRun[T any] struct {
+	path  string // "" when the run fell back to memory
 	count int
+	mem   []T
 }
 
 // materializeSorted collects the parent and builds whichever representation
@@ -91,21 +94,28 @@ func materializeSorted[T any](ctx context.Context, d *Dataset[T], less func(a, b
 	}
 	// External path: stable-sort each source partition into a run and spill
 	// it. Run files are written in source-partition order so a retried
-	// materialization rewrites identical bytes.
-	prefix := fmt.Sprintf("%06d-%s", d.eng.spill.seq.Add(1), sanitizeSite(d.name+".sortBy"))
-	rep.runs = make([]spillRun, len(parts))
+	// materialization rewrites identical bytes. Writes run under the retry
+	// policy (spillWriteRetry verifies every landing, so a torn run file is
+	// caught and rewritten here, never discovered mid-merge); a run the
+	// disk keeps refusing is retained in memory instead.
+	site := d.name + ".sortBy"
+	prefix := fmt.Sprintf("%06d-%s", d.eng.spill.seq.Add(1), sanitizeSite(site))
+	rep.runs = make([]spillRun[T], len(parts))
 	for i, p := range parts {
 		run := make([]T, len(p))
 		copy(run, p)
 		sort.SliceStable(run, func(a, b int) bool { return less(run[a], run[b]) })
-		path, err := spillWrite(d.eng.spill, fmt.Sprintf("%s-%04d.spill", prefix, i), run)
+		path, err := spillWriteRetry(d.eng, site, fmt.Sprintf("%s-%04d.spill", prefix, i), i, run)
 		if err != nil {
-			for _, written := range rep.runs[:i] {
-				os.Remove(written.path)
+			if errors.Is(err, errSpillClosed) {
+				return nil, err
 			}
-			return nil, err
+			d.eng.spill.retained.Add(estimateRecords(run))
+			d.eng.metrics.SpillFallbacksInMemory.Add(1)
+			rep.runs[i] = spillRun[T]{count: len(run), mem: run}
+			continue
 		}
-		rep.runs[i] = spillRun{path: path, count: len(run)}
+		rep.runs[i] = spillRun[T]{path: path, count: len(run)}
 	}
 	d.eng.AccountShuffle(total)
 	return rep, nil
@@ -113,33 +123,34 @@ func materializeSorted[T any](ctx context.Context, d *Dataset[T], less func(a, b
 
 // partition returns output partition p — records [lo, hi) of the global
 // sorted order — as an owned slice.
-func (rep *sortedRep[T]) partition(numParts, p int) ([]T, error) {
+func (rep *sortedRep[T]) partition(ctx context.Context, numParts, p int) ([]T, error) {
 	lo, hi := sliceBounds(rep.total, numParts, p)
 	if rep.mem != nil {
 		out := make([]T, hi-lo)
 		copy(out, rep.mem[lo:hi])
 		return out, nil
 	}
-	return rep.merge(lo, hi)
+	return rep.merge(ctx, lo, hi)
 }
 
 // merge streams a k-way merge of the sorted runs and returns records
 // [lo, hi) of the merged order. Ties pick the lowest run index, and records
 // within a run keep their order, so the merged sequence equals a stable
 // sort of the concatenated source partitions. Memory stays bounded by one
-// decode batch per run regardless of dataset size.
-func (rep *sortedRep[T]) merge(lo, hi int) ([]T, error) {
-	readers := make([]*spillReader[T], len(rep.runs))
+// decode batch per run regardless of dataset size. Each run streams through
+// a runCursor, which recovers transient read faults and in-flight
+// corruption by reopening its file, so one flaky read does not abort the
+// whole merge.
+func (rep *sortedRep[T]) merge(ctx context.Context, lo, hi int) ([]T, error) {
+	cursors := make([]*runCursor[T], len(rep.runs))
 	heads := make([]T, len(rep.runs))
 	live := make([]bool, len(rep.runs))
 	for i, run := range rep.runs {
-		r, closeFn, err := spillOpen[T](rep.eng.spill, run.path)
-		if err != nil {
-			return nil, err
-		}
-		defer closeFn()
-		readers[i] = r
-		heads[i], live[i], err = r.next()
+		c := &runCursor[T]{eng: rep.eng, run: run, idx: i}
+		defer c.close()
+		cursors[i] = c
+		var err error
+		heads[i], live[i], err = c.next(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -162,12 +173,111 @@ func (rep *sortedRep[T]) merge(lo, hi int) ([]T, error) {
 			out = append(out, heads[best])
 		}
 		var err error
-		heads[best], live[best], err = readers[best].next()
+		heads[best], live[best], err = cursors[best].next(ctx)
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// runCursor streams one sorted run with fault recovery. On a read error or
+// detected corruption it closes and reopens the run — re-verifying frame
+// checksums from the start and skipping the records already consumed —
+// under the engine's retry policy. Run files are verified at write time, so
+// the on-disk bytes are known-good and a reopen heals every transient
+// in-flight fault; what cannot be healed (true bit rot landing after the
+// verify) surfaces as the typed corruption error after bounded attempts.
+type runCursor[T any] struct {
+	eng *Engine
+	run spillRun[T]
+	idx int // run index, a stable backoff coordinate
+
+	r        *spillReader[T]
+	closeFn  func() error
+	consumed int // records already handed out, to skip after a reopen
+}
+
+func (c *runCursor[T]) next(ctx context.Context) (T, bool, error) {
+	var zero T
+	if c.run.mem != nil {
+		if c.consumed >= len(c.run.mem) {
+			return zero, false, nil
+		}
+		rec := c.run.mem[c.consumed]
+		c.consumed++
+		return rec, true, nil
+	}
+	maxAttempts := c.eng.policy.Attempts()
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
+		if attempt > 1 {
+			if d := c.eng.policy.Backoff("sort-run-read", c.idx, attempt-1); d > 0 {
+				c.eng.metrics.BackoffNanos.Add(int64(d))
+				if !sleepCtx(ctx, d) {
+					return zero, false, ctx.Err()
+				}
+			}
+		}
+		rec, ok, err := c.read()
+		if err == nil {
+			return rec, ok, nil
+		}
+		if errors.Is(err, errSpillClosed) {
+			return zero, false, err
+		}
+		if errors.Is(err, ErrSpillCorrupt) {
+			c.eng.metrics.SpillCorruptionsDetected.Add(1)
+		}
+		lastErr = err
+		c.reset()
+	}
+	return zero, false, fmt.Errorf("mapreduce: sort run %d unreadable after %d attempts: %w",
+		c.idx, maxAttempts, lastErr)
+}
+
+// read returns the next record, opening the run and skipping past already
+// consumed records when the previous reader was torn down by a fault.
+func (c *runCursor[T]) read() (T, bool, error) {
+	var zero T
+	if c.r == nil {
+		r, closeFn, err := spillOpen[T](c.eng.spill, c.run.path)
+		if err != nil {
+			return zero, false, err
+		}
+		c.r, c.closeFn = r, closeFn
+		for skip := 0; skip < c.consumed; skip++ {
+			if _, ok, err := r.next(); err != nil {
+				return zero, false, err
+			} else if !ok {
+				return zero, false, corruptf("sort run %d ended at record %d while skipping to %d",
+					c.idx, skip, c.consumed)
+			}
+		}
+	}
+	rec, ok, err := c.r.next()
+	if err != nil {
+		return zero, false, err
+	}
+	if ok {
+		c.consumed++
+	}
+	return rec, ok, nil
+}
+
+// reset tears the reader down so the next attempt reopens the file.
+func (c *runCursor[T]) reset() {
+	if c.closeFn != nil {
+		c.closeFn()
+	}
+	c.r, c.closeFn = nil, nil
+}
+
+func (c *runCursor[T]) close() {
+	c.reset()
 }
 
 // Top returns the k greatest records under less (the analogue of Spark's

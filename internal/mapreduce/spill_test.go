@@ -282,7 +282,7 @@ func TestSpillCodecRoundTrip(t *testing.T) {
 	if n != int64(buf.Len()) {
 		t.Errorf("writeSpill reported %d bytes, wrote %d", n, buf.Len())
 	}
-	got, err := readSpill[Pair[string, []int]](bytes.NewReader(buf.Bytes()), len(recs))
+	got, err := readSpill[Pair[string, []int]](bytes.NewReader(buf.Bytes()), int64(buf.Len()), len(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,13 +309,13 @@ func TestSpillCodecRoundTrip(t *testing.T) {
 	if _, err := writeSpill(&empty, []int(nil)); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := readSpill[int](bytes.NewReader(empty.Bytes()), 0); err != nil || len(got) != 0 {
+	if got, err := readSpill[int](bytes.NewReader(empty.Bytes()), int64(empty.Len()), 0); err != nil || len(got) != 0 {
 		t.Fatalf("empty round-trip = %v, %v", got, err)
 	}
 
 	// Truncation mid-frame is a loud error.
 	trunc := buf.Bytes()[:buf.Len()/2]
-	if _, err := readSpill[Pair[string, []int]](bytes.NewReader(trunc), len(recs)); err == nil {
+	if _, err := readSpill[Pair[string, []int]](bytes.NewReader(trunc), int64(len(trunc)), len(recs)); err == nil {
 		t.Error("truncated spill file read without error")
 	}
 }

@@ -1,26 +1,38 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"reflect"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // spillStore is the engine's memory-budget accountant and temp-file
 // allocator. Every materialization that would retain records in memory
 // (source partitions, persisted datasets, shuffle buckets, sorted runs)
 // first asks admit; past the budget the materialization is written to
-// deterministic length-prefixed temp files instead and read back on demand.
+// deterministic checksummed temp files instead and read back on demand.
 //
 // The temp directory is created lazily on the first spill, so engines that
 // never exceed their budget (including every engine with the default
 // unlimited budget) touch no disk at all. Close removes the directory.
+//
+// The store distrusts the disk: every write is re-read and structurally
+// verified before publication (catching torn writes while the records are
+// still in hand), every read checks the v2 format's header and frame
+// checksums, and all I/O goes through the fs indirection so the chaos
+// layer can inject storage faults underneath the real recovery paths.
 type spillStore struct {
 	metrics *Metrics
+
+	// fs is the filesystem indirection: osFS in production, chaosFS when
+	// the engine has a fault injector armed.
+	fs spillFS
 
 	// budget is the in-memory byte ceiling: negative means unlimited, zero
 	// spills every materialization. retained is the running total of bytes
@@ -37,7 +49,16 @@ type spillStore struct {
 	mu     sync.Mutex
 	dir    string
 	closed bool
+	// inflight counts I/O operations between beginIO and their release;
+	// close waits for it to drain before removing the directory, so a
+	// concurrent write or streaming read never sees its file yanked away
+	// mid-flight (and never strands a .tmp in a half-removed tree).
+	inflight sync.WaitGroup
 }
+
+// errSpillClosed reports I/O attempted after close. It is terminal: unlike
+// an injected disk fault, retrying cannot help.
+var errSpillClosed = errors.New("mapreduce: spill store closed")
 
 // admit reports whether a materialization of estimated size n may stay in
 // memory, reserving the bytes if so.
@@ -56,47 +77,64 @@ func (st *spillStore) admit(n int64) bool {
 	}
 }
 
-// ensureDir lazily creates the spill directory.
-func (st *spillStore) ensureDir() (string, error) {
+// beginIO registers one in-flight I/O operation against close, lazily
+// creating the spill directory. The returned release must be called when
+// the operation's file handles are closed; until then close blocks rather
+// than removing the directory out from under it.
+func (st *spillStore) beginIO() (dir string, release func(), err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return "", fmt.Errorf("mapreduce: spill store closed")
+		return "", nil, errSpillClosed
 	}
 	if st.dir == "" {
-		dir, err := os.MkdirTemp("", "upa-spill-*")
+		dir, err := st.fs.MkdirTemp("upa-spill-*")
 		if err != nil {
-			return "", fmt.Errorf("mapreduce: create spill dir: %w", err)
+			return "", nil, fmt.Errorf("mapreduce: create spill dir: %w", err)
 		}
 		st.dir = dir
 	}
-	return st.dir, nil
+	st.inflight.Add(1)
+	var once sync.Once
+	return st.dir, func() { once.Do(st.inflight.Done) }, nil
 }
 
-// close removes the spill directory and everything in it. Idempotent.
+// close removes the spill directory and everything in it, after waiting for
+// in-flight I/O to drain. New I/O started after close begins fails with
+// errSpillClosed. Idempotent.
 func (st *spillStore) close() error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.closed = true
-	if st.dir == "" {
+	if st.closed {
+		st.mu.Unlock()
 		return nil
 	}
+	st.closed = true
 	dir := st.dir
 	st.dir = ""
-	return os.RemoveAll(dir)
+	st.mu.Unlock()
+	st.inflight.Wait()
+	if dir == "" {
+		return nil
+	}
+	return st.fs.RemoveAll(dir)
 }
 
-// write spills recs under a deterministic file name: write to a .tmp
-// sibling, then rename, so a file either exists complete or not at all and
-// a retried task rewriting its spill lands the identical bytes atomically.
+// spillWrite spills recs under a deterministic file name: write to a .tmp
+// sibling, verify the bytes that actually landed, then rename — so a file
+// either exists complete and checksum-clean or not at all, and a retried
+// task rewriting its spill lands the identical bytes atomically. The
+// verification read is what catches a torn write (a silently dropped tail
+// that still reported success) while the records are still in hand to
+// retry, instead of at some much later read with the lineage gone cold.
 func spillWrite[T any](st *spillStore, name string, recs []T) (string, error) {
-	dir, err := st.ensureDir()
+	dir, release, err := st.beginIO()
 	if err != nil {
 		return "", err
 	}
+	defer release()
 	path := filepath.Join(dir, name)
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := st.fs.Create(tmp)
 	if err != nil {
 		return "", err
 	}
@@ -105,10 +143,13 @@ func spillWrite[T any](st *spillStore, name string, recs []T) (string, error) {
 		err = cerr
 	}
 	if err == nil {
-		err = os.Rename(tmp, path)
+		err = verifySpillFile(st, tmp)
+	}
+	if err == nil {
+		err = st.fs.Rename(tmp, path)
 	}
 	if err != nil {
-		os.Remove(tmp)
+		st.fs.Remove(tmp)
 		return "", err
 	}
 	st.metrics.SpillFiles.Add(1)
@@ -116,26 +157,87 @@ func spillWrite[T any](st *spillStore, name string, recs []T) (string, error) {
 	return path, nil
 }
 
+// verifySpillFile re-reads path and checks its structural integrity
+// (header + every frame checksum + record count) without decoding records.
+func verifySpillFile(st *spillStore, path string) error {
+	f, size, err := st.fs.Open(path)
+	if err != nil {
+		return fmt.Errorf("mapreduce: verify spill: %w", err)
+	}
+	verr := verifySpill(f, size)
+	if cerr := f.Close(); verr == nil {
+		verr = cerr
+	}
+	return verr
+}
+
+// spillWriteRetry is spillWrite under the engine's retry policy: transient
+// failures — injected disk faults, verification failures, real EIO — are
+// retried with the policy's seeded backoff. The caller decides what a final
+// failure means (storeParts degrades to in-memory retention; a recovery
+// rewrite is best-effort).
+func spillWriteRetry[T any](eng *Engine, site, name string, part int, recs []T) (string, error) {
+	maxAttempts := eng.policy.Attempts()
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			eng.metrics.SpillWriteRetries.Add(1)
+			if d := eng.policy.Backoff(site+":spill-write", part, attempt-1); d > 0 {
+				eng.metrics.BackoffNanos.Add(int64(d))
+				time.Sleep(d)
+			}
+		}
+		path, err := spillWrite(eng.spill, name, recs)
+		if err == nil {
+			return path, nil
+		}
+		if errors.Is(err, ErrSpillCorrupt) {
+			// The verification read caught a torn or corrupted landing.
+			eng.metrics.SpillCorruptionsDetected.Add(1)
+		}
+		if errors.Is(err, errSpillClosed) {
+			return "", err
+		}
+		lastErr = err
+	}
+	return "", fmt.Errorf("mapreduce: %s: spill write %s gave up after %d attempts: %w",
+		site, name, maxAttempts, lastErr)
+}
+
 // spillRead reads a whole spill file back as an owned slice.
 func spillRead[T any](st *spillStore, path string, count int) ([]T, error) {
-	f, err := os.Open(path)
+	_, release, err := st.beginIO()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	f, size, err := st.fs.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: open spill: %w", err)
 	}
 	defer f.Close()
 	st.metrics.SpillReads.Add(1)
-	return readSpill[T](f, count)
+	return readSpill[T](f, size, count)
 }
 
 // spillOpen opens a streaming reader over a spill file. The caller owns the
-// returned close function.
+// returned close function (which also releases the store's in-flight hold).
 func spillOpen[T any](st *spillStore, path string) (*spillReader[T], func() error, error) {
-	f, err := os.Open(path)
+	_, release, err := st.beginIO()
 	if err != nil {
+		return nil, nil, err
+	}
+	f, size, err := st.fs.Open(path)
+	if err != nil {
+		release()
 		return nil, nil, fmt.Errorf("mapreduce: open spill: %w", err)
 	}
 	st.metrics.SpillReads.Add(1)
-	return newSpillReader[T](f), f.Close, nil
+	return newSpillReader[T](f, size), func() error {
+		err := f.Close()
+		release()
+		return err
+	}, nil
 }
 
 // sanitizeSite turns a lineage site name into a file-name-safe fragment.
@@ -152,58 +254,158 @@ func sanitizeSite(site string) string {
 }
 
 // partStore holds one stage's materialized partitions (or shuffle buckets):
-// either shared in-memory slices, or one spill file per index. It is
-// immutable after construction, so concurrent partition reads need no lock.
+// shared in-memory slices, spill files, or a mix (partitions whose writes
+// kept failing degrade to memory). The partition data is immutable after
+// construction, so concurrent reads need no lock; healMu only serializes
+// best-effort rewrites of a corrupted file.
 type partStore[T any] struct {
 	eng    *Engine
-	mem    [][]T    // in-memory representation (nil when spilled)
-	files  []string // files[i] is index i's spill file (nil when in memory)
+	site   string
+	mem    [][]T    // mem[i] is partition i when retained in memory
+	files  []string // files[i] is partition i's spill file ("" when in memory)
+	names  []string // names[i] is files[i]'s base name, for recovery rewrites
 	counts []int
+
+	// recompute re-materializes partition i from dataset lineage — the same
+	// compute closure the store sits behind. It is the store's corruption
+	// escape hatch: when a spill file fails its checksums, get recomputes
+	// the partition and heals the file instead of failing the job. Nil for
+	// source stores, whose records have no lineage upstream of the store.
+	recompute func(ctx context.Context, i int) ([]T, error)
+
+	healMu sync.Mutex
 }
 
 // storeParts admits parts against the engine's memory budget, keeping them
 // in memory when they fit and spilling one deterministic file per index —
-// named <seq>-<site>-<index>.spill — when they do not. On a partial write
-// failure every file already written is removed, so a failed (and later
-// retried) materialization leaks nothing.
-func storeParts[T any](eng *Engine, site string, parts [][]T) (*partStore[T], error) {
+// named <seq>-<site>-<index>.spill — when they do not. Spill writes run
+// under the engine's retry policy; a partition whose write keeps failing
+// (disk full, persistent EIO) is retained in memory instead, so storage
+// faults degrade capacity rather than failing the job.
+func storeParts[T any](eng *Engine, site string, parts [][]T, recompute func(ctx context.Context, i int) ([]T, error)) (*partStore[T], error) {
 	counts := make([]int, len(parts))
 	for i, p := range parts {
 		counts[i] = len(p)
 	}
+	st := &partStore[T]{eng: eng, site: site, counts: counts, recompute: recompute}
 	if eng.spill.admit(estimatePartsBytes(parts)) {
-		return &partStore[T]{eng: eng, mem: parts, counts: counts}, nil
+		st.mem = parts
+		return st, nil
 	}
 	prefix := fmt.Sprintf("%06d-%s", eng.spill.seq.Add(1), sanitizeSite(site))
-	files := make([]string, len(parts))
+	st.mem = make([][]T, len(parts))
+	st.files = make([]string, len(parts))
+	st.names = make([]string, len(parts))
 	for i, p := range parts {
-		path, err := spillWrite(eng.spill, fmt.Sprintf("%s-%04d.spill", prefix, i), p)
+		name := fmt.Sprintf("%s-%04d.spill", prefix, i)
+		path, err := spillWriteRetry(eng, site, name, i, p)
 		if err != nil {
-			for _, written := range files[:i] {
-				os.Remove(written)
+			if errors.Is(err, errSpillClosed) {
+				return nil, err
 			}
-			return nil, err
+			// Graceful degradation: the disk refused this partition after
+			// every retry, so retain it in memory (accounting it against
+			// the budget) rather than failing the job.
+			eng.spill.retained.Add(estimateRecords(p))
+			eng.metrics.SpillFallbacksInMemory.Add(1)
+			st.mem[i] = p
+			continue
 		}
-		files[i] = path
+		st.files[i] = path
+		st.names[i] = name
 	}
-	return &partStore[T]{eng: eng, files: files, counts: counts}, nil
+	return st, nil
 }
 
 // get returns partition i: the shared in-memory slice (callers must treat
 // it as read-only, as with every engine-materialized partition) or an owned
 // slice decoded from the spill file.
-func (s *partStore[T]) get(i int) ([]T, error) {
-	if s.mem != nil {
+//
+// The read path distrusts the disk. A failed or corrupt read is retried
+// under the engine's retry policy; on detected corruption the partition is
+// re-materialized from lineage (recompute) and the file healed, so a torn
+// or rotten spill file costs a recomputation, not the job. Injected
+// transient faults clear on a later attempt; a store with no lineage (a
+// source) retries the read alone, which handles every transient fault and
+// honestly fails on true bit rot of irreproducible input.
+func (s *partStore[T]) get(ctx context.Context, i int) ([]T, error) {
+	if s.files == nil || s.files[i] == "" {
 		return s.mem[i], nil
 	}
-	return spillRead[T](s.eng.spill, s.files[i], s.counts[i])
+	eng := s.eng
+	maxAttempts := eng.policy.Attempts()
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 1 {
+			if d := eng.policy.Backoff(s.site+":spill-read", i, attempt-1); d > 0 {
+				eng.metrics.BackoffNanos.Add(int64(d))
+				if !sleepCtx(ctx, d) {
+					return nil, ctx.Err()
+				}
+			}
+		}
+		recs, err := spillRead[T](eng.spill, s.files[i], s.counts[i])
+		if err == nil && len(recs) != s.counts[i] {
+			err = corruptf("%s: partition %d decoded %d records, store expected %d",
+				s.site, i, len(recs), s.counts[i])
+		}
+		if err == nil {
+			return recs, nil
+		}
+		if errors.Is(err, errSpillClosed) {
+			return nil, err
+		}
+		corrupt := errors.Is(err, ErrSpillCorrupt)
+		if corrupt {
+			eng.metrics.SpillCorruptionsDetected.Add(1)
+		}
+		lastErr = err
+		if s.recompute == nil {
+			continue
+		}
+		recs, rerr := s.recompute(ctx, i)
+		if rerr != nil {
+			lastErr = fmt.Errorf("mapreduce: %s: partition %d recompute: %w", s.site, i, rerr)
+			continue
+		}
+		if len(recs) != s.counts[i] {
+			return nil, fmt.Errorf("mapreduce: %s: partition %d recompute returned %d records, store expected %d — lineage is not deterministic",
+				s.site, i, len(recs), s.counts[i])
+		}
+		eng.metrics.SpillRecomputes.Add(1)
+		s.heal(i, recs)
+		return recs, nil
+	}
+	return nil, fmt.Errorf("mapreduce: %s: partition %d unreadable after %d attempts: %w",
+		s.site, i, maxAttempts, lastErr)
+}
+
+// heal rewrites partition i's spill file from recomputed records,
+// best-effort: the recovered records are already in hand, so a failed
+// rewrite costs nothing now — the next read of a still-bad file just
+// recovers again. The deterministic codec makes the healed file
+// byte-identical to the original write.
+func (s *partStore[T]) heal(i int, recs []T) {
+	s.healMu.Lock()
+	defer s.healMu.Unlock()
+	_, _ = spillWriteRetry(s.eng, s.site, s.names[i], i, recs)
 }
 
 // count reports partition i's record count without reading it.
 func (s *partStore[T]) count(i int) int { return s.counts[i] }
 
-// spilled reports whether the store's partitions live on disk.
-func (s *partStore[T]) spilled() bool { return s.mem == nil }
+// spilled reports whether any of the store's partitions live on disk.
+func (s *partStore[T]) spilled() bool {
+	for _, f := range s.files {
+		if f != "" {
+			return true
+		}
+	}
+	return false
+}
 
 // Size estimation. The budget gates which representation a materialization
 // gets, not any release value, so an approximation is fine — but it must be

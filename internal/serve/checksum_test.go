@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"upa/internal/checksum"
+)
+
+// TestJournalFlipAByteFailsBoot is the flip-a-byte regression test for the
+// per-line journal CRC: damage a byte inside a mid-file line — including
+// damage that still parses as valid JSON — and boot must fail rather than
+// replay a mis-counted ε ledger.
+func TestJournalFlipAByteFailsBoot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	_, st := buildPersisted(t, path)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	journal := path + ".journal"
+	clean, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(clean, []byte("\n")), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("need >= 2 journal lines, got %d", len(lines))
+	}
+
+	// Flip a digit inside the first line's JSON payload: "eps":0.25 -> 0.75.
+	// Without the CRC this parses fine and silently shrinks a charge.
+	mut := bytes.Replace(clean, []byte(`0.25`), []byte(`0.75`), 1)
+	if bytes.Equal(mut, clean) {
+		t.Fatal("test fixture: no 0.25 charge found to mutate")
+	}
+	if err := os.WriteFile(journal, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(path); err == nil {
+		t.Fatal("boot succeeded over a journal with a silently mutated ε charge")
+	}
+
+	// Flipping any single byte of a non-final line must also fail the boot.
+	firstLen := len(lines[0])
+	for _, off := range []int{0, 3, 9, firstLen / 2, firstLen - 1} {
+		mut := make([]byte, len(clean))
+		copy(mut, clean)
+		mut[off] ^= 0x01
+		if err := os.WriteFile(journal, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenStore(path); err == nil {
+			t.Fatalf("boot succeeded with journal byte %d flipped", off)
+		}
+	}
+}
+
+// TestJournalTornFinalLineStillTolerated: the CRC prefix must not break the
+// crash contract — a damaged FINAL line (the append the process died inside)
+// is dropped and everything before it replays.
+func TestJournalTornFinalLineStillTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l, st := buildPersisted(t, path)
+	want := l.Report()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	journal := path + ".journal"
+	clean, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the last line's checksum region: replay must drop it. The last
+	// movement was a refund, so dropping it leaves MORE ε spent than the
+	// in-memory ledger saw — the safe direction.
+	lastStart := bytes.LastIndexByte(bytes.TrimSuffix(clean, []byte("\n")), '\n') + 1
+	mut := make([]byte, len(clean))
+	copy(mut, clean)
+	mut[lastStart] ^= 0x01
+	if err := os.WriteFile(journal, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, st2 := reopenAndReplay(t, path)
+	defer st2.Close()
+	got := l2.Report()
+	if len(got) != len(want) {
+		t.Fatalf("torn-tail replay lost tenants: %d vs %d", len(got), len(want))
+	}
+	if got[0].Spent <= want[0].Spent-1e-9 {
+		t.Errorf("dropping the torn refund under-counted spend: %v < %v", got[0].Spent, want[0].Spent)
+	}
+}
+
+// TestSnapshotFlipAByteFailsBoot: the snapshot is covered by a whole-file
+// checksum, so flipping any byte of its body — header or JSON — must fail
+// the boot loudly.
+func TestSnapshotFlipAByteFailsBoot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	l, st := buildPersisted(t, path)
+	if err := st.Flush(l.compact()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(clean, []byte(snapshotChecksumPrefix)) {
+		t.Fatalf("flushed snapshot lacks checksum header: %q", clean[:20])
+	}
+	for _, off := range []int{2, len(snapshotChecksumPrefix) + 2, len(clean) / 2, len(clean) - 1} {
+		mut := make([]byte, len(clean))
+		copy(mut, clean)
+		mut[off] ^= 0x01
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := OpenStore(path); err == nil {
+			t.Fatalf("boot succeeded with snapshot byte %d flipped", off)
+		}
+	}
+	// And the pristine snapshot still boots.
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenStore(path); err != nil {
+		t.Fatalf("pristine snapshot failed boot: %v", err)
+	}
+}
+
+// TestLegacyUnchecksummedStateStillBoots: journals and snapshots written
+// before the checksum formats (bare JSON lines, bare JSON snapshot) must
+// keep replaying — an upgrade cannot strand durable ε state.
+func TestLegacyUnchecksummedStateStillBoots(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json")
+	snap := snapshotFile{
+		Seq: 2,
+		Entries: []entry{
+			{Seq: 1, Kind: entryTenant, Tenant: "acme", Budget: 2, UserBudget: 1},
+			{Seq: 2, Kind: entryCharge, Tenant: "acme", User: "u1", Eps: 0.25},
+		},
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var journal bytes.Buffer
+	for i, e := range []entry{
+		{Seq: 3, Kind: entryCharge, Tenant: "acme", User: "u1", Eps: 0.5},
+		{Seq: 4, Kind: entryRefund, Tenant: "acme", User: "u1", Eps: 0.5},
+	} {
+		line, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			journal.Write(line) // legacy bare line
+		} else {
+			fmt.Fprintf(&journal, "%08x %s", checksum.Sum(line), line) // v2 line
+		}
+		journal.WriteByte('\n')
+	}
+	if err := os.WriteFile(path+".journal", journal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, _, st := reopenAndReplay(t, path)
+	defer st.Close()
+	rep := l.Report()
+	if len(rep) != 1 || rep[0].Tenant != "acme" {
+		t.Fatalf("legacy replay lost the tenant: %+v", rep)
+	}
+	if got := rep[0].Spent; got < 0.25-1e-9 || got > 0.25+1e-9 {
+		t.Errorf("legacy replay spent = %v, want 0.25", got)
+	}
+}

@@ -2,12 +2,16 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
+
+	"upa/internal/checksum"
 )
 
 // Entry kinds of the persistence log. One entry type serves both the
@@ -107,7 +111,16 @@ func OpenStore(path string) (*Store, []entry, error) {
 	return st, replay, nil
 }
 
-// readSnapshot loads the snapshot file, nil when absent.
+// snapshotChecksumPrefix heads a checksummed snapshot: the CRC-32C of every
+// byte after the first newline, so any bit rot in the ε accounting is a loud
+// boot failure instead of a silently wrong ledger. The snapshot is written
+// atomically (rename), so unlike the journal there is no torn-tail shape to
+// tolerate — a mismatch is always corruption.
+const snapshotChecksumPrefix = "#crc32c="
+
+// readSnapshot loads the snapshot file, nil when absent. Checksummed
+// snapshots are verified whole-file; a legacy snapshot (bare JSON from
+// before the checksum header) still parses.
 func readSnapshot(path string) (*snapshotFile, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -115,6 +128,21 @@ func readSnapshot(path string) (*snapshotFile, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if bytes.HasPrefix(data, []byte(snapshotChecksumPrefix)) {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: checksum header has no body", path)
+		}
+		want, perr := strconv.ParseUint(string(data[len(snapshotChecksumPrefix):nl]), 16, 32)
+		if perr != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: malformed checksum header", path)
+		}
+		body := data[nl+1:]
+		if checksum.Sum(body) != uint32(want) {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: checksum mismatch (ε accounting cannot be trusted)", path)
+		}
+		data = body
 	}
 	var snap snapshotFile
 	if err := json.Unmarshal(data, &snap); err != nil {
@@ -153,8 +181,8 @@ func readJournal(path string) ([]entry, error) {
 				"serve: corrupt journal %s: unparsable line %d is followed by more entries (only a torn final line is tolerated)",
 				path, badLine)
 		}
-		var e entry
-		if err := json.Unmarshal(line, &e); err != nil {
+		e, err := parseJournalLine(line)
+		if err != nil {
 			badLine = lineNo // torn tail if nothing follows, corruption otherwise
 			continue
 		}
@@ -166,10 +194,41 @@ func readJournal(path string) ([]entry, error) {
 	return out, nil
 }
 
-// Append assigns the next sequence number, writes the entry as one journal
-// line, and fsyncs it. The sync is what makes a journaled ε charge durable
-// against power loss, not just process death — losing an acknowledged charge
-// under-counts spend, the one direction the ledger must never err in.
+// parseJournalLine decodes one journal line. Checksummed lines carry the
+// format "<8-hex-crc32c> <json>" with the CRC over the JSON bytes; legacy
+// lines (bare JSON, first byte '{') from journals written before the
+// checksum prefix still parse. A CRC mismatch is indistinguishable from an
+// unparsable line to the caller — both feed the torn-tail-vs-corruption
+// decision — but the checksum catches the damage a flipped byte inside a
+// still-valid JSON number would otherwise smuggle into the ε ledger.
+func parseJournalLine(line []byte) (entry, error) {
+	var e entry
+	payload := line
+	if line[0] != '{' {
+		if len(line) < 10 || line[8] != ' ' {
+			return e, fmt.Errorf("malformed checksum prefix")
+		}
+		want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+		if err != nil {
+			return e, fmt.Errorf("malformed checksum prefix: %v", err)
+		}
+		payload = line[9:]
+		if checksum.Sum(payload) != uint32(want) {
+			return e, fmt.Errorf("line checksum mismatch")
+		}
+	}
+	if err := json.Unmarshal(payload, &e); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// Append assigns the next sequence number, writes the entry as one
+// CRC-prefixed journal line, and fsyncs it. The sync is what makes a
+// journaled ε charge durable against power loss, not just process death —
+// losing an acknowledged charge under-counts spend, the one direction the
+// ledger must never err in; the per-line CRC makes later bit rot of a synced
+// charge detectable at replay instead of silently mis-counting it.
 func (st *Store) Append(e entry) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -178,10 +237,13 @@ func (st *Store) Append(e entry) error {
 	}
 	st.seq++
 	e.Seq = st.seq
-	line, err := json.Marshal(e)
+	payload, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}
+	line := make([]byte, 0, len(payload)+10)
+	line = append(line, fmt.Sprintf("%08x ", checksum.Sum(payload))...)
+	line = append(line, payload...)
 	line = append(line, '\n')
 	if _, err := st.journal.Write(line); err != nil {
 		return err
@@ -196,10 +258,13 @@ func (st *Store) Flush(compacted []entry) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	snap := snapshotFile{Seq: st.seq, Entries: compacted}
-	data, err := json.MarshalIndent(snap, "", "  ")
+	body, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
 	}
+	data := make([]byte, 0, len(body)+len(snapshotChecksumPrefix)+9)
+	data = append(data, fmt.Sprintf("%s%08x\n", snapshotChecksumPrefix, checksum.Sum(body))...)
+	data = append(data, body...)
 	tmp := st.snapPath + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
