@@ -125,9 +125,12 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\nrelease %d\n", i+1)
+		//upa:allow(dpflow) reviewed: upa-query is the operator inspection CLI; surfacing the pre-noise pipeline on synthetic/local data is its purpose
 		fmt.Fprintf(out, "  vanilla output:     %v\n", round(res.VanillaOutput))
 		fmt.Fprintf(out, "  released (noisy):   %v\n", round(res.Output))
+		//upa:allow(dpflow) reviewed: operator inspection CLI, pre-noise sensitivity shown by design
 		fmt.Fprintf(out, "  local sensitivity:  %v\n", round(res.Sensitivity))
+		//upa:allow(dpflow) reviewed: operator inspection CLI, enforcer range shown by design
 		fmt.Fprintf(out, "  enforced range:     [%v, %v]\n", round(res.RangeLo), round(res.RangeHi))
 		fmt.Fprintf(out, "  sample size n:      %d\n", res.SampleSize)
 		fmt.Fprintf(out, "  attack suspected:   %v (removed %d records)\n", res.AttackSuspected, res.RemovedRecords)

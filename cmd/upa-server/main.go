@@ -452,11 +452,12 @@ type releaseRequest struct {
 }
 
 // releaseResponse is the analyst-facing release: only the noisy output and
-// public metadata — never the raw output.
+// public metadata — never the raw output, and (since the dpflow analyzer
+// landed) never the inferred sensitivity either: it is a data-dependent
+// pre-noise value, so serving it would undo the mechanism's guarantee.
 type releaseResponse struct {
 	Query           string    `json:"query"`
 	Output          []float64 `json:"output"`
-	Sensitivity     []float64 `json:"sensitivity"`
 	SampleSize      int       `json:"sampleSize"`
 	AttackSuspected bool      `json:"attackSuspected"`
 	RemovedRecords  int       `json:"removedRecords"`
@@ -492,7 +493,6 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, releaseResponse{
 		Query:           res.Query,
 		Output:          res.Output,
-		Sensitivity:     res.Sensitivity,
 		SampleSize:      res.SampleSize,
 		AttackSuspected: res.AttackSuspected,
 		RemovedRecords:  res.RemovedRecords,
@@ -588,6 +588,10 @@ func (s *server) handleHistory(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// writeJSON serializes v onto the wire. Everything that passes through
+// here is analyst-visible, so dpflow treats every argument as a sink.
+//
+//upa:dpsink
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

@@ -66,9 +66,11 @@ func TestReleaseEndpoint(t *testing.T) {
 	if body["attackSuspected"] != false {
 		t.Errorf("first release flagged: %v", body["attackSuspected"])
 	}
-	// The response must never leak raw (pre-noise) outputs.
+	// The response must never leak raw (pre-noise) outputs — nor the
+	// inferred sensitivity, which is equally data-dependent (regression
+	// for the dpflow finding that used to ship it to the analyst).
 	for key := range body {
-		if key == "rawOutput" || key == "vanillaOutput" {
+		if key == "rawOutput" || key == "vanillaOutput" || key == "sensitivity" {
 			t.Errorf("response leaks %s", key)
 		}
 	}

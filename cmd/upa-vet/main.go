@@ -1,5 +1,6 @@
-// Command upa-vet runs UPA's invariant analyzers (reducerpurity,
-// ctxpropagation, epsiloncharge, seededdeterminism) over the module.
+// Command upa-vet runs UPA's seven invariant analyzers (reducerpurity,
+// ctxpropagation, epsiloncharge, seededdeterminism, dpflow, lockdiscipline,
+// errorwrap) over the module.
 //
 // Standalone mode — the primary interface — checks the module rooted at the
 // given directory (default ".") and exits 1 if any diagnostic survives
@@ -7,9 +8,19 @@
 //
 //	go build -o upa-vet ./cmd/upa-vet && ./upa-vet ./...
 //
+// Flags:
+//
+//	-raw   disable //upa:allow suppression (report every finding)
+//	-json  machine-readable output: one JSON object per line with analyzer,
+//	       file, line, col, message and suppressed; suppressed findings are
+//	       included, and the exit status still reflects only unsuppressed
+//	       ones. CI feeds this through a GitHub problem matcher.
+//
 // The binary also speaks enough of the vet driver protocol (-V=full and
 // per-package *.cfg arguments) to be passed as go vet -vettool=$(pwd)/upa-vet;
-// in that mode each package unit named by the cfg is checked individually.
+// in that mode each package unit named by the cfg is checked individually,
+// interprocedural facts are written to the unit's .vetx output, and facts of
+// dependency units are read back in — the cross-package summary channel.
 package main
 
 import (
@@ -47,6 +58,7 @@ func run(args []string) int {
 	}
 	fs := flag.NewFlagSet("upa-vet", flag.ContinueOnError)
 	raw := fs.Bool("raw", false, "disable //upa:allow suppression (report every finding)")
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line on stdout (suppressed findings included)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -54,16 +66,33 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVetUnit(rest[0])
 	}
-	return runStandalone(rest, *raw)
+	return runStandalone(rest, *raw, *jsonOut)
 }
 
 // runStandalone checks the whole module rooted at the argument directory.
 // "./..." and "." both mean the current module; any other argument is taken
 // as the module root.
-func runStandalone(args []string, raw bool) int {
+func runStandalone(args []string, raw, jsonOut bool) int {
 	root := "."
 	if len(args) > 0 && args[0] != "./..." && args[0] != "." {
 		root = strings.TrimSuffix(args[0], "/...")
+	}
+	if jsonOut {
+		diags, _, src, err := upavet.CheckModuleVerbose(root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "upa-vet:", err)
+			return 2
+		}
+		if err := src.PrintJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "upa-vet:", err)
+			return 2
+		}
+		for _, d := range diags {
+			if !d.Suppressed || raw {
+				return 1
+			}
+		}
+		return 0
 	}
 	check := upavet.CheckModule
 	if raw {
@@ -82,16 +111,23 @@ func runStandalone(args []string, raw bool) int {
 }
 
 // vetConfig is the subset of the vet driver's per-package JSON config that
-// upa-vet consumes.
+// upa-vet consumes. PackageVetx maps dependency import paths to their facts
+// files; VetxOutput is where this unit's facts land. VetxOnly marks a
+// dependency unit: the driver wants its exported facts, not its diagnostics
+// (this is how stdlib sentinel tables reach module packages without upa-vet
+// judging the stdlib itself).
 type vetConfig struct {
-	ImportPath string
-	GoFiles    []string
-	VetxOutput string
+	ImportPath  string
+	GoFiles     []string
+	VetxOnly    bool
+	VetxOutput  string
+	PackageVetx map[string]string
 }
 
 // runVetUnit handles one `go vet -vettool=` invocation: load the package
-// unit named by the cfg, analyze it, write the (empty) facts file the driver
-// expects, and report findings on stderr.
+// unit named by the cfg, seed the interprocedural module with dependency
+// facts, analyze it, write this unit's facts for downstream units, and
+// report findings on stderr.
 func runVetUnit(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -103,13 +139,9 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "upa-vet: parsing", cfgPath+":", err)
 		return 2
 	}
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "upa-vet:", err)
-			return 2
-		}
-	}
+	external := readDepFacts(cfg.PackageVetx)
 	if len(cfg.GoFiles) == 0 {
+		writeFacts(cfg.VetxOutput, nil)
 		return 0
 	}
 	fset := token.NewFileSet()
@@ -118,17 +150,74 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "upa-vet:", err)
 		return 2
 	}
-	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, upavet.Analyzers(), true)
+	diags, mod, err := analysis.RunAnalyzersVerbose([]*analysis.Package{pkg}, upavet.Analyzers(), external, true)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "upa-vet:", err)
 		return 2
 	}
+	writeFacts(cfg.VetxOutput, mod)
+	if cfg.VetxOnly {
+		// A dependency unit: the driver only wants the facts file.
+		return 0
+	}
+	code := 0
 	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		// Staleness is a whole-module judgment: a finding suppressed by an
+		// annotation may arise from taint the one-package unit view cannot
+		// reconstruct (method calls on cross-package receivers resolve by
+		// name only in standalone mode). The standalone run and the
+		// repo-wide tests own stale detection; unjustified annotations are
+		// locally decidable and still reported here.
+		if strings.HasPrefix(d.Message, "stale upa:allow(") {
+			continue
+		}
 		pos := fset.Position(d.Pos)
 		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, d.Analyzer, d.Message)
+		code = 1
 	}
-	if len(diags) > 0 {
-		return 1
+	return code
+}
+
+// readDepFacts merges every readable dependency facts file into one Facts
+// set. Vetx files written by other tools (or empty placeholders) are
+// skipped silently — facts are an accelerator, not a correctness input.
+func readDepFacts(vetx map[string]string) *analysis.Facts {
+	merged := &analysis.Facts{}
+	any := false
+	for _, path := range vetx {
+		data, err := os.ReadFile(path)
+		if err != nil || len(data) == 0 {
+			continue
+		}
+		f, err := analysis.DecodeFacts(data)
+		if err != nil {
+			continue
+		}
+		merged.Merge(f)
+		any = true
 	}
-	return 0
+	if !any {
+		return nil
+	}
+	return merged
+}
+
+// writeFacts writes the module's exported facts (or an empty placeholder)
+// to the driver-designated vetx path.
+func writeFacts(path string, mod *analysis.Module) {
+	if path == "" {
+		return
+	}
+	var payload []byte
+	if mod != nil {
+		if enc, err := mod.Facts().Encode(); err == nil {
+			payload = enc
+		}
+	}
+	if err := os.WriteFile(path, payload, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "upa-vet:", err)
+	}
 }

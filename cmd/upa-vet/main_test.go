@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"upa/internal/analyzers/analysis"
+	"upa/internal/analyzers/upavet"
 )
 
 // moduleRoot is cmd/upa-vet -> repo root.
@@ -38,6 +44,67 @@ func TestDriverProbes(t *testing.T) {
 	}
 }
 
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// everything it wrote.
+func captureStdout(t *testing.T, f func()) []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	f()
+	w.Close()
+	return <-done
+}
+
+// TestJSONOutput checks the machine-readable mode: every line on stdout is
+// one JSONDiagnostic, on a clean tree every diagnostic is a suppressed
+// (justified) finding, and the exit code stays 0 because nothing is
+// unsuppressed.
+func TestJSONOutput(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() {
+		code = run([]string{"-json", moduleRoot(t)})
+	})
+	if code != 0 {
+		t.Fatalf("run(-json, module root) = %d, want 0", code)
+	}
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var d upavet.JSONDiagnostic
+		if err := json.Unmarshal(line, &d); err != nil {
+			t.Fatalf("line %d is not a JSON diagnostic: %v\n%s", n+1, err, line)
+		}
+		if d.Analyzer == "" || d.File == "" || d.Line <= 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if !d.Suppressed {
+			t.Errorf("unsuppressed diagnostic on a clean tree: %+v", d)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("-json emitted no lines; justified //upa:allow sites should still be reported with suppressed=true")
+	}
+}
+
 // TestVetUnit exercises the go vet driver path: a per-package cfg naming a
 // violating file must produce findings, exit 1, and write the facts file.
 func TestVetUnit(t *testing.T) {
@@ -45,9 +112,14 @@ func TestVetUnit(t *testing.T) {
 	src := filepath.Join(dir, "a.go")
 	if err := os.WriteFile(src, []byte(`package sub
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
 
 func f() context.Context { return context.Background() }
+
+func show(v []float64) { fmt.Println(v) }
 `), 0o666); err != nil {
 		t.Fatal(err)
 	}
@@ -67,8 +139,24 @@ func f() context.Context { return context.Background() }
 	if code := run([]string{cfgPath}); code != 1 {
 		t.Fatalf("run(cfg with violation) = %d, want 1", code)
 	}
-	if _, err := os.Stat(vetx); err != nil {
+	data, err := os.ReadFile(vetx)
+	if err != nil {
 		t.Fatalf("facts file not written: %v", err)
+	}
+	facts, err := analysis.DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("vetx output is not a facts encoding: %v", err)
+	}
+	// Facts keep only non-trivial summaries; show formats its parameter, so
+	// it must export SinkParams for downstream units.
+	found := false
+	for _, s := range facts.Summaries {
+		if s.Key.Name == "show" && s.Key.Pkg == "probe/internal/sub" && len(s.SinkParams) == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("facts lack a sink summary for func show: %+v", facts.Summaries)
 	}
 
 	// The same unit under a non-internal import path is clean.
@@ -83,5 +171,58 @@ func f() context.Context { return context.Background() }
 	}
 	if code := run([]string{cfgPath2}); code != 0 {
 		t.Fatalf("run(cfg without violation) = %d, want 0", code)
+	}
+}
+
+// TestVetUnitDepFacts proves the cross-package channel: a dependency's facts
+// file marking SecretAgg as a taint field makes dpflow fire in a unit that
+// formats that field — without the dep facts the same unit is clean.
+func TestVetUnitDepFacts(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "show.go")
+	if err := os.WriteFile(src, []byte(`package show
+
+import "fmt"
+
+type report struct{ SecretAgg []float64 }
+
+func dump(r report) {
+	fmt.Println(r.SecretAgg)
+}
+`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	mkCfg := func(name, vetxName string, deps map[string]string) string {
+		cfg, err := json.Marshal(map[string]any{
+			"ImportPath":  "probe/show",
+			"GoFiles":     []string{src},
+			"VetxOutput":  filepath.Join(dir, vetxName),
+			"PackageVetx": deps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, cfg, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if code := run([]string{mkCfg("plain.cfg", "plain.vetx", nil)}); code != 0 {
+		t.Fatalf("unit without dep facts = %d, want 0 (SecretAgg is not yet a source)", code)
+	}
+
+	depFacts, err := (&analysis.Facts{TaintFields: []string{"SecretAgg"}}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depVetx := filepath.Join(dir, "dep.vetx")
+	if err := os.WriteFile(depVetx, depFacts, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{mkCfg("dep.cfg", "dep.vetx.out", map[string]string{"probe/dep": depVetx})})
+	if code != 1 {
+		t.Fatalf("unit with dep facts = %d, want 1 (imported taint field must reach fmt.Println)", code)
 	}
 }

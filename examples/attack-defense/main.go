@@ -70,6 +70,7 @@ func run() error {
 		fmt.Println("partition outputs, removed records from the released dataset, and the")
 		fmt.Println("difference no longer pins down the target record. On top of that, each")
 		fmt.Println("answer carries Laplace noise scaled to the inferred local sensitivity")
+		//upa:allow(dpflow) reviewed: pedagogical demo over synthetic data — the narration explains what the sensitivity is
 		fmt.Printf("(%.0f and %.0f here), hiding any single record's contribution.\n",
 			first.Sensitivity[0], second.Sensitivity[0])
 	default:

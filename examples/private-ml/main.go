@@ -108,6 +108,7 @@ func privateKMeans(session *upa.Session, data *lifesci.Dataset) error {
 		fmt.Printf("  cluster %d: released centre %s, planted %s (distance %.3f)\n",
 			c, vec(noisy), vec(data.TrueCenters[c]), dist(noisy, data.TrueCenters[c]))
 	}
+	//upa:allow(dpflow) reviewed: pedagogical demo over synthetic data, sensitivity shown to teach calibration
 	fmt.Printf("  max per-coordinate sensitivity: %.5f\n\n", maxOf(res.Sensitivity))
 	return nil
 }
@@ -152,6 +153,7 @@ func privateSGD(session *upa.Session, data *lifesci.Dataset) error {
 	fmt.Println("private SGD step:")
 	fmt.Printf("  released weights: %s\n", vec(res.Output))
 	fmt.Printf("  planted weights:  %s\n", vec(data.TrueWeights))
+	//upa:allow(dpflow) reviewed: pedagogical demo over synthetic data, sensitivity shown to teach calibration
 	fmt.Printf("  per-coordinate sensitivity: %s\n", vec(res.Sensitivity))
 	fmt.Printf("  (one ε=%.2g release per step; iterate with a budget per step for full training)\n",
 		session.Epsilon())

@@ -49,6 +49,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	//upa:allow(dpflow) reviewed: pedagogical demo over synthetic data, exact/sensitivity shown to teach the mechanism
 	fmt.Printf("premium visits:  exact %.0f, released %.1f (sensitivity %.3f)\n",
 		exact[0], res.Output[0], res.Sensitivity[0])
 
@@ -63,6 +64,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	//upa:allow(dpflow) reviewed: pedagogical demo over synthetic data, exact/sensitivity shown to teach the mechanism
 	fmt.Printf("total spend:     exact %.0f, released %.0f (sensitivity %.1f)\n",
 		exact[0], res.Output[0], res.Sensitivity[0])
 
@@ -75,6 +77,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	//upa:allow(dpflow) reviewed: pedagogical demo over synthetic data, enforcer range shown to teach the mechanism
 	fmt.Printf("mean duration:   released %.3f min (range [%.3f, %.3f])\n",
 		res.Output[0], res.RangeLo[0], res.RangeHi[0])
 

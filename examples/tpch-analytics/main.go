@@ -109,6 +109,7 @@ func report[T any](session *upa.Session, q upa.Query[T], data []T, domain func(*
 	if err != nil {
 		return err
 	}
+	//upa:allow(dpflow) reviewed: pedagogical demo over synthetic TPC-H data, exact/sensitivity shown for comparison
 	fmt.Printf("%-22s exact %14.1f   released %14.1f   sensitivity %10.3f\n",
 		q.Name+":", exact[0], res.Output[0], res.Sensitivity[0])
 	return nil

@@ -42,6 +42,11 @@ type Diagnostic struct {
 	Pos token.Pos
 	// Message describes the violation and, where possible, the fix.
 	Message string
+	// Suppressed marks findings silenced by a justified //upa:allow
+	// annotation. Plain RunAnalyzers drops them; the verbose run used by
+	// `upa-vet -json` keeps them, flagged, so CI artifacts show the full
+	// picture.
+	Suppressed bool
 }
 
 // Pass carries one package through one analyzer.
@@ -56,6 +61,12 @@ type Pass struct {
 	// exact for locally declared objects and for import bindings; objects
 	// imported from other packages are generally unresolved.
 	TypesInfo *types.Info
+	// Pkg is the package being analyzed, as loaded.
+	Pkg *Package
+	// Module is the interprocedural index over every package of this run
+	// plus any facts imported through the vetx channel. Intraprocedural
+	// analyzers may ignore it.
+	Module *Module
 	// Report records one diagnostic.
 	Report func(Diagnostic)
 }
@@ -102,24 +113,53 @@ func (p *Pass) CalleePkgFunc(call *ast.CallExpr) (path, name string, ok bool) {
 // surviving diagnostics sorted by position. When suppress is true,
 // //upa:allow(<analyzer>) comments filter matching diagnostics: an
 // annotation with a justification silences the finding on its own line or
-// the line directly below; an annotation without a justification is itself
-// reported. When suppress is false every raw finding is returned — the
-// repo-wide tests use this to prove the in-tree annotations are load-bearing.
+// the next non-trivial line below; an annotation without a justification —
+// or one that suppresses nothing (stale) — is itself reported. When
+// suppress is false every raw finding is returned — the repo-wide tests
+// use this to prove the in-tree annotations are load-bearing.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, suppress bool) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersVerbose(pkgs, analyzers, nil, suppress)
+	if err != nil {
+		return nil, err
+	}
+	if !suppress {
+		return diags, nil
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// RunAnalyzersVerbose is RunAnalyzers keeping suppressed diagnostics in
+// the result, flagged, alongside the unjustified- and stale-annotation
+// findings. external carries facts imported through the vetx channel (nil
+// outside vet-driver unit mode). It also returns the interprocedural
+// module so callers can export its facts.
+func RunAnalyzersVerbose(pkgs []*Package, analyzers []*Analyzer, external *Facts, suppress bool) ([]Diagnostic, *Module, error) {
+	mod := NewModule(pkgs)
+	mod.AddFacts(external)
+	inSet := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		inSet[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		diags, err := runOnPackage(pkg, analyzers, suppress)
+		diags, err := runOnPackage(mod, pkg, analyzers, suppress, inSet)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		out = append(out, diags...)
 	}
 	sortDiagnostics(out)
-	return out, nil
+	return out, mod, nil
 }
 
 // runOnPackage applies the analyzers to one package, handling suppression.
-func runOnPackage(pkg *Package, analyzers []*Analyzer, suppress bool) ([]Diagnostic, error) {
+func runOnPackage(mod *Module, pkg *Package, analyzers []*Analyzer, suppress bool, inSet map[string]bool) ([]Diagnostic, error) {
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -128,6 +168,8 @@ func runOnPackage(pkg *Package, analyzers []*Analyzer, suppress bool) ([]Diagnos
 			Files:     pkg.Files,
 			PkgPath:   pkg.Path,
 			TypesInfo: pkg.Info,
+			Pkg:       pkg,
+			Module:    mod,
 			Report:    func(d Diagnostic) { raw = append(raw, d) },
 		}
 		if err := a.Run(pass); err != nil {
@@ -138,7 +180,7 @@ func runOnPackage(pkg *Package, analyzers []*Analyzer, suppress bool) ([]Diagnos
 		sortDiagnostics(raw)
 		return raw, nil
 	}
-	return applySuppressions(pkg, raw), nil
+	return applySuppressions(pkg, raw, inSet), nil
 }
 
 func sortDiagnostics(ds []Diagnostic) {

@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Lock scan: an ordered statement walker that tracks the set of mutex
+// names held at each point of a function body and reports accesses to
+// //upa:guardedby fields (and calls to functions whose summaries require
+// locks) that are not covered.
+//
+// Semantics, kept deliberately simple:
+//   - `x.mu.Lock()` / `x.mu.RLock()` as a statement adds "mu" to the held
+//     set; Unlock/RUnlock removes it. Lock identity is the mutex *field
+//     name* — fine-grained enough for this repository, where every guarded
+//     struct embeds its own `mu`.
+//   - `defer x.mu.Unlock()` keeps the lock held for the rest of the body
+//     (the idiomatic lock-for-the-whole-function shape).
+//   - Branch bodies (if/else, for, range, switch, select cases) see a copy
+//     of the held set; mutations inside them do not escape. Sequential
+//     statements in one block share the set.
+//   - Function literals are scanned separately with an empty held set:
+//     a closure runs at an unknown time, so it must lock for itself (or
+//     carry a justified //upa:allow).
+//   - Functions whose name ends in *Locked are exempt from acquiring: the
+//     locks they touch become their RequiresLocks summary, checked at
+//     every call site instead.
+
+// LockNeed is one uncovered access: a guarded field touched, or a
+// requires-lock callee invoked, without the named mutex held.
+type LockNeed struct {
+	Pos  token.Pos
+	Lock string
+	Desc string
+}
+
+type lockScan struct {
+	mod   *Module
+	fi    *FuncInfo
+	needs []LockNeed
+	seen  map[token.Pos]bool
+	// skipSel marks selector nodes that are method names of calls (not
+	// field reads).
+	skipSel map[*ast.SelectorExpr]bool
+}
+
+func newLockScan(m *Module, fi *FuncInfo) *lockScan {
+	return &lockScan{mod: m, fi: fi, seen: make(map[token.Pos]bool), skipSel: make(map[*ast.SelectorExpr]bool)}
+}
+
+func (ls *lockScan) run() {
+	if ls.fi.Decl.Body == nil {
+		return
+	}
+	ls.stmts(ls.fi.Decl.Body.List, map[string]bool{})
+}
+
+// runClosure scans one function literal body with an empty held set.
+func (ls *lockScan) runClosure(lit *ast.FuncLit) {
+	ls.stmts(lit.Body.List, map[string]bool{})
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// lockOpName decodes a call of the form <expr>.<mu>.Lock() and returns the
+// mutex field/variable name and whether it acquires (Lock/RLock) or
+// releases (Unlock/RUnlock).
+func lockOpName(call *ast.CallExpr) (mu string, acquire, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var op bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = true
+	case "Unlock", "RUnlock":
+		op = false
+	default:
+		return "", false, false
+	}
+	switch base := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		return base.Sel.Name, op, true
+	case *ast.Ident:
+		return base.Name, op, true
+	}
+	return "", false, false
+}
+
+// stmts walks one statement list with a shared held set.
+func (ls *lockScan) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		ls.stmt(st, held)
+	}
+}
+
+func (ls *lockScan) stmt(st ast.Stmt, held map[string]bool) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if mu, acquire, ok := lockOpName(call); ok {
+				if acquire {
+					held[mu] = true
+				} else {
+					delete(held, mu)
+				}
+				return
+			}
+		}
+		ls.check(s.X, held)
+	case *ast.DeferStmt:
+		if mu, acquire, ok := lockOpName(s.Call); ok && !acquire {
+			// defer mu.Unlock(): held until return.
+			_ = mu
+			return
+		}
+		ls.check(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			ls.check(e, held)
+		}
+		for _, e := range s.Lhs {
+			ls.check(e, held)
+		}
+	case *ast.DeclStmt:
+		ls.check(s.Decl, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			ls.check(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		ls.check(s.Cond, held)
+		ls.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			ls.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.BlockStmt:
+		ls.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			ls.check(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			ls.stmt(s.Post, inner)
+		}
+		ls.stmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		ls.check(s.X, held)
+		ls.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			ls.check(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					ls.check(e, held)
+				}
+				ls.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init, held)
+		}
+		ls.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				if cc.Comm != nil {
+					ls.stmt(cc.Comm, inner)
+				}
+				ls.stmts(cc.Body, inner)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine runs concurrently: current locks do not cover it.
+		ls.checkWithHeld(s.Call, map[string]bool{})
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt, held)
+	case *ast.SendStmt:
+		ls.check(s.Chan, held)
+		ls.check(s.Value, held)
+	case *ast.IncDecStmt:
+		ls.check(s.X, held)
+	}
+}
+
+// check inspects an expression (or declaration) subtree under the current
+// held set. Function literals are collected and scanned with an empty set.
+func (ls *lockScan) check(n ast.Node, held map[string]bool) {
+	ls.checkWithHeld(n, held)
+}
+
+func (ls *lockScan) checkWithHeld(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch e := x.(type) {
+		case *ast.FuncLit:
+			ls.runClosure(e)
+			return false
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				ls.skipSel[sel] = true
+			}
+			ls.checkCall(e, held)
+		case *ast.SelectorExpr:
+			if ls.skipSel[e] {
+				return true
+			}
+			ls.checkFieldAccess(e, held)
+		}
+		return true
+	})
+}
+
+// checkCall verifies the callee's RequiresLocks summary against held.
+func (ls *lockScan) checkCall(call *ast.CallExpr, held map[string]bool) {
+	if _, _, isLockOp := lockOpName(call); isLockOp {
+		return
+	}
+	callee := ls.mod.ResolveCall(ls.fi.Pkg, call, nil)
+	sum := ls.mod.SummaryForCallee(callee)
+	if sum == nil {
+		return
+	}
+	for _, lock := range sum.RequiresLocks {
+		if held[lock] {
+			continue
+		}
+		ls.need(call.Pos(), lock,
+			"call to "+callee.Name+" requires holding "+lock+" (caller-must-hold summary)")
+	}
+}
+
+// checkFieldAccess reports guarded-field reads/writes without the lock.
+func (ls *lockScan) checkFieldAccess(sel *ast.SelectorExpr, held map[string]bool) {
+	name := sel.Sel.Name
+	annotations := ls.mod.GuardedFieldsFor(name)
+	if len(annotations) == 0 {
+		return
+	}
+	pkgPath, typeName, ok := ls.mod.receiverType(ls.fi.Pkg, sel.X)
+	if !ok {
+		return
+	}
+	for _, g := range annotations {
+		if g.Pkg != pkgPath || g.Struct != typeName {
+			continue
+		}
+		if held[g.Lock] {
+			return
+		}
+		ls.need(sel.Sel.Pos(), g.Lock,
+			"access to "+g.Struct+"."+g.Field+" (guarded by "+g.Lock+") without holding "+g.Lock)
+		return
+	}
+}
+
+func (ls *lockScan) need(pos token.Pos, lock, desc string) {
+	if ls.seen[pos] {
+		return
+	}
+	ls.seen[pos] = true
+	ls.needs = append(ls.needs, LockNeed{Pos: pos, Lock: lock, Desc: desc})
+}
+
+// LockNeeds runs the lock scan over fi and returns the uncovered accesses
+// — the lockdiscipline analyzer's per-function entry point. The caller
+// decides whether the needs are diagnostics (ordinary functions) or the
+// function's exported contract (*Locked helpers).
+func (m *Module) LockNeeds(fi *FuncInfo) []LockNeed {
+	m.computeSummaries()
+	ls := newLockScan(m, fi)
+	ls.run()
+	return ls.needs
+}

@@ -1,0 +1,733 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// This file grows the package from a per-package AST walker into a
+// lightweight interprocedural engine: a Module indexes every function
+// declaration across the loaded packages, resolves call sites to module
+// functions by name (exact where the tolerant type information allows,
+// unique-name fallback where stub imports leave a method unresolved), and
+// carries the module-wide fact tables — DP taint sources and sinks,
+// //upa:guardedby fields, error sentinels — that dpflow, lockdiscipline,
+// and errorwrap consume. Per-function summaries (taint.go, locks.go) are
+// computed over this index by a deterministic fixpoint and serialized as
+// Facts through the vet-driver's vetx channel, so per-package vettool runs
+// see cross-package summaries too.
+
+// Annotation markers recognized on declarations. All of them ride in
+// ordinary comments so the tree builds identically with or without upa-vet.
+const (
+	// MarkerDPSource on a function declaration: its results carry pre-noise
+	// protected data. On a struct field: every read of a field with that
+	// name (module-wide) is a taint source.
+	MarkerDPSource = "//upa:dpsource"
+	// MarkerDPSink on a function declaration: its parameters are
+	// user-visible sinks (formatting, HTTP responses, metrics).
+	MarkerDPSink = "//upa:dpsink"
+	// MarkerDPSanitize on a function declaration: it is a blessed
+	// noise/release boundary; its results are clean regardless of inputs.
+	MarkerDPSanitize = "//upa:dpsanitize"
+)
+
+// guardedByRE matches one //upa:guardedby(<mutex-field>) field annotation.
+var guardedByRE = regexp.MustCompile(`//upa:guardedby\(([A-Za-z_][A-Za-z0-9_]*)\)`)
+
+// FuncKey names a function declaration module-wide: package import path,
+// receiver type name (empty for plain functions, pointer-ness erased), and
+// function name. It is the join key between call sites, summaries, and
+// serialized facts.
+type FuncKey struct {
+	Pkg  string `json:"pkg"`
+	Recv string `json:"recv,omitempty"`
+	Name string `json:"name"`
+}
+
+func (k FuncKey) String() string {
+	if k.Recv != "" {
+		return k.Pkg + ".(" + k.Recv + ")." + k.Name
+	}
+	return k.Pkg + "." + k.Name
+}
+
+// FuncInfo is one function declaration plus its parsed annotations.
+type FuncInfo struct {
+	Key  FuncKey
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	// DPSource / DPSink / DPSanitize mirror the //upa:dpsource,
+	// //upa:dpsink, //upa:dpsanitize markers on the declaration.
+	DPSource   bool
+	DPSink     bool
+	DPSanitize bool
+}
+
+// CallerMustHold reports whether the function is exempt from acquiring the
+// locks it touches because its contract pushes that duty to the caller.
+// The repo-wide convention is the *Locked name suffix.
+func (fi *FuncInfo) CallerMustHold() bool {
+	return strings.HasSuffix(fi.Key.Name, "Locked")
+}
+
+// GuardedField records one //upa:guardedby(mu) annotation: the named field
+// of the named struct may only be accessed while the sibling mutex field is
+// held.
+type GuardedField struct {
+	Pkg    string `json:"pkg"`
+	Struct string `json:"struct"`
+	Field  string `json:"field"`
+	Lock   string `json:"lock"`
+}
+
+// Sentinel is one package-level `var ErrX = errors.New(...)` declaration.
+type Sentinel struct {
+	Pkg  string `json:"pkg"`
+	Name string `json:"name"`
+}
+
+// FuncSummary is the interprocedural summary of one function, computed by
+// the taint and lock fixpoints and propagated across package boundaries as
+// facts.
+type FuncSummary struct {
+	Key FuncKey `json:"func"`
+	// Source: the results carry pre-noise protected data (annotated
+	// //upa:dpsource, or derived: the body returns tainted values).
+	Source bool `json:"source,omitempty"`
+	// Sanitize: results are clean regardless of inputs (//upa:dpsanitize
+	// or a recognized noise primitive).
+	Sanitize bool `json:"sanitize,omitempty"`
+	// SinkParams lists parameter indexes that reach a user-visible sink
+	// inside the function (directly or through further calls).
+	SinkParams []int `json:"sinkParams,omitempty"`
+	// TaintParams lists parameter indexes that flow into the results.
+	TaintParams []int `json:"taintParams,omitempty"`
+	// RequiresLocks lists mutex field names the caller must hold (only
+	// *Locked-suffixed functions export this; others must lock locally).
+	RequiresLocks []string `json:"requiresLocks,omitempty"`
+}
+
+func (s *FuncSummary) sinksParam(i int) bool {
+	for _, p := range s.SinkParams {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *FuncSummary) taintsFromParam(i int) bool {
+	for _, p := range s.TaintParams {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// Facts is the serializable interprocedural state of a module (or of one
+// package, in vet-driver unit mode): function summaries plus the annotation
+// tables downstream packages need. The encoding is canonical — sorted keys,
+// no token positions — so identical trees yield byte-identical facts.
+type Facts struct {
+	Summaries   []FuncSummary  `json:"summaries"`
+	Guarded     []GuardedField `json:"guardedFields,omitempty"`
+	Sentinels   []Sentinel     `json:"sentinels,omitempty"`
+	TaintFields []string       `json:"taintFields,omitempty"`
+}
+
+// Encode renders the facts in canonical JSON.
+func (f *Facts) Encode() ([]byte, error) {
+	sortFacts(f)
+	return json.MarshalIndent(f, "", "\t")
+}
+
+// DecodeFacts parses facts previously produced by Encode.
+func DecodeFacts(data []byte) (*Facts, error) {
+	var f Facts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("analysis: decode facts: %w", err)
+	}
+	return &f, nil
+}
+
+// Merge appends other's facts onto f. Duplicate summaries are harmless:
+// Module.AddFacts keys them by FuncKey, so the last write wins, and the
+// annotation tables are sets.
+func (f *Facts) Merge(other *Facts) {
+	if other == nil {
+		return
+	}
+	f.Summaries = append(f.Summaries, other.Summaries...)
+	f.Guarded = append(f.Guarded, other.Guarded...)
+	f.Sentinels = append(f.Sentinels, other.Sentinels...)
+	f.TaintFields = append(f.TaintFields, other.TaintFields...)
+}
+
+func lessKey(a, b FuncKey) bool {
+	if a.Pkg != b.Pkg {
+		return a.Pkg < b.Pkg
+	}
+	if a.Recv != b.Recv {
+		return a.Recv < b.Recv
+	}
+	return a.Name < b.Name
+}
+
+func sortFacts(f *Facts) {
+	sort.Slice(f.Summaries, func(i, j int) bool { return lessKey(f.Summaries[i].Key, f.Summaries[j].Key) })
+	for i := range f.Summaries {
+		sort.Ints(f.Summaries[i].SinkParams)
+		sort.Ints(f.Summaries[i].TaintParams)
+		sort.Strings(f.Summaries[i].RequiresLocks)
+	}
+	sort.Slice(f.Guarded, func(i, j int) bool {
+		a, b := f.Guarded[i], f.Guarded[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Struct != b.Struct {
+			return a.Struct < b.Struct
+		}
+		return a.Field < b.Field
+	})
+	sort.Slice(f.Sentinels, func(i, j int) bool {
+		a, b := f.Sentinels[i], f.Sentinels[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Name < b.Name
+	})
+	sort.Strings(f.TaintFields)
+}
+
+// Module is the interprocedural index over one RunAnalyzers load.
+type Module struct {
+	Pkgs []*Package
+
+	funcs    map[FuncKey]*FuncInfo
+	byMethod map[string][]*FuncInfo // methods only, keyed by bare name
+
+	guarded     map[string][]GuardedField // field name -> annotations
+	sentinels   map[Sentinel]bool
+	taintFields map[string]bool
+
+	// external holds facts imported through the vetx channel (vet-driver
+	// unit mode analyzes one package at a time; its dependencies arrive
+	// here instead of as parsed FuncInfos).
+	external map[FuncKey]*FuncSummary
+
+	summaries map[FuncKey]*FuncSummary
+}
+
+// NewModule indexes the loaded packages: declarations, annotations,
+// sentinels, and guarded fields. Summaries are computed on first use.
+func NewModule(pkgs []*Package) *Module {
+	m := &Module{
+		Pkgs:        pkgs,
+		funcs:       make(map[FuncKey]*FuncInfo),
+		byMethod:    make(map[string][]*FuncInfo),
+		guarded:     make(map[string][]GuardedField),
+		sentinels:   make(map[Sentinel]bool),
+		taintFields: make(map[string]bool),
+		external:    make(map[FuncKey]*FuncSummary),
+	}
+	for _, pkg := range pkgs {
+		m.indexPackage(pkg)
+	}
+	return m
+}
+
+// AddFacts merges externally computed facts (the vetx channel) into the
+// module. Locally declared functions always win over imported summaries.
+func (m *Module) AddFacts(f *Facts) {
+	if f == nil {
+		return
+	}
+	for i := range f.Summaries {
+		s := f.Summaries[i]
+		if _, local := m.funcs[s.Key]; local {
+			continue
+		}
+		m.external[s.Key] = &s
+	}
+	for _, g := range f.Guarded {
+		m.guarded[g.Field] = append(m.guarded[g.Field], g)
+	}
+	for _, s := range f.Sentinels {
+		m.sentinels[s] = true
+	}
+	for _, name := range f.TaintFields {
+		m.taintFields[name] = true
+	}
+}
+
+func (m *Module) indexPackage(pkg *Package) {
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				m.indexFunc(pkg, d)
+			case *ast.GenDecl:
+				m.indexGenDecl(pkg, d)
+			}
+		}
+	}
+}
+
+func (m *Module) indexFunc(pkg *Package, d *ast.FuncDecl) {
+	fi := &FuncInfo{
+		Key:        FuncKey{Pkg: pkg.Path, Recv: recvTypeName(d), Name: d.Name.Name},
+		Decl:       d,
+		Pkg:        pkg,
+		DPSource:   docHasMarker(d.Doc, MarkerDPSource),
+		DPSink:     docHasMarker(d.Doc, MarkerDPSink),
+		DPSanitize: docHasMarker(d.Doc, MarkerDPSanitize),
+	}
+	m.funcs[fi.Key] = fi
+	if fi.Key.Recv != "" {
+		m.byMethod[fi.Key.Name] = append(m.byMethod[fi.Key.Name], fi)
+	}
+}
+
+func (m *Module) indexGenDecl(pkg *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch sp := spec.(type) {
+		case *ast.TypeSpec:
+			st, ok := sp.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				m.indexStructField(pkg, sp.Name.Name, field)
+			}
+		case *ast.ValueSpec:
+			// Package-level `var ErrX = errors.New(...)` sentinels.
+			if d.Tok.String() != "var" {
+				continue
+			}
+			for i, name := range sp.Names {
+				if !strings.HasPrefix(name.Name, "Err") || i >= len(sp.Values) {
+					continue
+				}
+				if call, ok := sp.Values[i].(*ast.CallExpr); ok && isErrorsNew(pkg, call) {
+					m.sentinels[Sentinel{Pkg: pkg.Path, Name: name.Name}] = true
+				}
+			}
+		}
+	}
+}
+
+func (m *Module) indexStructField(pkg *Package, structName string, field *ast.Field) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if mm := guardedByRE.FindStringSubmatch(c.Text); mm != nil {
+				for _, name := range field.Names {
+					m.guarded[name.Name] = append(m.guarded[name.Name], GuardedField{
+						Pkg: pkg.Path, Struct: structName, Field: name.Name, Lock: mm[1],
+					})
+				}
+			}
+			if strings.Contains(c.Text, MarkerDPSource) {
+				for _, name := range field.Names {
+					m.taintFields[name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+// docHasMarker reports whether the comment group contains the marker as a
+// standalone directive line.
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorsNew reports whether call is errors.New(...) or fmt.Errorf(...)
+// resolved through a real (non-shadowed) import.
+func isErrorsNew(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	path := pkg.importPathOf(id)
+	return (path == "errors" && sel.Sel.Name == "New") ||
+		(path == "fmt" && sel.Sel.Name == "Errorf")
+}
+
+// recvTypeName extracts the receiver's type name with pointers and type
+// parameters erased; "" for plain functions.
+func recvTypeName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	return baseTypeName(d.Recv.List[0].Type)
+}
+
+func baseTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return baseTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver: store[T]
+		return baseTypeName(t.X)
+	case *ast.IndexListExpr:
+		return baseTypeName(t.X)
+	case *ast.ParenExpr:
+		return baseTypeName(t.X)
+	}
+	return ""
+}
+
+// importPathOf is Pass.ImportPathOf at the package level.
+func (p *Package) importPathOf(ident *ast.Ident) string {
+	if obj, ok := p.Info.Uses[ident]; ok {
+		if pkg, ok := obj.(*types.PkgName); ok {
+			return pkg.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// Func returns the declaration indexed under key, or nil.
+func (m *Module) Func(key FuncKey) *FuncInfo { return m.funcs[key] }
+
+// FuncInfoFor returns the module's record for a declaration of pkg.
+func (m *Module) FuncInfoFor(pkg *Package, d *ast.FuncDecl) *FuncInfo {
+	return m.funcs[FuncKey{Pkg: pkg.Path, Recv: recvTypeName(d), Name: d.Name.Name}]
+}
+
+// GuardedFieldsFor returns the //upa:guardedby annotations recorded for a
+// field name, across all packages and external facts.
+func (m *Module) GuardedFieldsFor(field string) []GuardedField { return m.guarded[field] }
+
+// GuardedFields returns every annotation, unsorted.
+func (m *Module) GuardedFields() []GuardedField {
+	var out []GuardedField
+	for _, gs := range m.guarded {
+		out = append(out, gs...)
+	}
+	return out
+}
+
+// IsSentinel reports whether (pkg, name) is an indexed error sentinel.
+func (m *Module) IsSentinel(pkg, name string) bool {
+	return m.sentinels[Sentinel{Pkg: pkg, Name: name}]
+}
+
+// IsTaintField reports whether reads of fields with this name are taint
+// sources (//upa:dpsource on a struct field somewhere in the module).
+func (m *Module) IsTaintField(name string) bool { return m.taintFields[name] }
+
+// Callee is the resolution of one call site. Exactly one of Func (a module
+// declaration) or Ext (an external package function / builtin) is set;
+// neither is set for calls the name-based resolver cannot place (dynamic
+// calls through arbitrary function values, unresolvable methods).
+type Callee struct {
+	Func *FuncInfo
+	Ext  ExtCallee
+	// Name is the bare callee name, always set when any resolution
+	// happened (used by method-name sink heuristics on unresolved calls).
+	Name string
+	// Method marks an unresolved method call (x.Name(...)).
+	Method bool
+}
+
+// ExtCallee names a function outside the loaded module.
+type ExtCallee struct {
+	Path string // import path; "builtin" for builtins, "" when unknown
+	Name string
+}
+
+// ResolveCall resolves a call expression occurring in pkg. aliases maps
+// local function-value variables (`infer := inferSensitivity`) to their
+// targets; pass nil when not tracking them.
+func (m *Module) ResolveCall(pkg *Package, call *ast.CallExpr, aliases map[types.Object]*FuncInfo) Callee {
+	fun := ast.Unparen(call.Fun)
+	// Unwrap generic instantiation: f[T](...).
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj := pkg.Info.Uses[f]
+		if obj != nil {
+			if fi, ok := aliases[obj]; ok && fi != nil {
+				return Callee{Func: fi, Name: fi.Key.Name}
+			}
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				return Callee{Ext: ExtCallee{Path: "builtin", Name: f.Name}, Name: f.Name}
+			}
+			if _, isType := obj.(*types.TypeName); isType {
+				// Conversion, not a call.
+				return Callee{Ext: ExtCallee{Path: "conv", Name: f.Name}, Name: f.Name}
+			}
+		}
+		if fi := m.funcs[FuncKey{Pkg: pkg.Path, Name: f.Name}]; fi != nil {
+			// A local variable shadowing a function name would carry a
+			// *types.Var use; only resolve true function references.
+			if _, isVar := obj.(*types.Var); !isVar {
+				return Callee{Func: fi, Name: f.Name}
+			}
+		}
+		return Callee{Name: f.Name}
+	case *ast.SelectorExpr:
+		name := f.Sel.Name
+		if id, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+			if path := pkg.importPathOf(id); path != "" {
+				if fi := m.funcs[FuncKey{Pkg: path, Name: name}]; fi != nil {
+					return Callee{Func: fi, Name: name}
+				}
+				return Callee{Ext: ExtCallee{Path: path, Name: name}, Name: name}
+			}
+		}
+		// Method call: resolve the receiver's type locally when possible.
+		if recvPkg, recvType, ok := m.receiverType(pkg, f.X); ok {
+			if fi := m.funcs[FuncKey{Pkg: recvPkg, Recv: recvType, Name: name}]; fi != nil {
+				return Callee{Func: fi, Name: name, Method: true}
+			}
+		}
+		// Fallback: a method name declared exactly once module-wide is
+		// unambiguous even when stub imports hide the receiver type.
+		if cands := m.byMethod[name]; len(cands) == 1 {
+			return Callee{Func: cands[0], Name: name, Method: true}
+		}
+		return Callee{Name: name, Method: true}
+	}
+	return Callee{}
+}
+
+// receiverType resolves the static type of a method call receiver to
+// (package path, type name) using the tolerant type info. Only types
+// declared in the loaded packages resolve; stubbed imports do not.
+func (m *Module) receiverType(pkg *Package, recv ast.Expr) (string, string, bool) {
+	tv, ok := pkg.Info.Types[ast.Unparen(recv)]
+	if !ok || tv.Type == nil {
+		return "", "", false
+	}
+	t := tv.Type
+	for {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// SummaryFor returns the interprocedural summary for key: computed for
+// module declarations, imported for external facts, nil otherwise.
+func (m *Module) SummaryFor(key FuncKey) *FuncSummary {
+	m.computeSummaries()
+	if s, ok := m.summaries[key]; ok {
+		return s
+	}
+	return m.external[key]
+}
+
+// SummaryForCallee is SummaryFor keyed off a resolution result.
+func (m *Module) SummaryForCallee(c Callee) *FuncSummary {
+	if c.Func != nil {
+		return m.SummaryFor(c.Func.Key)
+	}
+	if c.Ext.Path != "" {
+		return m.SummaryFor(FuncKey{Pkg: c.Ext.Path, Name: c.Ext.Name})
+	}
+	return nil
+}
+
+// Facts serializes the module's computed summaries and annotation tables.
+func (m *Module) Facts() *Facts {
+	m.computeSummaries()
+	f := &Facts{}
+	for _, s := range m.summaries {
+		if s.Source || s.Sanitize || len(s.SinkParams) > 0 || len(s.TaintParams) > 0 || len(s.RequiresLocks) > 0 {
+			f.Summaries = append(f.Summaries, *s)
+		}
+	}
+	f.Guarded = append(f.Guarded, m.GuardedFields()...)
+	for s := range m.sentinels {
+		f.Sentinels = append(f.Sentinels, s)
+	}
+	for name := range m.taintFields {
+		f.TaintFields = append(f.TaintFields, name)
+	}
+	sortFacts(f)
+	return f
+}
+
+// sortedFuncKeys returns every local declaration key in deterministic order.
+func (m *Module) sortedFuncKeys() []FuncKey {
+	keys := make([]FuncKey, 0, len(m.funcs))
+	for k := range m.funcs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return lessKey(keys[i], keys[j]) })
+	return keys
+}
+
+// computeSummaries runs the taint and lock fixpoints over every local
+// declaration. Iteration is in sorted key order and repeats until no
+// summary changes, so the result is independent of map ordering.
+func (m *Module) computeSummaries() {
+	if m.summaries != nil {
+		return
+	}
+	m.summaries = make(map[FuncKey]*FuncSummary)
+	keys := m.sortedFuncKeys()
+	for _, k := range keys {
+		fi := m.funcs[k]
+		s := &FuncSummary{
+			Key:      k,
+			Source:   fi.DPSource,
+			Sanitize: fi.DPSanitize || isBlessedSanitizer(k),
+		}
+		if fi.DPSink {
+			// Annotated sinks export every parameter, so cross-package
+			// callers reached through facts alone see them too.
+			for i := range paramObjects(fi) {
+				s.SinkParams = append(s.SinkParams, i)
+			}
+		}
+		m.summaries[k] = s
+	}
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		for _, k := range keys {
+			if m.updateSummary(m.funcs[k]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// isBlessedSanitizer recognizes the repo's noise primitives without
+// requiring annotations at every mechanism.
+func isBlessedSanitizer(k FuncKey) bool {
+	switch k.Name {
+	case "Perturb", "PerturbVector":
+		return true
+	}
+	return false
+}
+
+// updateSummary recomputes one function's summary from its body and the
+// current summaries of its callees; reports whether anything grew.
+func (m *Module) updateSummary(fi *FuncInfo) bool {
+	if fi.Decl.Body == nil {
+		return false
+	}
+	s := m.summaries[fi.Key]
+	changed := false
+
+	// Taint: Source (ambient walk), SinkParams / TaintParams (per-param).
+	if !s.Sanitize {
+		amb := newTaintWalk(m, fi, nil)
+		amb.run()
+		if amb.resultTainted && !s.Source {
+			s.Source = true
+			changed = true
+		}
+		for i, obj := range paramObjects(fi) {
+			if obj == nil {
+				continue
+			}
+			tw := newTaintWalk(m, fi, []types.Object{obj})
+			tw.run()
+			if len(tw.hits) > 0 && !s.sinksParam(i) {
+				s.SinkParams = append(s.SinkParams, i)
+				sort.Ints(s.SinkParams)
+				changed = true
+			}
+			if tw.resultTainted && !s.taintsFromParam(i) {
+				s.TaintParams = append(s.TaintParams, i)
+				sort.Ints(s.TaintParams)
+				changed = true
+			}
+		}
+	}
+
+	// Locks: only *Locked helpers export caller-must-hold requirements.
+	if fi.CallerMustHold() {
+		ls := newLockScan(m, fi)
+		ls.run()
+		for _, need := range ls.needs {
+			if !containsString(s.RequiresLocks, need.Lock) {
+				s.RequiresLocks = append(s.RequiresLocks, need.Lock)
+				sort.Strings(s.RequiresLocks)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// paramObjects resolves the declared objects of fi's parameters, in order.
+// Unnamed and blank parameters yield nil entries.
+func paramObjects(fi *FuncInfo) []types.Object {
+	var out []types.Object
+	if fi.Decl.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fi.Decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, fi.Pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+func containsString(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

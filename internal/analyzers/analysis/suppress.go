@@ -4,15 +4,18 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"regexp"
 	"strings"
 )
 
-// allowRE matches one //upa:allow(<analyzer>) annotation. The justification
-// is everything after the closing parenthesis up to the next comment marker
-// (so trailing test-harness markers such as "// want ..." never count as a
+// allowRE matches one //upa:allow(<analyzer>) annotation. The annotation
+// must start its comment — prose that merely mentions the marker (analyzer
+// package docs, say) is not an annotation. The justification is everything
+// after the closing parenthesis up to the next comment marker (so trailing
+// test-harness markers such as "// want ..." never count as a
 // justification).
-var allowRE = regexp.MustCompile(`//upa:allow\(([a-zA-Z0-9_-]+)\)(.*)$`)
+var allowRE = regexp.MustCompile(`^//upa:allow\(([a-zA-Z0-9_-]+)\)(.*)$`)
 
 // allowance is one parsed //upa:allow annotation.
 type allowance struct {
@@ -49,17 +52,65 @@ func parseAllowances(pkg *Package) []allowance {
 	return out
 }
 
-// applySuppressions filters diagnostics through the package's //upa:allow
-// annotations. An annotation for analyzer A suppresses A's diagnostics on
-// the annotation's own line and on the line directly below it (the
-// standalone-comment-above-the-statement form). Annotations without a
-// justification suppress nothing and are themselves reported: the whole
-// point of the escape hatch is that every exemption explains itself.
-func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+// nextNonTrivialLine finds the line a standalone annotation attaches to:
+// scanning forward from the annotation's line, it skips blank lines and
+// comment-only lines and returns the first substantive one. The scan stops
+// (returning 0) when it hits a line of closing punctuation only — an
+// annotation dangling at the end of a block must not silently widen to the
+// next declaration — or after a few lines without finding code. source is
+// the annotation's file split into lines (1-based access via index-1).
+func nextNonTrivialLine(source []string, annotationLine int) int {
+	const horizon = 5
+	for line := annotationLine + 1; line <= annotationLine+horizon && line <= len(source); line++ {
+		text := strings.TrimSpace(source[line-1])
+		if text == "" || strings.HasPrefix(text, "//") {
+			continue
+		}
+		if strings.Trim(text, "{}()[],;") == "" {
+			// Closing (or opening) punctuation only: scope boundary.
+			return 0
+		}
+		return line
+	}
+	return 0
+}
+
+// fileLines reads and caches the source lines of the files the package's
+// annotations live in; suppression scopes are defined in terms of source
+// lines, not AST shape.
+func fileLines(cache map[string][]string, filename string) []string {
+	if lines, ok := cache[filename]; ok {
+		return lines
+	}
+	var lines []string
+	if data, err := os.ReadFile(filename); err == nil {
+		lines = strings.Split(string(data), "\n")
+	}
+	cache[filename] = lines
+	return lines
+}
+
+// applySuppressions resolves the package's //upa:allow annotations against
+// the raw diagnostics. An annotation for analyzer A covers A's diagnostics
+// on its own line and on the next non-trivial line below (blank and
+// comment-only lines are skipped; a closing brace ends the scope, so a
+// dangling annotation covers nothing). Matching diagnostics are kept but
+// flagged Suppressed. Two classes of annotation misuse are themselves
+// reported: annotations without a justification, and justified annotations
+// that suppressed nothing for an analyzer in the current run set (stale —
+// the pattern they excused is gone and the escape hatch must go with it).
+func applySuppressions(pkg *Package, diags []Diagnostic, inSet map[string]bool) []Diagnostic {
 	allowances := parseAllowances(pkg)
-	justified := make(map[string]bool) // "analyzer:line" -> suppress
+	type scopeKey struct {
+		analyzer string
+		file     string
+		line     int
+	}
+	covers := make(map[scopeKey]int) // -> allowance index
+	used := make([]bool, len(allowances))
+	srcCache := make(map[string][]string)
 	var out []Diagnostic
-	for _, a := range allowances {
+	for i, a := range allowances {
 		if a.justification == "" {
 			out = append(out, Diagnostic{
 				Analyzer: a.analyzer,
@@ -68,15 +119,29 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 			})
 			continue
 		}
-		justified[fmt.Sprintf("%s:%d", a.analyzer, a.line)] = true
-		justified[fmt.Sprintf("%s:%d", a.analyzer, a.line+1)] = true
+		pos := pkg.Fset.Position(a.pos)
+		covers[scopeKey{a.analyzer, pos.Filename, a.line}] = i
+		if next := nextNonTrivialLine(fileLines(srcCache, pos.Filename), a.line); next > 0 {
+			covers[scopeKey{a.analyzer, pos.Filename, next}] = i
+		}
 	}
 	for _, d := range diags {
-		line := pkg.Fset.Position(d.Pos).Line
-		if justified[fmt.Sprintf("%s:%d", d.Analyzer, line)] {
-			continue
+		pos := pkg.Fset.Position(d.Pos)
+		if i, ok := covers[scopeKey{d.Analyzer, pos.Filename, pos.Line}]; ok {
+			used[i] = true
+			d.Suppressed = true
 		}
 		out = append(out, d)
+	}
+	for i, a := range allowances {
+		if a.justification == "" || used[i] || !inSet[a.analyzer] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Analyzer: a.analyzer,
+			Pos:      a.pos,
+			Message:  fmt.Sprintf("stale upa:allow(%s): it suppresses no diagnostic; delete the annotation (or restore the pattern it excused)", a.analyzer),
+		})
 	}
 	sortDiagnostics(out)
 	return out

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNextNonTrivialLine(t *testing.T) {
+	src := []string{
+		"//upa:allow(demo) line 1",   // 1
+		"",                           // 2
+		"// explanatory comment",     // 3
+		"\tfmt.Println(\"covered\")", // 4
+		"}",                          // 5
+	}
+	if got := nextNonTrivialLine(src, 1); got != 4 {
+		t.Errorf("blank and comment lines must be skipped: got line %d, want 4", got)
+	}
+	// A closing brace terminates the scope: the annotation covers nothing
+	// below it.
+	if got := nextNonTrivialLine(src, 4); got != 0 {
+		t.Errorf("closing punctuation must end the scope: got line %d, want 0", got)
+	}
+	// The scan gives up after a few lines so an annotation at the top of a
+	// long comment block cannot silently attach to distant code.
+	far := []string{"//upa:allow(demo) x", "", "", "", "", "", "", "code()"}
+	if got := nextNonTrivialLine(far, 1); got != 0 {
+		t.Errorf("scan horizon must bound the scope: got line %d, want 0", got)
+	}
+	if got := nextNonTrivialLine([]string{"//upa:allow(demo) x"}, 1); got != 0 {
+		t.Errorf("end of file must end the scope: got line %d, want 0", got)
+	}
+}
+
+const suppressFixture = `package p
+
+import "fmt"
+
+func a() {
+	//upa:allow(demo) justified: covers the formatting below
+
+	// explanatory comment skipped by the scope scan
+	fmt.Println("covered")
+	fmt.Println("not covered")
+}
+
+func b() {
+	//upa:allow(demo) dangling: the brace below ends the scope
+}
+
+func c() {
+	//upa:allow(demo)
+	fmt.Println("unjustified")
+}
+
+func d() {
+	//upa:allow(otherdemo) justified, but otherdemo is not in the run set
+	fmt.Println("other")
+}
+`
+
+// TestApplySuppressions pins the whole annotation contract on one synthetic
+// package: scope (own line + next non-trivial line, brace-bounded),
+// missing-justification reporting, stale detection, and the run-set gate on
+// staleness.
+func TestApplySuppressions(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(suppressFixture), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := LoadDir(fset, dir, "probe/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf *token.File
+	fset.Iterate(func(f *token.File) bool { tf = f; return false })
+	lineNo := func(substr string) int {
+		for i, l := range strings.Split(suppressFixture, "\n") {
+			if strings.Contains(l, substr) {
+				return i + 1
+			}
+		}
+		t.Fatalf("fixture has no line containing %q", substr)
+		return 0
+	}
+	at := func(substr string) token.Pos { return tf.LineStart(lineNo(substr)) }
+
+	raw := []Diagnostic{
+		{Analyzer: "demo", Pos: at(`"covered"`), Message: "finding on the covered line"},
+		{Analyzer: "demo", Pos: at(`"not covered"`), Message: "finding past the scope"},
+	}
+	out := applySuppressions(pkg, raw, map[string]bool{"demo": true})
+
+	var covered, past, unjustified, stale, staleOther bool
+	for _, d := range out {
+		line := fset.Position(d.Pos).Line
+		switch {
+		case line == lineNo(`"covered"`) && d.Message == "finding on the covered line":
+			covered = d.Suppressed
+		case line == lineNo(`"not covered"`):
+			if d.Suppressed {
+				t.Errorf("diagnostic two lines below the annotation must not be suppressed")
+			}
+			past = true
+		case strings.Contains(d.Message, "requires a justification"):
+			unjustified = true
+		case strings.Contains(d.Message, "stale upa:allow(demo)"):
+			if line != lineNo("dangling") {
+				t.Errorf("stale report at line %d, want the dangling annotation at %d", line, lineNo("dangling"))
+			}
+			stale = true
+		case strings.Contains(d.Message, "stale upa:allow(otherdemo)"):
+			staleOther = true
+		}
+	}
+	if !covered {
+		t.Error("annotation did not suppress the diagnostic on its next non-trivial line")
+	}
+	if !past {
+		t.Error("the out-of-scope diagnostic disappeared from the output")
+	}
+	if !unjustified {
+		t.Error("justification-free annotation was not reported")
+	}
+	if !stale {
+		t.Error("dangling annotation (covering nothing) was not reported stale")
+	}
+	if staleOther {
+		t.Error("annotation for an analyzer outside the run set must not be reported stale")
+	}
+}

@@ -1,0 +1,502 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Taint walk: a flow-insensitive, intraprocedural dataflow over one
+// function body, iterated to a fixpoint. Two modes share the machinery:
+//
+//   - ambient mode (seeds == nil): taint enters through module-wide
+//     sources — calls to //upa:dpsource functions (or functions whose
+//     summaries derived Source) and reads of //upa:dpsource-annotated
+//     field names. This mode powers dpflow's per-function diagnostics and
+//     the derived Source bit of summaries.
+//   - seeded mode (seeds = one parameter object): only the seed is
+//     tainted. Sink hits mean the parameter reaches a sink (SinkParams);
+//     a tainted return means the parameter flows to the results
+//     (TaintParams). This is what makes the analysis interprocedural:
+//     callers consult these summaries at every call site.
+//
+// Precision choices, deliberately simple and documented here once:
+// writes into struct fields do not taint the enclosing value — neither
+// through a selector assignment nor through a keyed composite-literal
+// field (taint is tracked per named field via the annotation table, which
+// keeps a *Result value usable while its pre-noise fields stay hot);
+// writes through index or star expressions do taint the root (slices and
+// maps are carriers, and so are unkeyed composite elements); len/cap
+// declassify (cardinalities are published metadata by design); error
+// values declassify (errors are identities to wrap and match, enforced by
+// the errorwrap analyzer — a tainted value formatted INTO an error still
+// fires at the fmt.Errorf call itself); calls to unresolved externals
+// propagate taint from arguments to results (fmt.Sprintf et al. behave
+// correctly under this rule).
+
+// SinkHit records one tainted value reaching a user-visible sink.
+type SinkHit struct {
+	// Pos is the call site (one hit per call, however many arguments are
+	// tainted).
+	Pos token.Pos
+	// Sink describes the sink for the diagnostic message, e.g.
+	// "fmt.Errorf" or "helper describeRows (which formats its argument
+	// into a user-visible sink)".
+	Sink string
+}
+
+// externalSinkName reports whether pkg-path/function is a user-visible
+// formatting or response sink outside the module.
+func externalSinkName(path, name string) (string, bool) {
+	switch path {
+	case "fmt":
+		switch name {
+		case "Print", "Printf", "Println", "Sprint", "Sprintf", "Sprintln",
+			"Fprint", "Fprintf", "Fprintln", "Errorf":
+			return "fmt." + name, true
+		}
+	case "log", "log/slog":
+		return path + "." + name, true
+	case "net/http":
+		if name == "Error" {
+			return "http.Error", true
+		}
+	case "errors":
+		if name == "New" {
+			return "errors.New", true
+		}
+	}
+	return "", false
+}
+
+// sinkMethodNames are method names treated as sinks when the receiver does
+// not resolve to a module type: leveled loggers (*slog.Logger et al.) and
+// response writers live behind stub imports.
+var sinkMethodNames = map[string]bool{
+	"Info":  true,
+	"Warn":  true,
+	"Debug": true,
+	"Error": true,
+}
+
+type taintWalk struct {
+	mod *Module
+	fi  *FuncInfo
+	// ambient is true when module-wide sources seed the walk.
+	ambient bool
+	tainted map[types.Object]bool
+	aliases map[types.Object]*FuncInfo
+
+	hits          []SinkHit
+	hitPos        map[token.Pos]bool
+	resultTainted bool
+	changed       bool
+}
+
+func newTaintWalk(m *Module, fi *FuncInfo, seeds []types.Object) *taintWalk {
+	tw := &taintWalk{
+		mod:     m,
+		fi:      fi,
+		ambient: seeds == nil,
+		tainted: make(map[types.Object]bool),
+		aliases: make(map[types.Object]*FuncInfo),
+		hitPos:  make(map[token.Pos]bool),
+	}
+	for _, s := range seeds {
+		if s != nil {
+			tw.tainted[s] = true
+		}
+	}
+	return tw
+}
+
+// run iterates propagation over the body until the tainted set stops
+// growing, then records sink hits and result taint.
+func (tw *taintWalk) run() {
+	body := tw.fi.Decl.Body
+	if body == nil {
+		return
+	}
+	for iter := 0; iter < 10; iter++ {
+		tw.changed = false
+		ast.Inspect(body, tw.propagate)
+		if !tw.changed {
+			break
+		}
+	}
+	ast.Inspect(body, tw.collect)
+}
+
+func (tw *taintWalk) taint(obj types.Object) {
+	if obj == nil || tw.tainted[obj] || isErrorish(obj) {
+		return
+	}
+	tw.tainted[obj] = true
+	tw.changed = true
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorish reports whether obj is an error value: error-typed when the
+// tolerant checker resolved the type, or named by the repo's error-variable
+// convention (err, cerr, rerr, …) when a stubbed cross-package signature
+// left the type unresolved. Error values never carry taint — they are
+// identities to wrap and match (the errorwrap analyzer enforces that), and
+// a tainted value formatted into one is caught at the formatting call.
+func isErrorish(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if t := obj.Type(); t != nil && types.Identical(t, errorType) {
+		return true
+	}
+	name := obj.Name()
+	return name == "err" || strings.HasSuffix(name, "err") || strings.HasSuffix(name, "Err")
+}
+
+// propagate handles one node of the assignment-shaped statements.
+func (tw *taintWalk) propagate(n ast.Node) bool {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		tw.propagateAssign(st.Lhs, st.Rhs)
+	case *ast.ValueSpec:
+		var lhs []ast.Expr
+		for _, name := range st.Names {
+			lhs = append(lhs, name)
+		}
+		tw.propagateAssign(lhs, st.Values)
+	case *ast.RangeStmt:
+		if tw.isTainted(st.X) {
+			// The element is data; the key is data only for maps. Slice and
+			// array indices are positional metadata (like len), and when the
+			// tolerant checker could not resolve the ranged type the key is
+			// treated as an index — the common case by far.
+			if t, ok := tw.fi.Pkg.Info.Types[st.X]; ok && t.Type != nil {
+				if _, isMap := t.Type.Underlying().(*types.Map); isMap {
+					tw.taintLHS(st.Key)
+				}
+			}
+			tw.taintLHS(st.Value)
+		}
+	}
+	return true
+}
+
+func (tw *taintWalk) propagateAssign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 0 {
+		return
+	}
+	if len(lhs) == len(rhs) {
+		for i := range lhs {
+			tw.trackAlias(lhs[i], rhs[i])
+			if tw.isTainted(rhs[i]) {
+				tw.taintLHS(lhs[i])
+			}
+		}
+		return
+	}
+	// Multi-value: x, y := f() — coarse, all or nothing.
+	if tw.isTainted(rhs[0]) {
+		for _, l := range lhs {
+			tw.taintLHS(l)
+		}
+	}
+}
+
+// trackAlias records `f := someFunc` so later f(...) calls resolve.
+func (tw *taintWalk) trackAlias(lhs, rhs ast.Expr) {
+	lid, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	rid, ok := ast.Unparen(rhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isFunc := tw.fi.Pkg.Info.Uses[rid].(*types.Func); !isFunc {
+		return
+	}
+	target := tw.mod.Func(FuncKey{Pkg: tw.fi.Pkg.Path, Name: rid.Name})
+	if target == nil {
+		return
+	}
+	obj := tw.fi.Pkg.Info.Defs[lid]
+	if obj == nil {
+		obj = tw.fi.Pkg.Info.Uses[lid]
+	}
+	if obj != nil && tw.aliases[obj] != target {
+		tw.aliases[obj] = target
+		tw.changed = true
+	}
+}
+
+// taintLHS marks the target of an assignment. Identifiers taint their
+// object; index/star writes taint the root carrier; selector writes are
+// dropped (see the precision note at the top of the file).
+func (tw *taintWalk) taintLHS(lhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case nil:
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := tw.fi.Pkg.Info.Defs[l]
+		if obj == nil {
+			obj = tw.fi.Pkg.Info.Uses[l]
+		}
+		tw.taint(obj)
+	case *ast.IndexExpr:
+		tw.taintLHS(l.X)
+	case *ast.StarExpr:
+		tw.taintLHS(l.X)
+	}
+}
+
+// isTainted evaluates whether an expression carries tainted data under the
+// current tainted set.
+func (tw *taintWalk) isTainted(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		if obj := tw.objectOf(x); obj != nil {
+			return tw.tainted[obj]
+		}
+		return false
+	case *ast.SelectorExpr:
+		if tw.ambient && tw.mod.IsTaintField(x.Sel.Name) {
+			// Reads of annotated field names are sources — unless the base
+			// is a package qualifier (pkg.Name is not a field read).
+			if id, ok := ast.Unparen(x.X).(*ast.Ident); !ok || tw.fi.Pkg.importPathOf(id) == "" {
+				return true
+			}
+		}
+		return tw.isTainted(x.X)
+	case *ast.CallExpr:
+		return tw.callTainted(x)
+	case *ast.BinaryExpr:
+		return tw.isTainted(x.X) || tw.isTainted(x.Y)
+	case *ast.UnaryExpr:
+		return tw.isTainted(x.X)
+	case *ast.StarExpr:
+		return tw.isTainted(x.X)
+	case *ast.IndexExpr:
+		return tw.isTainted(x.X)
+	case *ast.IndexListExpr:
+		return tw.isTainted(x.X)
+	case *ast.SliceExpr:
+		return tw.isTainted(x.X)
+	case *ast.TypeAssertExpr:
+		return tw.isTainted(x.X)
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				// An identifier key is a struct field write: contained, like
+				// selector writes (the field-name table keeps annotated
+				// fields hot). Map keys are expressions, so map composites
+				// still behave as carriers.
+				if _, isField := kv.Key.(*ast.Ident); isField {
+					continue
+				}
+				if tw.isTainted(kv.Value) {
+					return true
+				}
+				continue
+			}
+			if tw.isTainted(elt) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (tw *taintWalk) objectOf(id *ast.Ident) types.Object {
+	if obj := tw.fi.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return tw.fi.Pkg.Info.Defs[id]
+}
+
+// callTainted decides whether a call's result is tainted.
+func (tw *taintWalk) callTainted(call *ast.CallExpr) bool {
+	callee := tw.mod.ResolveCall(tw.fi.Pkg, call, tw.aliases)
+	sum := tw.mod.SummaryForCallee(callee)
+	if sum != nil && sum.Sanitize {
+		return false
+	}
+	if callee.Ext.Path == "builtin" {
+		switch callee.Ext.Name {
+		case "len", "cap", "make", "new":
+			// Cardinalities and fresh allocations are clean: record counts
+			// are published metadata by design.
+			return false
+		}
+		// append, copy, min, max: carrier semantics.
+		for _, arg := range call.Args {
+			if tw.isTainted(arg) {
+				return true
+			}
+		}
+		return false
+	}
+	if callee.Ext.Path == "conv" {
+		for _, arg := range call.Args {
+			if tw.isTainted(arg) {
+				return true
+			}
+		}
+		return false
+	}
+	if tw.ambient && sum != nil && sum.Source {
+		return true
+	}
+	if sum != nil && (callee.Func != nil || len(sum.TaintParams) > 0) {
+		// Known callee: trust its summary's parameter→result flows.
+		for i, arg := range call.Args {
+			if sum.taintsFromParam(tw.paramIndex(callee, i, len(call.Args))) && tw.isTainted(arg) {
+				return true
+			}
+		}
+		// A method on a tainted receiver still yields tainted data
+		// (accessors over tainted carriers).
+		if callee.Method {
+			if selx, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && tw.isTainted(selx.X) {
+				return true
+			}
+		}
+		return false
+	}
+	// Unresolved or external without facts: propagate conservatively.
+	for _, arg := range call.Args {
+		if tw.isTainted(arg) {
+			return true
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && tw.isTainted(sel.X) {
+		return true
+	}
+	return false
+}
+
+// paramIndex maps an argument index to the callee's parameter index,
+// folding variadic tails onto the last declared parameter.
+func (tw *taintWalk) paramIndex(callee Callee, argIdx, nargs int) int {
+	if callee.Func == nil || callee.Func.Decl.Type.Params == nil {
+		return argIdx
+	}
+	n := 0
+	for _, f := range callee.Func.Decl.Type.Params.List {
+		if len(f.Names) == 0 {
+			n++
+			continue
+		}
+		n += len(f.Names)
+	}
+	if n > 0 && argIdx >= n {
+		return n - 1
+	}
+	return argIdx
+}
+
+// collect records sink hits and return-taint once propagation converged.
+func (tw *taintWalk) collect(n ast.Node) bool {
+	switch x := n.(type) {
+	case *ast.CallExpr:
+		tw.checkSink(x)
+	case *ast.ReturnStmt:
+		if len(x.Results) == 0 {
+			// Bare return with named results.
+			for _, obj := range resultObjects(tw.fi) {
+				if obj != nil && tw.tainted[obj] {
+					tw.resultTainted = true
+				}
+			}
+			return true
+		}
+		for _, r := range x.Results {
+			if tw.isTainted(r) {
+				tw.resultTainted = true
+			}
+		}
+	}
+	return true
+}
+
+// checkSink reports tainted arguments reaching sink parameters: annotated
+// //upa:dpsink functions, interprocedural SinkParams summaries, external
+// formatting/logging/HTTP functions, and leveled-logger method names.
+func (tw *taintWalk) checkSink(call *ast.CallExpr) {
+	callee := tw.mod.ResolveCall(tw.fi.Pkg, call, tw.aliases)
+	sum := tw.mod.SummaryForCallee(callee)
+	if sum != nil && sum.Sanitize {
+		return
+	}
+
+	sinkAll := false
+	var desc string
+	if callee.Func != nil && callee.Func.DPSink {
+		sinkAll = true
+		desc = callee.Name + " (annotated //upa:dpsink)"
+	} else if callee.Ext.Path != "" && callee.Ext.Path != "builtin" && callee.Ext.Path != "conv" {
+		if name, ok := externalSinkName(callee.Ext.Path, callee.Ext.Name); ok {
+			sinkAll = true
+			desc = name
+		}
+	} else if callee.Func == nil && callee.Method && sinkMethodNames[callee.Name] {
+		sinkAll = true
+		desc = "logger method " + callee.Name
+	}
+
+	for i, arg := range call.Args {
+		if !tw.isTainted(arg) {
+			continue
+		}
+		if sinkAll {
+			tw.hit(call.Pos(), desc)
+			return
+		}
+		if sum != nil && sum.sinksParam(tw.paramIndex(callee, i, len(call.Args))) {
+			tw.hit(call.Pos(), callee.Name+" (which passes this argument to a user-visible sink)")
+			return
+		}
+	}
+}
+
+func (tw *taintWalk) hit(pos token.Pos, sink string) {
+	if tw.hitPos[pos] {
+		return
+	}
+	tw.hitPos[pos] = true
+	tw.hits = append(tw.hits, SinkHit{Pos: pos, Sink: sink})
+}
+
+// resultObjects resolves the declared objects of fi's named results.
+func resultObjects(fi *FuncInfo) []types.Object {
+	var out []types.Object
+	if fi.Decl.Type.Results == nil {
+		return nil
+	}
+	for _, field := range fi.Decl.Type.Results.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, fi.Pkg.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// AmbientTaint runs the ambient-mode walk over fi and returns the sink
+// hits — the dpflow analyzer's per-function entry point.
+func (m *Module) AmbientTaint(fi *FuncInfo) []SinkHit {
+	m.computeSummaries()
+	tw := newTaintWalk(m, fi, nil)
+	tw.run()
+	return tw.hits
+}

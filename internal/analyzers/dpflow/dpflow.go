@@ -1,0 +1,61 @@
+// Package dpflow is the taint half of UPA's "automated privacy" claim,
+// checked at vet time: values derived from protected data before noise —
+// rows from protected scans, sampler outputs, pre-noise aggregates,
+// data-dependent sensitivities — must never reach a user-visible sink
+// (fmt/log formatting, error construction, HTTP responses, //upa:dpsink
+// functions) without passing through a blessed noise/release function.
+// DPSQL+ and the DP-library survey of Munilla Garrido et al. both show
+// deployed DP systems leak through exactly this plumbing (logged
+// sensitivities, raw values in error strings), not through mechanism math.
+//
+// Sources are declared with //upa:dpsource on function declarations (their
+// results are tainted) or on struct fields (reads of that field name are
+// tainted module-wide). Sanitizers are the noise primitives Perturb /
+// PerturbVector plus anything annotated //upa:dpsanitize. Sinks are the
+// external formatting/logging/HTTP functions, leveled-logger method names,
+// //upa:dpsink functions, and — interprocedurally — any module function
+// whose summary says a parameter reaches one of those sinks, so a leak
+// through a helper (or a helper's helper) is reported at the call site
+// that hands the tainted value over. len/cap declassify: cardinalities
+// are published metadata by design.
+package dpflow
+
+import (
+	"fmt"
+	"go/ast"
+
+	"upa/internal/analyzers/analysis"
+)
+
+// Analyzer is the dpflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "dpflow",
+	Doc: "tracks pre-noise protected values (//upa:dpsource) interprocedurally and " +
+		"reports any path into fmt/log/error/HTTP sinks that skips a blessed " +
+		"noise/release function (//upa:dpsanitize)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Module == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fi := pass.Module.FuncInfoFor(pass.Pkg, fn)
+			if fi == nil {
+				continue
+			}
+			for _, hit := range pass.Module.AmbientTaint(fi) {
+				pass.Reportf(hit.Pos, fmt.Sprintf(
+					"pre-noise protected value flows into %s; only noised releases may leave the privacy boundary — route it through Perturb or a //upa:dpsanitize function, or justify with //upa:allow(dpflow)",
+					hit.Sink))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package dpflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"upa/internal/analyzers/analyzertest"
+	"upa/internal/analyzers/dpflow"
+)
+
+func TestDPFlowGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "dpflow")
+	analyzertest.Run(t, dir, "upa/internal/fake", dpflow.Analyzer)
+}

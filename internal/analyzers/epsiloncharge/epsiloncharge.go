@@ -14,9 +14,9 @@
 // The serving layer (internal/serve) repeats the pattern one level up, on
 // the hierarchical tenant→user ledger, and gets the same treatment:
 //
-//   - the raw spend counters (spentEps) move only through applyDelta and
+//   - the raw spend counters (spentEps) move only through applyDeltaLocked and
 //     are read only through spentLocked;
-//   - applyDelta may be called only from the admission helpers
+//   - applyDeltaLocked may be called only from the admission helpers
 //     ChargeAdmission / RefundAdmission and the restart path replayEntry;
 //   - ChargeAdmission / RefundAdmission may be called only from the blessed
 //     admission site execute, which must charge exactly once and must not
@@ -51,7 +51,7 @@ const (
 // core rules: the field and helpers are unique to the serving ledger.
 const (
 	serveLedgerField = "spentEps"
-	serveDeltaHelper = "applyDelta"
+	serveDeltaHelper = "applyDeltaLocked"
 	serveReadHelper  = "spentLocked"
 	serveChargeFn    = "ChargeAdmission"
 	serveRefundFn    = "RefundAdmission"
@@ -76,7 +76,7 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// calleeFuncName names the called function for both plain (applyDelta(...))
+// calleeFuncName names the called function for both plain (applyDeltaLocked(...))
 // and method/package-qualified (l.ChargeAdmission(...)) call shapes.
 func calleeFuncName(call *ast.CallExpr) string {
 	switch fun := call.Fun.(type) {
@@ -174,7 +174,7 @@ func checkServeLedgerAccess(pass *analysis.Pass, fn *ast.FuncDecl) {
 	})
 }
 
-// checkServeDeltaCalls restricts applyDelta to the admission helpers and the
+// checkServeDeltaCalls restricts applyDeltaLocked to the admission helpers and the
 // restart replay path: anywhere else, a delta bypasses both the budget
 // checks and the journal.
 func checkServeDeltaCalls(pass *analysis.Pass, fn *ast.FuncDecl) {

@@ -1,0 +1,181 @@
+// Package errorwrap keeps the repository's typed error sentinels
+// (ErrSpillCorrupt, ErrInjected, the serve admission errors, …) usable
+// across package boundaries: a sentinel must be wrapped with %w — never
+// formatted away with %v/%s — matched with errors.Is/errors.As — never
+// compared with == or a switch — and never stringified with .Error() into
+// user-visible output (which is also a dpflow sink). Any one of those
+// mistakes silently breaks callers the moment an intermediate layer wraps
+// the error, which is exactly how the spill store's corruption recovery
+// and the serve layer's 429 handling are built.
+//
+// Sentinels are discovered module-wide: every package-level
+// `var ErrX = errors.New(...)` (or fmt.Errorf) declaration, plus any
+// imported through the vetx facts channel.
+package errorwrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"upa/internal/analyzers/analysis"
+)
+
+// Analyzer is the errorwrap analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errorwrap",
+	Doc: "requires typed error sentinels to be wrapped with %w, matched with " +
+		"errors.Is/errors.As (never ==), and never stringified into user-visible " +
+		"output",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Module == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				checkComparison(pass, x)
+			case *ast.SwitchStmt:
+				checkSwitch(pass, x)
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+				checkStringify(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName resolves expr to a module error sentinel, handling both
+// local references (ErrX) and package-qualified ones (spill.ErrX).
+func sentinelName(pass *analysis.Pass, expr ast.Expr) (string, bool) {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		if !pass.Module.IsSentinel(pass.PkgPath, e.Name) {
+			return "", false
+		}
+		// A local variable shadowing the sentinel name is not the sentinel:
+		// the real one lives in the package scope (whose parent is Universe).
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && obj.Parent() != nil &&
+			obj.Parent().Parent() != types.Universe {
+			return "", false
+		}
+		return e.Name, true
+	case *ast.SelectorExpr:
+		id, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		path := pass.ImportPathOf(id)
+		if path == "" || !pass.Module.IsSentinel(path, e.Sel.Name) {
+			return "", false
+		}
+		return e.Sel.Name, true
+	}
+	return "", false
+}
+
+func checkComparison(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if name, ok := sentinelName(pass, side); ok {
+			pass.Reportf(be.OpPos,
+				"compare with errors.Is(err, "+name+"), not "+be.Op.String()+
+					": identity breaks as soon as any layer wraps the sentinel with %w")
+			return
+		}
+	}
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil || sw.Body == nil {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := sentinelName(pass, e); ok {
+				pass.Reportf(e.Pos(),
+					"match with errors.Is(err, "+name+"), not a switch case: "+
+						"identity breaks as soon as any layer wraps the sentinel with %w")
+			}
+		}
+	}
+}
+
+// checkErrorf verifies that fmt.Errorf formats sentinel arguments with %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	path, fn, ok := pass.CalleePkgFunc(call)
+	if !ok || path != "fmt" || fn != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		name, isSentinel := sentinelName(pass, arg)
+		if !isSentinel {
+			continue
+		}
+		if i >= len(verbs) || verbs[i] != 'w' {
+			got := "no verb"
+			if i < len(verbs) {
+				got = "%" + string(verbs[i])
+			}
+			pass.Reportf(arg.Pos(),
+				"wrap "+name+" with %w (got "+got+") so errors.Is/errors.As keep matching across package boundaries")
+		}
+	}
+}
+
+// checkStringify flags sentinel.Error() calls: stringifying a typed
+// sentinel severs the chain and hands dpflow-visible text to sinks.
+func checkStringify(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return
+	}
+	if name, ok := sentinelName(pass, sel.X); ok {
+		pass.Reportf(call.Pos(),
+			"do not stringify "+name+" with .Error(): match with errors.Is and wrap with %w; "+
+				"the string form is user-visible and unmatchable")
+	}
+}
+
+// formatVerbs returns the verb letters of a fmt format string, in argument
+// order. Width/precision stars and explicit argument indexes are rare in
+// this repository and are not modeled.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] != '%' {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,14 @@
+package errorwrap_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"upa/internal/analyzers/analyzertest"
+	"upa/internal/analyzers/errorwrap"
+)
+
+func TestErrorWrapGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "errorwrap")
+	analyzertest.Run(t, dir, "upa/internal/fake", errorwrap.Analyzer)
+}

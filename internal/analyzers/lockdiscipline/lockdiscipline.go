@@ -1,0 +1,141 @@
+// Package lockdiscipline checks //upa:guardedby(mu) field annotations
+// interprocedurally: every read or write of an annotated field must happen
+// with the named sibling mutex held — including through helper calls.
+// Helpers whose name ends in *Locked are the one sanctioned exception:
+// they export a caller-must-hold summary instead of acquiring, and every
+// call site is checked against that summary. Closures are scanned with an
+// empty held set (they run at an unknown time), and `go` statements drop
+// the caller's locks for the same reason.
+//
+// The annotation grammar is one comment on the field, `//upa:guardedby(mu)`
+// where mu names a sync.Mutex (or RWMutex) field declared by some struct in
+// the same package — usually a sibling field, but the guard may live one
+// level up (Ledger.mu guards tenantLedger state). The analyzer rejects
+// annotations whose lock name resolves to no such field.
+package lockdiscipline
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"upa/internal/analyzers/analysis"
+)
+
+// Analyzer is the lockdiscipline analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockdiscipline",
+	Doc: "enforces //upa:guardedby(mu) field annotations interprocedurally: " +
+		"accesses must hold the named mutex, *Locked helpers push the duty to " +
+		"their callers via summaries",
+	Run: run,
+}
+
+var guardedByRE = regexp.MustCompile(`//upa:guardedby\(([A-Za-z_][A-Za-z0-9_]*)\)`)
+
+func run(pass *analysis.Pass) error {
+	if pass.Module == nil {
+		return nil
+	}
+	mutexFields := packageMutexFields(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				validateAnnotations(pass, d, mutexFields)
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				fi := pass.Module.FuncInfoFor(pass.Pkg, d)
+				if fi == nil {
+					continue
+				}
+				needs := pass.Module.LockNeeds(fi)
+				if fi.CallerMustHold() {
+					// The needs become the helper's RequiresLocks summary;
+					// its call sites carry the check instead.
+					continue
+				}
+				for _, n := range needs {
+					pass.Reportf(n.Pos, n.Desc+
+						"; acquire the mutex across the access, move it into a *Locked helper, or justify with //upa:allow(lockdiscipline)")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// packageMutexFields collects every sync.Mutex/RWMutex field name declared
+// by any struct of the package. Guards may live one level up from the data
+// they protect (Ledger.mu guards tenantLedger state), so annotation
+// validation is package-scoped, not sibling-scoped.
+func packageMutexFields(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if !isMutexType(f.Type) {
+					continue
+				}
+				for _, name := range f.Names {
+					out[name.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// validateAnnotations rejects //upa:guardedby annotations whose lock name
+// matches no mutex field declared anywhere in the package — a typo there
+// would silently guard nothing.
+func validateAnnotations(pass *analysis.Pass, d *ast.GenDecl, mutexFields map[string]bool) {
+	for _, spec := range d.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, f := range st.Fields.List {
+			for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+				if cg == nil {
+					continue
+				}
+				for _, c := range cg.List {
+					m := guardedByRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					if !mutexFields[m[1]] {
+						pass.Reportf(c.Pos(),
+							"upa:guardedby("+m[1]+") names no sync.Mutex field in this package (annotating "+ts.Name.Name+"); the annotation guards nothing")
+					}
+				}
+			}
+		}
+	}
+}
+
+// isMutexType recognizes sync.Mutex / sync.RWMutex fields (possibly
+// pointers) by type syntax.
+func isMutexType(expr ast.Expr) bool {
+	switch t := expr.(type) {
+	case *ast.StarExpr:
+		return isMutexType(t.X)
+	case *ast.SelectorExpr:
+		return strings.HasSuffix(t.Sel.Name, "Mutex")
+	case *ast.Ident:
+		return strings.HasSuffix(t.Name, "Mutex")
+	}
+	return false
+}

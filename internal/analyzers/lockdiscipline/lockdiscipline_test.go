@@ -1,0 +1,14 @@
+package lockdiscipline_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"upa/internal/analyzers/analyzertest"
+	"upa/internal/analyzers/lockdiscipline"
+)
+
+func TestLockDisciplineGolden(t *testing.T) {
+	dir := filepath.Join("..", "testdata", "src", "lockdiscipline")
+	analyzertest.Run(t, dir, "upa/internal/fake", lockdiscipline.Analyzer)
+}

@@ -1,0 +1,98 @@
+// Package dpflow is golden testdata: taint flows from protected sources
+// into user-visible sinks, including the two-hop interprocedural case the
+// analyzer exists for.
+package dpflow
+
+import (
+	"fmt"
+	"log/slog"
+)
+
+type row struct {
+	key string
+	val float64
+}
+
+// scanProtected reads rows from the protected table.
+//
+//upa:dpsource
+func scanProtected() []row { return nil }
+
+// release adds calibrated noise; its output is publishable.
+//
+//upa:dpsanitize
+func release(v float64) float64 { return v }
+
+type result struct {
+	Output float64
+	// Sensitivity is a pre-noise, data-dependent value.
+	Sensitivity float64 //upa:dpsource data-dependent local sensitivity
+}
+
+// describe formats its argument into an error — the second hop.
+func describe(rows []row) error {
+	return fmt.Errorf("bad rows: %v", rows)
+}
+
+// helper just forwards — the first hop. Its summary must say param 0
+// reaches a sink.
+func helper(rows []row) error {
+	return describe(rows)
+}
+
+func leakTwoHop() error {
+	rows := scanProtected()
+	return helper(rows) // want `user-visible sink`
+}
+
+func leakDirect() {
+	rows := scanProtected()
+	slog.Info("scan done", "rows", rows) // want `only noised releases`
+}
+
+func leakField(res *result) error {
+	return fmt.Errorf("sensitivity %f over budget", res.Sensitivity) // want `only noised releases`
+}
+
+func okOutput(res *result) {
+	fmt.Println(res.Output) // Output is not a tainted field name
+}
+
+func okCount() error {
+	rows := scanProtected()
+	return fmt.Errorf("failed after %d rows", len(rows)) // len declassifies
+}
+
+func okNoised() {
+	rows := scanProtected()
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.val
+	}
+	fmt.Println(release(sum)) // sanitized before the sink
+}
+
+func suppressedLeak() error {
+	rows := scanProtected()
+	//upa:allow(dpflow) reviewed: fixture-only trace emitted behind a debug build tag
+	return fmt.Errorf("rows: %v", rows)
+}
+
+// suppressedAcrossBlank pins the suppression-scope fix: the annotation
+// must attach to the next non-trivial line even across a blank one.
+func suppressedAcrossBlank() error {
+	rows := scanProtected()
+	//upa:allow(dpflow) reviewed: fixture-only trace, blank line between annotation and code
+
+	return fmt.Errorf("rows again: %v", rows)
+}
+
+// danglingAllow pins the other half of the fix: an annotation whose next
+// substantive line is a closing brace covers nothing — it must not widen
+// into the next declaration, and it is reported as stale.
+func danglingAllow() error {
+	rows := scanProtected()
+	err := fmt.Errorf("rows: %v", rows) // want `only noised releases`
+	return err
+	//upa:allow(dpflow) dangling on purpose: must not widen past the brace // want `stale`
+}

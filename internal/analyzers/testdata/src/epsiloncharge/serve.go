@@ -1,6 +1,6 @@
 // Serving-layer half of the golden input: mirrors internal/serve's shape —
 // a hierarchical tenant→user ledger whose raw counters move only through
-// applyDelta/spentLocked, admission helpers that journal every movement,
+// applyDeltaLocked/spentLocked, admission helpers that journal every movement,
 // and a blessed execute site that charges before any success return.
 package epsiloncharge
 
@@ -16,8 +16,8 @@ type userLedger struct {
 	spentEps float64
 }
 
-// applyDelta and spentLocked are the only code allowed to touch spentEps.
-func applyDelta(t *tenantLedger, u *userLedger, eps float64) {
+// applyDeltaLocked and spentLocked are the only code allowed to touch spentEps.
+func applyDeltaLocked(t *tenantLedger, u *userLedger, eps float64) {
 	t.spentEps += eps
 	u.spentEps += eps
 }
@@ -28,13 +28,13 @@ func spentLocked(t *tenantLedger, u *userLedger) (float64, float64) {
 
 // auditSpend peeks at the raw counter: forbidden even read-only.
 func auditSpend(t *tenantLedger) float64 {
-	return t.spentEps // want `direct access to the serving ε ledger \(spentEps\) outside applyDelta/spentLocked`
+	return t.spentEps // want `direct access to the serving ε ledger \(spentEps\) outside applyDeltaLocked/spentLocked`
 }
 
 // forceSpend moves the ledger outside the admission helpers: no budget
 // check, no journal entry.
 func forceSpend(t *tenantLedger, u *userLedger, eps float64) {
-	applyDelta(t, u, eps) // want `applyDelta called outside ChargeAdmission/RefundAdmission/replayEntry`
+	applyDeltaLocked(t, u, eps) // want `applyDeltaLocked called outside ChargeAdmission/RefundAdmission/replayEntry`
 }
 
 type Ledger struct {
@@ -48,13 +48,13 @@ func (l *Ledger) ChargeAdmission(tenant, user string, eps float64) error {
 	if t.budget > 0 && spent+eps > t.budget {
 		return errors.New("budget exhausted")
 	}
-	applyDelta(t, u, eps)
+	applyDeltaLocked(t, u, eps)
 	return nil
 }
 
 func (l *Ledger) RefundAdmission(tenant, user string, eps float64) error {
 	t := l.tenants[tenant]
-	applyDelta(t, t.users[user], -eps)
+	applyDeltaLocked(t, t.users[user], -eps)
 	return nil
 }
 
@@ -65,7 +65,7 @@ type replayRecord struct {
 
 func (l *Ledger) replayEntry(e replayRecord) {
 	t := l.tenants[e.tenant]
-	applyDelta(t, t.users[e.user], e.eps)
+	applyDeltaLocked(t, t.users[e.user], e.eps)
 }
 
 type ServeRelease struct{ Output []float64 }

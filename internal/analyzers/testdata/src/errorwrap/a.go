@@ -1,0 +1,59 @@
+// Package errorwrap is golden testdata: typed sentinels wrapped, matched,
+// compared, and stringified in all the right and wrong ways.
+package errorwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrCorrupt = errors.New("frame corrupt")
+
+func wrapOK(err error) error {
+	if errors.Is(err, ErrCorrupt) {
+		return fmt.Errorf("reading frame: %w", ErrCorrupt)
+	}
+	return err
+}
+
+func wrapBad() error {
+	return fmt.Errorf("reading frame: %v", ErrCorrupt) // want `wrap ErrCorrupt with %w`
+}
+
+func wrapMixedOK(err error) error {
+	return fmt.Errorf("spill %d: %w", 7, ErrCorrupt)
+}
+
+func cmpBad(err error) bool {
+	return err == ErrCorrupt // want `errors.Is`
+}
+
+func cmpNeqBad(err error) bool {
+	return err != ErrCorrupt // want `errors.Is`
+}
+
+func switchBad(err error) string {
+	switch err {
+	case ErrCorrupt: // want `errors.Is`
+		return "corrupt"
+	}
+	return ""
+}
+
+func stringifyBad() string {
+	return ErrCorrupt.Error() // want `do not stringify`
+}
+
+func nilOK(err error) bool {
+	return err == nil
+}
+
+func shadowOK() bool {
+	ErrCorrupt := errors.New("local shadow")
+	return ErrCorrupt != nil
+}
+
+func suppressedCmp(err error) bool {
+	//upa:allow(errorwrap) identity check against the unwrapped constructor result, reviewed
+	return err == ErrCorrupt
+}

@@ -1,0 +1,75 @@
+// Package lockdiscipline is golden testdata: //upa:guardedby fields
+// accessed with and without their mutex, directly and through *Locked
+// helpers.
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+	// closed and n may only move under mu.
+	closed bool //upa:guardedby(mu)
+	n      int  //upa:guardedby(mu)
+}
+
+// setLocked is a caller-must-hold helper: it exports RequiresLocks=[mu]
+// instead of acquiring.
+func (s *store) setLocked(v bool) {
+	s.closed = v
+}
+
+// CloseOK holds mu, so the *Locked-summary path is accepted.
+func (s *store) CloseOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.setLocked(true)
+	s.n++
+}
+
+// CloseBad writes the guarded field through the helper without the lock —
+// the unguarded helper-call write the analyzer exists for.
+func (s *store) CloseBad() {
+	s.setLocked(true) // want `requires holding mu`
+}
+
+func (s *store) ReadBad() bool {
+	return s.closed // want `guarded by mu`
+}
+
+func (s *store) ReadOK() bool {
+	s.mu.Lock()
+	v := s.closed
+	s.mu.Unlock()
+	return v
+}
+
+// branchOK exercises the early-unlock-and-return shape: statements after
+// the branch still see the lock held.
+func (s *store) branchOK() {
+	s.mu.Lock()
+	if s.n > 3 {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// goroutineBad: a goroutine runs concurrently, the caller's lock does not
+// cover it.
+func (s *store) goroutineBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.n++ // want `guarded by mu`
+	}()
+}
+
+func (s *store) suppressedRead() bool {
+	//upa:allow(lockdiscipline) single-writer field after construction, reviewed
+	return s.closed
+}
+
+type broken struct {
+	closed bool //upa:guardedby(lk) // want `names no sync.Mutex`
+}

@@ -1,4 +1,4 @@
-// Package upavet bundles UPA's four invariant analyzers into one suite —
+// Package upavet bundles UPA's seven invariant analyzers into one suite —
 // the programmatic core of cmd/upa-vet and of the repo-wide cleanliness
 // test. Each analyzer mechanically enforces an assumption the paper's
 // guarantee rests on but the compiler never checks:
@@ -7,15 +7,26 @@
 //	ctxpropagation     cancellation must reach every stage (PR 2)
 //	epsiloncharge      ε is charged exactly once per successful release
 //	seededdeterminism  byte-identical replay under faults (PR 3 chaos soak)
+//	dpflow             pre-noise values never reach user-visible sinks
+//	lockdiscipline     //upa:guardedby fields only move under their mutex
+//	errorwrap          typed sentinels wrapped with %w, matched with errors.Is
+//
+// The last three ride on the interprocedural engine (analysis.Module):
+// call-graph summaries carry taint and lock requirements across helper
+// calls and, through the vetx facts channel, across package boundaries.
 package upavet
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"upa/internal/analyzers/analysis"
 	"upa/internal/analyzers/ctxpropagation"
+	"upa/internal/analyzers/dpflow"
 	"upa/internal/analyzers/epsiloncharge"
+	"upa/internal/analyzers/errorwrap"
+	"upa/internal/analyzers/lockdiscipline"
 	"upa/internal/analyzers/reducerpurity"
 	"upa/internal/analyzers/seededdeterminism"
 )
@@ -24,7 +35,10 @@ import (
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		ctxpropagation.Analyzer,
+		dpflow.Analyzer,
 		epsiloncharge.Analyzer,
+		errorwrap.Analyzer,
+		lockdiscipline.Analyzer,
 		reducerpurity.Analyzer,
 		seededdeterminism.Analyzer,
 	}
@@ -79,4 +93,51 @@ func (fs *FsetSource) Print(w io.Writer, diags []analysis.Diagnostic) {
 	for _, d := range diags {
 		fmt.Fprintln(w, fs.Format(d))
 	}
+}
+
+// CheckModuleVerbose runs the suite keeping suppressed diagnostics in the
+// result, flagged — the data source of `upa-vet -json` and the CI
+// diagnostics artifact. It also returns the interprocedural module so
+// callers can export its facts.
+func CheckModuleVerbose(root string) ([]analysis.Diagnostic, *analysis.Module, *FsetSource, error) {
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	diags, mod, err := analysis.RunAnalyzersVerbose(pkgs, Analyzers(), nil, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, mod, fsetOf(pkgs), nil
+}
+
+// JSONDiagnostic is the `upa-vet -json` wire shape: one object per line.
+type JSONDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// JSONOf renders one diagnostic into the wire shape.
+func (fs *FsetSource) JSONOf(d analysis.Diagnostic) JSONDiagnostic {
+	j := JSONDiagnostic{Analyzer: d.Analyzer, Message: d.Message, Suppressed: d.Suppressed}
+	if len(fs.pkgs) > 0 {
+		pos := fs.pkgs[0].Fset.Position(d.Pos)
+		j.File, j.Line, j.Col = pos.Filename, pos.Line, pos.Column
+	}
+	return j
+}
+
+// PrintJSON writes every diagnostic to w as one JSON object per line.
+func (fs *FsetSource) PrintJSON(w io.Writer, diags []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if err := enc.Encode(fs.JSONOf(d)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package upavet_test
 
 import (
+	"bytes"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -63,6 +64,17 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 		{filepath.Join("internal", "bench", "fig4.go"), "seededdeterminism"},
 		{filepath.Join("internal", "bench", "optexp.go"), "seededdeterminism"},
 		{filepath.Join("internal", "bench", "spillexp.go"), "seededdeterminism"},
+		// Deliberate pre-noise displays: the inspection CLI, the pedagogical
+		// examples, and the paper-figure reports all surface sensitivities
+		// and enforcer ranges over synthetic data on purpose.
+		{filepath.Join("cmd", "upa-query", "main.go"), "dpflow"},
+		{filepath.Join("examples", "attack-defense", "main.go"), "dpflow"},
+		{filepath.Join("examples", "private-ml", "main.go"), "dpflow"},
+		{filepath.Join("examples", "quickstart", "main.go"), "dpflow"},
+		{filepath.Join("examples", "sql-vs-flex", "main.go"), "dpflow"},
+		{filepath.Join("examples", "tpch-analytics", "main.go"), "dpflow"},
+		{filepath.Join("internal", "bench", "ablations.go"), "dpflow"},
+		{filepath.Join("internal", "bench", "fig3.go"), "dpflow"},
 	}
 	for _, site := range wantSites {
 		found := false
@@ -91,5 +103,31 @@ func TestAnnotationsAreLoadBearing(t *testing.T) {
 		if !ok {
 			t.Errorf("raw diagnostic outside the known annotated sites: %s", line)
 		}
+	}
+}
+
+// TestFactsAreDeterministic loads the module twice and demands byte-identical
+// facts encodings: the vetx channel is a cache key input, so any map-order
+// leak in summary computation would poison incremental vet runs.
+func TestFactsAreDeterministic(t *testing.T) {
+	root := moduleRoot(t)
+	encode := func() []byte {
+		t.Helper()
+		_, mod, _, err := upavet.CheckModuleVerbose(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := mod.Facts().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := encode(), encode()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two loads of the same tree produced different facts encodings (%d vs %d bytes)", len(a), len(b))
+	}
+	if !bytes.Contains(a, []byte(`"sinkParams"`)) || !bytes.Contains(a, []byte(`"requiresLocks"`)) {
+		t.Errorf("facts encoding looks empty; interprocedural summaries missing:\n%.2000s", a)
 	}
 }

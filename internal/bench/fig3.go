@@ -101,6 +101,7 @@ func RenderFig3(rows []CoverageRow) string {
 		fmt.Fprintf(&b, "\n%s — %d neighbouring outputs, true range [%.6g, %.6g], normality KS %.3f\n",
 			r.Query, r.NeighbourCount, r.TrueMin, r.TrueMax, r.NormalityKS)
 		for i, n := range r.SampleSizes {
+			//upa:allow(dpflow) reviewed: paper-figure report over synthetic benchmark data (Fig. 3 measures range inference itself)
 			fmt.Fprintf(&b, "  n=%-6d inferred range [%.6g, %.6g]  coverage %.1f%%\n",
 				n, r.RangeLo[i], r.RangeHi[i], 100*r.Coverage[i])
 		}

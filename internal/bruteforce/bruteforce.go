@@ -30,8 +30,9 @@ type Truth struct {
 	// AdditionOutputs are f(x + s̄) for sampled domain records.
 	AdditionOutputs [][]float64
 	// LocalSensitivity is, per coordinate, the greatest |f(x) - f(y)| over
-	// every evaluated neighbour y.
-	LocalSensitivity []float64
+	// every evaluated neighbour y. Pre-noise and data-dependent: dpflow
+	// keeps it away from user-visible sinks.
+	LocalSensitivity []float64 //upa:dpsource
 	// MinOutput/MaxOutput bound, per coordinate, the neighbouring outputs —
 	// the blue lines of Figure 3.
 	MinOutput, MaxOutput []float64
@@ -39,7 +40,9 @@ type Truth struct {
 
 // LocalSensitivity evaluates q on every removal neighbour of data plus
 // nAdditions sampled addition neighbours (0 to skip; requires domain) and
-// returns the exact census.
+// returns the exact census — a pre-noise, data-dependent artifact.
+//
+//upa:dpsource
 func LocalSensitivity[T any](eng *mapreduce.Engine, q core.Query[T], data []T,
 	domain func(*stats.RNG) T, nAdditions int, rng *stats.RNG) (*Truth, error) {
 	if err := q.Validate(); err != nil {

@@ -441,7 +441,9 @@ func RunCtx[T any](ctx context.Context, sys *System, q Query[T], data []T, domai
 			slog.Duration("parallel_map", res.Phases.ParallelMap),
 			slog.Duration("union_preserving_reduce", res.Phases.UnionPreservingReduce),
 			slog.Duration("idp_enforcement", res.Phases.IDPEnforcement),
-			slog.Any("sensitivity", res.Sensitivity),
+			// The inferred sensitivity is deliberately NOT logged: it is a
+			// data-dependent pre-noise value, and a release log is
+			// operator-visible output (dpflow would flag it).
 			slog.Bool("attack_suspected", res.AttackSuspected),
 			slog.Int("removed_records", res.RemovedRecords),
 			slog.Int("clamped_coords", res.ClampedCoords),

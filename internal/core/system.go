@@ -218,28 +218,34 @@ type Result struct {
 	// The fields below exist for experiments and examples; a production
 	// deployment would release only Output.
 
+	// The //upa:dpsource markers below feed the dpflow analyzer: every read
+	// of these field names is a pre-noise taint source, and any path into a
+	// log line, error string, or HTTP response that skips the noise
+	// mechanism is a vet error (data-dependent sensitivities are themselves
+	// disclosive — the DPSQL+ leak class).
+
 	// RawOutput is the post-enforcement, pre-noise output.
-	RawOutput []float64
+	RawOutput []float64 //upa:dpsource
 	// VanillaOutput is f(x) with no enforcement at all.
-	VanillaOutput []float64
+	VanillaOutput []float64 //upa:dpsource
 	// Sensitivity is the inferred local sensitivity per coordinate
 	// (99th minus 1st percentile of the fitted normal distribution); it
 	// scales the released noise and upper-bounds the enforced output range.
-	Sensitivity []float64
+	Sensitivity []float64 //upa:dpsource
 	// EmpiricalLocalSensitivity is, per coordinate, the greatest observed
 	// |f(y) - f(x)| over the sampled neighbouring datasets — the direct
 	// sampling estimate of Definition II.1, which the accuracy experiments
 	// compare against the brute-force ground truth (Figure 2a).
-	EmpiricalLocalSensitivity []float64
+	EmpiricalLocalSensitivity []float64 //upa:dpsource
 	// RangeLo/RangeHi are the enforced output range per coordinate.
-	RangeLo, RangeHi []float64
+	RangeLo, RangeHi []float64 //upa:dpsource
 	// RemovalOutputs[i] is f(x - s_i) for the i-th sampled record;
 	// AdditionOutputs[i] is f(x + s̄_i) for the i-th domain sample.
-	RemovalOutputs, AdditionOutputs [][]float64
+	RemovalOutputs, AdditionOutputs [][]float64 //upa:dpsource
 	// GroupRemovalOutputs and GroupAdditionOutputs are the block-neighbour
 	// outputs sampled when Config.GroupSize > 1 (f with a whole group of
 	// records removed or added); empty otherwise.
-	GroupRemovalOutputs, GroupAdditionOutputs [][]float64
+	GroupRemovalOutputs, GroupAdditionOutputs [][]float64 //upa:dpsource
 	// SampleSize is the effective n used (min of the configured n and |x|).
 	SampleSize int
 	// RemovedRecords counts the records the RANGE ENFORCER removed to break

@@ -14,6 +14,7 @@
 package dpop
 
 import (
+	"errors"
 	"fmt"
 
 	"upa/internal/mapreduce"
@@ -153,7 +154,7 @@ func ReduceDP[T any](d *DPDataset[T], f mapreduce.Reducer[T]) (*ReduceResult[T],
 		switch {
 		case err == nil:
 			restVal, restOK = v, true
-		case err == mapreduce.ErrEmptyDataset:
+		case errors.Is(err, mapreduce.ErrEmptyDataset):
 			// no remaining records: neighbours come from samples alone
 		default:
 			return nil, err

@@ -50,7 +50,10 @@ type Plan struct {
 	Joins []Join
 }
 
-// LocalSensitivity returns FLEX's statically inferred local sensitivity.
+// LocalSensitivity returns FLEX's statically inferred local sensitivity —
+// a pre-noise value dpflow keeps away from user-visible sinks.
+//
+//upa:dpsource
 func (p Plan) LocalSensitivity() (float64, error) {
 	if !p.CountQuery {
 		return 0, fmt.Errorf("%w: %s", ErrUnsupported, p.Name)

@@ -17,6 +17,8 @@ import (
 // it stays 1. The exponential decay dominates that polynomial growth, so
 // the maximization is evaluated until the decayed bound has provably
 // peaked.
+//
+//upa:dpsource
 func (p Plan) SmoothSensitivity(beta float64) (float64, error) {
 	if !p.CountQuery {
 		return 0, fmt.Errorf("%w: %s", ErrUnsupported, p.Name)

@@ -27,23 +27,35 @@ type StageContext struct {
 	spillRecomputes    atomic.Int64
 }
 
-// AddRecords reports n input records processed by the stage.
+// AddRecords reports n input records processed by the stage. Span counters
+// are operator-visible telemetry, so every Add* method is a dpflow sink:
+// pre-noise values must never be folded into them.
+//
+//upa:dpsink
 func (sc *StageContext) AddRecords(n int64) { sc.records.Add(n) }
 
 // AddShuffle reports a data exchange of records rows totalling bytes.
+//
+//upa:dpsink
 func (sc *StageContext) AddShuffle(records, bytes int64) {
 	sc.shuffledRecords.Add(records)
 	sc.shuffleBytes.Add(bytes)
 }
 
 // AddReduceOps reports n reduce operations performed by the stage.
+//
+//upa:dpsink
 func (sc *StageContext) AddReduceOps(n int64) { sc.reduceOps.Add(n) }
 
 // AddCacheHits reports n reduction-cache hits taken by the stage.
+//
+//upa:dpsink
 func (sc *StageContext) AddCacheHits(n int64) { sc.cacheHits.Add(n) }
 
 // AddSpill reports out-of-core traffic attributed to the stage: bytes
 // written to spill files and spill-file reads streaming them back.
+//
+//upa:dpsink
 func (sc *StageContext) AddSpill(bytes, reads int64) {
 	sc.spilledBytes.Add(bytes)
 	sc.spillReads.Add(reads)
@@ -52,6 +64,8 @@ func (sc *StageContext) AddSpill(bytes, reads int64) {
 // AddSpillRecovery reports storage-fault handling attributed to the stage:
 // spill reads that failed their integrity checks and partitions
 // re-materialized from lineage to heal them.
+//
+//upa:dpsink
 func (sc *StageContext) AddSpillRecovery(corruptions, recomputes int64) {
 	sc.spillCorruptions.Add(corruptions)
 	sc.spillRecomputes.Add(recomputes)
@@ -60,6 +74,8 @@ func (sc *StageContext) AddSpillRecovery(corruptions, recomputes int64) {
 // AddCombine reports one map-side combine pass: pre records entered the
 // combiners and post combined records went on to the shuffle. The eliminated
 // difference lands in the span's RecordsCombined.
+//
+//upa:dpsink
 func (sc *StageContext) AddCombine(pre, post int64) {
 	sc.recordsPreCombine.Add(pre)
 	sc.recordsPostCombine.Add(post)

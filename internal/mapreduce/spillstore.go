@@ -47,8 +47,8 @@ type spillStore struct {
 	seq atomic.Uint64
 
 	mu     sync.Mutex
-	dir    string
-	closed bool
+	dir    string //upa:guardedby(mu)
+	closed bool   //upa:guardedby(mu)
 	// inflight counts I/O operations between beginIO and their release;
 	// close waits for it to drain before removing the directory, so a
 	// concurrent write or streaming read never sees its file yanked away

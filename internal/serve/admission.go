@@ -19,7 +19,7 @@ type admission struct {
 
 	mu       sync.Mutex
 	perCap   int
-	occupied map[string]int // per-tenant queued + running
+	occupied map[string]int //upa:guardedby(mu) — per-tenant queued + running
 }
 
 // newAdmission builds the controller: maxConcurrent global compute slots,

@@ -46,11 +46,11 @@ func CacheKey(fingerprint, protected string, epsilon float64, seed uint64) strin
 // set, in order, regardless of hit patterns).
 type Cache struct {
 	mu      sync.Mutex
-	cap     int
-	entries map[string]CachedRelease
-	order   []string
-	hits    uint64
-	misses  uint64
+	cap     int                      // immutable after NewCache
+	entries map[string]CachedRelease //upa:guardedby(mu)
+	order   []string                 //upa:guardedby(mu)
+	hits    uint64                   //upa:guardedby(mu)
+	misses  uint64                   //upa:guardedby(mu)
 }
 
 // NewCache returns a cache bounded to capacity entries (values below one

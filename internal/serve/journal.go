@@ -188,7 +188,7 @@ func readJournal(path string) ([]entry, error) {
 		}
 		out = append(out, e)
 	}
-	if err := sc.Err(); err != nil && err != io.ErrUnexpectedEOF {
+	if err := sc.Err(); err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
 		return nil, err
 	}
 	return out, nil

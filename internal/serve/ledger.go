@@ -48,29 +48,34 @@ const budgetSlack = 1e-12
 // concurrent use.
 //
 // Mutation discipline (enforced by the epsiloncharge analyzer): the raw
-// spentEps fields move only through applyDelta and are read only through
-// spentLocked; applyDelta is reachable only from ChargeAdmission,
-// RefundAdmission and replayEntry; and ChargeAdmission/RefundAdmission may
-// be called only from the Service's blessed admission site.
+// spentEps fields move only through applyDeltaLocked and are read only
+// through spentLocked; applyDeltaLocked is reachable only from
+// ChargeAdmission, RefundAdmission and replayEntry; and
+// ChargeAdmission/RefundAdmission may be called only from the Service's
+// blessed admission site. The //upa:guardedby(mu) annotations below are
+// enforced by the lockdiscipline analyzer: every access must hold l.mu or
+// sit in a *Locked helper whose callers are checked instead.
 type Ledger struct {
 	mu      sync.Mutex
-	tenants map[string]*tenantLedger
+	tenants map[string]*tenantLedger //upa:guardedby(mu)
 	// persist, when non-nil, appends one journal entry per ledger movement
 	// (registration, charge, refund). Replayed movements bypass it.
-	persist func(entry) error
+	persist func(entry) error //upa:guardedby(mu)
 }
 
-// tenantLedger is one tenant's budget state.
+// tenantLedger is one tenant's budget state. The guard is the owning
+// Ledger's mu — tenantLedgers are reachable only through Ledger.tenants.
 type tenantLedger struct {
-	budget     float64 // total ε across all the tenant's users; 0 = unlimited
-	userBudget float64 // ε cap per user; 0 = unlimited
-	spentEps   float64
-	users      map[string]*userLedger
+	budget     float64                //upa:guardedby(mu) — total ε across all the tenant's users; 0 = unlimited
+	userBudget float64                //upa:guardedby(mu) — ε cap per user; 0 = unlimited
+	spentEps   float64                //upa:guardedby(mu)
+	users      map[string]*userLedger //upa:guardedby(mu)
 }
 
-// userLedger is one user's spend under a tenant.
+// userLedger is one user's spend under a tenant, guarded by the owning
+// Ledger's mu like the tenantLedger above.
 type userLedger struct {
-	spentEps float64
+	spentEps float64 //upa:guardedby(mu)
 }
 
 // NewLedger returns an empty ledger. persist, when non-nil, receives one
@@ -79,10 +84,12 @@ func NewLedger(persist func(entry) error) *Ledger {
 	return &Ledger{tenants: make(map[string]*tenantLedger), persist: persist}
 }
 
-// applyDelta is the single mutation point of the raw spend counters: eps
-// (positive for charges, negative for refunds) lands on the tenant and, in
-// lockstep, on the user. Callers hold l.mu.
-func applyDelta(t *tenantLedger, u *userLedger, eps float64) {
+// applyDeltaLocked is the single mutation point of the raw spend counters:
+// eps (positive for charges, negative for refunds) lands on the tenant and,
+// in lockstep, on the user. The *Locked suffix is load-bearing: callers
+// hold l.mu, and the lockdiscipline analyzer checks each call site against
+// that caller-must-hold summary.
+func applyDeltaLocked(t *tenantLedger, u *userLedger, eps float64) {
 	t.spentEps += eps
 	u.spentEps += eps
 }
@@ -94,6 +101,17 @@ func spentLocked(t *tenantLedger, u *userLedger) (tenantSpent, userSpent float64
 		return t.spentEps, 0
 	}
 	return t.spentEps, u.spentEps
+}
+
+// setPersist installs (or replaces) the journal sink. Construction-time
+// replay runs with a nil sink so replayed movements are not re-journaled;
+// the write itself still takes the lock — persist is read under mu by every
+// charge path, and an unlocked publish here is exactly the race the
+// lockdiscipline analyzer caught in NewService.
+func (l *Ledger) setPersist(persist func(entry) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.persist = persist
 }
 
 // Register creates (or re-budgets) a tenant. budget is the tenant's total ε
@@ -169,10 +187,10 @@ func (l *Ledger) ChargeAdmission(tenant, user string, eps float64) error {
 		return fmt.Errorf("%w: user %q under tenant %q spent %.6g of %.6g, charge %.6g does not fit",
 			ErrUserBudget, user, tenant, userSpent, t.userBudget, eps)
 	}
-	applyDelta(t, u, eps)
+	applyDeltaLocked(t, u, eps)
 	if l.persist != nil {
 		if err := l.persist(entry{Kind: entryCharge, Tenant: tenant, User: user, Eps: eps}); err != nil {
-			applyDelta(t, u, -eps)
+			applyDeltaLocked(t, u, -eps)
 			return fmt.Errorf("serve: journal charge: %w", err)
 		}
 	}
@@ -194,7 +212,7 @@ func (l *Ledger) RefundAdmission(tenant, user string, eps float64) error {
 	if !ok {
 		return fmt.Errorf("serve: refund for unknown user %q under tenant %q", user, tenant)
 	}
-	applyDelta(t, u, -eps)
+	applyDeltaLocked(t, u, -eps)
 	if l.persist != nil {
 		if err := l.persist(entry{Kind: entryRefund, Tenant: tenant, User: user, Eps: eps}); err != nil {
 			return fmt.Errorf("serve: journal refund: %w", err)
@@ -228,7 +246,7 @@ func (l *Ledger) replayEntry(e entry) {
 		if e.Kind == entryRefund {
 			eps = -eps
 		}
-		applyDelta(t, u, eps)
+		applyDeltaLocked(t, u, eps)
 	}
 }
 

@@ -131,3 +131,47 @@ func TestLedgerRemaining(t *testing.T) {
 		t.Fatalf("unlimited remaining = (%v, %v), want (-1, -1)", tr, ur)
 	}
 }
+
+// TestSetPersistInstallsJournalSink is the regression test for the
+// lockdiscipline finding in NewService: the journal sink used to be
+// installed by assigning l.persist directly, an unsynchronized publish of a
+// mutex-guarded field. setPersist must install the sink under the lock and
+// subsequent movements must journal through it.
+func TestSetPersistInstallsJournalSink(t *testing.T) {
+	l := NewLedger(nil)
+	// Replay-phase movements (nil sink) journal nothing.
+	l.replayEntry(entry{Kind: entryTenant, Tenant: "acme", Budget: 1})
+
+	var journal []entry
+	l.setPersist(func(e entry) error {
+		journal = append(journal, e)
+		return nil
+	})
+
+	if err := l.ChargeAdmission("acme", "u1", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if len(journal) != 1 || journal[0].Kind != entryCharge || journal[0].Eps != 0.25 {
+		t.Fatalf("charge after setPersist journaled %+v, want one charge of 0.25", journal)
+	}
+	if err := l.RefundAdmission("acme", "u1", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if len(journal) != 2 || journal[1].Kind != entryRefund {
+		t.Fatalf("refund after setPersist journaled %+v, want charge then refund", journal)
+	}
+
+	// Concurrent movements race the sink installation only if the write is
+	// unlocked; under -race this pins the locked publish.
+	l2 := NewLedger(nil)
+	l2.replayEntry(entry{Kind: entryTenant, Tenant: "acme", Budget: 0})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = l2.ChargeAdmission("acme", "u1", 0.001)
+		}
+	}()
+	l2.setPersist(func(entry) error { return nil })
+	<-done
+}

@@ -104,7 +104,7 @@ type Service struct {
 	store  *Store // nil when persistence is disabled
 
 	mu      sync.Mutex
-	metrics map[string]*tenantMetrics
+	metrics map[string]*tenantMetrics //upa:guardedby(mu)
 }
 
 // NewService builds the service, replays any persisted state at
@@ -159,7 +159,12 @@ func NewService(cfg Config, tenants []TenantSpec) (*Service, error) {
 				s.ledger.replayEntry(e)
 			}
 		}
-		s.ledger.persist = persist
+		// The sink is installed through setPersist (which locks) rather than
+		// by assigning the field: replay ran single-goroutine, but Register
+		// below reads persist under the ledger mutex, and the unlocked
+		// assignment this replaced was an unsynchronized publish
+		// (lockdiscipline's first real catch on this tree).
+		s.ledger.setPersist(persist)
 	} else {
 		s.ledger = NewLedger(nil)
 	}

@@ -18,11 +18,16 @@ func TestWithLoggerEmitsReleaseRecords(t *testing.T) {
 	out := buf.String()
 	for _, want := range []string{
 		"upa release", "query=logged-count", "sample_size=30",
-		"attack_suspected=false", "sensitivity=", "records=200",
+		"attack_suspected=false", "records=200",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("log output missing %q:\n%s", want, out)
 		}
+	}
+	// Regression (dpflow): the inferred local sensitivity is a pre-noise,
+	// data-dependent value — it must never appear in the release log.
+	if strings.Contains(out, "sensitivity=") {
+		t.Errorf("release log leaks the pre-noise sensitivity:\n%s", out)
 	}
 
 	// The second, attacking release is logged with the enforcer decision.
