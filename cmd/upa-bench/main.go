@@ -75,14 +75,14 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-scales: %w", err)
 	}
 
-	writeCSV := func(name string, write func(io.Writer) error) error {
+	writeFile := func(name string, write func(io.Writer) error) error {
 		if *csvDir == "" {
 			return nil
 		}
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			return err
 		}
-		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		f, err := os.Create(filepath.Join(*csvDir, name))
 		if err != nil {
 			return err
 		}
@@ -91,6 +91,9 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		return f.Close()
+	}
+	writeCSV := func(name string, write func(io.Writer) error) error {
+		return writeFile(name+".csv", write)
 	}
 
 	experiments := map[string]func() (string, error){
@@ -167,6 +170,9 @@ func run(args []string, out io.Writer) error {
 				return "", err
 			}
 			if err := writeCSV("optimizer", func(w io.Writer) error { return bench.WriteOptimizerCSV(w, rows) }); err != nil {
+				return "", err
+			}
+			if err := writeFile("BENCH_optimizer.json", func(w io.Writer) error { return bench.WriteOptimizerJSON(w, rows) }); err != nil {
 				return "", err
 			}
 			return bench.RenderOptimizer(rows), nil

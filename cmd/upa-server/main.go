@@ -539,6 +539,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		},
 		"tasksRun":                 m.TasksRun,
 		"recordsMapped":            m.RecordsMapped,
+		"recordsBatched":           m.RecordsBatched,
+		"batchesProcessed":         m.BatchesProcessed,
 		"reduceOps":                m.ReduceOps,
 		"shuffleRounds":            m.ShuffleRounds,
 		"recordsShuffled":          m.RecordsShuffled,

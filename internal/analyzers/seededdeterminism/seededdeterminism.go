@@ -41,6 +41,10 @@ var CriticalPrefixes = []string{
 	// Includes the seeded disk-fault model (disk.go): every injected storage
 	// failure is a pure hash of (seed, site, file, attempt).
 	"upa/internal/chaos",
+	// The columnar kernels: a vectorized operator must be a pure function of
+	// its input batch, or the physical layer's byte-identity contract with
+	// the row path (and hence DP release equivalence) breaks.
+	"upa/internal/colbatch",
 	"upa/internal/jobgraph",
 	"upa/internal/stats",
 	"upa/internal/bench",

@@ -38,8 +38,20 @@ type OptimizerRow struct {
 	CellReduction    float64
 	// RawTime/OptTime are min-of-reps wall times — indicative, not a
 	// statistical claim (the record counters are the load-bearing result).
-	// The optimized time includes the Optimize call itself.
-	RawTime, OptTime time.Duration
+	// The optimized time includes the Optimize call itself. OptTime is the
+	// default Execute path, which routes vectorizable subtrees through the
+	// columnar kernels; RowOnlyTime is the same optimized plan forced down
+	// the row-at-a-time path (the pre-physical-layer behaviour).
+	RawTime, OptTime, RowOnlyTime time.Duration
+	// ColumnarSpeedup is RowOnlyTime / OptTime — how much faster the
+	// physical layer's columnar execution is than pure row execution of the
+	// identical optimized plan (1 when the plan has no vectorizable
+	// subtree, so both paths do the same work).
+	ColumnarSpeedup float64
+	// RecordsBatched/BatchesProcessed are the columnar run's converter
+	// metrics: rows that flowed through fused batch operators and the batch
+	// count. Both zero when the physical plan stays row-only.
+	RecordsBatched, BatchesProcessed int64
 	// Rewrites is how many optimizer rewrites fired on the plan.
 	Rewrites int
 }
@@ -73,6 +85,8 @@ func OptimizerBench(cfg Config, reps int) ([]OptimizerRow, error) {
 	}{
 		{"filter-over-join", "tpch4", queries.TPCH4Plan(w.DB)},
 		{"projection-heavy", "tpch1full", queries.TPCH1FullPlan(w.DB)},
+		{"vector-agg", "tpch6", tpch6Workload(w)},
+		{"vector-scan", "lineitem-discprice", vectorWorkload(w)},
 		{"limit", "lineitem-top100", limitWorkload(w)},
 	}
 	rows := make([]OptimizerRow, 0, len(workloads))
@@ -84,6 +98,55 @@ func OptimizerBench(cfg Config, reps int) ([]OptimizerRow, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// tpch6Workload builds TPC-H Q6's shape: a global revenue aggregate
+// (sum of price×discount plus a row count) under the date-window,
+// discount-band and quantity predicates. The whole subtree is
+// vectorizable, and the aggregate consumes batches directly — no
+// batch-to-row reconstruction — so it is where the columnar kernels pay
+// off hardest.
+func tpch6Workload(w *queries.Workload) sql.Plan {
+	pred := sql.And(
+		sql.And(
+			sql.Gt(sql.Col("l_shipdate"), sql.Lit(sql.Int(8000))),
+			sql.Le(sql.Col("l_shipdate"), sql.Lit(sql.Int(9000))),
+		),
+		sql.And(
+			sql.Lt(sql.Col("l_discount"), sql.Lit(sql.Float(0.07))),
+			sql.Lt(sql.Col("l_quantity"), sql.Lit(sql.Float(24))),
+		),
+	)
+	return sql.GroupBy(sql.Where(queries.LineitemRelation(w.DB), pred), nil,
+		sql.AggSpec{Name: "revenue", Func: sql.AggSum,
+			Arg: sql.Mul(sql.Col("l_extendedprice"), sql.Col("l_discount"))},
+		sql.AggSpec{Name: "n", Func: sql.AggCount},
+	)
+}
+
+// vectorWorkload builds the columnar reconstruction stress: the same
+// Q6-shaped predicate under a discounted-price projection that returns
+// every surviving row. Fully vectorizable, but the output is rows, so the
+// columnar path pays row→batch conversion in and batch→row reconstruction
+// out with no aggregate to amortize them — the X100 caveat the physical
+// layer's numbers should show honestly rather than hide.
+func vectorWorkload(w *queries.Workload) sql.Plan {
+	one := sql.Lit(sql.Float(1))
+	pred := sql.And(
+		sql.Gt(sql.Col("l_quantity"), sql.Lit(sql.Float(10))),
+		sql.And(
+			sql.Lt(sql.Col("l_discount"), sql.Lit(sql.Float(0.07))),
+			sql.Le(sql.Col("l_shipdate"), sql.Lit(sql.Int(9000))),
+		),
+	)
+	return sql.Project(sql.Where(queries.LineitemRelation(w.DB), pred),
+		sql.NamedExpr{Name: "okey", Expr: sql.Col("l_orderkey")},
+		sql.NamedExpr{Name: "disc_price",
+			Expr: sql.Mul(sql.Col("l_extendedprice"), sql.Sub(one, sql.Col("l_discount")))},
+		sql.NamedExpr{Name: "charged",
+			Expr: sql.Mul(sql.Mul(sql.Col("l_extendedprice"), sql.Sub(one, sql.Col("l_discount"))),
+				sql.Add(one, sql.Col("l_tax")))},
+	)
 }
 
 // limitWorkload builds the limit-shaped plan: the first 100 rows of a
@@ -104,23 +167,36 @@ func runOptimizerWorkload(name, query string, lineitems int, plan sql.Plan, reps
 	if err != nil {
 		return OptimizerRow{}, fmt.Errorf("optimized: %w", err)
 	}
+	_, rowOnlyRows, rowOnlyTime, err := runPlan(plan, sql.ExecuteRowOnly, reps)
+	if err != nil {
+		return OptimizerRow{}, fmt.Errorf("row-only: %w", err)
+	}
 	if err := sameRowMultiset(rawRows, optRows); err != nil {
 		return OptimizerRow{}, err
 	}
+	if err := sameRowMultiset(rowOnlyRows, optRows); err != nil {
+		return OptimizerRow{}, fmt.Errorf("columnar vs row-only: %w", err)
+	}
 	optimized, rewrites := sql.Optimize(plan)
 	row := OptimizerRow{
-		Workload:    name,
-		Query:       query,
-		Lineitems:   lineitems,
-		RawShuffled: rawDelta.RecordsShuffled,
-		OptShuffled: optDelta.RecordsShuffled,
-		RawMapped:   rawDelta.RecordsMapped,
-		OptMapped:   optDelta.RecordsMapped,
-		RawCells:    sql.ScanCells(plan),
-		OptCells:    sql.ScanCells(optimized),
-		RawTime:     rawTime,
-		OptTime:     optTime,
-		Rewrites:    len(rewrites),
+		Workload:         name,
+		Query:            query,
+		Lineitems:        lineitems,
+		RawShuffled:      rawDelta.RecordsShuffled,
+		OptShuffled:      optDelta.RecordsShuffled,
+		RawMapped:        rawDelta.RecordsMapped,
+		OptMapped:        optDelta.RecordsMapped,
+		RawCells:         sql.ScanCells(plan),
+		OptCells:         sql.ScanCells(optimized),
+		RawTime:          rawTime,
+		OptTime:          optTime,
+		RowOnlyTime:      rowOnlyTime,
+		RecordsBatched:   optDelta.RecordsBatched,
+		BatchesProcessed: optDelta.BatchesProcessed,
+		Rewrites:         len(rewrites),
+	}
+	if optTime > 0 {
+		row.ColumnarSpeedup = float64(rowOnlyTime) / float64(optTime)
 	}
 	if row.RawShuffled > 0 {
 		row.ShuffleReduction = 1 - float64(row.OptShuffled)/float64(row.RawShuffled)
@@ -192,15 +268,19 @@ func sameRowMultiset(raw, opt []sql.Row) error {
 func RenderOptimizer(rows []OptimizerRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Plan optimizer: raw vs optimized execution (records shuffled / mapped, scan cells)\n")
-	fmt.Fprintf(&b, "%-18s %-16s %10s %10s %10s %10s %9s %9s %9s %8s %8s %8s\n",
-		"workload", "query", "raw_shuf", "opt_shuf", "raw_map", "opt_map",
-		"shuf_red", "map_red", "cell_red", "raw_ms", "opt_ms", "rewrites")
+	fmt.Fprintf(&b, "and physical layer: columnar vs row-only execution of the optimized plan\n")
+	fmt.Fprintf(&b, "%-18s %-20s %10s %10s %9s %9s %9s %8s %8s %8s %8s %10s %8s %8s\n",
+		"workload", "query", "raw_shuf", "opt_shuf",
+		"shuf_red", "map_red", "cell_red", "raw_ms", "row_ms", "col_ms",
+		"col_spd", "batched", "batches", "rewrites")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %-16s %10d %10d %10d %10d %8.1f%% %8.1f%% %8.1f%% %8.2f %8.2f %8d\n",
-			r.Workload, r.Query, r.RawShuffled, r.OptShuffled, r.RawMapped, r.OptMapped,
+		fmt.Fprintf(&b, "%-18s %-20s %10d %10d %8.1f%% %8.1f%% %8.1f%% %8.2f %8.2f %8.2f %7.2fx %10d %8d %8d\n",
+			r.Workload, r.Query, r.RawShuffled, r.OptShuffled,
 			100*r.ShuffleReduction, 100*r.MapReduction, 100*r.CellReduction,
 			float64(r.RawTime)/float64(time.Millisecond),
+			float64(r.RowOnlyTime)/float64(time.Millisecond),
 			float64(r.OptTime)/float64(time.Millisecond),
+			r.ColumnarSpeedup, r.RecordsBatched, r.BatchesProcessed,
 			r.Rewrites)
 	}
 	return b.String()

@@ -169,6 +169,14 @@ func (e *Engine) AccountReduceOps(n int64) {
 	e.metrics.ReduceOps.Add(n)
 }
 
+// AccountBatches records a vectorized pipeline processing batches windows
+// covering records rows, so columnar execution is as visible in the metrics
+// as the row path's RecordsMapped.
+func (e *Engine) AccountBatches(batches, records int64) {
+	e.metrics.BatchesProcessed.Add(batches)
+	e.metrics.RecordsBatched.Add(records)
+}
+
 // InjectFaults arranges for the next n task attempts to fail artificially.
 // The scheduler retries them from lineage, exercising the fault-tolerance
 // path that commutativity/associativity enable. Legacy compatibility shim
@@ -415,6 +423,13 @@ type Metrics struct {
 	SpilledBytes atomic.Int64
 	SpillFiles   atomic.Int64
 	SpillReads   atomic.Int64
+	// RecordsBatched counts rows that flowed through a vectorized columnar
+	// pipeline (the SQL layer's fused batch operators) and BatchesProcessed
+	// the batches they were windowed into — the columnar analogue of
+	// RecordsMapped, so row-vs-columnar experiments can show where the data
+	// actually went.
+	RecordsBatched   atomic.Int64
+	BatchesProcessed atomic.Int64
 	// Storage-fault robustness counters. SpillCorruptionsDetected counts
 	// spill reads (and post-write verifications) that failed the format's
 	// checksums or record counts — every one is corruption caught instead
@@ -451,6 +466,8 @@ type MetricsSnapshot struct {
 	CacheMisses              int64
 	BroadcastsSent           int64
 	BroadcastRecords         int64
+	RecordsBatched           int64
+	BatchesProcessed         int64
 	SpilledBytes             int64
 	SpillFiles               int64
 	SpillReads               int64
@@ -483,6 +500,8 @@ func (e *Engine) Metrics() MetricsSnapshot {
 		CacheMisses:              e.metrics.CacheMisses.Load(),
 		BroadcastsSent:           e.metrics.BroadcastsSent.Load(),
 		BroadcastRecords:         e.metrics.BroadcastRecords.Load(),
+		RecordsBatched:           e.metrics.RecordsBatched.Load(),
+		BatchesProcessed:         e.metrics.BatchesProcessed.Load(),
 		SpilledBytes:             e.metrics.SpilledBytes.Load(),
 		SpillFiles:               e.metrics.SpillFiles.Load(),
 		SpillReads:               e.metrics.SpillReads.Load(),
@@ -525,6 +544,8 @@ func (s MetricsSnapshot) Sub(prev MetricsSnapshot) MetricsSnapshot {
 		CacheMisses:              s.CacheMisses - prev.CacheMisses,
 		BroadcastsSent:           s.BroadcastsSent - prev.BroadcastsSent,
 		BroadcastRecords:         s.BroadcastRecords - prev.BroadcastRecords,
+		RecordsBatched:           s.RecordsBatched - prev.RecordsBatched,
+		BatchesProcessed:         s.BatchesProcessed - prev.BatchesProcessed,
 		SpilledBytes:             s.SpilledBytes - prev.SpilledBytes,
 		SpillFiles:               s.SpillFiles - prev.SpillFiles,
 		SpillReads:               s.SpillReads - prev.SpillReads,

@@ -236,3 +236,17 @@ func TestApplicationErrorNotRetried(t *testing.T) {
 		t.Fatalf("application error retried %d times", calls)
 	}
 }
+
+func TestAccountBatches(t *testing.T) {
+	eng := NewEngine()
+	before := eng.Metrics()
+	eng.AccountBatches(3, 2500)
+	eng.AccountBatches(1, 500)
+	d := eng.Metrics().Sub(before)
+	if d.BatchesProcessed != 4 {
+		t.Errorf("BatchesProcessed = %d, want 4", d.BatchesProcessed)
+	}
+	if d.RecordsBatched != 3000 {
+		t.Errorf("RecordsBatched = %d, want 3000", d.RecordsBatched)
+	}
+}

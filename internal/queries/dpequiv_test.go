@@ -36,29 +36,64 @@ func TestOptimizerDPEquivalence(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			optimized := release(t, tc.plan, tc.protected, sql.CompileDPCount)
 			raw := release(t, tc.plan, tc.protected, sql.CompileDPCountRaw)
-
-			assertSameVector(t, "Output", optimized.res.Output, raw.res.Output)
-			assertSameVector(t, "VanillaOutput", optimized.res.VanillaOutput, raw.res.VanillaOutput)
-			assertSameVector(t, "RawOutput", optimized.res.RawOutput, raw.res.RawOutput)
-			assertSameVector(t, "Sensitivity", optimized.res.Sensitivity, raw.res.Sensitivity)
-			assertSameVector(t, "EmpiricalLocalSensitivity",
-				optimized.res.EmpiricalLocalSensitivity, raw.res.EmpiricalLocalSensitivity)
-			if len(optimized.res.RemovalOutputs) != len(raw.res.RemovalOutputs) {
-				t.Fatalf("neighbour sample count diverged: optimized=%d raw=%d",
-					len(optimized.res.RemovalOutputs), len(raw.res.RemovalOutputs))
-			}
-			for i := range optimized.res.RemovalOutputs {
-				assertSameVector(t, "RemovalOutputs",
-					optimized.res.RemovalOutputs[i], raw.res.RemovalOutputs[i])
-			}
-			if optimized.res.SampleSize != raw.res.SampleSize {
-				t.Fatalf("sample size diverged: optimized=%d raw=%d",
-					optimized.res.SampleSize, raw.res.SampleSize)
-			}
-			if optimized.epsilon != raw.epsilon {
-				t.Fatalf("ε ledger diverged: optimized=%v raw=%v", optimized.epsilon, raw.epsilon)
-			}
+			assertSameRelease(t, optimized, raw)
 		})
+	}
+}
+
+// TestColumnarDPEquivalence is the DP-safety regression test for the
+// physical layer: the columnar execution path (CompileDPCount → Execute)
+// and the row-only path over the same optimized plan
+// (CompileDPCountRowOnly) must produce byte-identical releases under a
+// fixed seed. Any divergence means a columnar kernel or a converter changed
+// a protected row's influence — the float folds, group ordering, and
+// shuffle layout of the vectorized aggregate must reproduce the row path's
+// exactly.
+func TestColumnarDPEquivalence(t *testing.T) {
+	db, err := tpch.Generate(tpch.Config{Lineitems: 2000, Skew: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		plan      sql.Plan
+		protected string
+	}{
+		{"tpch1", TPCH1Plan(db), "lineitem"},
+		{"tpch4", TPCH4Plan(db), "orders"},
+		{"tpch13", TPCH13Plan(db), "orders"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			columnar := release(t, tc.plan, tc.protected, sql.CompileDPCount)
+			rowOnly := release(t, tc.plan, tc.protected, sql.CompileDPCountRowOnly)
+			assertSameRelease(t, columnar, rowOnly)
+		})
+	}
+}
+
+// assertSameRelease requires two seeded releases to agree byte-for-byte on
+// every result field and on the ε charged.
+func assertSameRelease(t *testing.T, a, b releaseOutcome) {
+	t.Helper()
+	assertSameVector(t, "Output", a.res.Output, b.res.Output)
+	assertSameVector(t, "VanillaOutput", a.res.VanillaOutput, b.res.VanillaOutput)
+	assertSameVector(t, "RawOutput", a.res.RawOutput, b.res.RawOutput)
+	assertSameVector(t, "Sensitivity", a.res.Sensitivity, b.res.Sensitivity)
+	assertSameVector(t, "EmpiricalLocalSensitivity",
+		a.res.EmpiricalLocalSensitivity, b.res.EmpiricalLocalSensitivity)
+	if len(a.res.RemovalOutputs) != len(b.res.RemovalOutputs) {
+		t.Fatalf("neighbour sample count diverged: %d vs %d",
+			len(a.res.RemovalOutputs), len(b.res.RemovalOutputs))
+	}
+	for i := range a.res.RemovalOutputs {
+		assertSameVector(t, "RemovalOutputs", a.res.RemovalOutputs[i], b.res.RemovalOutputs[i])
+	}
+	if a.res.SampleSize != b.res.SampleSize {
+		t.Fatalf("sample size diverged: %d vs %d", a.res.SampleSize, b.res.SampleSize)
+	}
+	if a.epsilon != b.epsilon {
+		t.Fatalf("ε ledger diverged: %v vs %v", a.epsilon, b.epsilon)
 	}
 }
 

@@ -32,6 +32,9 @@ func KeyFrequency[T any, K comparable](eng *mapreduce.Engine, records []T, key f
 	if parts > len(records) {
 		parts = len(records)
 	}
+	if parts < 1 {
+		parts = 1
+	}
 	ds, err := mapreduce.FromSlice(eng, records, parts)
 	if err != nil {
 		return ColumnStats{}, err
@@ -50,6 +53,56 @@ func KeyFrequency[T any, K comparable](eng *mapreduce.Engine, records []T, key f
 		}
 	}
 	return stats, nil
+}
+
+// StatsOf computes the same statistics as KeyFrequency in memory, without
+// an engine — the hook the SQL optimizer's join ordering uses at
+// plan-rewrite time, when no job should run. Like KeyFrequency it exposes
+// only count aggregates (row count, distinct keys, top frequency), the
+// metadata FLEX already consumes, never individual key values.
+func StatsOf[T any, K comparable](records []T, key func(T) K) ColumnStats {
+	counts := make(map[K]int, len(records))
+	for _, t := range records {
+		counts[key(t)]++
+	}
+	stats := ColumnStats{RowCount: len(records), Distinct: len(counts)}
+	for _, c := range counts {
+		if c > stats.MaxFreq {
+			stats.MaxFreq = c
+		}
+	}
+	return stats
+}
+
+// JoinCardinality estimates the output size of an equi-join between the
+// column summarized by s and the one summarized by other: the standard
+// |L|·|R| / max(distinct) uniform-key estimate, capped by the skew bound
+// that each row matches at most the other side's most frequent key
+// (|L|·maxfreqR and |R|·maxfreqL). Estimates only order joins; they never
+// affect semantics.
+func (s ColumnStats) JoinCardinality(other ColumnStats) int {
+	if s.RowCount == 0 || other.RowCount == 0 {
+		return 0
+	}
+	d := s.Distinct
+	if other.Distinct > d {
+		d = other.Distinct
+	}
+	if d < 1 {
+		d = 1
+	}
+	est := int64(s.RowCount) * int64(other.RowCount) / int64(d)
+	if other.MaxFreq > 0 {
+		if bound := int64(s.RowCount) * int64(other.MaxFreq); bound < est {
+			est = bound
+		}
+	}
+	if s.MaxFreq > 0 {
+		if bound := int64(other.RowCount) * int64(s.MaxFreq); bound < est {
+			est = bound
+		}
+	}
+	return int(est)
 }
 
 // Validate checks internal consistency of the statistics.

@@ -53,6 +53,70 @@ func TestKeyFrequencyDerivedKey(t *testing.T) {
 	}
 }
 
+// TestKeyFrequencySingleRecord pins the parts clamp: one record on a
+// multi-worker engine must still produce at least one partition.
+func TestKeyFrequencySingleRecord(t *testing.T) {
+	eng := mapreduce.NewEngine()
+	stats, err := KeyFrequency(eng, []string{"only"}, func(s string) string { return s })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ColumnStats{RowCount: 1, Distinct: 1, MaxFreq: 1}
+	if stats != want {
+		t.Errorf("single-record stats = %+v, want %+v", stats, want)
+	}
+	if err := stats.Validate(); err != nil {
+		t.Errorf("computed stats invalid: %v", err)
+	}
+}
+
+// TestStatsOfMatchesKeyFrequency pins that the in-memory helper and the
+// engine job agree, including on empty input.
+func TestStatsOfMatchesKeyFrequency(t *testing.T) {
+	records := []string{"a", "b", "a", "c", "a", "b"}
+	key := func(s string) string { return s }
+	inMem := StatsOf(records, key)
+	eng := mapreduce.NewEngine()
+	viaJob, err := KeyFrequency(eng, records, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inMem != viaJob {
+		t.Errorf("StatsOf = %+v, KeyFrequency = %+v", inMem, viaJob)
+	}
+	if StatsOf(nil, key) != (ColumnStats{}) {
+		t.Errorf("StatsOf(nil) = %+v, want zero", StatsOf(nil, key))
+	}
+}
+
+func TestJoinCardinality(t *testing.T) {
+	uniform := ColumnStats{RowCount: 100, Distinct: 100, MaxFreq: 1}
+	skewed := ColumnStats{RowCount: 100, Distinct: 2, MaxFreq: 99}
+	empty := ColumnStats{}
+
+	// Key-unique sides join one-to-one.
+	if got := uniform.JoinCardinality(uniform); got != 100 {
+		t.Errorf("uniform⋈uniform = %d, want 100", got)
+	}
+	// A unique-key side caps the join at its own row count: each skewed row
+	// matches at most maxfreq=1 uniform rows.
+	if got := uniform.JoinCardinality(skewed); got != 100 {
+		t.Errorf("uniform⋈skewed = %d, want 100 (capped by the unique side)", got)
+	}
+	// Fewer distinct keys on both sides means more matches per key.
+	if skewed.JoinCardinality(skewed) <= uniform.JoinCardinality(uniform) {
+		t.Errorf("low-distinct pair did not raise the estimate: %d vs %d",
+			skewed.JoinCardinality(skewed), uniform.JoinCardinality(uniform))
+	}
+	// Symmetry and empties.
+	if uniform.JoinCardinality(skewed) != skewed.JoinCardinality(uniform) {
+		t.Error("JoinCardinality is not symmetric")
+	}
+	if empty.JoinCardinality(uniform) != 0 || uniform.JoinCardinality(empty) != 0 {
+		t.Error("empty side must estimate zero")
+	}
+}
+
 func TestValidate(t *testing.T) {
 	bad := []ColumnStats{
 		{RowCount: -1},

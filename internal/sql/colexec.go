@@ -1,0 +1,368 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"upa/internal/colbatch"
+	"upa/internal/mapreduce"
+)
+
+// colexec.go is the columnar execution path: loss-free Row↔Batch converters
+// at the seams, and fused MapPartitions pipelines that run whole
+// Filter/Project chains (optionally topped by an Aggregate) batch-at-a-time
+// with the kernels vectorize.go compiles. Shuffles, joins, sorts, limits and
+// the DP bridge stay row-based; the converters guarantee the columnar
+// region is observationally identical to the row path (same rows, same
+// bytes, same order within each partition).
+
+// colBatchSize is the number of rows per batch: large enough to amortize
+// per-batch dispatch, small enough that a batch's columns stay cache
+// resident.
+const colBatchSize = 1024
+
+// rowsToBatch decomposes rows into typed columns. Every cell must match the
+// declared schema kind — the columnar seam is strict where the row path
+// improvises per operator, so a mismatch aborts with a clear error rather
+// than silently diverging.
+func rowsToBatch(schema Schema, rows []Row) (*colbatch.Batch, error) {
+	for _, r := range rows {
+		if len(r) != len(schema) {
+			return nil, fmt.Errorf("sql: row width %d does not match schema %v", len(r), schema.Names())
+		}
+	}
+	cols := make([]colbatch.Col, len(schema))
+	for ci, col := range schema {
+		switch col.Kind {
+		case KindInt:
+			v := make([]int64, len(rows))
+			for ri, r := range rows {
+				cell, ok := r[ci].AsInt()
+				if !ok {
+					return nil, convertErr(col, r[ci])
+				}
+				v[ri] = cell
+			}
+			cols[ci] = colbatch.IntCol(v)
+		case KindFloat:
+			v := make([]float64, len(rows))
+			for ri, r := range rows {
+				if r[ci].Kind() != KindFloat {
+					return nil, convertErr(col, r[ci])
+				}
+				cell, _ := r[ci].AsFloat()
+				v[ri] = cell
+			}
+			cols[ci] = colbatch.FloatCol(v)
+		case KindString:
+			v := make([]string, len(rows))
+			for ri, r := range rows {
+				cell, ok := r[ci].AsString()
+				if !ok {
+					return nil, convertErr(col, r[ci])
+				}
+				v[ri] = cell
+			}
+			cols[ci] = colbatch.StrCol(v)
+		case KindBool:
+			v := make([]bool, len(rows))
+			for ri, r := range rows {
+				cell, ok := r[ci].AsBool()
+				if !ok {
+					return nil, convertErr(col, r[ci])
+				}
+				v[ri] = cell
+			}
+			cols[ci] = colbatch.BoolCol(v)
+		default:
+			return nil, fmt.Errorf("sql: column %q has unbatchable kind", col.Name)
+		}
+	}
+	return &colbatch.Batch{Cols: cols, N: len(rows)}, nil
+}
+
+func convertErr(col Column, v Value) error {
+	return fmt.Errorf("sql: column %q declared %s but holds %s", col.Name, col.Kind, v.Kind())
+}
+
+// cellValue rebuilds the sql Value of one lane — the inverse of rowsToBatch
+// for a single cell.
+func cellValue(c colbatch.Col, i int) Value {
+	switch c.Kind {
+	case colbatch.Int64:
+		return Int(c.I64[i])
+	case colbatch.Float64:
+		return Float(c.F64[i])
+	case colbatch.String:
+		return Str(c.Str[i])
+	default:
+		return Bool(c.Bool[i])
+	}
+}
+
+// appendBatchRows gathers the batch's live lanes back into rows, appending
+// to dst.
+func appendBatchRows(dst []Row, b *colbatch.Batch) []Row {
+	b.ForSel(func(i int) {
+		row := make(Row, len(b.Cols))
+		for ci, c := range b.Cols {
+			row[ci] = cellValue(c, i)
+		}
+		dst = append(dst, row)
+	})
+	return dst
+}
+
+// batchOp is one fused pipeline step: it mutates the batch in place (refine
+// the selection, replace the columns).
+type batchOp func(*colbatch.Batch)
+
+// buildColumnarOps lowers a Filter/Project chain over a scan into a fused
+// kernel program. The caller must have established eligibility via
+// vectorizableChain; an ineligible node here is a programming error.
+func buildColumnarOps(top Plan) (*ScanPlan, []batchOp, error) {
+	var rev []Plan
+	p := top
+	for {
+		if s, ok := p.(*ScanPlan); ok {
+			ops := make([]batchOp, 0, len(rev))
+			schema := Schema(s.Cols)
+			for i := len(rev) - 1; i >= 0; i-- {
+				switch n := rev[i].(type) {
+				case *FilterPlan:
+					fn, kind, ok := vectorizeExpr(n.Pred, schema)
+					if !ok || kind != KindBool {
+						return nil, nil, fmt.Errorf("sql: internal: filter not vectorizable")
+					}
+					ops = append(ops, func(b *colbatch.Batch) {
+						b.Refine(fn(b).Bool)
+					})
+				case *ProjectPlan:
+					fns := make([]vecFn, len(n.Exprs))
+					next := make(Schema, len(n.Exprs))
+					for j, ne := range n.Exprs {
+						fn, kind, ok := vectorizeExpr(ne.Expr, schema)
+						if !ok {
+							return nil, nil, fmt.Errorf("sql: internal: projection not vectorizable")
+						}
+						fns[j] = fn
+						next[j] = Column{Name: ne.Name, Kind: kind}
+					}
+					ops = append(ops, func(b *colbatch.Batch) {
+						cols := make([]colbatch.Col, len(fns))
+						for j, fn := range fns {
+							cols[j] = fn(b)
+						}
+						b.Cols = cols
+					})
+					schema = next
+				}
+			}
+			return s, ops, nil
+		}
+		switch n := p.(type) {
+		case *FilterPlan:
+			rev = append(rev, n)
+			p = n.Input
+		case *ProjectPlan:
+			rev = append(rev, n)
+			p = n.Input
+		default:
+			return nil, nil, fmt.Errorf("sql: internal: %T in columnar chain", p)
+		}
+	}
+}
+
+// compileColumnarChain runs a vectorizable Filter/Project chain as one
+// fused MapPartitions: rows → batches → kernels → rows, with no
+// intermediate row materialization between operators.
+func (c *compiler) compileColumnarChain(top Plan) (*mapreduce.Dataset[Row], error) {
+	scan, ops, err := buildColumnarOps(top)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := mapreduce.FromSlice(c.eng, scan.Rows, scanParts(c.eng, scan))
+	if err != nil {
+		return nil, err
+	}
+	eng := c.eng
+	schema := Schema(scan.Cols)
+	return mapreduce.MapPartitions(ds, func(_ int, rows []Row) ([]Row, error) {
+		out := make([]Row, 0, len(rows))
+		var batches int64
+		for start := 0; start < len(rows); start += colBatchSize {
+			end := start + colBatchSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			b, err := rowsToBatch(schema, rows[start:end])
+			if err != nil {
+				return nil, err
+			}
+			for _, op := range ops {
+				op(b)
+			}
+			out = appendBatchRows(out, b)
+			batches++
+		}
+		eng.AccountBatches(batches, int64(len(rows)))
+		return out, nil
+	}), nil
+}
+
+// appendGroupKey appends one lane's group-key rendering, byte-identical to
+// Value.String() + "\x1f" as the row path builds it.
+func appendGroupKey(buf []byte, c colbatch.Col, i int) []byte {
+	switch c.Kind {
+	case colbatch.Int64:
+		buf = strconv.AppendInt(buf, c.I64[i], 10)
+	case colbatch.Float64:
+		buf = strconv.AppendFloat(buf, c.F64[i], 'g', -1, 64)
+	case colbatch.String:
+		buf = strconv.AppendQuote(buf, c.Str[i])
+	default:
+		buf = strconv.AppendBool(buf, c.Bool[i])
+	}
+	return append(buf, 0x1f)
+}
+
+// compileColumnarAggregate fuses a vectorizable input chain with a
+// batch-at-a-time partial aggregation, then feeds the per-partition partials
+// through the exact same ReduceByKey(mergeGroups) + finalize as the row
+// path.
+//
+// Byte-identical equivalence with the row path is load-bearing (the DP
+// bridge's influence query and releases run through here), and rests on
+// reproducing the row path's map-side combine exactly: groups fold in row
+// order with the same float operations in the same sequence (Sums[i] += f;
+// Mins/Maxs via math.Min/Max with the accumulator on the left), partials
+// emit one per key in first-seen order, and the partition count matches the
+// row path's, so the downstream shuffle merges in the same order.
+func (c *compiler) compileColumnarAggregate(p *AggregatePlan) (*mapreduce.Dataset[Row], error) {
+	scan, ops, err := buildColumnarOps(p.Input)
+	if err != nil {
+		return nil, err
+	}
+	in, err := p.Input.Schema()
+	if err != nil {
+		return nil, err
+	}
+	groupIdx := make([]int, len(p.GroupBy))
+	for i, g := range p.GroupBy {
+		idx, err := in.IndexOf(g)
+		if err != nil {
+			return nil, err
+		}
+		groupIdx[i] = idx
+	}
+	nAggs := len(p.Aggs)
+	argFns := make([]vecFn, nAggs)
+	for i, a := range p.Aggs {
+		if a.Func == AggCount {
+			continue
+		}
+		if a.Arg == nil {
+			return nil, fmt.Errorf("sql: aggregate %s(%s) needs an argument", a.Func, a.Name)
+		}
+		fn, kind, ok := vectorizeExpr(a.Arg, in)
+		if !ok || !numeric(kind) {
+			return nil, fmt.Errorf("sql: internal: aggregate argument not vectorizable")
+		}
+		argFns[i] = fn
+	}
+
+	ds, err := mapreduce.FromSlice(c.eng, scan.Rows, scanParts(c.eng, scan))
+	if err != nil {
+		return nil, err
+	}
+	eng := c.eng
+	scanSchema := Schema(scan.Cols)
+	pairs := mapreduce.MapPartitions(ds, func(_ int, rows []Row) ([]mapreduce.Pair[string, groupAcc], error) {
+		acc := make(map[string]*groupAcc)
+		var order []string
+		buf := make([]byte, 0, 64)
+		argCols := make([][]float64, nAggs)
+		var batches int64
+		for start := 0; start < len(rows); start += colBatchSize {
+			end := start + colBatchSize
+			if end > len(rows) {
+				end = len(rows)
+			}
+			b, err := rowsToBatch(scanSchema, rows[start:end])
+			if err != nil {
+				return nil, err
+			}
+			for _, op := range ops {
+				op(b)
+			}
+			for i, fn := range argFns {
+				if fn == nil {
+					argCols[i] = nil
+					continue
+				}
+				col := fn(b)
+				if col.Kind == colbatch.Float64 {
+					argCols[i] = col.F64
+				} else {
+					w := make([]float64, b.N)
+					colbatch.Widen(w, col.I64)
+					argCols[i] = w
+				}
+			}
+			b.ForSel(func(ri int) {
+				buf = buf[:0]
+				for _, gi := range groupIdx {
+					buf = appendGroupKey(buf, b.Cols[gi], ri)
+				}
+				st, ok := acc[string(buf)]
+				if !ok {
+					key := string(buf)
+					keys := make(Row, len(groupIdx))
+					for j, gi := range groupIdx {
+						keys[j] = cellValue(b.Cols[gi], ri)
+					}
+					st = &groupAcc{
+						Keys: keys,
+						State: aggState{
+							Count: 1,
+							Sums:  make([]float64, nAggs),
+							Mins:  make([]float64, nAggs),
+							Maxs:  make([]float64, nAggs),
+						},
+					}
+					for i, ac := range argCols {
+						if ac == nil {
+							continue
+						}
+						f := ac[ri]
+						st.State.Sums[i] = f
+						st.State.Mins[i] = f
+						st.State.Maxs[i] = f
+					}
+					acc[key] = st
+					order = append(order, key)
+					return
+				}
+				st.State.Count++
+				for i, ac := range argCols {
+					if ac == nil {
+						continue
+					}
+					f := ac[ri]
+					st.State.Sums[i] += f
+					st.State.Mins[i] = math.Min(st.State.Mins[i], f)
+					st.State.Maxs[i] = math.Max(st.State.Maxs[i], f)
+				}
+			})
+			batches++
+		}
+		eng.AccountBatches(batches, int64(len(rows)))
+		out := make([]mapreduce.Pair[string, groupAcc], len(order))
+		for i, k := range order {
+			out[i] = mapreduce.Pair[string, groupAcc]{Key: k, Value: *acc[k]}
+		}
+		return out, nil
+	})
+	return finalizeAggregate(eng, pairs, p.Aggs, len(p.GroupBy) == 0)
+}

@@ -52,6 +52,15 @@ func CompileDPCountRaw(eng *mapreduce.Engine, plan Plan, protectedTable string) 
 	return compileDPCount(eng, plan, protectedTable, ExecuteRaw)
 }
 
+// CompileDPCountRowOnly is CompileDPCount with the optimized influence plan
+// forced down the row-at-a-time path — the pre-physical-layer behaviour.
+// The DP equivalence tests compare it against CompileDPCount to pin that
+// columnar execution changes no release: same influence map, same neighbour
+// samples, same ε.
+func CompileDPCountRowOnly(eng *mapreduce.Engine, plan Plan, protectedTable string) (core.Query[IndexedRow], []IndexedRow, error) {
+	return compileDPCount(eng, plan, protectedTable, ExecuteRowOnly)
+}
+
 // dpIdxCol is the hidden row-index column threaded through the protected
 // scan during influence compilation.
 const dpIdxCol = "__protected_idx"

@@ -13,30 +13,43 @@ import (
 // ReduceByKey jobs. It returns the result rows and their schema.
 //
 // Every plan is first rewritten by Optimize, so no caller pays for work a
-// rule can eliminate (pushdown, pruning, join sizing — see optimize.go).
-// The optimizer preserves the output row multiset and schema exactly; use
+// rule can eliminate (pushdown, pruning, join ordering/sizing — see
+// optimize.go), and then lowered through the physical layer (physical.go):
+// vectorizable Filter/Project/Aggregate chains over a scan run columnar via
+// colbatch kernels, everything else row-at-a-time. Both choices produce
+// byte-identical results; use ExecuteRowOnly to force the row path and
 // ExecuteRaw to run the tree as written.
 func Execute(eng *mapreduce.Engine, plan Plan) ([]Row, Schema, error) {
 	optimized, _ := Optimize(plan)
-	return executePlan(eng, plan, optimized)
+	return executePlan(eng, plan, optimized, true)
+}
+
+// ExecuteRowOnly runs the optimized plan entirely row-at-a-time — the
+// pre-physical-layer behaviour. It is the measurement baseline for the
+// columnar path: equivalence tests and the bench columnar sweep compare
+// Execute against ExecuteRowOnly on the same plan.
+func ExecuteRowOnly(eng *mapreduce.Engine, plan Plan) ([]Row, Schema, error) {
+	optimized, _ := Optimize(plan)
+	return executePlan(eng, plan, optimized, false)
 }
 
 // ExecuteRaw compiles the plan tree exactly as the caller built it, with no
-// optimizer rewrites. It exists as the measurement baseline: equivalence
-// tests and the bench "optimizer" experiment compare Execute against
-// ExecuteRaw on the same plan.
+// optimizer rewrites and no columnar execution. It exists as the
+// measurement baseline: equivalence tests and the bench "optimizer"
+// experiment compare Execute against ExecuteRaw on the same plan.
 func ExecuteRaw(eng *mapreduce.Engine, plan Plan) ([]Row, Schema, error) {
-	return executePlan(eng, plan, plan)
+	return executePlan(eng, plan, plan, false)
 }
 
 // executePlan runs compiled, reporting schema and errors against declared
 // (the tree the caller built).
-func executePlan(eng *mapreduce.Engine, declared, compiled Plan) ([]Row, Schema, error) {
+func executePlan(eng *mapreduce.Engine, declared, compiled Plan, columnar bool) ([]Row, Schema, error) {
 	schema, err := declared.Schema()
 	if err != nil {
 		return nil, nil, err
 	}
-	ds, err := compile(eng, compiled)
+	c := &compiler{eng: eng, columnar: columnar}
+	ds, err := c.compile(compiled)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -69,17 +82,46 @@ func ExecuteCount(eng *mapreduce.Engine, plan Plan) (int64, error) {
 	return v, nil
 }
 
-func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) {
+// compiler lowers logical plans onto the engine. When columnar is set it
+// routes vectorizable subtrees (see physical.go for the shared eligibility
+// predicates) through the fused batch pipeline in colexec.go; otherwise
+// everything compiles row-at-a-time.
+type compiler struct {
+	eng      *mapreduce.Engine
+	columnar bool
+}
+
+// scanParts picks the partition count for a scan — shared by the row and
+// columnar paths so both produce identically-partitioned datasets (which in
+// turn keeps shuffle merge order, and therefore float folds, identical).
+func scanParts(eng *mapreduce.Engine, p *ScanPlan) int {
+	parts := eng.Workers()
+	if parts > len(p.Rows) {
+		parts = len(p.Rows)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+func (c *compiler) compile(plan Plan) (*mapreduce.Dataset[Row], error) {
+	eng := c.eng
+	if c.columnar {
+		switch p := plan.(type) {
+		case *AggregatePlan:
+			if vectorizableAggregate(p) {
+				return c.compileColumnarAggregate(p)
+			}
+		case *FilterPlan, *ProjectPlan:
+			if vectorizableChain(plan) {
+				return c.compileColumnarChain(plan)
+			}
+		}
+	}
 	switch p := plan.(type) {
 	case *ScanPlan:
-		parts := eng.Workers()
-		if parts > len(p.Rows) {
-			parts = len(p.Rows)
-		}
-		if parts < 1 {
-			parts = 1
-		}
-		return mapreduce.FromSlice(eng, p.Rows, parts)
+		return mapreduce.FromSlice(eng, p.Rows, scanParts(eng, p))
 
 	case *FilterPlan:
 		in, err := p.Input.Schema()
@@ -93,7 +135,7 @@ func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) 
 		if kind != KindBool {
 			return nil, fmt.Errorf("sql: filter predicate is %s, want bool", kind)
 		}
-		ds, err := compile(eng, p.Input)
+		ds, err := c.compile(p.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +168,7 @@ func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) 
 			}
 			bound[i] = b
 		}
-		ds, err := compile(eng, p.Input)
+		ds, err := c.compile(p.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -163,11 +205,11 @@ func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) 
 		if err != nil {
 			return nil, err
 		}
-		left, err := compile(eng, p.Left)
+		left, err := c.compile(p.Left)
 		if err != nil {
 			return nil, err
 		}
-		right, err := compile(eng, p.Right)
+		right, err := c.compile(p.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -185,16 +227,16 @@ func compile(eng *mapreduce.Engine, plan Plan) (*mapreduce.Dataset[Row], error) 
 		}), nil
 
 	case *AggregatePlan:
-		return compileAggregate(eng, p)
+		return c.compileAggregate(p)
 
 	case *OrderByPlan:
-		return compileOrderBy(eng, p)
+		return c.compileOrderBy(p)
 
 	case *DistinctPlan:
-		return compileDistinct(eng, p)
+		return c.compileDistinct(p)
 
 	case *LimitPlan:
-		ds, err := compile(eng, p.Input)
+		ds, err := c.compile(p.Input)
 		if err != nil {
 			return nil, err
 		}
@@ -235,7 +277,8 @@ type aggState struct {
 	Maxs  []float64
 }
 
-func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Dataset[Row], error) {
+func (c *compiler) compileAggregate(p *AggregatePlan) (*mapreduce.Dataset[Row], error) {
+	eng := c.eng
 	in, err := p.Input.Schema()
 	if err != nil {
 		return nil, err
@@ -269,7 +312,7 @@ func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Datas
 		args[i] = b
 	}
 
-	ds, err := compile(eng, p.Input)
+	ds, err := c.compile(p.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -329,9 +372,17 @@ func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Datas
 			Value: groupAcc{State: k.Pair.Value, Keys: k.Keys},
 		}
 	})
+	return finalizeAggregate(eng, pairs, p.Aggs, len(p.GroupBy) == 0)
+}
+
+// finalizeAggregate merges per-group accumulators and renders output rows.
+// It is shared by the row and columnar aggregate paths: both feed groupAcc
+// pairs through the same ReduceByKey(mergeGroups) and the same rendering,
+// which is what makes the two paths byte-identical downstream of the
+// partial aggregation.
+func finalizeAggregate(eng *mapreduce.Engine, pairs *mapreduce.Dataset[mapreduce.Pair[string, groupAcc]], specs []AggSpec, global bool) (*mapreduce.Dataset[Row], error) {
 	merged := mapreduce.ReduceByKey(pairs, mergeGroups)
 
-	specs := p.Aggs
 	out := mapreduce.Map(merged, func(pr mapreduce.Pair[string, groupAcc]) Row {
 		st := pr.Value.State
 		row := make(Row, 0, len(pr.Value.Keys)+len(specs))
@@ -357,7 +408,7 @@ func compileAggregate(eng *mapreduce.Engine, p *AggregatePlan) (*mapreduce.Datas
 		return row
 	})
 
-	if len(p.GroupBy) == 0 {
+	if global {
 		return globalAggregateFallback(eng, out, specs)
 	}
 	return out, nil

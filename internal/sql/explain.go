@@ -6,9 +6,11 @@ import (
 )
 
 // Explain runs the optimizer on a plan and renders the raw tree, the
-// optimized tree, and the applied rewrites — the review surface for what
-// Optimize did to a query. The output is deterministic for a given plan,
-// so tests can pin it as a golden.
+// optimized tree, the physical tree the compiler will execute (each node
+// tagged with its chosen strategy), and the applied rewrites — the review
+// surface for what Optimize and the physical layer did to a query. The
+// output is deterministic for a given plan, so tests can pin it as a
+// golden.
 func Explain(plan Plan) string {
 	optimized, rewrites := Optimize(plan)
 	var b strings.Builder
@@ -16,6 +18,8 @@ func Explain(plan Plan) string {
 	renderPlan(&b, plan, 1)
 	b.WriteString("optimized plan:\n")
 	renderPlan(&b, optimized, 1)
+	b.WriteString("physical plan:\n")
+	renderPhysical(&b, BuildPhysical(optimized), 1)
 	b.WriteString("rewrites:\n")
 	if len(rewrites) == 0 {
 		b.WriteString("  (none)\n")
@@ -27,19 +31,18 @@ func Explain(plan Plan) string {
 	return b.String()
 }
 
-// renderPlan writes one node per line, children indented below parents.
-func renderPlan(b *strings.Builder, p Plan, depth int) {
-	indent := strings.Repeat("  ", depth)
+// planLine renders one node's single-line description (no indent, no
+// children) — shared by the logical and physical renderers.
+func planLine(p Plan) string {
 	switch n := p.(type) {
 	case *ScanPlan:
 		names := make([]string, len(n.Cols))
 		for i, c := range n.Cols {
 			names[i] = c.Name
 		}
-		fmt.Fprintf(b, "%sscan %s [%s] (%d rows)\n", indent, n.Name, strings.Join(names, ", "), len(n.Rows))
+		return fmt.Sprintf("scan %s [%s] (%d rows)", n.Name, strings.Join(names, ", "), len(n.Rows))
 	case *FilterPlan:
-		fmt.Fprintf(b, "%sfilter %s\n", indent, n.Pred.describe())
-		renderPlan(b, n.Input, depth+1)
+		return "filter " + n.Pred.describe()
 	case *ProjectPlan:
 		parts := make([]string, len(n.Exprs))
 		for i, ne := range n.Exprs {
@@ -49,12 +52,9 @@ func renderPlan(b *strings.Builder, p Plan, depth int) {
 				parts[i] = ne.Name + "=" + ne.Expr.describe()
 			}
 		}
-		fmt.Fprintf(b, "%sproject [%s]\n", indent, strings.Join(parts, ", "))
-		renderPlan(b, n.Input, depth+1)
+		return "project [" + strings.Join(parts, ", ") + "]"
 	case *JoinPlan:
-		fmt.Fprintf(b, "%sjoin %s=%s (right side is the hash build side)\n", indent, n.LeftKey, n.RightKey)
-		renderPlan(b, n.Left, depth+1)
-		renderPlan(b, n.Right, depth+1)
+		return fmt.Sprintf("join %s=%s (right side is the hash build side)", n.LeftKey, n.RightKey)
 	case *AggregatePlan:
 		aggs := make([]string, len(n.Aggs))
 		for i, a := range n.Aggs {
@@ -64,9 +64,8 @@ func renderPlan(b *strings.Builder, p Plan, depth int) {
 			}
 			aggs[i] = fmt.Sprintf("%s=%s(%s)", a.Name, a.Func, arg)
 		}
-		fmt.Fprintf(b, "%saggregate group=[%s] aggs=[%s]\n", indent,
+		return fmt.Sprintf("aggregate group=[%s] aggs=[%s]",
 			strings.Join(n.GroupBy, ", "), strings.Join(aggs, ", "))
-		renderPlan(b, n.Input, depth+1)
 	case *OrderByPlan:
 		keys := make([]string, len(n.Keys))
 		for i, k := range n.Keys {
@@ -75,15 +74,43 @@ func renderPlan(b *strings.Builder, p Plan, depth int) {
 				keys[i] += " desc"
 			}
 		}
-		fmt.Fprintf(b, "%sorder by [%s]\n", indent, strings.Join(keys, ", "))
+		return "order by [" + strings.Join(keys, ", ") + "]"
+	case *DistinctPlan:
+		return "distinct"
+	case *LimitPlan:
+		return fmt.Sprintf("limit %d", n.N)
+	default:
+		return p.describe()
+	}
+}
+
+// renderPlan writes one node per line, children indented below parents.
+func renderPlan(b *strings.Builder, p Plan, depth int) {
+	fmt.Fprintf(b, "%s%s\n", strings.Repeat("  ", depth), planLine(p))
+	switch n := p.(type) {
+	case *FilterPlan:
+		renderPlan(b, n.Input, depth+1)
+	case *ProjectPlan:
+		renderPlan(b, n.Input, depth+1)
+	case *JoinPlan:
+		renderPlan(b, n.Left, depth+1)
+		renderPlan(b, n.Right, depth+1)
+	case *AggregatePlan:
+		renderPlan(b, n.Input, depth+1)
+	case *OrderByPlan:
 		renderPlan(b, n.Input, depth+1)
 	case *DistinctPlan:
-		fmt.Fprintf(b, "%sdistinct\n", indent)
 		renderPlan(b, n.Input, depth+1)
 	case *LimitPlan:
-		fmt.Fprintf(b, "%slimit %d\n", indent, n.N)
 		renderPlan(b, n.Input, depth+1)
-	default:
-		fmt.Fprintf(b, "%s%s\n", indent, p.describe())
+	}
+}
+
+// renderPhysical mirrors renderPlan over the physical tree, tagging each
+// node with the strategy the compiler picked for it.
+func renderPhysical(b *strings.Builder, n *PhysNode, depth int) {
+	fmt.Fprintf(b, "%s%s [%s]\n", strings.Repeat("  ", depth), planLine(n.Logical), n.Strategy)
+	for _, child := range n.Children {
+		renderPhysical(b, child, depth+1)
 	}
 }

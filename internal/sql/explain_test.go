@@ -45,6 +45,13 @@ optimized plan:
         scan orders [custkey, price] (5 rows)
       filter (nation = "DE")
         scan customers [custkey, nation] (4 rows)
+physical plan:
+  aggregate group=[] aggs=[n=count()] [row]
+    join custkey=custkey (right side is the hash build side) [row]
+      filter (price > 60) [columnar]
+        scan orders [custkey, price] (5 rows) [columnar]
+      filter (nation = "DE") [columnar]
+        scan customers [custkey, nation] (4 rows) [columnar]
 rewrites:
   1. predicate-pushdown-join-left: moved (price > 60) below join to the custkey side
   2. predicate-pushdown-join-right: moved (nation = "DE") below join to the custkey side
@@ -59,6 +66,9 @@ func TestExplainGoldenProjectionHeavy(t *testing.T) {
 optimized plan:
   aggregate group=[status] aggs=[n=count(), total=sum(price)]
     scan orders [price, status] (5 rows)
+physical plan:
+  aggregate group=[status] aggs=[n=count(), total=sum(price)] [columnar]
+    scan orders [price, status] (5 rows) [columnar]
 rewrites:
   1. projection-pruning: narrowed scan orders from 4 to 2 columns [price, status]
 `)
@@ -75,6 +85,11 @@ optimized plan:
     limit 2
       filter (price > 0)
         scan orders [orderkey, price] (5 rows)
+physical plan:
+  project [okey=orderkey] [row]
+    limit 2 [row]
+      filter (price > 0) [columnar]
+        scan orders [orderkey, price] (5 rows) [columnar]
 rewrites:
   1. limit-pushdown-project: took the first 2 rows below the project
   2. projection-pruning: narrowed scan orders from 4 to 2 columns [orderkey, price]

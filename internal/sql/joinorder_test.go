@@ -1,0 +1,133 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// skewedTriJoinPlan builds a 3-way join written in a deliberately bad
+// order: the skewed fact⋈cust edge (few distinct keys, duplicated on both
+// sides, est. ~240 rows) comes first, while the selective fact⋈item edge
+// (unique item keys, est. ~60 rows) is joined last.
+func skewedTriJoinPlan() Plan {
+	factCols := Schema{
+		{Name: "f_id", Kind: KindInt},
+		{Name: "f_cust", Kind: KindInt},
+		{Name: "f_item", Kind: KindInt},
+	}
+	factRows := make([]Row, 60)
+	for i := range factRows {
+		factRows[i] = Row{Int(int64(i)), Int(int64(i % 3)), Int(int64(i % 10))}
+	}
+	custCols := Schema{
+		{Name: "c_id", Kind: KindInt},
+		{Name: "c_tag", Kind: KindString},
+	}
+	custRows := make([]Row, 12)
+	for i := range custRows {
+		custRows[i] = Row{Int(int64(i % 3)), Str(fmt.Sprintf("t%d", i))}
+	}
+	itemCols := Schema{
+		{Name: "i_id", Kind: KindInt},
+		{Name: "i_name", Kind: KindString},
+	}
+	itemRows := make([]Row, 10)
+	for i := range itemRows {
+		itemRows[i] = Row{Int(int64(i)), Str(fmt.Sprintf("n%d", i))}
+	}
+	fact := Scan("fact", factCols, factRows)
+	cust := Scan("cust", custCols, custRows)
+	item := Scan("item", itemCols, itemRows)
+	return JoinOn(JoinOn(fact, "f_cust", cust, "c_id"), "f_item", item, "i_id")
+}
+
+// TestJoinOrderReordersUnderSkew pins the cost-based ordering: the greedy
+// pass must start from the cheap fact⋈item edge, deferring the skewed cust
+// join, while preserving the output multiset and schema exactly.
+func TestJoinOrderReordersUnderSkew(t *testing.T) {
+	plan := skewedTriJoinPlan()
+	rewrites := assertSameMultiset(t, plan)
+	var detail string
+	for _, rw := range rewrites {
+		if rw.Rule == "join-order" {
+			detail = rw.Detail
+		}
+	}
+	if detail == "" {
+		t.Fatalf("no join-order rewrite applied; got %+v", rewrites)
+	}
+	if !strings.Contains(detail, "[fact >< item >< cust]") {
+		t.Fatalf("join-order chose %q, want fact >< item >< cust", detail)
+	}
+}
+
+// TestJoinOrderGatedUnderLimitAndFloatAggs pins the reorder gate: row order
+// is observable beneath a Limit and inside float Sum/Avg accumulation, so
+// the pass must decline there.
+func TestJoinOrderGatedUnderLimitAndFloatAggs(t *testing.T) {
+	gated := []Plan{
+		Limit(skewedTriJoinPlan(), 5),
+		GroupBy(skewedTriJoinPlan(), nil,
+			AggSpec{Name: "s", Func: AggSum, Arg: Col("f_id")}),
+	}
+	for i, plan := range gated {
+		_, rewrites := Optimize(plan)
+		for _, rw := range rewrites {
+			if rw.Rule == "join-order" {
+				t.Fatalf("case %d: join-order applied under an order-sensitive ancestor: %s", i, rw.Detail)
+			}
+		}
+	}
+	// Count aggregates are order-independent, so the gate stays open.
+	_, rewrites := Optimize(GroupBy(skewedTriJoinPlan(), []string{"c_tag"},
+		AggSpec{Name: "n", Func: AggCount}))
+	found := false
+	for _, rw := range rewrites {
+		found = found || rw.Rule == "join-order"
+	}
+	if !found {
+		t.Fatal("join-order declined under a count aggregate")
+	}
+}
+
+// TestJoinOrderDeclinesTwoWay pins that plain two-input joins are left to
+// the join-side sizing rule.
+func TestJoinOrderDeclinesTwoWay(t *testing.T) {
+	plan := JoinOn(ordersScan(), "custkey", customersScan(), "custkey")
+	_, rewrites := Optimize(plan)
+	for _, rw := range rewrites {
+		if rw.Rule == "join-order" {
+			t.Fatalf("join-order applied to a 2-way join: %s", rw.Detail)
+		}
+	}
+}
+
+// TestExplainGoldenTriJoin pins the full Explain surface of the reordered
+// 3-way join: optimized tree, physical strategies, and the join-order
+// rewrite record.
+func TestExplainGoldenTriJoin(t *testing.T) {
+	assertExplain(t, skewedTriJoinPlan(), `raw plan:
+  join f_item=i_id (right side is the hash build side)
+    join f_cust=c_id (right side is the hash build side)
+      scan fact [f_id, f_cust, f_item] (60 rows)
+      scan cust [c_id, c_tag] (12 rows)
+    scan item [i_id, i_name] (10 rows)
+optimized plan:
+  project [f_id, f_cust, f_item, c_id, c_tag, i_id, i_name]
+    join f_cust=c_id (right side is the hash build side)
+      join f_item=i_id (right side is the hash build side)
+        scan fact [f_id, f_cust, f_item] (60 rows)
+        scan item [i_id, i_name] (10 rows)
+      scan cust [c_id, c_tag] (12 rows)
+physical plan:
+  project [f_id, f_cust, f_item, c_id, c_tag, i_id, i_name] [row]
+    join f_cust=c_id (right side is the hash build side) [row]
+      join f_item=i_id (right side is the hash build side) [row]
+        scan fact [f_id, f_cust, f_item] (60 rows) [row]
+        scan item [i_id, i_name] (10 rows) [row]
+      scan cust [c_id, c_tag] (12 rows) [row]
+rewrites:
+  1. join-order: reordered 3-way join to [fact >< item >< cust] (est. 240 rows)
+`)
+}

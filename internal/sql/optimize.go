@@ -3,6 +3,8 @@ package sql
 import (
 	"fmt"
 	"strings"
+
+	"upa/internal/relation"
 )
 
 // This file is the logical plan optimizer: a rule-driven rewrite pass that
@@ -80,6 +82,9 @@ func Optimize(plan Plan) (Plan, []Rewrite) {
 	// references every output column, which would otherwise stop the
 	// required-column analysis from narrowing anything beneath it.
 	out = o.prune(out, nil)
+	// orderJoins before sizeJoins: ordering fixes which relations meet
+	// first, sizing then picks the hash build side of each resulting join.
+	out = o.orderJoins(out, true)
 	out = o.sizeJoins(out, true)
 
 	// Safety net: no rewrite may change the root schema. A mismatch means a
@@ -469,6 +474,261 @@ func (o *optimizer) placeLimit(limit int, node Plan) Plan {
 	default:
 		return Limit(node, limit)
 	}
+}
+
+// --- cost-based join ordering ---------------------------------------------
+
+// orderJoins rewrites every maximal multi-join (three or more base inputs)
+// into a greedy cheapest-first left-deep chain. Costs come from
+// relation.ColumnStats computed over each leaf's base-scan join column —
+// the same count-only metadata (row count, distinct keys, top frequency)
+// FLEX's sensitivity analysis already consumes, so ordering never inspects
+// individual protected values and the DP bridge's influence accounting is
+// untouched: inner equi-joins commute and associate over row multisets.
+//
+// Reordering changes row order, so it shares sizeJoins' gate: off beneath a
+// Limit and beneath float Sum/Avg aggregates (their accumulation order is
+// observable in the last bits). It declines trees whose leaves are not
+// Filter-over-Scan chains, whose column names collide across leaves (the
+// restoring projection would be ambiguous), or whose keys cannot be pinned
+// to a single leaf.
+func (o *optimizer) orderJoins(p Plan, canReorder bool) Plan {
+	switch n := p.(type) {
+	case *JoinPlan:
+		if canReorder {
+			if reordered, ok := o.reorderJoinTree(n); ok {
+				return reordered
+			}
+		}
+		return JoinOn(o.orderJoins(n.Left, canReorder), n.LeftKey,
+			o.orderJoins(n.Right, canReorder), n.RightKey)
+	case *FilterPlan:
+		return Where(o.orderJoins(n.Input, canReorder), n.Pred)
+	case *ProjectPlan:
+		return Project(o.orderJoins(n.Input, canReorder), n.Exprs...)
+	case *AggregatePlan:
+		for _, a := range n.Aggs {
+			if a.Func == AggSum || a.Func == AggAvg {
+				canReorder = false
+				break
+			}
+		}
+		return GroupBy(o.orderJoins(n.Input, canReorder), n.GroupBy, n.Aggs...)
+	case *OrderByPlan:
+		return OrderBy(o.orderJoins(n.Input, canReorder), n.Keys...)
+	case *DistinctPlan:
+		return Distinct(o.orderJoins(n.Input, canReorder))
+	case *LimitPlan:
+		return Limit(o.orderJoins(n.Input, false), n.N)
+	default:
+		return p
+	}
+}
+
+// joinLeaf is one base input of a flattened join tree.
+type joinLeaf struct {
+	plan   Plan
+	scan   *ScanPlan
+	schema Schema
+}
+
+// joinEdge is one equi-join condition between two leaves.
+type joinEdge struct {
+	li, lj     int
+	keyI, keyJ string
+}
+
+// baseScan walks a Filter chain to its scan. Any other interior node
+// (Project renames columns, aggregates change cardinality classes) makes
+// the leaf opaque to the statistics and declines the reorder.
+func baseScan(p Plan) (*ScanPlan, bool) {
+	for {
+		switch n := p.(type) {
+		case *ScanPlan:
+			return n, true
+		case *FilterPlan:
+			p = n.Input
+		default:
+			return nil, false
+		}
+	}
+}
+
+// reorderJoinTree flattens the join tree rooted at root into leaves and
+// equi-join edges, greedily rebuilds a left-deep chain by ascending
+// estimated cardinality, and wraps it in a projection restoring the
+// original column order. ok is false when the tree declines (see
+// orderJoins) or the greedy order matches the existing one.
+func (o *optimizer) reorderJoinTree(root *JoinPlan) (Plan, bool) {
+	var leaves []joinLeaf
+	var edges []joinEdge
+	var flatten func(p Plan) ([]int, bool)
+	flatten = func(p Plan) ([]int, bool) {
+		if j, ok := p.(*JoinPlan); ok {
+			ls, ok := flatten(j.Left)
+			if !ok {
+				return nil, false
+			}
+			rs, ok := flatten(j.Right)
+			if !ok {
+				return nil, false
+			}
+			li, ok := leafWithColumn(leaves, ls, j.LeftKey)
+			if !ok {
+				return nil, false
+			}
+			rj, ok := leafWithColumn(leaves, rs, j.RightKey)
+			if !ok {
+				return nil, false
+			}
+			edges = append(edges, joinEdge{li: li, lj: rj, keyI: j.LeftKey, keyJ: j.RightKey})
+			return append(ls, rs...), true
+		}
+		scan, ok := baseScan(p)
+		if !ok {
+			return nil, false
+		}
+		schema, err := p.Schema()
+		if err != nil {
+			return nil, false
+		}
+		leaves = append(leaves, joinLeaf{plan: p, scan: scan, schema: schema})
+		return []int{len(leaves) - 1}, true
+	}
+	if _, ok := flatten(root); !ok || len(leaves) < 3 {
+		return nil, false
+	}
+	for i := range leaves {
+		for j := i + 1; j < len(leaves); j++ {
+			if !uniqueNames(leaves[i].schema, leaves[j].schema) {
+				return nil, false
+			}
+		}
+	}
+
+	// Key statistics per edge endpoint, over the leaf's base scan.
+	keyStats := func(leaf int, col string) (relation.ColumnStats, bool) {
+		idx, err := Schema(leaves[leaf].scan.Cols).IndexOf(col)
+		if err != nil {
+			return relation.ColumnStats{}, false
+		}
+		return relation.StatsOf(leaves[leaf].scan.Rows, func(r Row) Value { return r[idx] }), true
+	}
+	statsI := make([]relation.ColumnStats, len(edges))
+	statsJ := make([]relation.ColumnStats, len(edges))
+	for ei, e := range edges {
+		si, ok := keyStats(e.li, e.keyI)
+		if !ok {
+			return nil, false
+		}
+		sj, ok := keyStats(e.lj, e.keyJ)
+		if !ok {
+			return nil, false
+		}
+		statsI[ei], statsJ[ei] = si, sj
+	}
+
+	// Greedy build: cheapest edge first, then always attach the leaf whose
+	// join with the running composite is estimated cheapest.
+	start, cost := -1, 0
+	for ei := range edges {
+		c := statsI[ei].JoinCardinality(statsJ[ei])
+		if start < 0 || c < cost {
+			start, cost = ei, c
+		}
+	}
+	placed := make([]bool, len(leaves))
+	used := make([]bool, len(edges))
+	used[start] = true
+	placed[edges[start].li], placed[edges[start].lj] = true, true
+	seq := []int{edges[start].li, edges[start].lj}
+	cur := JoinOn(leaves[edges[start].li].plan, edges[start].keyI,
+		leaves[edges[start].lj].plan, edges[start].keyJ)
+	curEst := cost
+	for len(seq) < len(leaves) {
+		bestEdge, bestCost, bestNew := -1, 0, -1
+		for ei, e := range edges {
+			if used[ei] || placed[e.li] == placed[e.lj] {
+				continue
+			}
+			// The composite inherits the placed endpoint's key distribution,
+			// rescaled to the running cardinality estimate.
+			outer, innerStats, outerStats := e.lj, statsI[ei], statsJ[ei]
+			if placed[e.lj] {
+				outer, innerStats, outerStats = e.li, statsJ[ei], statsI[ei]
+			}
+			c := compositeStats(innerStats, curEst).JoinCardinality(outerStats)
+			if bestEdge < 0 || c < bestCost {
+				bestEdge, bestCost, bestNew = ei, c, outer
+			}
+		}
+		if bestEdge < 0 {
+			return nil, false // disconnected — not a well-formed join tree
+		}
+		e := edges[bestEdge]
+		leftKey, rightKey := e.keyI, e.keyJ
+		if bestNew == e.li {
+			leftKey, rightKey = e.keyJ, e.keyI
+		}
+		cur = JoinOn(cur, leftKey, leaves[bestNew].plan, rightKey)
+		used[bestEdge], placed[bestNew] = true, true
+		seq = append(seq, bestNew)
+		curEst = bestCost
+	}
+
+	inOrder := true
+	for i, leaf := range seq {
+		if leaf != i {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		return nil, false
+	}
+
+	// Restore the original column order (leaf schemas concatenated in
+	// declaration order) over the reordered chain.
+	var exprs []NamedExpr
+	for _, leaf := range leaves {
+		for _, c := range leaf.schema {
+			exprs = append(exprs, NamedExpr{Name: c.Name, Expr: Col(c.Name)})
+		}
+	}
+	names := make([]string, len(seq))
+	for i, leaf := range seq {
+		names[i] = leaves[leaf].scan.Name
+	}
+	o.record("join-order", "reordered %d-way join to [%s] (est. %d rows)",
+		len(leaves), strings.Join(names, " >< "), curEst)
+	return Project(cur, exprs...), true
+}
+
+// compositeStats rescales a key column's statistics to the running
+// composite's estimated row count, clamping the per-column counts so the
+// result stays internally consistent.
+func compositeStats(s relation.ColumnStats, rows int) relation.ColumnStats {
+	s.RowCount = rows
+	if s.Distinct > rows {
+		s.Distinct = rows
+	}
+	if s.MaxFreq > rows {
+		s.MaxFreq = rows
+	}
+	return s
+}
+
+// leafWithColumn resolves a join key to the single leaf (among candidates)
+// whose schema carries it.
+func leafWithColumn(leaves []joinLeaf, candidates []int, col string) (int, bool) {
+	found, count := -1, 0
+	for _, li := range candidates {
+		if _, err := leaves[li].schema.IndexOf(col); err == nil {
+			found = li
+			count++
+		}
+	}
+	return found, count == 1
 }
 
 // --- join-side sizing -----------------------------------------------------

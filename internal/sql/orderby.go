@@ -58,7 +58,7 @@ func (p *DistinctPlan) Schema() (Schema, error) { return p.Input.Schema() }
 func (p *DistinctPlan) describe() string { return "distinct(" + p.Input.describe() + ")" }
 
 // compileOrderBy lowers an OrderByPlan.
-func compileOrderBy(eng *mapreduce.Engine, p *OrderByPlan) (*mapreduce.Dataset[Row], error) {
+func (c *compiler) compileOrderBy(p *OrderByPlan) (*mapreduce.Dataset[Row], error) {
 	schema, err := p.Schema() // validates keys
 	if err != nil {
 		return nil, err
@@ -72,7 +72,7 @@ func compileOrderBy(eng *mapreduce.Engine, p *OrderByPlan) (*mapreduce.Dataset[R
 		idx[i] = j
 	}
 	keys := p.Keys
-	ds, err := compile(eng, p.Input)
+	ds, err := c.compile(p.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -99,8 +99,8 @@ func compileOrderBy(eng *mapreduce.Engine, p *OrderByPlan) (*mapreduce.Dataset[R
 
 // compileDistinct lowers a DistinctPlan via a keyed first-wins reduction on
 // the rows' rendered form (rows are slices and not directly comparable).
-func compileDistinct(eng *mapreduce.Engine, p *DistinctPlan) (*mapreduce.Dataset[Row], error) {
-	ds, err := compile(eng, p.Input)
+func (c *compiler) compileDistinct(p *DistinctPlan) (*mapreduce.Dataset[Row], error) {
+	ds, err := c.compile(p.Input)
 	if err != nil {
 		return nil, err
 	}

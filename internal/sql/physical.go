@@ -1,0 +1,168 @@
+package sql
+
+// physical.go is the logical→physical boundary: BuildPhysical walks an
+// optimized logical tree and decides, per subtree, whether it executes
+// through the vectorized columnar pipeline (colexec.go) or the
+// row-at-a-time compiler (exec.go). The eligibility predicates here are the
+// same ones compiler.compile consults, so the tree Explain renders is
+// exactly what Execute runs — the two cannot diverge.
+//
+// The columnar region is deliberately conservative: maximal Filter/Project
+// chains over a Scan, optionally topped by an Aggregate whose group keys
+// and arguments vectorize. Joins, sorts, distinct, limits, and everything
+// the DP bridge touches (noise injection, neighbour sampling) stay
+// row-based, so all DP releases are byte-identical whichever strategy the
+// interior picks.
+
+// PhysStrategy is the execution strategy chosen for a physical node.
+type PhysStrategy int
+
+const (
+	// StrategyRow executes the node through the row-at-a-time compiler.
+	StrategyRow PhysStrategy = iota
+	// StrategyColumnar executes the node inside a fused vectorized
+	// pipeline over colbatch batches.
+	StrategyColumnar
+)
+
+func (s PhysStrategy) String() string {
+	if s == StrategyColumnar {
+		return "columnar"
+	}
+	return "row"
+}
+
+// PhysNode is one node of the physical plan: the logical node plus the
+// strategy the compiler picked for it. Children mirror the logical tree's
+// inputs.
+type PhysNode struct {
+	Logical  Plan
+	Strategy PhysStrategy
+	Children []*PhysNode
+}
+
+// BuildPhysical assigns an execution strategy to every node of an
+// (optimized) logical plan. A bare Scan stays row — batching pays only when
+// at least one kernel runs over the batch.
+func BuildPhysical(plan Plan) *PhysNode {
+	switch n := plan.(type) {
+	case *AggregatePlan:
+		if vectorizableAggregate(n) {
+			return &PhysNode{Logical: plan, Strategy: StrategyColumnar, Children: []*PhysNode{markColumnar(n.Input)}}
+		}
+		return rowNode(plan, n.Input)
+	case *FilterPlan:
+		if vectorizableChain(plan) {
+			return &PhysNode{Logical: plan, Strategy: StrategyColumnar, Children: []*PhysNode{markColumnar(n.Input)}}
+		}
+		return rowNode(plan, n.Input)
+	case *ProjectPlan:
+		if vectorizableChain(plan) {
+			return &PhysNode{Logical: plan, Strategy: StrategyColumnar, Children: []*PhysNode{markColumnar(n.Input)}}
+		}
+		return rowNode(plan, n.Input)
+	case *JoinPlan:
+		return &PhysNode{Logical: plan, Strategy: StrategyRow,
+			Children: []*PhysNode{BuildPhysical(n.Left), BuildPhysical(n.Right)}}
+	case *OrderByPlan:
+		return rowNode(plan, n.Input)
+	case *DistinctPlan:
+		return rowNode(plan, n.Input)
+	case *LimitPlan:
+		return rowNode(plan, n.Input)
+	default:
+		return &PhysNode{Logical: plan, Strategy: StrategyRow}
+	}
+}
+
+func rowNode(plan, input Plan) *PhysNode {
+	return &PhysNode{Logical: plan, Strategy: StrategyRow, Children: []*PhysNode{BuildPhysical(input)}}
+}
+
+// markColumnar tags an already-validated chain interior columnar down to
+// its scan.
+func markColumnar(p Plan) *PhysNode {
+	switch n := p.(type) {
+	case *FilterPlan:
+		return &PhysNode{Logical: p, Strategy: StrategyColumnar, Children: []*PhysNode{markColumnar(n.Input)}}
+	case *ProjectPlan:
+		return &PhysNode{Logical: p, Strategy: StrategyColumnar, Children: []*PhysNode{markColumnar(n.Input)}}
+	default: // the chain's scan
+		return &PhysNode{Logical: p, Strategy: StrategyColumnar}
+	}
+}
+
+// vectorizableChain reports whether p is a Filter/Project chain over a Scan
+// whose every expression compiles to infallible kernels (see vectorize.go
+// for the fragment). Both compiler.compile and BuildPhysical consult it.
+func vectorizableChain(p Plan) bool {
+	switch n := p.(type) {
+	case *ScanPlan:
+		for _, c := range n.Cols {
+			if colKind(c.Kind) == 0 {
+				return false
+			}
+		}
+		return true
+	case *FilterPlan:
+		in, err := n.Input.Schema()
+		if err != nil {
+			return false
+		}
+		if _, kind, ok := vectorizeExpr(n.Pred, in); !ok || kind != KindBool {
+			return false
+		}
+		return vectorizableChain(n.Input)
+	case *ProjectPlan:
+		in, err := n.Input.Schema()
+		if err != nil {
+			return false
+		}
+		for _, ne := range n.Exprs {
+			if _, _, ok := vectorizeExpr(ne.Expr, in); !ok {
+				return false
+			}
+		}
+		return vectorizableChain(n.Input)
+	default:
+		return false
+	}
+}
+
+// vectorizableAggregate reports whether the aggregate's input chain, group
+// keys, and aggregate arguments all vectorize, letting the partial
+// aggregation fuse into the batch pipeline.
+func vectorizableAggregate(p *AggregatePlan) bool {
+	if len(p.Aggs) == 0 {
+		return false
+	}
+	if !vectorizableChain(p.Input) {
+		return false
+	}
+	in, err := p.Input.Schema()
+	if err != nil {
+		return false
+	}
+	for _, g := range p.GroupBy {
+		idx, err := in.IndexOf(g)
+		if err != nil {
+			return false
+		}
+		if colKind(in[idx].Kind) == 0 {
+			return false
+		}
+	}
+	for _, a := range p.Aggs {
+		if a.Func == AggCount {
+			continue
+		}
+		if a.Arg == nil {
+			return false
+		}
+		_, kind, ok := vectorizeExpr(a.Arg, in)
+		if !ok || !numeric(kind) {
+			return false
+		}
+	}
+	return true
+}

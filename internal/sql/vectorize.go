@@ -1,0 +1,543 @@
+package sql
+
+import (
+	"upa/internal/colbatch"
+)
+
+// vectorize.go compiles scalar expressions into batch-at-a-time kernel
+// programs over colbatch columns. The vectorizable fragment is chosen so
+// that every compiled kernel is *infallible* and evaluates to exactly the
+// values the row-at-a-time evaluator (expr.go) would produce:
+//
+//   - division is rejected — it is the one arithmetic operator that can
+//     fail at runtime (division by zero), and the row path's error must
+//     keep surfacing from the row path;
+//   - comparisons between differing non-numeric kinds are rejected —
+//     Compare errors on them at runtime;
+//   - ordering comparisons (<, <=, >, >=) always run on float64-widened
+//     operands, even for int/int pairs, because the row path routes every
+//     ordering through Compare, which widens via AsFloat first;
+//   - same-kind =/<> use direct Go equality (the row path's shortcut: NaN ≠
+//     NaN on floats), while mixed int/float =/<> use the Compare-routed
+//     form, under which NaN compares equal to everything;
+//   - AND/OR evaluate both sides where the row path short-circuits, which
+//     is observationally identical because vectorized operands cannot
+//     fail.
+//
+// Because kernels cannot fail, filters and projections may be computed over
+// a batch's dead lanes (rows an earlier filter dropped) without changing
+// any observable behaviour — the property the fused columnar pipeline in
+// colexec.go relies on.
+
+// vecFn evaluates an expression over a batch, returning a full-length
+// (Batch.N) column of the expression's kind. Selection is ignored; the
+// caller applies it at materialization seams.
+type vecFn func(b *colbatch.Batch) colbatch.Col
+
+// colKind maps a sql value kind onto its columnar element type.
+func colKind(k Kind) colbatch.Kind {
+	switch k {
+	case KindInt:
+		return colbatch.Int64
+	case KindFloat:
+		return colbatch.Float64
+	case KindString:
+		return colbatch.String
+	case KindBool:
+		return colbatch.Bool
+	default:
+		return 0
+	}
+}
+
+// vectorizeExpr compiles e against schema. ok is false when the expression
+// falls outside the vectorizable fragment described above (the caller then
+// keeps the subtree on the row path).
+func vectorizeExpr(e Expr, schema Schema) (vecFn, Kind, bool) {
+	switch n := e.(type) {
+	case colExpr:
+		idx, err := schema.IndexOf(n.name)
+		if err != nil {
+			return nil, 0, false
+		}
+		kind := schema[idx].Kind
+		if colKind(kind) == 0 {
+			return nil, 0, false
+		}
+		return func(b *colbatch.Batch) colbatch.Col { return b.Cols[idx] }, kind, true
+
+	case litExpr:
+		v := n.v
+		kind := v.Kind()
+		if colKind(kind) == 0 {
+			return nil, 0, false
+		}
+		return func(b *colbatch.Batch) colbatch.Col {
+			return colbatch.ConstCol(colKind(kind), b.N, v.i, v.f, v.s, v.b)
+		}, kind, true
+
+	case notExpr:
+		inner, kind, ok := vectorizeExpr(n.inner, schema)
+		if !ok || kind != KindBool {
+			return nil, 0, false
+		}
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			colbatch.Not(dst, inner(b).Bool)
+			return colbatch.BoolCol(dst)
+		}, KindBool, true
+
+	case binExpr:
+		return vectorizeBin(n, schema)
+
+	default:
+		return nil, 0, false
+	}
+}
+
+// litOf unwraps a literal operand, letting binary compilers fold constants
+// into Const kernels instead of materializing constant columns per batch.
+func litOf(e Expr) (Value, bool) {
+	l, ok := e.(litExpr)
+	return l.v, ok
+}
+
+// f64View wraps a numeric vecFn so it yields the float64 payload, widening
+// int64 columns — the AsFloat widening the row path applies inside Compare
+// and float arithmetic.
+func f64View(fn vecFn, kind Kind) func(b *colbatch.Batch) []float64 {
+	if kind == KindFloat {
+		return func(b *colbatch.Batch) []float64 { return fn(b).F64 }
+	}
+	return func(b *colbatch.Batch) []float64 {
+		src := fn(b).I64
+		dst := make([]float64, len(src))
+		colbatch.Widen(dst, src)
+		return dst
+	}
+}
+
+func vectorizeBin(e binExpr, schema Schema) (vecFn, Kind, bool) {
+	lf, lk, lok := vectorizeExpr(e.left, schema)
+	rf, rk, rok := vectorizeExpr(e.right, schema)
+	if !lok || !rok {
+		return nil, 0, false
+	}
+	switch e.op {
+	case opAdd, opSub, opMul:
+		if !numeric(lk) || !numeric(rk) {
+			return nil, 0, false
+		}
+		if lk == KindInt && rk == KindInt {
+			return vectorizeIntArith(e, lf, rf), KindInt, true
+		}
+		return vectorizeFloatArith(e, lf, lk, rf, rk), KindFloat, true
+
+	case opDiv:
+		// Division can fail (÷0); its error must surface from the row path.
+		return nil, 0, false
+
+	case opEq, opNe:
+		if lk == rk {
+			return vectorizeDirectEq(e, lf, rf, lk), KindBool, true
+		}
+		if numeric(lk) && numeric(rk) {
+			return vectorizeWidenEq(e, lf, lk, rf, rk), KindBool, true
+		}
+		return nil, 0, false
+
+	case opLt, opLe, opGt, opGe:
+		switch {
+		case numeric(lk) && numeric(rk):
+			return vectorizeNumOrd(e, lf, lk, rf, rk), KindBool, true
+		case lk == KindString && rk == KindString:
+			return vectorizeStrOrd(e, lf, rf), KindBool, true
+		case lk == KindBool && rk == KindBool:
+			return vectorizeBoolOrd(e, lf, rf), KindBool, true
+		default:
+			// Compare errors on these operands at runtime.
+			return nil, 0, false
+		}
+
+	case opAnd, opOr:
+		if lk != KindBool || rk != KindBool {
+			return nil, 0, false
+		}
+		isAnd := e.op == opAnd
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			if isAnd {
+				colbatch.And(dst, lf(b).Bool, rf(b).Bool)
+			} else {
+				colbatch.Or(dst, lf(b).Bool, rf(b).Bool)
+			}
+			return colbatch.BoolCol(dst)
+		}, KindBool, true
+
+	default:
+		return nil, 0, false
+	}
+}
+
+// vectorizeIntArith compiles int⊗int +, -, × (integral result, like the row
+// path's Int arithmetic).
+func vectorizeIntArith(e binExpr, lf, rf vecFn) vecFn {
+	op := e.op
+	if rv, ok := litOf(e.right); ok {
+		c, _ := rv.AsInt()
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]int64, b.N)
+			a := lf(b).I64
+			switch op {
+			case opAdd:
+				colbatch.AddConst(dst, a, c)
+			case opSub:
+				colbatch.SubConstR(dst, a, c)
+			default:
+				colbatch.MulConst(dst, a, c)
+			}
+			return colbatch.IntCol(dst)
+		}
+	}
+	if lv, ok := litOf(e.left); ok {
+		c, _ := lv.AsInt()
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]int64, b.N)
+			a := rf(b).I64
+			switch op {
+			case opAdd:
+				colbatch.AddConst(dst, a, c)
+			case opSub:
+				colbatch.SubConstL(dst, a, c)
+			default:
+				colbatch.MulConst(dst, a, c)
+			}
+			return colbatch.IntCol(dst)
+		}
+	}
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]int64, b.N)
+		a, bb := lf(b).I64, rf(b).I64
+		switch op {
+		case opAdd:
+			colbatch.Add(dst, a, bb)
+		case opSub:
+			colbatch.Sub(dst, a, bb)
+		default:
+			colbatch.Mul(dst, a, bb)
+		}
+		return colbatch.IntCol(dst)
+	}
+}
+
+// vectorizeFloatArith compiles widened-float +, -, ×.
+func vectorizeFloatArith(e binExpr, lf vecFn, lk Kind, rf vecFn, rk Kind) vecFn {
+	op := e.op
+	if rv, ok := litOf(e.right); ok {
+		c, _ := rv.AsFloat()
+		la := f64View(lf, lk)
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]float64, b.N)
+			a := la(b)
+			switch op {
+			case opAdd:
+				colbatch.AddConst(dst, a, c)
+			case opSub:
+				colbatch.SubConstR(dst, a, c)
+			default:
+				colbatch.MulConst(dst, a, c)
+			}
+			return colbatch.FloatCol(dst)
+		}
+	}
+	if lv, ok := litOf(e.left); ok {
+		c, _ := lv.AsFloat()
+		ra := f64View(rf, rk)
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]float64, b.N)
+			a := ra(b)
+			switch op {
+			case opAdd:
+				colbatch.AddConst(dst, a, c)
+			case opSub:
+				colbatch.SubConstL(dst, a, c)
+			default:
+				colbatch.MulConst(dst, a, c)
+			}
+			return colbatch.FloatCol(dst)
+		}
+	}
+	la, ra := f64View(lf, lk), f64View(rf, rk)
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]float64, b.N)
+		a, bb := la(b), ra(b)
+		switch op {
+		case opAdd:
+			colbatch.Add(dst, a, bb)
+		case opSub:
+			colbatch.Sub(dst, a, bb)
+		default:
+			colbatch.Mul(dst, a, bb)
+		}
+		return colbatch.FloatCol(dst)
+	}
+}
+
+// vectorizeDirectEq compiles the same-kind =/<> shortcut (direct Go
+// equality; NaN ≠ NaN on floats).
+func vectorizeDirectEq(e binExpr, lf, rf vecFn, kind Kind) vecFn {
+	ne := e.op == opNe
+	if rv, ok := litOf(e.right); ok {
+		return directEqConst(lf, rv, kind, ne)
+	}
+	if lv, ok := litOf(e.left); ok {
+		return directEqConst(rf, lv, kind, ne) // equality is symmetric
+	}
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]bool, b.N)
+		lc, rc := lf(b), rf(b)
+		switch kind {
+		case KindInt:
+			if ne {
+				colbatch.Ne(dst, lc.I64, rc.I64)
+			} else {
+				colbatch.Eq(dst, lc.I64, rc.I64)
+			}
+		case KindFloat:
+			if ne {
+				colbatch.Ne(dst, lc.F64, rc.F64)
+			} else {
+				colbatch.Eq(dst, lc.F64, rc.F64)
+			}
+		case KindString:
+			if ne {
+				colbatch.Ne(dst, lc.Str, rc.Str)
+			} else {
+				colbatch.Eq(dst, lc.Str, rc.Str)
+			}
+		default:
+			if ne {
+				colbatch.Ne(dst, lc.Bool, rc.Bool)
+			} else {
+				colbatch.Eq(dst, lc.Bool, rc.Bool)
+			}
+		}
+		return colbatch.BoolCol(dst)
+	}
+}
+
+func directEqConst(fn vecFn, v Value, kind Kind, ne bool) vecFn {
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]bool, b.N)
+		c := fn(b)
+		switch kind {
+		case KindInt:
+			if ne {
+				colbatch.NeConst(dst, c.I64, v.i)
+			} else {
+				colbatch.EqConst(dst, c.I64, v.i)
+			}
+		case KindFloat:
+			if ne {
+				colbatch.NeConst(dst, c.F64, v.f)
+			} else {
+				colbatch.EqConst(dst, c.F64, v.f)
+			}
+		case KindString:
+			if ne {
+				colbatch.NeConst(dst, c.Str, v.s)
+			} else {
+				colbatch.EqConst(dst, c.Str, v.s)
+			}
+		default:
+			if ne {
+				colbatch.NeConst(dst, c.Bool, v.b)
+			} else {
+				colbatch.EqConst(dst, c.Bool, v.b)
+			}
+		}
+		return colbatch.BoolCol(dst)
+	}
+}
+
+// vectorizeWidenEq compiles mixed int/float =/<>, which the row path routes
+// through Compare (widened; NaN compares equal to everything).
+func vectorizeWidenEq(e binExpr, lf vecFn, lk Kind, rf vecFn, rk Kind) vecFn {
+	ne := e.op == opNe
+	if rv, ok := litOf(e.right); ok {
+		c, _ := rv.AsFloat()
+		la := f64View(lf, lk)
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			if ne {
+				colbatch.NeWidenConst(dst, la(b), c)
+			} else {
+				colbatch.EqWidenConst(dst, la(b), c)
+			}
+			return colbatch.BoolCol(dst)
+		}
+	}
+	if lv, ok := litOf(e.left); ok {
+		c, _ := lv.AsFloat()
+		ra := f64View(rf, rk)
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			if ne {
+				colbatch.NeWidenConst(dst, ra(b), c)
+			} else {
+				colbatch.EqWidenConst(dst, ra(b), c)
+			}
+			return colbatch.BoolCol(dst)
+		}
+	}
+	la, ra := f64View(lf, lk), f64View(rf, rk)
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]bool, b.N)
+		if ne {
+			colbatch.NeWiden(dst, la(b), ra(b))
+		} else {
+			colbatch.EqWiden(dst, la(b), ra(b))
+		}
+		return colbatch.BoolCol(dst)
+	}
+}
+
+// vectorizeNumOrd compiles numeric orderings on float64-widened operands —
+// including int/int pairs, because the row path's Compare widens every
+// ordering through AsFloat.
+func vectorizeNumOrd(e binExpr, lf vecFn, lk Kind, rf vecFn, rk Kind) vecFn {
+	op := e.op
+	if rv, ok := litOf(e.right); ok {
+		c, _ := rv.AsFloat()
+		la := f64View(lf, lk)
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			a := la(b)
+			switch op {
+			case opLt:
+				colbatch.LtConst(dst, a, c)
+			case opLe:
+				colbatch.LeConst(dst, a, c)
+			case opGt:
+				colbatch.GtConst(dst, a, c)
+			default:
+				colbatch.GeConst(dst, a, c)
+			}
+			return colbatch.BoolCol(dst)
+		}
+	}
+	if lv, ok := litOf(e.left); ok {
+		c, _ := lv.AsFloat()
+		ra := f64View(rf, rk)
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			a := ra(b)
+			// Mirrored: c < a[i] is a[i] > c, and so on.
+			switch op {
+			case opLt:
+				colbatch.GtConst(dst, a, c)
+			case opLe:
+				colbatch.GeConst(dst, a, c)
+			case opGt:
+				colbatch.LtConst(dst, a, c)
+			default:
+				colbatch.LeConst(dst, a, c)
+			}
+			return colbatch.BoolCol(dst)
+		}
+	}
+	la, ra := f64View(lf, lk), f64View(rf, rk)
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]bool, b.N)
+		a, bb := la(b), ra(b)
+		switch op {
+		case opLt:
+			colbatch.Lt(dst, a, bb)
+		case opLe:
+			colbatch.Le(dst, a, bb)
+		case opGt:
+			colbatch.Gt(dst, a, bb)
+		default:
+			colbatch.Ge(dst, a, bb)
+		}
+		return colbatch.BoolCol(dst)
+	}
+}
+
+// vectorizeStrOrd compiles same-kind string orderings (Compare's direct
+// lexicographic order).
+func vectorizeStrOrd(e binExpr, lf, rf vecFn) vecFn {
+	op := e.op
+	if rv, ok := litOf(e.right); ok {
+		c, _ := rv.AsString()
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			a := lf(b).Str
+			switch op {
+			case opLt:
+				colbatch.LtConst(dst, a, c)
+			case opLe:
+				colbatch.LeConst(dst, a, c)
+			case opGt:
+				colbatch.GtConst(dst, a, c)
+			default:
+				colbatch.GeConst(dst, a, c)
+			}
+			return colbatch.BoolCol(dst)
+		}
+	}
+	if lv, ok := litOf(e.left); ok {
+		c, _ := lv.AsString()
+		return func(b *colbatch.Batch) colbatch.Col {
+			dst := make([]bool, b.N)
+			a := rf(b).Str
+			switch op {
+			case opLt:
+				colbatch.GtConst(dst, a, c)
+			case opLe:
+				colbatch.GeConst(dst, a, c)
+			case opGt:
+				colbatch.LtConst(dst, a, c)
+			default:
+				colbatch.LeConst(dst, a, c)
+			}
+			return colbatch.BoolCol(dst)
+		}
+	}
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]bool, b.N)
+		a, bb := lf(b).Str, rf(b).Str
+		switch op {
+		case opLt:
+			colbatch.Lt(dst, a, bb)
+		case opLe:
+			colbatch.Le(dst, a, bb)
+		case opGt:
+			colbatch.Gt(dst, a, bb)
+		default:
+			colbatch.Ge(dst, a, bb)
+		}
+		return colbatch.BoolCol(dst)
+	}
+}
+
+// vectorizeBoolOrd compiles same-kind bool orderings (false < true, as
+// Compare orders them).
+func vectorizeBoolOrd(e binExpr, lf, rf vecFn) vecFn {
+	op := e.op
+	return func(b *colbatch.Batch) colbatch.Col {
+		dst := make([]bool, b.N)
+		a, bb := lf(b).Bool, rf(b).Bool
+		switch op {
+		case opLt:
+			colbatch.LtBool(dst, a, bb)
+		case opLe:
+			colbatch.LeBool(dst, a, bb)
+		case opGt:
+			colbatch.GtBool(dst, a, bb)
+		default:
+			colbatch.GeBool(dst, a, bb)
+		}
+		return colbatch.BoolCol(dst)
+	}
+}
